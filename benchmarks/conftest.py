@@ -1,0 +1,34 @@
+"""Benchmark harness helpers.
+
+Each ``test_bench_*`` file regenerates one experiment's tables/figures
+(at smoke scale, so the whole harness runs in minutes) and times it with
+pytest-benchmark.  The printed report is the reproduction artifact; the
+timing shows the cost of regenerating it.  Paper-scale sweeps are run
+via ``python -m repro run <EXP-ID> --scale paper`` (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.registry import run_experiment
+
+
+@pytest.fixture
+def run_and_report(benchmark, capsys):
+    """Benchmark one experiment once and print its report."""
+
+    def _run(experiment_id: str, scale: str = "smoke", seed: int = 0):
+        result = benchmark.pedantic(
+            run_experiment,
+            args=(experiment_id,),
+            kwargs={"scale": scale, "seed": seed},
+            iterations=1,
+            rounds=1,
+        )
+        with capsys.disabled():
+            print()
+            print(result.render())
+        return result
+
+    return _run

@@ -1,0 +1,8 @@
+"""Regenerate EXP-AA (approximate agreement) and time the regeneration."""
+
+from __future__ import annotations
+
+
+def test_bench_aa(run_and_report):
+    result = run_and_report("EXP-AA")
+    assert result.tables

@@ -1,0 +1,8 @@
+"""Regenerate EXP-ABL (design-choice ablations) and time the regeneration."""
+
+from __future__ import annotations
+
+
+def test_bench_ablations(run_and_report):
+    result = run_and_report("EXP-ABL")
+    assert result.tables

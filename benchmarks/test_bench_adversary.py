@@ -1,0 +1,8 @@
+"""Regenerate EXP-ADV (Section 5.3) and time the regeneration."""
+
+from __future__ import annotations
+
+
+def test_bench_adversary(run_and_report):
+    result = run_and_report("EXP-ADV")
+    assert result.tables or result.plots

@@ -1,0 +1,50 @@
+"""Micro-benchmarks of the core algorithm and substrate.
+
+Not tied to a paper table; these track the cost of a full renaming run
+(the unit every experiment repeats) and the shared-view speedup.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.random_crash import RandomCrashAdversary
+from repro.ids import sparse_ids
+from repro.sim.runner import run_renaming
+
+
+@pytest.mark.parametrize("n", [64, 512, 2048])
+def test_bench_bil_failure_free(benchmark, n):
+    ids = sparse_ids(n)
+    run = benchmark(lambda: run_renaming("balls-into-leaves", ids, seed=1))
+    assert len(run.names) == n
+
+
+def test_bench_bil_with_crashes(benchmark):
+    ids = sparse_ids(512)
+
+    def once():
+        return run_renaming(
+            "balls-into-leaves",
+            ids,
+            seed=2,
+            adversary=RandomCrashAdversary(0.05, seed=2),
+        )
+
+    run = benchmark(once)
+    assert len(set(run.names.values())) == len(run.names)
+
+
+def test_bench_faithful_mode_small(benchmark):
+    """Per-ball views: the paper-verbatim engine (O(n) trees per round)."""
+    ids = sparse_ids(64)
+    run = benchmark(
+        lambda: run_renaming("balls-into-leaves", ids, seed=3, view_mode="faithful")
+    )
+    assert len(run.names) == 64
+
+
+def test_bench_early_terminating(benchmark):
+    ids = sparse_ids(2048)
+    run = benchmark(lambda: run_renaming("early-terminating", ids, seed=4))
+    assert run.rounds == 3

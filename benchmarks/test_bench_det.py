@@ -1,0 +1,8 @@
+"""Regenerate EXP-DET (Lemma 11) and time the regeneration."""
+
+from __future__ import annotations
+
+
+def test_bench_det(run_and_report):
+    result = run_and_report("EXP-DET")
+    assert result.tables or result.plots

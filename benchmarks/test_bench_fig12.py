@@ -1,0 +1,8 @@
+"""Regenerate EXP-F12 (Figures 1-2) and time the regeneration."""
+
+from __future__ import annotations
+
+
+def test_bench_fig12(run_and_report):
+    result = run_and_report("EXP-F12")
+    assert result.tables or result.plots

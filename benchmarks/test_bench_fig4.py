@@ -1,0 +1,8 @@
+"""Regenerate EXP-F4 (Figure 4) and time the regeneration."""
+
+from __future__ import annotations
+
+
+def test_bench_fig4(run_and_report):
+    result = run_and_report("EXP-F4")
+    assert result.tables or result.plots

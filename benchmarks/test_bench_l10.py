@@ -1,0 +1,8 @@
+"""Regenerate EXP-L10 (Lemmas 9-10) and time the regeneration."""
+
+from __future__ import annotations
+
+
+def test_bench_l10(run_and_report):
+    result = run_and_report("EXP-L10")
+    assert result.tables or result.plots

@@ -1,0 +1,8 @@
+"""Regenerate EXP-L6 (Lemma 6) and time the regeneration."""
+
+from __future__ import annotations
+
+
+def test_bench_l6(run_and_report):
+    result = run_and_report("EXP-L6")
+    assert result.tables or result.plots

@@ -1,0 +1,8 @@
+"""Regenerate EXP-LB (Motivation) and time the regeneration."""
+
+from __future__ import annotations
+
+
+def test_bench_loadbalance(run_and_report):
+    result = run_and_report("EXP-LB")
+    assert result.tables or result.plots

@@ -1,0 +1,8 @@
+"""Regenerate EXP-MSG (message complexity) and time the regeneration."""
+
+from __future__ import annotations
+
+
+def test_bench_messages(run_and_report):
+    result = run_and_report("EXP-MSG")
+    assert result.tables

@@ -1,0 +1,8 @@
+"""Regenerate EXP-NP2 (arbitrary n) and time the regeneration."""
+
+from __future__ import annotations
+
+
+def test_bench_nonpow2(run_and_report):
+    result = run_and_report("EXP-NP2")
+    assert result.tables

@@ -1,0 +1,8 @@
+"""Regenerate EXP-SEP (Separation) and time the regeneration."""
+
+from __future__ import annotations
+
+
+def test_bench_separation(run_and_report):
+    result = run_and_report("EXP-SEP")
+    assert result.tables or result.plots

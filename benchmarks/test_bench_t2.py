@@ -1,0 +1,8 @@
+"""Regenerate EXP-T2 (Theorem 2) and time the regeneration."""
+
+from __future__ import annotations
+
+
+def test_bench_t2(run_and_report):
+    result = run_and_report("EXP-T2")
+    assert result.tables or result.plots

@@ -1,0 +1,8 @@
+"""Regenerate EXP-T3 (Theorem 3) and time the regeneration."""
+
+from __future__ import annotations
+
+
+def test_bench_t3(run_and_report):
+    result = run_and_report("EXP-T3")
+    assert result.tables or result.plots

@@ -1,0 +1,8 @@
+"""Regenerate EXP-T4 (Theorem 4) and time the regeneration."""
+
+from __future__ import annotations
+
+
+def test_bench_t4(run_and_report):
+    result = run_and_report("EXP-T4")
+    assert result.tables or result.plots

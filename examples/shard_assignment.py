@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Shard assignment under fire: servers crash mid-protocol, slots stay unique.
+
+A storage cluster of 64 servers must each claim exactly one of 64 shards.
+Mid-assignment, an adaptive adversary crashes servers *while they are
+broadcasting*, delivering each dying message to only half the cluster —
+the nastiest pattern the model allows.  Surviving servers still end up
+with distinct shards, and the round count barely moves (Section 5.3).
+
+Run:  python examples/shard_assignment.py
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.adversary import RandomCrashAdversary, TargetedPriorityAdversary
+
+
+def assignment_report(title: str, run: repro.RenamingRun) -> None:
+    print(f"{title}:")
+    print(f"  rounds: {run.rounds}, crashed servers: {run.failures}")
+    shards = sorted(run.names.values())
+    print(f"  surviving servers: {len(run.names)}, shards claimed: {len(set(shards))}")
+    assert len(shards) == len(set(shards)), "duplicate shard claim!"
+    print("  uniqueness: OK (no shard claimed twice)")
+    print()
+
+
+def main() -> None:
+    n = 64
+    servers = repro.string_ids(n, prefix="store")
+
+    calm = repro.run_renaming("balls-into-leaves", servers, seed=7)
+    assignment_report("calm cluster (no failures)", calm)
+
+    storm = repro.run_renaming(
+        "balls-into-leaves",
+        servers,
+        seed=7,
+        adversary=RandomCrashAdversary(0.10, seed=7),
+    )
+    assignment_report("crash storm (10% of servers die per round)", storm)
+
+    sniper = repro.run_renaming(
+        "balls-into-leaves",
+        servers,
+        seed=7,
+        adversary=TargetedPriorityAdversary(seed=7),
+    )
+    assignment_report("adaptive sniper (kills the priority ball mid-broadcast)", sniper)
+
+    print("takeaway: the adversary costs crashed servers their shards, but")
+    print("never costs the survivors uniqueness — and the round count stays")
+    print(f"within a constant of the calm run ({calm.rounds} vs {storm.rounds} "
+          f"vs {sniper.rounds}).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""Balls-into-Leaves: sub-logarithmic tight renaming (PODC 2014), reproduced.
+
+``n`` crash-prone processes, communicating in lock-step synchronous
+rounds, assign themselves one-to-one to ``n`` names in ``O(log log n)``
+rounds with high probability — exponentially faster than any deterministic
+comparison-based algorithm.  This package implements the algorithm, its
+early-terminating extension, the deterministic baselines, the adversaries,
+and the full experiment suite reproducing every claim of the paper.
+
+Quickstart::
+
+    import repro
+
+    run = repro.run_renaming("balls-into-leaves", repro.sparse_ids(64), seed=7)
+    print(run.rounds, run.names)
+
+See README.md and EXPERIMENTS.md for the full tour.
+"""
+
+from repro._version import __version__
+from repro.errors import (
+    CapacityError,
+    ConfigurationError,
+    ExperimentError,
+    ProtocolViolation,
+    ReproError,
+    RoundLimitExceeded,
+    SimulationError,
+    SpecViolation,
+    TreeError,
+    UnknownBallError,
+)
+from repro.ids import Name, ProcessId, sparse_ids, string_ids
+from repro.sim import (
+    ALGORITHMS,
+    RenamingRun,
+    RenamingSpec,
+    Simulation,
+    check_renaming,
+    derive_rng,
+    run_renaming,
+)
+from repro.adversary import (
+    Adversary,
+    HalfSplitAdversary,
+    NoFailures,
+    RandomCrashAdversary,
+    SandwichAdversary,
+    ScheduledAdversary,
+    ScheduledCrash,
+    TargetedPriorityAdversary,
+)
+from repro.core import BallsIntoLeavesConfig, BallProcess, build_balls_into_leaves
+from repro.tree import LocalTreeView, Topology, render_view
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "ProtocolViolation",
+    "RoundLimitExceeded",
+    "SpecViolation",
+    "TreeError",
+    "CapacityError",
+    "UnknownBallError",
+    "ExperimentError",
+    # ids
+    "ProcessId",
+    "Name",
+    "sparse_ids",
+    "string_ids",
+    # sim / runner
+    "ALGORITHMS",
+    "Simulation",
+    "RenamingRun",
+    "RenamingSpec",
+    "check_renaming",
+    "run_renaming",
+    "derive_rng",
+    # adversaries
+    "Adversary",
+    "NoFailures",
+    "RandomCrashAdversary",
+    "ScheduledAdversary",
+    "ScheduledCrash",
+    "TargetedPriorityAdversary",
+    "SandwichAdversary",
+    "HalfSplitAdversary",
+    # core
+    "BallsIntoLeavesConfig",
+    "BallProcess",
+    "build_balls_into_leaves",
+    # tree
+    "Topology",
+    "LocalTreeView",
+    "render_view",
+]

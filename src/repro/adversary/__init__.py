@@ -1,0 +1,41 @@
+"""Failure adversaries for the synchronous crash model.
+
+The paper's adversary is *strong* and *adaptive*: each round it sees the
+full state, including the messages about to be sent (and hence the
+processes' random choices for the round), then picks up to ``t`` victims
+and, for each victim, the subset of receivers that still get its
+broadcast — the "crash while broadcasting" semantics of Section 4.
+
+Strategies provided:
+
+* :class:`NoFailures` — fault-free runs.
+* :class:`RandomCrashAdversary` — oblivious random crashes.
+* :class:`ScheduledAdversary` — scripted crash plans (tests, figures).
+* :class:`TargetedPriorityAdversary` — adaptively crashes the highest
+  ``<R``-priority-relevant ball mid-broadcast each phase, splitting views.
+* :class:`SandwichAdversary` — the order-equivalence crash pattern behind
+  the CHT Omega(log n) lower bound, aimed at deterministic algorithms.
+* :class:`HalfSplitAdversary` — Section 6's example: the lowest-label ball
+  delivers to every second process and crashes, forcing ~n/2 collisions.
+"""
+
+from repro.adversary.base import Adversary, AdversaryContext, CrashPlan
+from repro.adversary.none import NoFailures
+from repro.adversary.random_crash import RandomCrashAdversary
+from repro.adversary.scheduled import ScheduledAdversary, ScheduledCrash
+from repro.adversary.targeted import TargetedPriorityAdversary
+from repro.adversary.sandwich import SandwichAdversary
+from repro.adversary.splitter import HalfSplitAdversary
+
+__all__ = [
+    "Adversary",
+    "AdversaryContext",
+    "CrashPlan",
+    "NoFailures",
+    "RandomCrashAdversary",
+    "ScheduledAdversary",
+    "ScheduledCrash",
+    "TargetedPriorityAdversary",
+    "SandwichAdversary",
+    "HalfSplitAdversary",
+]

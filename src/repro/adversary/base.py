@@ -1,0 +1,93 @@
+"""Adversary protocol shared by the simulator and all strategies."""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Sequence
+
+from repro.ids import ProcessId
+
+#: A round's crash plan: victim pid -> receivers that still get its
+#: broadcast.  An empty set means the victim crashed before sending.
+CrashPlan = Dict[ProcessId, FrozenSet[ProcessId]]
+
+
+@dataclass(frozen=True)
+class AdversaryContext:
+    """Everything a strong adaptive adversary may inspect for one round.
+
+    ``outbox`` exposes the payloads about to be broadcast — including the
+    processes' random choices for the round — realizing the "strong"
+    adversary of the paper.  ``processes`` gives read access to process
+    objects for fully adaptive strategies; adversaries must treat them as
+    read-only.
+    """
+
+    round_no: int
+    running: Sequence[ProcessId]
+    alive: Sequence[ProcessId]
+    outbox: Mapping[ProcessId, Any]
+    crashed_so_far: FrozenSet[ProcessId]
+    budget_remaining: int
+    processes: Mapping[ProcessId, Any]
+
+
+class Adversary(ABC):
+    """Base class for crash adversaries.
+
+    Subclasses implement :meth:`plan`; the simulator validates and clamps
+    the returned plan against the crash budget ``t`` and the set of
+    processes still alive, so strategies may be written optimistically.
+    """
+
+    def __init__(self, *, seed: Optional[int] = None) -> None:
+        self._rng = random.Random(seed)
+
+    @property
+    def rng(self) -> random.Random:
+        """The adversary's private randomness (independent of processes')."""
+        return self._rng
+
+    @abstractmethod
+    def plan(self, ctx: AdversaryContext) -> CrashPlan:
+        """Return this round's crash plan (possibly empty)."""
+
+    # ------------------------------------------------------------ conveniences
+    @staticmethod
+    def silent(victims: Sequence[ProcessId]) -> CrashPlan:
+        """Plan that crashes ``victims`` before they send anything."""
+        return {victim: frozenset() for victim in victims}
+
+    @staticmethod
+    def partial(victim: ProcessId, receivers: Sequence[ProcessId]) -> CrashPlan:
+        """Plan that crashes ``victim`` mid-broadcast, reaching ``receivers``."""
+        return {victim: frozenset(receivers)}
+
+
+def merge_plans(*plans: CrashPlan) -> CrashPlan:
+    """Union several plans; duplicate victims keep the first plan's receivers."""
+    merged: CrashPlan = {}
+    for plan in plans:
+        for victim, receivers in plan.items():
+            merged.setdefault(victim, receivers)
+    return merged
+
+
+def clamp_plan(
+    plan: CrashPlan,
+    *,
+    alive: Sequence[ProcessId],
+    budget_remaining: int,
+) -> CrashPlan:
+    """Drop victims that are not alive and enforce the remaining budget.
+
+    Victims are kept in sorted-by-repr order for determinism when the plan
+    exceeds the budget.
+    """
+    alive_set = set(alive)
+    valid: List[ProcessId] = [v for v in plan if v in alive_set]
+    valid.sort(key=repr)
+    kept = valid[: max(0, budget_remaining)]
+    return {victim: frozenset(plan[victim]) for victim in kept}

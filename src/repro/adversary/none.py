@@ -1,0 +1,12 @@
+"""The trivial fault-free adversary."""
+
+from __future__ import annotations
+
+from repro.adversary.base import Adversary, AdversaryContext, CrashPlan
+
+
+class NoFailures(Adversary):
+    """Never crashes anyone — the failure-free executions of Theorem 3."""
+
+    def plan(self, ctx: AdversaryContext) -> CrashPlan:
+        return {}

@@ -1,0 +1,49 @@
+"""Scripted crash schedules, for tests and figure reproduction.
+
+A :class:`ScheduledCrash` names the round, the victim, and which receivers
+still get the victim's broadcast ("all", "none", or an explicit list), so
+unit tests can stage the exact view-divergence scenarios the paper argues
+about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Union
+
+from repro.adversary.base import Adversary, AdversaryContext, CrashPlan
+from repro.ids import ProcessId
+
+#: Receiver spec: "all", "none", or an explicit pid list.
+Receivers = Union[str, Sequence[ProcessId]]
+
+
+@dataclass(frozen=True)
+class ScheduledCrash:
+    """Crash ``victim`` in ``round_no``, delivering to ``receivers``."""
+
+    round_no: int
+    victim: ProcessId
+    receivers: Receivers = "none"
+
+
+class ScheduledAdversary(Adversary):
+    """Replays a fixed list of :class:`ScheduledCrash` entries."""
+
+    def __init__(self, schedule: Sequence[ScheduledCrash]) -> None:
+        super().__init__(seed=0)
+        self._by_round: Dict[int, List[ScheduledCrash]] = {}
+        for entry in schedule:
+            self._by_round.setdefault(entry.round_no, []).append(entry)
+
+    def plan(self, ctx: AdversaryContext) -> CrashPlan:
+        plan: CrashPlan = {}
+        for entry in self._by_round.get(ctx.round_no, []):
+            if entry.receivers == "all":
+                receivers = frozenset(p for p in ctx.alive if p != entry.victim)
+            elif entry.receivers == "none":
+                receivers = frozenset()
+            else:
+                receivers = frozenset(entry.receivers)
+            plan[entry.victim] = receivers
+        return plan

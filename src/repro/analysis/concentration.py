@@ -1,0 +1,94 @@
+"""The probability facts of Figure 3, made executable.
+
+The paper's analysis rests on three facts about the binomial
+distribution: two stochastic-dominance monotonicities (Facts 1 and 2) and
+the Chernoff bound (Fact 3).  This module provides exact binomial
+computations (pure Python, no scipy needed) so the test suite can verify
+the facts numerically, plus the closed-form bounds of Lemmas 4 and 6 that
+the experiments compare against measurements.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+from typing import List
+
+
+@lru_cache(maxsize=None)
+def binomial_pmf(m: int, k: int, p: float) -> float:
+    """Exact ``P[B(m, p) = k]``."""
+    if not 0 <= k <= m:
+        return 0.0
+    if p <= 0.0:
+        return 1.0 if k == 0 else 0.0
+    if p >= 1.0:
+        return 1.0 if k == m else 0.0
+    log_pmf = (
+        math.lgamma(m + 1)
+        - math.lgamma(k + 1)
+        - math.lgamma(m - k + 1)
+        + k * math.log(p)
+        + (m - k) * math.log(1.0 - p)
+    )
+    return math.exp(log_pmf)
+
+
+def binomial_deviation_probability(m: int, p: float, x: float) -> float:
+    """Exact ``P[|E[B(m, p)] - B(m, p)| > x]`` (the Figure 3 deviation)."""
+    if m < 0:
+        raise ValueError(f"m must be non-negative, got {m}")
+    mean = m * p
+    total = 0.0
+    for k in range(m + 1):
+        if abs(mean - k) > x:
+            total += binomial_pmf(m, k, p)
+    return min(1.0, total)
+
+
+def chernoff_deviation_bound(m: int, p: float, x: float) -> float:
+    """Fact 3: ``P[|E[X] - X| > x] < exp(-x^2 / (2 m p (1 - p)))``."""
+    if m <= 0 or p <= 0.0 or p >= 1.0:
+        return 0.0 if x > 0 else 1.0
+    variance_term = 2.0 * m * p * (1.0 - p)
+    return math.exp(-(x * x) / variance_term)
+
+
+def lemma4_bound(n: int, depth: int, c: float = 1.0) -> float:
+    """Lemma 4's occupancy scale after phase 1: ``c * sqrt((n / 2^i) log n)``.
+
+    The number of balls stuck at a depth-``i`` node in phase 2 exceeds
+    this with probability below ``1/n^c``.
+    """
+    if n < 2:
+        return 0.0
+    subtree = n / (2**depth)
+    return c * math.sqrt(max(0.0, subtree * math.log2(n)))
+
+
+def lemma6_phase_budget(n: int, c2: float = 1.0) -> int:
+    """Lemma 6's phase count: ``ceil(c2 * log log n)`` phases bring
+    ``bmax`` down to ``O(log^2 n)``."""
+    if n < 4:
+        return 1
+    return max(1, math.ceil(c2 * math.log2(max(2.0, math.log2(n)))))
+
+
+def lemma6_occupancy_bound(n: int, c: float = 1.0) -> float:
+    """The Lemma 6 target occupancy ``c^2 log^2 n``."""
+    if n < 2:
+        return 1.0
+    log_n = math.log2(n)
+    return c * c * log_n * log_n
+
+
+def iterated_sqrt_trajectory(start: float, log_factor: float, steps: int) -> List[float]:
+    """The recurrence of Lemma 6: ``x -> sqrt(x) * log_factor``, iterated.
+
+    Models how fast the per-node occupancy bound contracts; experiments
+    plot measurements against it.
+    """
+    values = [start]
+    for _ in range(steps):
+        values.append(math.sqrt(max(0.0, values[-1])) * log_factor)
+    return values

@@ -1,0 +1,90 @@
+"""Growth-model fitting for round-complexity measurements.
+
+Given measured ``(n, rounds)`` pairs, fit ``rounds ~ a + b * g(n)`` for
+the candidate growth functions the paper distinguishes —
+``log log n`` (Theorem 2), ``log n`` (the deterministic lower bound),
+``n`` (flooding), and constant — by least squares, and report which
+candidate explains the data best.  Shape, not absolute constants, is what
+the reproduction checks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+#: Candidate growth functions g(n).
+GROWTH_MODELS: Dict[str, Callable[[float], float]] = {
+    "const": lambda n: 0.0,
+    "loglog": lambda n: math.log2(max(2.0, math.log2(max(2.0, n)))),
+    "log": lambda n: math.log2(max(1.0, n)),
+    "sqrt": lambda n: math.sqrt(n),
+    "linear": lambda n: float(n),
+}
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """A least-squares fit of ``y ~ intercept + slope * g(n)``."""
+
+    model: str
+    intercept: float
+    slope: float
+    r_squared: float
+    rmse: float
+
+    def predict(self, n: float) -> float:
+        """The fitted value at ``n``."""
+        return self.intercept + self.slope * GROWTH_MODELS[self.model](n)
+
+
+def _least_squares(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, float]:
+    """Ordinary least squares for ``y = a + b x`` (pure Python)."""
+    count = len(xs)
+    mean_x = sum(xs) / count
+    mean_y = sum(ys) / count
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    if sxx == 0.0:
+        return mean_y, 0.0
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    slope = sxy / sxx
+    return mean_y - slope * mean_x, slope
+
+
+def fit_growth_models(
+    ns: Sequence[float],
+    ys: Sequence[float],
+    models: Sequence[str] = ("const", "loglog", "log", "linear"),
+) -> List[FitResult]:
+    """Fit every candidate model and return results sorted best-first."""
+    if len(ns) != len(ys):
+        raise ValueError(f"got {len(ns)} sizes but {len(ys)} measurements")
+    if len(ns) < 2:
+        raise ValueError("need at least two points to fit growth models")
+    mean_y = sum(ys) / len(ys)
+    total_ss = sum((y - mean_y) ** 2 for y in ys)
+    results = []
+    for model in models:
+        transform = GROWTH_MODELS[model]
+        xs = [transform(n) for n in ns]
+        intercept, slope = _least_squares(xs, ys)
+        residuals = [y - (intercept + slope * x) for x, y in zip(xs, ys)]
+        residual_ss = sum(r * r for r in residuals)
+        r_squared = 1.0 if total_ss == 0.0 else 1.0 - residual_ss / total_ss
+        rmse = math.sqrt(residual_ss / len(ys))
+        results.append(
+            FitResult(
+                model=model,
+                intercept=intercept,
+                slope=slope,
+                r_squared=r_squared,
+                rmse=rmse,
+            )
+        )
+    return sorted(results, key=lambda fit: fit.rmse)
+
+
+def best_model(ns: Sequence[float], ys: Sequence[float], **kwargs) -> FitResult:
+    """The lowest-RMSE model among the candidates."""
+    return fit_growth_models(ns, ys, **kwargs)[0]

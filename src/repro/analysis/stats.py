@@ -1,0 +1,69 @@
+"""Summary statistics over repeated trials."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class TrialStats:
+    """Distribution summary of one measured quantity across trials."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    p50: float
+    p95: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return (
+            f"mean={self.mean:.2f} std={self.std:.2f} "
+            f"min={self.minimum:g} p50={self.p50:g} p95={self.p95:g} max={self.maximum:g}"
+        )
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (``q`` in [0, 100])."""
+    if not values:
+        raise ValueError("cannot take a percentile of no values")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return float(ordered[low])
+    fraction = rank - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+def summarize(values: Sequence[float]) -> TrialStats:
+    """Summarize a sample (raises on an empty one)."""
+    if not values:
+        raise ValueError("cannot summarize zero trials")
+    count = len(values)
+    mean = sum(values) / count
+    variance = sum((v - mean) ** 2 for v in values) / count
+    return TrialStats(
+        count=count,
+        mean=mean,
+        std=math.sqrt(variance),
+        minimum=float(min(values)),
+        p50=percentile(values, 50.0),
+        p95=percentile(values, 95.0),
+        maximum=float(max(values)),
+    )
+
+
+def fraction_within(values: Sequence[float], bound: float) -> float:
+    """Fraction of trials at or below ``bound`` (empirical w.h.p. check)."""
+    if not values:
+        raise ValueError("cannot evaluate zero trials")
+    return sum(1 for v in values if v <= bound) / len(values)

@@ -1,0 +1,70 @@
+"""Plain-text tables for experiment reports (and CSV export)."""
+
+from __future__ import annotations
+
+import io
+from typing import Any, List, Optional, Sequence
+
+
+class Table:
+    """A titled table of rows, rendered as aligned ASCII."""
+
+    def __init__(
+        self,
+        title: str,
+        headers: Sequence[str],
+        *,
+        notes: Optional[str] = None,
+    ) -> None:
+        self.title = title
+        self.headers = list(headers)
+        self.notes = notes
+        self._rows: List[List[str]] = []
+
+    def add_row(self, *cells: Any) -> None:
+        """Append a row; cells are stringified (floats get 3 decimals)."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells but the table has "
+                f"{len(self.headers)} columns"
+            )
+        self._rows.append([self._format(cell) for cell in cells])
+
+    @property
+    def rows(self) -> List[List[str]]:
+        """The formatted rows so far (a copy)."""
+        return [list(row) for row in self._rows]
+
+    def render(self) -> str:
+        """The table as aligned monospace text."""
+        widths = [len(h) for h in self.headers]
+        for row in self._rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        out = io.StringIO()
+        out.write(f"== {self.title} ==\n")
+        out.write("  ".join(h.ljust(widths[i]) for i, h in enumerate(self.headers)))
+        out.write("\n")
+        out.write("  ".join("-" * w for w in widths))
+        out.write("\n")
+        for row in self._rows:
+            out.write("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+            out.write("\n")
+        if self.notes:
+            out.write(f"note: {self.notes}\n")
+        return out.getvalue()
+
+    def to_csv(self) -> str:
+        """The table as CSV text (no quoting needed for our cell values)."""
+        lines = [",".join(self.headers)]
+        lines.extend(",".join(row) for row in self._rows)
+        return "\n".join(lines) + "\n"
+
+    @staticmethod
+    def _format(cell: Any) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.3f}"
+        return str(cell)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,21 @@
+"""Deterministic comparators for the separation experiments.
+
+* :mod:`repro.baselines.flood_consensus` — agree on the participant set
+  by flooding for ``t + 1`` rounds, then rank: the classical linear-round
+  approach via reliable broadcast/consensus ([6, 15], round complexity
+  from [11]).
+* :mod:`repro.baselines.rank_descent` — deterministic comparison-based
+  renaming on the Balls-into-Leaves substrate (the ``rank`` path policy):
+  our stand-in for the Chaudhuri-Herlihy-Tuttle style O(log n) algorithm,
+  correct by Theorem 1's machinery and driven to repeated collisions by
+  the sandwich/split adversaries.
+"""
+
+from repro.baselines.flood_consensus import FloodRenamingProcess, build_flood_renaming
+from repro.baselines.rank_descent import build_rank_descent
+
+__all__ = [
+    "FloodRenamingProcess",
+    "build_flood_renaming",
+    "build_rank_descent",
+]

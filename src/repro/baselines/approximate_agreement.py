@@ -1,0 +1,118 @@
+"""Synchronous crash-tolerant approximate agreement.
+
+Section 2 of the paper discusses Okun's order-preserving renaming [19],
+which reduces renaming to *approximate agreement*: processes hold real
+values, repeatedly exchange them, and converge until all values are
+within a target epsilon.  The relevant phenomenon — quoted by the paper —
+is that "with few faults approximate agreement can be solved in constant
+time" (the O(log f) early-deciding renaming of [3] builds on the same
+fact).  This module provides the substrate so EXP-AA can measure exactly
+that: convergence is geometric in crash-free rounds and each crash can
+stall at most a bounded amount of progress.
+
+The update rule is the classic midpoint rule: each round every process
+broadcasts its value and replaces it by ``(min + max) / 2`` of the values
+it received (its own included).  Under crash faults (no Byzantine
+behaviour) every received value lies within the previous global interval,
+so the interval never grows, and any crash-free round at least halves its
+diameter (everyone then averages the *same* min/max into the same half).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, List, Mapping, Sequence
+
+from repro.errors import ConfigurationError
+from repro.ids import ProcessId, require_distinct
+from repro.sim.process import SyncProcess
+
+#: Message tag for value broadcasts.
+VALUE = "aa-value"
+
+
+class ApproximateAgreementProcess(SyncProcess):
+    """One participant of midpoint approximate agreement.
+
+    Parameters
+    ----------
+    pid:
+        Unique identifier.
+    initial:
+        The starting real value.
+    rounds:
+        How many exchange rounds to run before deciding the held value.
+        Choosing ``ceil(log2(range / epsilon)) + f`` guarantees
+        epsilon-agreement with at most ``f`` crashes (each crash can spoil
+        at most one round's halving).
+    """
+
+    def __init__(self, pid: ProcessId, initial: float, *, rounds: int) -> None:
+        super().__init__(pid)
+        if rounds < 1:
+            raise ConfigurationError(f"need at least one round, got {rounds}")
+        self._value = float(initial)
+        self._rounds = rounds
+        self._history: List[float] = [float(initial)]
+
+    @property
+    def value(self) -> float:
+        """The currently held value."""
+        return self._value
+
+    @property
+    def history(self) -> List[float]:
+        """Value held after each round (index 0 = initial)."""
+        return list(self._history)
+
+    def compose(self, round_no: int) -> Any:
+        return (VALUE, self._value)
+
+    def deliver(self, round_no: int, inbox: Mapping[ProcessId, Any]) -> None:
+        received = [
+            payload[1]
+            for payload in inbox.values()
+            if isinstance(payload, tuple) and len(payload) == 2 and payload[0] == VALUE
+        ]
+        if received:
+            self._value = (min(received) + max(received)) / 2.0
+        self._history.append(self._value)
+        if round_no >= self._rounds:
+            self.decide(self._value)
+            self.halt()
+
+
+def build_approximate_agreement(
+    ids: Sequence[ProcessId],
+    initial_values: Sequence[float],
+    *,
+    rounds: int,
+) -> List[ApproximateAgreementProcess]:
+    """Create one process per (id, initial value) pair."""
+    require_distinct(ids)
+    if len(ids) != len(initial_values):
+        raise ConfigurationError(
+            f"{len(ids)} ids but {len(initial_values)} initial values"
+        )
+    if not ids:
+        raise ConfigurationError("approximate agreement needs a participant")
+    return [
+        ApproximateAgreementProcess(pid, value, rounds=rounds)
+        for pid, value in zip(ids, initial_values)
+    ]
+
+
+def decision_diameter(decisions: Mapping[ProcessId, Any]) -> float:
+    """Max minus min over the decided values (0 for a single value)."""
+    values = [v for v in decisions.values() if v is not None]
+    if not values:
+        return 0.0
+    return max(values) - min(values)
+
+
+def rounds_for(epsilon: float, value_range: float, crash_budget: int) -> int:
+    """The round count guaranteeing epsilon-agreement under the budget."""
+    if epsilon <= 0:
+        raise ConfigurationError(f"epsilon must be positive, got {epsilon}")
+    halvings = max(1, math.ceil(math.log2(max(1.0, value_range / epsilon))))
+    return halvings + max(0, crash_budget)

@@ -1,0 +1,34 @@
+"""Deterministic comparison-based renaming on the BiL substrate.
+
+This is :class:`~repro.core.balls_into_leaves.BallProcess` with the
+``rank`` path policy: each phase every ball deterministically aims at the
+free leaf indexed by its label rank among the balls at its node.  It is
+correct for the same reason Algorithm 1 is (Theorem 1 never invokes
+randomness), terminates in one phase without failures, and — being
+deterministic and comparison-based — is subject to the Omega(log n)
+lower bound of Chaudhuri-Herlihy-Tuttle: the sandwich and half-split
+adversaries force it to keep re-colliding, which the separation
+experiment measures.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Sequence, Tuple
+
+from repro.core.balls_into_leaves import BallProcess, build_balls_into_leaves
+from repro.core.config import BallsIntoLeavesConfig
+from repro.core.views import ViewStore
+
+
+def build_rank_descent(
+    ids: Sequence[Hashable],
+    *,
+    seed: int = 0,
+    view_mode: str = "shared",
+    check_invariants: bool = False,
+) -> Tuple[List[BallProcess], ViewStore]:
+    """Create the deterministic rank-descent processes and their store."""
+    config = BallsIntoLeavesConfig(
+        path_policy="rank", view_mode=view_mode, check_invariants=check_invariants
+    )
+    return build_balls_into_leaves(ids, seed=seed, config=config)

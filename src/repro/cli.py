@@ -1,0 +1,118 @@
+"""Command-line interface: ``python -m repro`` or the ``repro`` script.
+
+Subcommands::
+
+    repro list                     # show all experiments
+    repro run EXP-T2 [--scale ...] # run one experiment, print its report
+    repro all [--scale smoke]      # run the whole suite
+    repro demo [--n 32]            # one quick renaming run, human-readable
+
+Every experiment prints the exact command reproducing it, and all
+randomness flows from ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro._version import __version__
+from repro.errors import ReproError
+from repro.experiments.registry import all_experiments, run_experiment
+from repro.ids import sparse_ids
+from repro.sim.runner import run_renaming
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Balls-into-Leaves (PODC 2014) reproduction toolkit",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the experiment suite")
+
+    run_parser = sub.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment_id", help="e.g. EXP-T2")
+    run_parser.add_argument("--scale", default="paper", choices=("smoke", "paper"))
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument("--out", help="also write the report to this file")
+
+    all_parser = sub.add_parser("all", help="run every experiment")
+    all_parser.add_argument("--scale", default="smoke", choices=("smoke", "paper"))
+    all_parser.add_argument("--seed", type=int, default=0)
+    all_parser.add_argument("--out", help="also write the combined report to this file")
+
+    demo_parser = sub.add_parser("demo", help="one quick renaming run")
+    demo_parser.add_argument("--n", type=int, default=32)
+    demo_parser.add_argument("--seed", type=int, default=0)
+    demo_parser.add_argument(
+        "--algorithm",
+        default="balls-into-leaves",
+        choices=("balls-into-leaves", "early-terminating", "rank-descent", "flood"),
+    )
+    return parser
+
+
+def _cmd_list() -> int:
+    for entry in all_experiments():
+        print(f"{entry.experiment_id:<10} {entry.title}")
+    return 0
+
+
+def _emit(report: str, out: Optional[str]) -> None:
+    print(report)
+    if out:
+        with open(out, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+        print(f"[written to {out}]", file=sys.stderr)
+
+
+def _cmd_run(experiment_id: str, scale: str, seed: int, out: Optional[str]) -> int:
+    result = run_experiment(experiment_id, scale=scale, seed=seed)
+    _emit(result.render(), out)
+    return 0
+
+
+def _cmd_all(scale: str, seed: int, out: Optional[str]) -> int:
+    reports = []
+    for entry in all_experiments():
+        print(f"... running {entry.experiment_id}", file=sys.stderr)
+        reports.append(entry.run(scale=scale, seed=seed).render())
+    _emit("\n\n".join(reports), out)
+    return 0
+
+
+def _cmd_demo(n: int, seed: int, algorithm: str) -> int:
+    run = run_renaming(algorithm, sparse_ids(n), seed=seed)
+    print(f"{algorithm}: renamed n={n} processes in {run.rounds} rounds")
+    shown = sorted(run.names.items())[:8]
+    for pid, name in shown:
+        print(f"  original id {pid} -> name {name}")
+    if len(run.names) > len(shown):
+        print(f"  ... and {len(run.names) - len(shown)} more")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "run":
+            return _cmd_run(args.experiment_id, args.scale, args.seed, args.out)
+        if args.command == "all":
+            return _cmd_all(args.scale, args.seed, args.out)
+        if args.command == "demo":
+            return _cmd_demo(args.n, args.seed, args.algorithm)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,187 @@
+"""Algorithm 1 as a process on the synchronous substrate.
+
+Rounds of a run (lock-step, all balls in the same stage):
+
+* round 1 — line 1: broadcast the label, build the initial tree.
+* round ``2*phi``   — phase ``phi`` round 1: broadcast the candidate path,
+  then simulate everyone's descent in ``<R`` order (lines 3-21).
+* round ``2*phi+1`` — phase ``phi`` round 2: broadcast the current
+  position, re-synchronize, terminate if every known ball is at a leaf
+  (lines 22-29).
+
+A ball's *name* (the rank of its leaf) is fixed the moment it reaches a
+leaf — it can never be displaced (Appendix A) — and the process *halts*
+when its whole view is at leaves, exactly as in the pseudocode.  The two
+round counts are reported separately by the runner.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.ids import require_distinct
+from repro.sim.process import SyncProcess
+from repro.sim.rng import derive_rng
+from repro.tree import node as nd
+from repro.tree.topology import Topology
+from repro.core.config import BallsIntoLeavesConfig
+from repro.core.messages import hello_message, path_message, position_message
+from repro.core.policies import PathPolicy, make_policy
+from repro.core.views import ViewStore, make_store
+
+BallId = Hashable
+
+_STAGE_INIT = "init"
+_STAGE_PATH = "path"
+_STAGE_POSITION = "pos"
+
+
+class BallProcess(SyncProcess):
+    """One ball of the Balls-into-Leaves algorithm.
+
+    Parameters
+    ----------
+    pid:
+        The ball's unique label (the process's original id).
+    store:
+        The run's :class:`ViewStore`, shared by all balls.
+    policy:
+        The candidate-path policy; defaults to the config's.
+    seed:
+        Run seed; the ball derives its private random stream from it.
+    """
+
+    def __init__(
+        self,
+        pid: BallId,
+        *,
+        store: ViewStore,
+        config: Optional[BallsIntoLeavesConfig] = None,
+        policy: Optional[PathPolicy] = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(pid)
+        self._config = config or BallsIntoLeavesConfig()
+        self._store = store
+        self._policy = policy or make_policy(self._config.path_policy)
+        self._rng = derive_rng(seed, "ball", pid)
+        self._stage = _STAGE_INIT
+        self._phase = 0
+        self._round_named: Optional[int] = None
+        self._round_halted: Optional[int] = None
+
+    # ------------------------------------------------------------- reporting
+    @property
+    def phase(self) -> int:
+        """Current phase index (1-based; 0 before initialization)."""
+        return self._phase
+
+    @property
+    def round_named(self) -> Optional[int]:
+        """Round at which this ball reached (and kept) its leaf."""
+        return self._round_named
+
+    @property
+    def round_halted(self) -> Optional[int]:
+        """Round at which the termination condition of line 29 held."""
+        return self._round_halted
+
+    @property
+    def view(self):
+        """This ball's current local tree (read-only use)."""
+        return self._store.view_of(self.pid)
+
+    # ------------------------------------------------------------- protocol
+    def compose(self, round_no: int) -> Any:
+        if self._stage == _STAGE_INIT:
+            return hello_message()
+        if self._stage == _STAGE_PATH:
+            view = self._store.view_of(self.pid)
+            path = self._policy.choose(view, self.pid, self._phase, self._rng)
+            if not path or path[0] != view.position(self.pid):
+                raise SimulationError(
+                    f"policy {self._policy.name} produced a path not starting at "
+                    f"{view.position(self.pid)}: {path!r}"
+                )
+            return path_message(path)
+        if self._stage == _STAGE_POSITION:
+            return position_message(self._store.view_of(self.pid).position(self.pid))
+        raise SimulationError(f"ball {self.pid!r} composed in unknown stage {self._stage!r}")
+
+    def deliver(self, round_no: int, inbox: Mapping[BallId, Any]) -> None:
+        if self._stage == _STAGE_INIT:
+            self._store.initialize(self.pid, round_no, inbox)
+            self._phase = 1
+            self._stage = _STAGE_PATH
+            return
+        if self._stage == _STAGE_PATH:
+            self._store.apply_paths(self.pid, round_no, inbox)
+            self._note_leaf(round_no)
+            if self._config.sync_positions:
+                self._stage = _STAGE_POSITION
+            else:
+                # EXP-ABL ablation: skip round 2 entirely.  One-round
+                # phases; view divergence is never repaired.
+                self._finish_phase(round_no)
+            return
+        if self._stage == _STAGE_POSITION:
+            self._store.apply_positions(self.pid, round_no, inbox)
+            self._note_leaf(round_no)
+            self._finish_phase(round_no)
+            return
+        raise SimulationError(f"ball {self.pid!r} delivered in unknown stage {self._stage!r}")
+
+    def _finish_phase(self, round_no: int) -> None:
+        view = self._store.view_of(self.pid)
+        my_position = view.position(self.pid)
+        if view.all_at_leaves() or (
+            self._config.halt_on_name and nd.is_leaf(my_position)
+        ):
+            # With halt_on_name, this ball just announced its leaf in the
+            # position broadcast of this very round, so peers retain it
+            # (silent-at-leaf rule) and its slot stays reserved.
+            self._round_halted = round_no
+            self.decide(nd.leaf_rank(my_position))
+            self.halt()
+        else:
+            self._phase += 1
+            self._stage = _STAGE_PATH
+    # --------------------------------------------------------------- private
+    def _note_leaf(self, round_no: int) -> None:
+        if self._round_named is not None:
+            return
+        position = self._store.view_of(self.pid).position(self.pid)
+        if nd.is_leaf(position):
+            self._round_named = round_no
+            # The name is fixed now: a ball at a leaf is never displaced.
+            self.decide(nd.leaf_rank(position))
+
+
+def build_balls_into_leaves(
+    ids: Sequence[BallId],
+    *,
+    seed: int = 0,
+    config: Optional[BallsIntoLeavesConfig] = None,
+) -> Tuple[List[BallProcess], ViewStore]:
+    """Create the ``n`` ball processes and their shared view store.
+
+    Returns the processes (one per id, in input order) and the store,
+    which callers keep for instrumentation.
+    """
+    require_distinct(ids)
+    if not ids:
+        raise ConfigurationError("renaming needs at least one participant")
+    config = config or BallsIntoLeavesConfig()
+    topology = Topology(len(ids))
+    store = make_store(
+        config.view_mode,
+        topology,
+        check_invariants=config.check_invariants,
+        movement_order=config.movement_order,
+        retain_silent_leaf_balls=config.halt_on_name,
+    )
+    processes = [
+        BallProcess(pid, store=store, config=config, seed=seed) for pid in ids
+    ]
+    return processes, store

@@ -1,0 +1,101 @@
+"""Configuration of a Balls-into-Leaves run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Known path-policy names (see :mod:`repro.core.policies`).
+POLICIES = ("random", "hybrid", "rank", "leftmost", "random-unweighted")
+
+#: Known view-store modes (see :mod:`repro.core.views`).
+VIEW_MODES = ("faithful", "shared")
+
+#: Known movement orders (see :mod:`repro.core.movement`).
+MOVEMENT_ORDERS = ("priority", "label")
+
+
+@dataclass(frozen=True)
+class BallsIntoLeavesConfig:
+    """Knobs shared by the algorithm's variants.
+
+    Attributes
+    ----------
+    path_policy:
+        ``"random"`` — Algorithm 1 as published (capacity-weighted random
+        paths).  ``"hybrid"`` — the early-terminating extension of
+        Section 6 (deterministic rank path in phase 1, random after).
+        ``"rank"`` — deterministic rank paths every phase (the
+        comparison-based deterministic baseline).  ``"leftmost"`` — every
+        ball aims at the leftmost free leaf (degenerate worst case used by
+        Lemma 11 / Figure 2a experiments).
+    view_mode:
+        ``"faithful"`` gives every ball a private tree, mirroring the
+        paper exactly.  ``"shared"`` groups balls whose inbox histories
+        are identical into equivalence classes sharing one tree — an exact
+        optimization (validated in tests) that makes large-``n`` runs
+        tractable in pure Python.
+    check_invariants:
+        Enable per-phase assertions of Lemma 1's capacity invariant inside
+        the movement code.  Slow; meant for tests.
+    movement_order:
+        Ablation knob.  ``"priority"`` is Definition 1's ``<R`` order
+        (deeper first, then label).  ``"label"`` processes balls by label
+        alone, dropping the depth rule — safety survives (the capacity
+        checks are order-independent) but downstream space is no longer
+        protected, degrading liveness; EXP-ABL measures by how much.
+    sync_positions:
+        Ablation knob.  ``True`` runs Algorithm 1's round 2 (position
+        re-synchronization).  ``False`` skips it, making phases one round
+        long — and makes view divergence permanent under crashes, which
+        breaks uniqueness.  EXP-ABL measures the violation rate; keep
+        this on for anything but the ablation.
+    halt_on_name:
+        The per-ball termination extension the paper sketches ("allow a
+        ball to terminate as soon as it reaches a leaf ... requires
+        additional checks").  A ball halts right after announcing its
+        leaf; the additional check is that views *retain* silent balls
+        positioned at leaves (a silent leaf-holder is terminated-or-
+        crashed either way, and its slot must stay reserved) while still
+        purging silent balls at inner nodes.  Cuts message volume; the
+        last ball's round count is unchanged.
+    """
+
+    path_policy: str = "random"
+    view_mode: str = "shared"
+    check_invariants: bool = False
+    movement_order: str = "priority"
+    sync_positions: bool = True
+    halt_on_name: bool = False
+
+    def __post_init__(self) -> None:
+        if self.path_policy not in POLICIES:
+            raise ConfigurationError(
+                f"unknown path policy {self.path_policy!r}; choose from {POLICIES}"
+            )
+        if self.view_mode not in VIEW_MODES:
+            raise ConfigurationError(
+                f"unknown view mode {self.view_mode!r}; choose from {VIEW_MODES}"
+            )
+        if self.movement_order not in MOVEMENT_ORDERS:
+            raise ConfigurationError(
+                f"unknown movement order {self.movement_order!r}; "
+                f"choose from {MOVEMENT_ORDERS}"
+            )
+        if self.halt_on_name and not self.sync_positions:
+            raise ConfigurationError(
+                "halt_on_name requires sync_positions: a ball must announce "
+                "its leaf before going silent"
+            )
+
+    def with_policy(self, policy: str) -> "BallsIntoLeavesConfig":
+        """A copy of this config with a different path policy."""
+        return BallsIntoLeavesConfig(
+            path_policy=policy,
+            view_mode=self.view_mode,
+            check_invariants=self.check_invariants,
+            movement_order=self.movement_order,
+            sync_positions=self.sync_positions,
+            halt_on_name=self.halt_on_name,
+        )

@@ -1,0 +1,86 @@
+"""Per-phase tree statistics, feeding the Lemma 6 / Lemma 10 experiments.
+
+The observer samples a *reference view* (the lowest-labelled ball still
+alive) after every position round — the moment the paper's per-phase
+quantities are well defined — and records the measures used in the
+complexity analysis: ``bmax`` (Lemma 6), the maximum path population
+(Lemmas 9-10), and how many balls have reached leaves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.views import SharedViewStore, ViewStore
+
+
+@dataclass(frozen=True)
+class PhaseStats:
+    """Tree measures at the end of one phase, in the reference view."""
+
+    phase: int
+    round_no: int
+    balls: int
+    balls_at_leaves: int
+    bmax_inner: int
+    max_path_population: int
+    occupancy_by_depth: Dict[int, int]
+    view_classes: int
+
+
+class TreeStatsObserver:
+    """Simulator observer collecting :class:`PhaseStats` each phase.
+
+    Attach via ``Simulation(observers=[observer])``; it is cheap for the
+    tree sizes used in experiments (O(occupied nodes * height) per phase).
+    """
+
+    def __init__(self, store: ViewStore) -> None:
+        self._store = store
+        self.phases: List[PhaseStats] = []
+
+    def __call__(self, simulation, round_no: int) -> None:
+        # Rounds: 1 = hello, then (2*phi, 2*phi + 1) = phase phi.  Sample
+        # at the end of each position round.
+        if round_no < 3 or round_no % 2 == 0:
+            return
+        reference = self._reference_pid(simulation)
+        if reference is None:
+            return
+        try:
+            view = self._store.view_of(reference)
+        except Exception:  # the reference ball may have crashed pre-init
+            return
+        classes = (
+            self._store.class_count()
+            if isinstance(self._store, SharedViewStore)
+            else len(simulation.alive())
+        )
+        self.phases.append(
+            PhaseStats(
+                phase=(round_no - 1) // 2,
+                round_no=round_no,
+                balls=len(view),
+                balls_at_leaves=view.balls_at_leaves(),
+                bmax_inner=view.max_inner_occupancy(),
+                max_path_population=view.max_path_population(),
+                occupancy_by_depth=view.occupancy_by_depth(),
+                view_classes=classes,
+            )
+        )
+
+    def bmax_trajectory(self) -> List[int]:
+        """``bmax`` per phase, the quantity bounded by Lemma 6."""
+        return [stats.bmax_inner for stats in self.phases]
+
+    def path_population_trajectory(self) -> List[int]:
+        """Maximum path population per phase (Lemmas 9-10)."""
+        return [stats.max_path_population for stats in self.phases]
+
+    @staticmethod
+    def _reference_pid(simulation) -> Optional[object]:
+        candidates = simulation.alive()
+        if not candidates:
+            return None
+        return min(candidates, key=repr)

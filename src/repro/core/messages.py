@@ -1,0 +1,55 @@
+"""Wire format of Algorithm 1.
+
+Three message kinds, all tiny tuples (hashable and cheap to fingerprint,
+which the shared-view engine relies on):
+
+* ``("hello",)`` — line 1's label announcement; the sender pid *is* the
+  label, so no payload is needed.
+* ``("path", (node, ...))`` — line 11, the candidate path, current node
+  first, leaf last.
+* ``("pos", node)`` — line 22, the round-2 position report.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+from repro.tree.node import Node
+
+HELLO = "hello"
+PATH = "path"
+POSITION = "pos"
+
+
+def hello_message() -> Tuple[str]:
+    """The initialization broadcast (Algorithm 1, line 1)."""
+    return (HELLO,)
+
+
+def path_message(path: Tuple[Node, ...]) -> Tuple[str, Tuple[Node, ...]]:
+    """A round-1 candidate-path broadcast (line 11)."""
+    return (PATH, tuple(path))
+
+
+def position_message(node: Node) -> Tuple[str, Node]:
+    """A round-2 position broadcast (line 22)."""
+    return (POSITION, node)
+
+
+def parse_path(payload: Any) -> Optional[Tuple[Node, ...]]:
+    """The path carried by ``payload``, or None if it is not a path message."""
+    if isinstance(payload, tuple) and len(payload) == 2 and payload[0] == PATH:
+        return payload[1]
+    return None
+
+
+def parse_position(payload: Any) -> Optional[Node]:
+    """The node carried by ``payload``, or None if not a position message."""
+    if isinstance(payload, tuple) and len(payload) == 2 and payload[0] == POSITION:
+        return payload[1]
+    return None
+
+
+def is_hello(payload: Any) -> bool:
+    """True if ``payload`` is the initialization announcement."""
+    return isinstance(payload, tuple) and len(payload) == 1 and payload[0] == HELLO

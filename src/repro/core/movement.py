@@ -1,0 +1,157 @@
+"""Round processing of Algorithm 1: moving balls and synchronizing views.
+
+:func:`apply_path_round` is lines 12-21 — iterate over all balls in ``<R``
+priority order; a ball whose path was received follows its candidate path
+while the *next* node still has remaining capacity and stops just above
+the first full subtree (the prose semantics of Section 4, which Figure 2a
+depicts); a silent ball has crashed and is removed.
+
+:func:`apply_position_round` is lines 22-28 — adopt every announced
+position and remove silent balls.
+
+Both functions are pure tree transformations shared by the faithful and
+shared-view stores, so the two execution modes cannot diverge.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Mapping
+
+from repro.errors import SimulationError
+from repro.tree import node as nd
+from repro.tree.local_view import LocalTreeView
+from repro.tree.priority import ordered_balls
+from repro.core.messages import parse_path, parse_position
+
+BallId = Hashable
+
+
+def _movement_sequence(view: LocalTreeView, order: str):
+    """Balls in the order they are simulated: ``<R`` or plain label order.
+
+    ``"label"`` is the EXP-ABL ablation of Definition 1: capacity checks
+    make any order safe, but only the depth-first order protects the
+    space below already-descended balls.
+    """
+    if order == "priority":
+        return ordered_balls(view)
+    if order == "label":
+        return sorted(view.balls())
+    raise SimulationError(f"unknown movement order {order!r}")
+
+
+def apply_path_round(
+    view: LocalTreeView,
+    inbox: Mapping[BallId, Any],
+    *,
+    check_invariants: bool = False,
+    order: str = "priority",
+    retain_silent_leaf_balls: bool = False,
+) -> None:
+    """Apply one round-1 exchange of candidate paths to ``view`` in place.
+
+    ``retain_silent_leaf_balls`` is the "additional check" of the
+    halt-on-name extension: a silent ball positioned at a leaf is a
+    terminated (or crashed) name holder, so its slot stays reserved
+    instead of being freed for reuse.
+    """
+    for ball in _movement_sequence(view, order):
+        payload = inbox.get(ball)
+        path = parse_path(payload) if payload is not None else None
+        if path is None:
+            # Line 20: no path received -> the ball crashed mid-phase
+            # (or, with the halt-on-name extension, terminated at a leaf).
+            if retain_silent_leaf_balls and nd.is_leaf(view.position(ball)):
+                continue
+            view.remove(ball)
+            continue
+        position = view.position(ball)
+        destination = _descend(view, position, path)
+        if destination != position:
+            view.place(ball, destination)
+    if check_invariants:
+        # Retained silent leaf-holders behave like ghosts: a crashed
+        # holder's leaf may legitimately be reused by a view that never
+        # saw it, so the strict per-leaf check only applies without them.
+        assert_capacity_invariant(
+            view, allow_ghost_overflow=retain_silent_leaf_balls
+        )
+
+
+def _descend(view: LocalTreeView, position, path) -> Any:
+    """Follow ``path`` from ``position`` while the next subtree has room.
+
+    ``path`` starts at the sender's own notion of its current node; for
+    correct balls that equals ``position`` (Proposition 1).  Defensively,
+    if the recorded position appears later along the path (a ghost whose
+    stale path started above where this view placed it), the walk resumes
+    from there; if the path does not contain the position at all, the ball
+    stays put — safety over progress for inconsistent ghosts.
+    """
+    try:
+        index = path.index(position)
+    except ValueError:
+        return position
+    node = position
+    for nxt in path[index + 1 :]:
+        if view.remaining_capacity(nxt) > 0:
+            node = nxt
+        else:
+            break
+    return node
+
+
+def apply_position_round(
+    view: LocalTreeView,
+    inbox: Mapping[BallId, Any],
+    *,
+    check_invariants: bool = False,
+    retain_silent_leaf_balls: bool = False,
+) -> None:
+    """Apply one round-2 position synchronization to ``view`` in place."""
+    for ball in ordered_balls(view):
+        payload = inbox.get(ball)
+        announced = parse_position(payload) if payload is not None else None
+        if announced is None:
+            # Line 27: silence in round 2 also means a crash (or, with
+            # the halt-on-name extension, termination at a leaf).
+            if retain_silent_leaf_balls and nd.is_leaf(view.position(ball)):
+                continue
+            view.remove(ball)
+            continue
+        if view.position(ball) != announced:
+            view.place(ball, announced)
+    if check_invariants:
+        assert_capacity_invariant(view, allow_ghost_overflow=True)
+
+
+def assert_capacity_invariant(
+    view: LocalTreeView, *, allow_ghost_overflow: bool = False
+) -> None:
+    """Check Lemma 1 on ``view``: no subtree holds more balls than leaves.
+
+    After a path round this must hold for the view's own ball population
+    (the movement rule enforces it).  After a position round, adopted
+    ghost positions may transiently overflow; callers pass
+    ``allow_ghost_overflow=True`` and only the root total is checked.
+    """
+    total = len(view)
+    if total > view.topology.n:
+        raise SimulationError(
+            f"view holds {total} balls but the tree has {view.topology.n} leaves"
+        )
+    if allow_ghost_overflow:
+        return
+    for node, _occupancy in view.occupied_inner_nodes():
+        if view.subtree_balls(node) > nd.span(node):
+            raise SimulationError(
+                f"capacity invariant violated at {node}: "
+                f"{view.subtree_balls(node)} balls in a {nd.span(node)}-leaf subtree"
+            )
+    # Leaves can hold at most one ball each in a consistent view.
+    for ball in view.balls():
+        position = view.position(ball)
+        if nd.is_leaf(position) and view.occupancy(position) > 1:
+            raise SimulationError(
+                f"leaf {position} holds {view.occupancy(position)} balls"
+            )

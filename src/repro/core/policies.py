@@ -1,0 +1,191 @@
+"""Path policies: how a ball picks its candidate path each phase.
+
+Algorithm 1's published rule is :class:`RandomPolicy` (capacity-weighted
+random descent, lines 5-10).  Section 6's early-terminating extension is
+:class:`HybridRankThenRandomPolicy`: a deterministic rank-indexed path in
+phase 1, random thereafter.  :class:`RankPolicy` applies the rank rule in
+*every* phase, yielding a deterministic comparison-based algorithm on the
+same substrate (our stand-in for the CHT-style deterministic baseline).
+:class:`LeftmostPolicy` aims every ball at the leftmost free leaf — the
+maximum-contention degenerate case of Figure 2(a) and Lemma 11.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Hashable, Tuple
+
+from repro.errors import ConfigurationError
+from repro.tree import node as nd
+from repro.tree.local_view import LocalTreeView
+from repro.tree.node import Node
+from repro.tree.paths import (
+    kth_free_leaf_path,
+    leftmost_free_leaf_path,
+    path_to_leaf,
+    random_capacity_path,
+)
+
+BallId = Hashable
+
+
+class PathPolicy(ABC):
+    """Strategy interface for candidate-path selection."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def choose(
+        self,
+        view: LocalTreeView,
+        ball: BallId,
+        phase: int,
+        rng: random.Random,
+    ) -> Tuple[Node, ...]:
+        """Return the candidate path from ``ball``'s current node to a leaf."""
+
+    def _start(self, view: LocalTreeView, ball: BallId) -> Node:
+        return view.position(ball)
+
+
+class RandomPolicy(PathPolicy):
+    """Algorithm 1 lines 5-10: capacity-weighted random descent."""
+
+    name = "random"
+
+    def choose(
+        self, view: LocalTreeView, ball: BallId, phase: int, rng: random.Random
+    ) -> Tuple[Node, ...]:
+        return random_capacity_path(view, self._start(view, ball), rng)
+
+
+def rank_among_all(view: LocalTreeView, ball: BallId) -> int:
+    """``ball``'s rank by label among *all* balls in the view (Section 6)."""
+    return view.label_rank(ball)
+
+
+def rank_at_node(view: LocalTreeView, ball: BallId) -> int:
+    """``ball``'s rank by label among the balls at its own node."""
+    here = sorted(view.balls_at(view.position(ball)))
+    return here.index(ball)
+
+
+class UnweightedRandomPolicy(PathPolicy):
+    """Ablation: fair coins instead of capacity-weighted ones.
+
+    Each inner-node choice flips an unweighted coin, only forced when one
+    child is (apparently) full.  Safety is untouched — the movement rule
+    still enforces capacities — but the choice distribution no longer
+    matches the remaining capacities, so contention concentrates where
+    space is scarce and rounds grow (EXP-ABL quantifies it).
+    """
+
+    name = "random-unweighted"
+
+    def choose(
+        self, view: LocalTreeView, ball: BallId, phase: int, rng: random.Random
+    ) -> Tuple[Node, ...]:
+        current = self._start(view, ball)
+        path = [current]
+        while not nd.is_leaf(current):
+            left, right = nd.children(current)
+            cap_left = view.remaining_capacity(left)
+            cap_right = view.remaining_capacity(right)
+            if cap_left <= 0 and cap_right <= 0:
+                raw_left = view.raw_remaining_capacity(left)
+                raw_right = view.raw_remaining_capacity(right)
+                current = left if raw_left >= raw_right else right
+            elif cap_left <= 0:
+                current = right
+            elif cap_right <= 0:
+                current = left
+            elif rng.random() < 0.5:
+                current = left
+            else:
+                current = right
+            path.append(current)
+        return tuple(path)
+
+
+class HybridRankThenRandomPolicy(PathPolicy):
+    """Section 6's early-terminating rule.
+
+    Phase 1: "ball bi constructs [its] path deterministically towards the
+    leaf ranked by bi in OrderedBalls()" — with everyone at the root that
+    is the rank of bi's label among all known labels.  Later phases run
+    the original random rule.
+    """
+
+    name = "hybrid"
+
+    def __init__(self) -> None:
+        self._random = RandomPolicy()
+
+    def choose(
+        self, view: LocalTreeView, ball: BallId, phase: int, rng: random.Random
+    ) -> Tuple[Node, ...]:
+        if phase > 1:
+            return self._random.choose(view, ball, phase, rng)
+        start = self._start(view, ball)
+        rank = rank_among_all(view, ball)
+        # Clamp defensively: with ghosts the view may know more balls than
+        # the subtree has leaves; the movement rule keeps safety regardless.
+        target = min(start[0] + rank, start[1] - 1)
+        return path_to_leaf(view.topology, start, target)
+
+
+class RankPolicy(PathPolicy):
+    """Deterministic rank-indexed paths every phase.
+
+    A ball ranks itself among the balls at its current node and aims at
+    that rank's free leaf below.  Failure-free this renames in one phase;
+    under crash-induced view splits, collisions recur and are resolved by
+    the shared movement rule.  Correctness is inherited from the substrate
+    (Theorem 1 never uses randomness); round complexity is measured in the
+    separation experiment.
+    """
+
+    name = "rank"
+
+    def choose(
+        self, view: LocalTreeView, ball: BallId, phase: int, rng: random.Random
+    ) -> Tuple[Node, ...]:
+        start = self._start(view, ball)
+        if nd.is_leaf(start):
+            return (start,)
+        free = view.free_leaves(start)
+        if free <= 0:
+            return (start,)
+        rank = min(rank_at_node(view, ball), free - 1)
+        return kth_free_leaf_path(view, start, rank)
+
+
+class LeftmostPolicy(PathPolicy):
+    """Everyone aims at the leftmost free leaf: maximal contention."""
+
+    name = "leftmost"
+
+    def choose(
+        self, view: LocalTreeView, ball: BallId, phase: int, rng: random.Random
+    ) -> Tuple[Node, ...]:
+        return leftmost_free_leaf_path(view, self._start(view, ball))
+
+
+_POLICY_TYPES = {
+    RandomPolicy.name: RandomPolicy,
+    HybridRankThenRandomPolicy.name: HybridRankThenRandomPolicy,
+    RankPolicy.name: RankPolicy,
+    LeftmostPolicy.name: LeftmostPolicy,
+    UnweightedRandomPolicy.name: UnweightedRandomPolicy,
+}
+
+
+def make_policy(name: str) -> PathPolicy:
+    """Instantiate a policy by config name."""
+    try:
+        return _POLICY_TYPES[name]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown path policy {name!r}; choose from {sorted(_POLICY_TYPES)}"
+        ) from None

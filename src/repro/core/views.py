@@ -1,0 +1,272 @@
+"""View stores: who owns the local trees.
+
+``faithful`` mode gives every ball its own :class:`LocalTreeView` and
+applies every round to every tree — the paper verbatim, O(n) tree updates
+per round.
+
+``shared`` mode exploits a structural fact of Algorithm 1: a ball's local
+tree is a deterministic function of its *inbox history* (its own
+randomness only influences its broadcast path, which is part of every
+inbox).  Balls whose inbox histories are identical therefore hold
+identical trees, so the store groups them into equivalence classes and
+updates one tree per (class, inbox) pair per round.  Classes split only
+when the adversary delivers a crashing ball's broadcast to some receivers
+and not others; failure-free runs keep a single class and large-``n``
+experiments become tractable in pure Python.  The two modes are verified
+bit-for-bit equal in ``tests/core/test_view_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Dict, Hashable, Mapping, Set, Tuple
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.tree.local_view import LocalTreeView
+from repro.tree.topology import Topology
+from repro.core.movement import apply_path_round, apply_position_round
+
+BallId = Hashable
+
+
+def _fingerprint(inbox: Mapping[BallId, Any]) -> int:
+    """Identity of an inbox within one round.
+
+    The simulator hands every receiver with the same delivery signature
+    the *same* inbox dict object, so object identity distinguishes inbox
+    contents within a round.  Ad-hoc callers passing fresh dicts per ball
+    only lose caching (each ball recomputes), never correctness.
+    """
+    return id(inbox)
+
+
+class ViewStore(ABC):
+    """Owns the local trees of all balls of one run."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        *,
+        check_invariants: bool = False,
+        movement_order: str = "priority",
+        retain_silent_leaf_balls: bool = False,
+    ) -> None:
+        self._topo = topology
+        self._check = check_invariants
+        self._order = movement_order
+        self._retain = retain_silent_leaf_balls
+
+    @property
+    def topology(self) -> Topology:
+        """The shared static tree shape."""
+        return self._topo
+
+    @abstractmethod
+    def initialize(self, pid: BallId, round_no: int, inbox: Mapping[BallId, Any]) -> None:
+        """Create ``pid``'s tree with the heard-from senders at the root (line 1)."""
+
+    @abstractmethod
+    def view_of(self, pid: BallId) -> LocalTreeView:
+        """``pid``'s current local tree.  Callers must not mutate it."""
+
+    @abstractmethod
+    def apply_paths(self, pid: BallId, round_no: int, inbox: Mapping[BallId, Any]) -> None:
+        """Apply a round-1 path exchange to ``pid``'s tree."""
+
+    @abstractmethod
+    def apply_positions(self, pid: BallId, round_no: int, inbox: Mapping[BallId, Any]) -> None:
+        """Apply a round-2 position synchronization to ``pid``'s tree."""
+
+
+class PrivateViewStore(ViewStore):
+    """One tree per ball: the paper's model, used for validation."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        *,
+        check_invariants: bool = False,
+        movement_order: str = "priority",
+        retain_silent_leaf_balls: bool = False,
+    ) -> None:
+        super().__init__(
+            topology,
+            check_invariants=check_invariants,
+            movement_order=movement_order,
+            retain_silent_leaf_balls=retain_silent_leaf_balls,
+        )
+        self._trees: Dict[BallId, LocalTreeView] = {}
+
+    def initialize(self, pid: BallId, round_no: int, inbox: Mapping[BallId, Any]) -> None:
+        self._trees[pid] = LocalTreeView(self._topo, inbox.keys())
+
+    def view_of(self, pid: BallId) -> LocalTreeView:
+        try:
+            return self._trees[pid]
+        except KeyError:
+            raise SimulationError(f"ball {pid!r} has no initialized view") from None
+
+    def apply_paths(self, pid: BallId, round_no: int, inbox: Mapping[BallId, Any]) -> None:
+        apply_path_round(
+            self.view_of(pid),
+            inbox,
+            check_invariants=self._check,
+            order=self._order,
+            retain_silent_leaf_balls=self._retain,
+        )
+
+    def apply_positions(self, pid: BallId, round_no: int, inbox: Mapping[BallId, Any]) -> None:
+        apply_position_round(
+            self.view_of(pid),
+            inbox,
+            check_invariants=self._check,
+            retain_silent_leaf_balls=self._retain,
+        )
+
+
+class _ViewClass:
+    """A group of balls sharing one tree (identical inbox histories)."""
+
+    __slots__ = ("serial", "tree", "members")
+
+    def __init__(self, serial: int, tree: LocalTreeView) -> None:
+        self.serial = serial
+        self.tree = tree
+        self.members: Set[BallId] = set()
+
+
+class SharedViewStore(ViewStore):
+    """Equivalence-class store: one tree per distinct inbox history."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        *,
+        check_invariants: bool = False,
+        movement_order: str = "priority",
+        retain_silent_leaf_balls: bool = False,
+    ) -> None:
+        super().__init__(
+            topology,
+            check_invariants=check_invariants,
+            movement_order=movement_order,
+            retain_silent_leaf_balls=retain_silent_leaf_balls,
+        )
+        self._class_of: Dict[BallId, _ViewClass] = {}
+        self._serial = 0
+        self._memo_round = -1
+        # (pre-class serial, kind, inbox fingerprint) -> post class.  The
+        # memo is scoped to a single round; it is what lets every member
+        # of a class reuse one tree update.  Values keep the inbox alive
+        # so id()-based fingerprints cannot collide within the round.
+        self._memo: Dict[Tuple[int, str, int], Tuple[_ViewClass, Any]] = {}
+        # Position-snapshot -> post class, also per round.  Divergent
+        # classes whose trees re-converge (the common case after a
+        # position round) are merged here, keeping the class count small
+        # instead of doubling every crash round.  Keyed by the exact
+        # frozenset of positions: no hash-collision risk.
+        self._merge_index: Dict[Tuple[str, frozenset], _ViewClass] = {}
+
+    # ----------------------------------------------------------------- public
+    def initialize(self, pid: BallId, round_no: int, inbox: Mapping[BallId, Any]) -> None:
+        self._roll_memo(round_no)
+        key = (-1, "init", _fingerprint(inbox))
+        memo_hit = self._memo.get(key)
+        if memo_hit is None:
+            post = self._new_class(LocalTreeView(self._topo, inbox.keys()))
+            self._memo[key] = (post, inbox)
+        else:
+            post = memo_hit[0]
+        post.members.add(pid)
+        self._class_of[pid] = post
+
+    def view_of(self, pid: BallId) -> LocalTreeView:
+        try:
+            return self._class_of[pid].tree
+        except KeyError:
+            raise SimulationError(f"ball {pid!r} has no initialized view") from None
+
+    def apply_paths(self, pid: BallId, round_no: int, inbox: Mapping[BallId, Any]) -> None:
+        self._apply(pid, round_no, inbox, "path")
+
+    def apply_positions(self, pid: BallId, round_no: int, inbox: Mapping[BallId, Any]) -> None:
+        self._apply(pid, round_no, inbox, "pos")
+
+    def class_count(self) -> int:
+        """Number of live equivalence classes (diagnostic)."""
+        return len({id(cls) for cls in self._class_of.values()})
+
+    # ---------------------------------------------------------------- private
+    def _apply(
+        self, pid: BallId, round_no: int, inbox: Mapping[BallId, Any], kind: str
+    ) -> None:
+        pre = self._class_of.get(pid)
+        if pre is None:
+            raise SimulationError(f"ball {pid!r} has no initialized view")
+        self._roll_memo(round_no)
+        key = (pre.serial, kind, _fingerprint(inbox))
+        memo_hit = self._memo.get(key)
+        if memo_hit is None:
+            tree = pre.tree.copy()
+            if kind == "path":
+                apply_path_round(
+                    tree,
+                    inbox,
+                    check_invariants=self._check,
+                    order=self._order,
+                    retain_silent_leaf_balls=self._retain,
+                )
+            else:
+                apply_position_round(
+                    tree,
+                    inbox,
+                    check_invariants=self._check,
+                    retain_silent_leaf_balls=self._retain,
+                )
+            merge_key = (kind, tree.position_set())
+            post = self._merge_index.get(merge_key)
+            if post is None:
+                post = self._new_class(tree)
+                self._merge_index[merge_key] = post
+            self._memo[key] = (post, inbox)
+        else:
+            post = memo_hit[0]
+        pre.members.discard(pid)
+        post.members.add(pid)
+        self._class_of[pid] = post
+
+    def _new_class(self, tree: LocalTreeView) -> _ViewClass:
+        self._serial += 1
+        return _ViewClass(self._serial, tree)
+
+    def _roll_memo(self, round_no: int) -> None:
+        if round_no != self._memo_round:
+            self._memo.clear()
+            self._merge_index.clear()
+            self._memo_round = round_no
+
+
+def make_store(
+    mode: str,
+    topology: Topology,
+    *,
+    check_invariants: bool = False,
+    movement_order: str = "priority",
+    retain_silent_leaf_balls: bool = False,
+) -> ViewStore:
+    """Instantiate a view store by config name (``faithful``/``shared``)."""
+    if mode == "faithful":
+        return PrivateViewStore(
+            topology,
+            check_invariants=check_invariants,
+            movement_order=movement_order,
+            retain_silent_leaf_balls=retain_silent_leaf_balls,
+        )
+    if mode == "shared":
+        return SharedViewStore(
+            topology,
+            check_invariants=check_invariants,
+            movement_order=movement_order,
+            retain_silent_leaf_balls=retain_silent_leaf_balls,
+        )
+    raise ConfigurationError(f"unknown view mode {mode!r}")

@@ -1,0 +1,69 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An algorithm, simulator, or experiment was configured inconsistently."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an invalid state (engine bug or misuse)."""
+
+
+class ProtocolViolation(SimulationError):
+    """A process broke the round protocol (e.g. sent after crashing)."""
+
+
+class RoundLimitExceeded(SimulationError):
+    """The simulation did not terminate within the configured round budget."""
+
+    def __init__(self, limit: int, alive: int) -> None:
+        super().__init__(
+            f"simulation exceeded the round limit of {limit} with {alive} "
+            f"process(es) still running"
+        )
+        self.limit = limit
+        self.alive = alive
+
+
+class SpecViolation(ReproError):
+    """A renaming correctness property (validity/uniqueness/termination) failed.
+
+    Raised by :mod:`repro.sim.checker` when a run's decisions violate the
+    renaming specification of Section 3 of the paper.
+    """
+
+
+class TreeError(ReproError):
+    """An operation on the virtual leaf tree was invalid."""
+
+
+class CapacityError(TreeError):
+    """A tree placement would exceed a subtree's leaf capacity."""
+
+
+class UnknownBallError(TreeError):
+    """An operation referenced a ball that is not present in the view."""
+
+
+class ExperimentError(ReproError):
+    """An experiment could not be assembled or executed."""
+
+
+class UnknownExperimentError(ExperimentError):
+    """The experiment registry has no entry for the requested id."""
+
+    def __init__(self, experiment_id: str, known: list) -> None:
+        super().__init__(
+            f"unknown experiment {experiment_id!r}; known ids: {', '.join(sorted(known))}"
+        )
+        self.experiment_id = experiment_id

@@ -1,0 +1,142 @@
+"""EXP-ABL — ablations: why each design choice of Algorithm 1 is there.
+
+Three knobs, each removed in isolation, measured failure-free and under
+the half-split crash adversary:
+
+* **capacity-weighted coins** (lines 5-10) → fair coins: safety intact
+  but contention concentrates where space is scarce; rounds grow.
+* **the <R priority order** (Definition 1) → plain label order: capacity
+  checks keep safety, but space below descended balls is no longer
+  protected, hurting progress.
+* **round-2 position synchronization** (lines 22-28) → skipped: phases
+  cost one round instead of two, and failure-free nothing breaks — but
+  under crashes view divergence is permanent and *uniqueness fails*.
+  The violation rate is the measurement: round 2 is a safety mechanism,
+  not an optimization.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.adversary.splitter import HalfSplitAdversary
+from repro.analysis.tables import Table
+from repro.core.balls_into_leaves import build_balls_into_leaves
+from repro.core.config import BallsIntoLeavesConfig
+from repro.errors import RoundLimitExceeded, SpecViolation
+from repro.experiments.common import ExperimentResult, scaled
+from repro.ids import sparse_ids
+from repro.sim.checker import RenamingSpec, check_renaming
+from repro.sim.simulator import Simulation
+
+EXPERIMENT_ID = "EXP-ABL"
+TITLE = "Ablations: weighted coins, <R order, and round-2 synchronization"
+
+VARIANTS = {
+    "full algorithm": BallsIntoLeavesConfig(),
+    "fair coins": BallsIntoLeavesConfig(path_policy="random-unweighted"),
+    "label order": BallsIntoLeavesConfig(movement_order="label"),
+    "no round-2 sync": BallsIntoLeavesConfig(sync_positions=False),
+}
+
+
+def _duplicate_decisions(simulation: Simulation) -> int:
+    """Distinct names decided by more than one correct (alive) ball."""
+    crashed = simulation.crashed
+    owners = {}
+    duplicates = set()
+    for pid, proc in simulation.processes.items():
+        if pid in crashed or proc.decision is None:
+            continue
+        name = proc.decision
+        if name in owners:
+            duplicates.add(name)
+        owners[name] = pid
+    return len(duplicates)
+
+
+def _one_run(config: BallsIntoLeavesConfig, n: int, seed: int, with_crashes: bool):
+    """Run one variant; returns (rounds, violated?, timed_out?, duplicates)."""
+    adversary: Optional[HalfSplitAdversary] = None
+    if with_crashes:
+        adversary = HalfSplitAdversary(
+            rounds=frozenset({1} | set(range(2, 64))),
+            max_crashes=max(1, n // 8),
+            seed=seed,
+        )
+    processes, _store = build_balls_into_leaves(sparse_ids(n), seed=seed, config=config)
+    simulation = Simulation(
+        processes, adversary=adversary, max_rounds=6 * n + 32
+    )
+    try:
+        result = simulation.run()
+    except RoundLimitExceeded:
+        # Non-termination is itself a spec failure; also report any
+        # duplicate names that were already decided when we stopped.
+        return None, False, True, _duplicate_decisions(simulation)
+    try:
+        check_renaming(result, RenamingSpec(n=n))
+    except SpecViolation:
+        return result.rounds, True, False, _duplicate_decisions(simulation)
+    return result.rounds, False, False, 0
+
+
+def run(scale: str = "paper", seed: int = 0) -> ExperimentResult:
+    """Compare the variants failure-free and under crashes."""
+    n = scaled(scale, 64, 256)
+    trials = scaled(scale, 4, 25)
+
+    result = ExperimentResult(EXPERIMENT_ID, TITLE, scale)
+    table = Table(
+        f"Ablation outcomes (n={n}, {trials} trials each)",
+        [
+            "variant",
+            "ff rounds (mean)",
+            "crash rounds (mean)",
+            "spec failures",
+            "stuck runs",
+            "dup names",
+        ],
+        notes="crashes: half-split bursts with budget n/8; a spec failure or "
+        "stuck (non-terminating) run means the *ablated* variant broke",
+    )
+    for name, config in VARIANTS.items():
+        ff_rounds = []
+        crash_rounds = []
+        violations = 0
+        timeouts = 0
+        duplicate_names = 0
+        for trial in range(trials):
+            trial_seed = seed * 31 + trial
+            rounds, _violated, _timed_out, _dups = _one_run(
+                config, n, trial_seed, False
+            )
+            if rounds is not None:
+                ff_rounds.append(rounds)
+            rounds, violated, timed_out, dups = _one_run(config, n, trial_seed, True)
+            if timed_out:
+                timeouts += 1
+            elif violated:
+                violations += 1
+            duplicate_names += dups
+            if rounds is not None:
+                crash_rounds.append(rounds)
+        table.add_row(
+            name,
+            sum(ff_rounds) / len(ff_rounds) if ff_rounds else float("nan"),
+            sum(crash_rounds) / len(crash_rounds) if crash_rounds else float("nan"),
+            f"{violations}/{trials}",
+            f"{timeouts}/{trials}",
+            duplicate_names,
+        )
+    result.tables.append(table)
+    result.notes.append(
+        "expected shape: 'full algorithm' and the liveness ablations never "
+        "violate the spec (violations 0); 'no round-2 sync' violates under "
+        "crashes, demonstrating round 2 is what Proposition 1 needs"
+    )
+    result.notes.append(
+        "fair coins and label order keep correctness but pay rounds — the "
+        "capacity weighting and <R order are liveness mechanisms"
+    )
+    return result

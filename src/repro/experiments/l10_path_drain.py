@@ -1,0 +1,79 @@
+"""EXP-L10 — Lemmas 9-10: every path drains geometrically.
+
+Track the maximum path population (total balls on the worst root-to-
+leaf-parent path, in the reference view) per phase.  Lemma 9 shows a
+constant fraction escapes every two phases, so the trajectory should be
+upper-bounded by a geometric decay; Lemma 10 then empties the path in
+O(log M) phases.  The table reports per-phase populations and the
+measured two-phase decay ratio.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.tables import Table
+from repro.experiments.common import ExperimentResult, rounds_over_trials, scaled
+
+EXPERIMENT_ID = "EXP-L10"
+TITLE = "Lemmas 9-10: constant-fraction escape drains every path"
+
+
+def run(scale: str = "paper", seed: int = 0) -> ExperimentResult:
+    """Measure worst-path population per phase and its decay ratio."""
+    sizes = scaled(scale, [256], [1024, 4096])
+    trials = scaled(scale, 3, 10)
+
+    result = ExperimentResult(EXPERIMENT_ID, TITLE, scale)
+    for n in sizes:
+        runs = rounds_over_trials(
+            "balls-into-leaves",
+            n,
+            trials=trials,
+            base_seed=seed,
+            collect_phase_stats=True,
+        )
+        max_phases = max(len(r.phase_stats) for r in runs)
+        table = Table(
+            f"max path population per phase, n={n}",
+            ["phase", "max", "mean", "mean 2-phase ratio"],
+            notes="ratio = population(phase) / population(phase-2); Lemma 9 "
+            "predicts a constant < 1 once populations are in the polylog regime",
+        )
+        per_phase: List[List[int]] = []
+        for phase_index in range(max_phases):
+            values = [
+                r.phase_stats[phase_index].max_path_population
+                for r in runs
+                if phase_index < len(r.phase_stats)
+            ]
+            per_phase.append(values)
+        for phase_index, values in enumerate(per_phase):
+            if phase_index >= 2 and per_phase[phase_index - 2]:
+                pairs = [
+                    (now, before)
+                    for now, before in zip(values, per_phase[phase_index - 2])
+                    if before > 0
+                ]
+                ratio = (
+                    sum(now / before for now, before in pairs) / len(pairs)
+                    if pairs
+                    else 0.0
+                )
+            else:
+                ratio = float("nan")
+            table.add_row(
+                phase_index + 1,
+                max(values),
+                sum(values) / len(values),
+                ratio,
+            )
+        result.tables.append(table)
+        final_nonempty = sum(
+            1 for r in runs if r.phase_stats and r.phase_stats[-1].max_path_population > 1
+        )
+        result.notes.append(
+            f"n={n}: trials ending with a populated inner path: {final_nonempty}/{trials} "
+            "(0 expected: termination requires every path empty but for leaf owners)"
+        )
+    return result

@@ -1,0 +1,82 @@
+"""Registry of experiment ids -> runner modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import ModuleType
+from typing import Callable, Dict, List
+
+from repro.errors import UnknownExperimentError
+from repro.experiments import (
+    ablations,
+    adversary_gauntlet,
+    approx_agreement,
+    det_termination,
+    fig_path_view,
+    fig_phase_snapshots,
+    l6_node_occupancy,
+    l10_path_drain,
+    loadbalance_motivation,
+    message_complexity,
+    nonpow2,
+    separation,
+    t2_scaling,
+    t3_failure_free,
+    t4_early_termination,
+)
+from repro.experiments.common import ExperimentResult
+
+
+@dataclass(frozen=True)
+class ExperimentEntry:
+    """One registered experiment."""
+
+    experiment_id: str
+    title: str
+    run: Callable[..., ExperimentResult]
+
+
+_MODULES: List[ModuleType] = [
+    fig_phase_snapshots,
+    fig_path_view,
+    t2_scaling,
+    separation,
+    l6_node_occupancy,
+    l10_path_drain,
+    t3_failure_free,
+    t4_early_termination,
+    adversary_gauntlet,
+    loadbalance_motivation,
+    det_termination,
+    ablations,
+    message_complexity,
+    approx_agreement,
+    nonpow2,
+]
+
+_REGISTRY: Dict[str, ExperimentEntry] = {
+    module.EXPERIMENT_ID: ExperimentEntry(
+        experiment_id=module.EXPERIMENT_ID, title=module.TITLE, run=module.run
+    )
+    for module in _MODULES
+}
+
+
+def all_experiments() -> List[ExperimentEntry]:
+    """All registered experiments in presentation order."""
+    return [_REGISTRY[module.EXPERIMENT_ID] for module in _MODULES]
+
+
+def get_experiment(experiment_id: str) -> ExperimentEntry:
+    """Look up one experiment; raises :class:`UnknownExperimentError`."""
+    try:
+        return _REGISTRY[experiment_id]
+    except KeyError:
+        raise UnknownExperimentError(experiment_id, list(_REGISTRY)) from None
+
+
+def run_experiment(
+    experiment_id: str, *, scale: str = "paper", seed: int = 0
+) -> ExperimentResult:
+    """Run one experiment by id."""
+    return get_experiment(experiment_id).run(scale=scale, seed=seed)

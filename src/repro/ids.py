@@ -1,0 +1,62 @@
+"""Identifier types and helpers shared across the library.
+
+The paper's processes carry unique, comparable labels from an unbounded
+original namespace; target names are ranks ``0..n-1`` (we expose 0-based
+slots; Section 3 of the paper uses ``1..m``, a constant shift).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, List, Sequence, Union
+
+#: A process / ball identifier.  Any hashable, totally ordered value works
+#: (the algorithms are comparison-based); ints and strings are both used in
+#: the tests.
+ProcessId = Union[int, str]
+
+#: A decided name: the left-to-right rank of the leaf a ball terminates on.
+Name = int
+
+#: A communication-round index (0-based; round 0 is the init broadcast).
+Round = int
+
+#: A phase index (1-based, as in the paper; each phase is two rounds).
+Phase = int
+
+
+def sparse_ids(n: int, *, spacing: int = 97, offset: int = 10_000) -> List[int]:
+    """Return ``n`` distinct ids spread over a large original namespace.
+
+    Renaming is only interesting when original ids are sparse; benchmarks
+    and examples use this helper so ids are far from ``0..n-1``.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    return [offset + i * spacing for i in range(n)]
+
+
+def string_ids(n: int, *, prefix: str = "srv") -> List[str]:
+    """Return ``n`` distinct, sortable string ids like ``srv-0007``."""
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    width = max(4, len(str(n)))
+    return [f"{prefix}-{i:0{width}d}" for i in range(n)]
+
+
+def require_distinct(ids: Sequence[ProcessId]) -> None:
+    """Raise ``ValueError`` unless every id in ``ids`` is distinct."""
+    seen = set()
+    for pid in ids:
+        if pid in seen:
+            raise ValueError(f"duplicate process id: {pid!r}")
+        seen.add(pid)
+
+
+def interleave(*groups: Iterable[ProcessId]) -> List[ProcessId]:
+    """Round-robin interleave id groups (used by adversarial schedules)."""
+    result: List[ProcessId] = []
+    iters = [iter(g) for g in groups]
+    for chunk in itertools.zip_longest(*iters):
+        result.extend(x for x in chunk if x is not None)
+    return result

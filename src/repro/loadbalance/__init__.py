@@ -1,0 +1,37 @@
+"""Classic balls-into-bins load balancing (Sections 1-2 context).
+
+The paper motivates Balls-into-Leaves by observing that tight renaming
+*looks* like a solved load-balancing problem but is not: known parallel
+schemes either relax the one-ball-per-bin requirement or assume
+consistent views, which crashes destroy.  This package implements the
+classic strategies so the motivation experiment (EXP-LB) can measure both
+facts:
+
+* :func:`single_choice` — one uniform choice; max load
+  Theta(log n / log log n).
+* :func:`two_choice` — the power of two choices [18]; max load
+  ~ log log n.
+* :func:`parallel_retry` — synchronous rounds of collision/retry in the
+  style of parallel load balancing [1, 17]; fast, but needs consistent
+  views of bin states.
+* :mod:`repro.loadbalance.faulty` — the same parallel scheme when a crash
+  loses acceptance messages: duplicate assignments appear, which is
+  exactly why these schemes do not solve fault-tolerant tight renaming.
+"""
+
+from repro.loadbalance.bins import BinLoads, load_histogram
+from repro.loadbalance.single_choice import single_choice
+from repro.loadbalance.two_choice import two_choice
+from repro.loadbalance.parallel_retry import ParallelRetryResult, parallel_retry
+from repro.loadbalance.faulty import FaultyAllocationResult, crash_faulted_parallel_retry
+
+__all__ = [
+    "BinLoads",
+    "load_histogram",
+    "single_choice",
+    "two_choice",
+    "parallel_retry",
+    "ParallelRetryResult",
+    "crash_faulted_parallel_retry",
+    "FaultyAllocationResult",
+]

@@ -1,0 +1,54 @@
+"""Shared bin-load bookkeeping for the balls-into-bins strategies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+
+@dataclass(frozen=True)
+class BinLoads:
+    """Final loads of an allocation: ``loads[b]`` balls ended in bin ``b``."""
+
+    loads: Sequence[int]
+
+    @property
+    def n_bins(self) -> int:
+        """Number of bins."""
+        return len(self.loads)
+
+    @property
+    def n_balls(self) -> int:
+        """Number of balls placed."""
+        return sum(self.loads)
+
+    @property
+    def max_load(self) -> int:
+        """The most loaded bin — the classical figure of merit."""
+        return max(self.loads) if self.loads else 0
+
+    @property
+    def empty_bins(self) -> int:
+        """Bins that received no ball."""
+        return sum(1 for load in self.loads if load == 0)
+
+    @property
+    def is_perfect(self) -> bool:
+        """True for a one-to-one allocation (every bin load exactly 1)."""
+        return all(load == 1 for load in self.loads)
+
+
+def load_histogram(loads: Sequence[int]) -> Dict[int, int]:
+    """Map load value -> number of bins with that load."""
+    histogram: Dict[int, int] = {}
+    for load in loads:
+        histogram[load] = histogram.get(load, 0) + 1
+    return histogram
+
+
+def loads_from_assignment(assignment: Sequence[int], n_bins: int) -> List[int]:
+    """Bin loads implied by a ball->bin assignment list."""
+    loads = [0] * n_bins
+    for bin_index in assignment:
+        loads[bin_index] += 1
+    return loads

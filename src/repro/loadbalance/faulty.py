@@ -1,0 +1,96 @@
+"""What goes wrong when parallel load balancing meets crash failures.
+
+The paper's Section 1 observation, made executable: parallel retry
+schemes assume every ball sees a *consistent* view of which bins are
+taken.  Model a crash of the accept-notification step — a bin's "taken"
+announcement reaches only some balls — and balls re-claim bins they
+believe are free, producing duplicate assignments (a uniqueness
+violation) or, if balls conservatively wait, lost slots (a termination
+violation).  Balls-into-Leaves exists precisely because avoiding this
+under an adaptive adversary is non-trivial.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Set
+
+
+@dataclass(frozen=True)
+class FaultyAllocationResult:
+    """Outcome of a crash-faulted parallel allocation."""
+
+    rounds: int
+    assignment: Dict[int, int]  # ball -> bin it believes it owns
+    duplicate_bins: Set[int]
+    crashed_announcements: int
+
+    @property
+    def one_to_one(self) -> bool:
+        """True when no bin was claimed by two balls."""
+        return not self.duplicate_bins
+
+
+def crash_faulted_parallel_retry(
+    n_balls: int,
+    n_bins: int,
+    rng: random.Random,
+    *,
+    announcement_loss_rate: float = 0.2,
+    max_rounds: int = 1_000,
+) -> FaultyAllocationResult:
+    """Parallel retry where "bin taken" announcements can be lost.
+
+    Each ball keeps a private view of free bins, updated only by the
+    announcements it receives.  With ``announcement_loss_rate > 0`` some
+    winners' claims are dropped for a random subset of peers (the message
+    of a crashing process reaching only some receivers), so peers later
+    claim the same bin.  Returns the final assignment and the set of
+    bins claimed more than once.
+    """
+    if n_balls > n_bins:
+        raise ValueError(f"cannot place {n_balls} balls one-to-one into {n_bins} bins")
+    if not 0.0 <= announcement_loss_rate <= 1.0:
+        raise ValueError(f"loss rate must be in [0, 1], got {announcement_loss_rate}")
+
+    believed_free: List[Set[int]] = [set(range(n_bins)) for _ in range(n_balls)]
+    assignment: Dict[int, int] = {}
+    owners: Dict[int, List[int]] = {}
+    lost = 0
+    rounds = 0
+    unplaced = list(range(n_balls))
+    while unplaced and rounds < max_rounds:
+        rounds += 1
+        requests: Dict[int, List[int]] = {}
+        for ball in unplaced:
+            pool = believed_free[ball]
+            if not pool:
+                continue
+            target = rng.choice(sorted(pool))
+            requests.setdefault(target, []).append(ball)
+        next_unplaced: List[int] = []
+        for target, contenders in sorted(requests.items()):
+            winner = min(contenders)
+            already_owned = target in owners
+            assignment[winner] = target
+            owners.setdefault(target, []).append(winner)
+            if already_owned:
+                # The bin silently double-accepts: its earlier owner's
+                # claim never reached these contenders.
+                pass
+            announcement_dropped = rng.random() < announcement_loss_rate
+            for ball in range(n_balls):
+                if announcement_dropped and rng.random() < 0.5:
+                    lost += 1
+                    continue
+                believed_free[ball].discard(target)
+            next_unplaced.extend(ball for ball in contenders if ball != winner)
+        unplaced = [ball for ball in next_unplaced if ball not in assignment]
+    duplicates = {bin_index for bin_index, claimants in owners.items() if len(claimants) > 1}
+    return FaultyAllocationResult(
+        rounds=rounds,
+        assignment=assignment,
+        duplicate_bins=duplicates,
+        crashed_announcements=lost,
+    )

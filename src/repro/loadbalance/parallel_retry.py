@@ -1,0 +1,72 @@
+"""Parallel collision/retry allocation (the [1, 17] style of scheme).
+
+Synchronous rounds: every unplaced ball picks a uniformly random *free*
+bin (globally consistent free-bin knowledge is assumed, as those papers
+do); a bin contacted by one or more balls accepts exactly one, the rest
+retry.  This converges in ``O(log log n)`` rounds in practice — the
+intuition Balls-into-Leaves distributes — but the consistency assumption
+is exactly what crash failures break (see :mod:`repro.loadbalance.faulty`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class ParallelRetryResult:
+    """Outcome of a parallel retry allocation."""
+
+    rounds: int
+    assignment: Dict[int, int]  # ball -> bin
+    per_round_unplaced: List[int]
+
+    @property
+    def one_to_one(self) -> bool:
+        """True if the final assignment is a bijection."""
+        bins = list(self.assignment.values())
+        return len(set(bins)) == len(bins)
+
+
+def parallel_retry(
+    n_balls: int,
+    n_bins: int,
+    rng: random.Random,
+    *,
+    max_rounds: int = 10_000,
+) -> ParallelRetryResult:
+    """Allocate ``n_balls`` one-to-one into ``n_bins`` by parallel retries.
+
+    Requires ``n_balls <= n_bins``; raises ``ValueError`` otherwise (the
+    scheme cannot terminate).
+    """
+    if n_balls > n_bins:
+        raise ValueError(f"cannot place {n_balls} balls one-to-one into {n_bins} bins")
+    free = list(range(n_bins))
+    unplaced = list(range(n_balls))
+    assignment: Dict[int, int] = {}
+    per_round_unplaced: List[int] = []
+    rounds = 0
+    while unplaced:
+        rounds += 1
+        if rounds > max_rounds:
+            raise RuntimeError(f"parallel retry did not converge in {max_rounds} rounds")
+        per_round_unplaced.append(len(unplaced))
+        requests: Dict[int, List[int]] = {}
+        for ball in unplaced:
+            target = free[rng.randrange(len(free))]
+            requests.setdefault(target, []).append(ball)
+        taken = set()
+        still_unplaced: List[int] = []
+        for target, contenders in requests.items():
+            winner = min(contenders)  # bins accept the lowest-labelled request
+            assignment[winner] = target
+            taken.add(target)
+            still_unplaced.extend(ball for ball in contenders if ball != winner)
+        free = [bin_index for bin_index in free if bin_index not in taken]
+        unplaced = still_unplaced
+    return ParallelRetryResult(
+        rounds=rounds, assignment=assignment, per_round_unplaced=per_round_unplaced
+    )

@@ -1,0 +1,22 @@
+"""One uniform random choice per ball.
+
+The textbook baseline: placing ``n`` balls into ``n`` bins independently
+and uniformly yields a maximum load of ``Theta(log n / log log n)`` with
+high probability [13] — far from the one-to-one allocation renaming needs.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.loadbalance.bins import BinLoads
+
+
+def single_choice(n_balls: int, n_bins: int, rng: random.Random) -> BinLoads:
+    """Throw each ball into one uniformly random bin."""
+    if n_bins < 1:
+        raise ValueError(f"need at least one bin, got {n_bins}")
+    loads = [0] * n_bins
+    for _ in range(n_balls):
+        loads[rng.randrange(n_bins)] += 1
+    return BinLoads(loads)

@@ -1,0 +1,32 @@
+"""The power of two choices.
+
+Each ball samples two bins and joins the lighter one; the maximum load
+drops exponentially to ``log log n / log 2 + O(1)`` [18] — the same
+doubly-logarithmic flavor as Balls-into-Leaves' round complexity, but as a
+*load bound*, not a one-to-one guarantee.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.loadbalance.bins import BinLoads
+
+
+def two_choice(
+    n_balls: int, n_bins: int, rng: random.Random, *, choices: int = 2
+) -> BinLoads:
+    """Place each ball in the least loaded of ``choices`` random bins."""
+    if n_bins < 1:
+        raise ValueError(f"need at least one bin, got {n_bins}")
+    if choices < 1:
+        raise ValueError(f"need at least one choice, got {choices}")
+    loads = [0] * n_bins
+    for _ in range(n_balls):
+        best = rng.randrange(n_bins)
+        for _ in range(choices - 1):
+            alternative = rng.randrange(n_bins)
+            if loads[alternative] < loads[best]:
+                best = alternative
+        loads[best] += 1
+    return BinLoads(loads)

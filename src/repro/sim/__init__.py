@@ -1,0 +1,37 @@
+"""Synchronous message-passing substrate (the model of Section 3).
+
+Computation proceeds in lock-step rounds.  Each round every running
+process composes one broadcast, the adversary decides who crashes and
+which receivers still get a crashing sender's message, messages are
+delivered, and every surviving process takes a step.  Crashed processes
+stop and never recover.
+
+The engine is deterministic given a seed: process randomness comes from
+:func:`repro.sim.rng.derive_rng`, so every experiment in this repository
+is exactly reproducible.
+"""
+
+from repro.sim.process import SyncProcess
+from repro.sim.simulator import Simulation, SimulationResult
+from repro.sim.rng import derive_rng, derive_seed
+from repro.sim.metrics import RoundMetrics, SimulationMetrics
+from repro.sim.trace import Trace, TraceEvent
+from repro.sim.checker import RenamingSpec, check_renaming
+from repro.sim.runner import RenamingRun, run_renaming, ALGORITHMS
+
+__all__ = [
+    "SyncProcess",
+    "Simulation",
+    "SimulationResult",
+    "derive_rng",
+    "derive_seed",
+    "RoundMetrics",
+    "SimulationMetrics",
+    "Trace",
+    "TraceEvent",
+    "RenamingSpec",
+    "check_renaming",
+    "RenamingRun",
+    "run_renaming",
+    "ALGORITHMS",
+]

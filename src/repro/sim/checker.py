@@ -1,0 +1,81 @@
+"""Renaming specification checker (Section 3).
+
+Validates a :class:`~repro.sim.simulator.SimulationResult` against the
+three conditions of the renaming problem:
+
+* **Termination** — every correct (never-crashed) process decided.
+* **Validity** — every decision is a name in ``0..m-1`` (0-based here).
+* **Uniqueness** — no two correct processes share a name.
+
+Crashed processes may have decided before crashing; their names are
+reported but not constrained (the paper's conditions quantify over correct
+processes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import SpecViolation
+from repro.ids import Name, ProcessId
+from repro.sim.simulator import SimulationResult
+
+
+@dataclass(frozen=True)
+class RenamingSpec:
+    """The instance parameters: ``n`` participants, ``m`` target names."""
+
+    n: int
+    namespace_size: Optional[int] = None
+
+    @property
+    def m(self) -> int:
+        """Target namespace size (``n`` for tight renaming)."""
+        return self.namespace_size if self.namespace_size is not None else self.n
+
+    @property
+    def tight(self) -> bool:
+        """True when ``m == n`` (tight/strong/perfect renaming)."""
+        return self.m == self.n
+
+
+def check_renaming(result: SimulationResult, spec: RenamingSpec) -> Dict[ProcessId, Name]:
+    """Raise :class:`SpecViolation` on any violated condition.
+
+    Returns the mapping of correct processes to their decided names.
+    """
+    problems: List[str] = []
+    correct = result.correct
+
+    decided: Dict[ProcessId, Name] = {}
+    for pid in correct:
+        name = result.decisions.get(pid)
+        if name is None:
+            problems.append(f"termination: correct process {pid!r} never decided")
+            continue
+        decided[pid] = name
+
+    for pid, name in decided.items():
+        if not isinstance(name, int) or not 0 <= name < spec.m:
+            problems.append(
+                f"validity: process {pid!r} decided {name!r}, outside 0..{spec.m - 1}"
+            )
+
+    owners: Dict[Name, ProcessId] = {}
+    for pid in sorted(decided, key=repr):
+        name = decided[pid]
+        if name in owners:
+            problems.append(
+                f"uniqueness: processes {owners[name]!r} and {pid!r} both decided {name}"
+            )
+        else:
+            owners[name] = pid
+
+    for pid in correct:
+        if result.decisions.get(pid) is not None and pid not in result.halted:
+            problems.append(f"termination: correct process {pid!r} decided but never halted")
+
+    if problems:
+        raise SpecViolation("; ".join(problems))
+    return decided

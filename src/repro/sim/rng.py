@@ -1,0 +1,27 @@
+"""Deterministic randomness derivation.
+
+Every random stream in a run is derived from the run seed and a scope
+tuple (e.g. ``("ball", pid)`` or ``("adversary",)``) through SHA-256, so:
+
+* runs are bit-reproducible across platforms and Python versions,
+* processes cannot accidentally share a stream, and
+* the adversary's randomness is independent of the processes'.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Hashable
+
+
+def derive_seed(seed: int, *scope: Hashable) -> int:
+    """Derive a child seed from ``seed`` and a scope path, stably."""
+    material = repr((int(seed),) + tuple(repr(part) for part in scope))
+    digest = hashlib.sha256(material.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def derive_rng(seed: int, *scope: Hashable) -> random.Random:
+    """A fresh :class:`random.Random` seeded from ``seed`` and ``scope``."""
+    return random.Random(derive_seed(seed, *scope))

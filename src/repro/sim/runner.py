@@ -1,0 +1,174 @@
+"""High-level entry point: run a renaming algorithm end to end.
+
+``run_renaming("balls-into-leaves", ids, seed=1)`` builds the processes,
+drives the simulator against the chosen adversary, checks the renaming
+specification, and returns a :class:`RenamingRun` with the round counts
+and (optionally) per-phase tree statistics.  This is the main public API;
+the examples and every experiment go through it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence
+
+from repro.adversary.base import Adversary
+from repro.errors import ConfigurationError
+from repro.ids import Name, ProcessId
+from repro.sim.checker import RenamingSpec, check_renaming
+from repro.sim.metrics import SimulationMetrics
+from repro.sim.simulator import Simulation, SimulationResult
+from repro.sim.trace import Trace
+
+#: Algorithm name -> Balls-into-Leaves path policy (None = not BiL-based).
+ALGORITHMS: Dict[str, Optional[str]] = {
+    "balls-into-leaves": "random",
+    "early-terminating": "hybrid",
+    "rank-descent": "rank",
+    "leftmost": "leftmost",
+    "flood": None,
+}
+
+
+@dataclass
+class RenamingRun:
+    """Everything measured about one renaming execution."""
+
+    algorithm: str
+    n: int
+    seed: int
+    rounds: int
+    names: Dict[ProcessId, Name]
+    crashed: FrozenSet[ProcessId]
+    failures: int
+    last_round_named: Optional[int]
+    metrics: SimulationMetrics
+    phase_stats: List[Any] = field(default_factory=list)
+    trace: Optional[Trace] = None
+    result: Optional[SimulationResult] = None
+
+    @property
+    def phases(self) -> int:
+        """Completed phases (two rounds each, after the init round)."""
+        return max(0, (self.rounds - 1) // 2)
+
+
+def run_renaming(
+    algorithm: str,
+    ids: Sequence[ProcessId],
+    *,
+    seed: int = 0,
+    adversary: Optional[Adversary] = None,
+    crash_budget: Optional[int] = None,
+    view_mode: str = "shared",
+    halt_on_name: bool = False,
+    check: bool = True,
+    check_invariants: bool = False,
+    collect_phase_stats: bool = False,
+    trace: Optional[Trace] = None,
+    max_rounds: Optional[int] = None,
+) -> RenamingRun:
+    """Run one tight-renaming execution and verify its output.
+
+    Parameters
+    ----------
+    algorithm:
+        One of :data:`ALGORITHMS`: ``"balls-into-leaves"`` (Algorithm 1),
+        ``"early-terminating"`` (Section 6), ``"rank-descent"`` and
+        ``"flood"`` (deterministic baselines), or ``"leftmost"`` (the
+        degenerate worst case).
+    ids:
+        Distinct, comparable original identifiers; ``n = len(ids)``.
+    adversary:
+        Crash strategy (default: no failures).
+    crash_budget:
+        The model's ``t`` (default ``n - 1``).
+    halt_on_name:
+        Enable the per-ball termination extension (a ball halts as soon
+        as it has announced its leaf); BiL-based algorithms only.
+    check:
+        Verify termination/validity/uniqueness and raise on violation.
+    collect_phase_stats:
+        Attach a :class:`~repro.core.instrumentation.TreeStatsObserver`
+        (BiL-based algorithms only).
+    """
+    if algorithm not in ALGORITHMS:
+        raise ConfigurationError(
+            f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)}"
+        )
+    n = len(ids)
+    if n == 0:
+        raise ConfigurationError("renaming needs at least one participant")
+    budget = n - 1 if crash_budget is None else crash_budget
+
+    observers = []
+    policy = ALGORITHMS[algorithm]
+    if policy is not None:
+        from repro.core.balls_into_leaves import build_balls_into_leaves
+        from repro.core.config import BallsIntoLeavesConfig
+        from repro.core.instrumentation import TreeStatsObserver
+
+        config = BallsIntoLeavesConfig(
+            path_policy=policy,
+            view_mode=view_mode,
+            check_invariants=check_invariants,
+            halt_on_name=halt_on_name,
+        )
+        processes, store = build_balls_into_leaves(ids, seed=seed, config=config)
+        stats_observer = None
+        if collect_phase_stats:
+            stats_observer = TreeStatsObserver(store)
+            observers.append(stats_observer)
+        # Lemma 11: at most n fault-free phases, plus one phase per crash.
+        default_limit = 4 * n + 2 * budget + 16
+    else:
+        from repro.baselines.flood_consensus import build_flood_renaming
+
+        processes = build_flood_renaming(ids, crash_budget=budget)
+        stats_observer = None
+        default_limit = budget + 8
+
+    simulation = Simulation(
+        processes,
+        adversary=adversary,
+        crash_budget=budget,
+        max_rounds=max_rounds if max_rounds is not None else default_limit,
+        trace=trace,
+        observers=observers,
+    )
+    result = simulation.run()
+    if check:
+        check_renaming(result, RenamingSpec(n=n))
+
+    names = {
+        pid: name
+        for pid, name in result.decisions.items()
+        if pid not in result.crashed and name is not None
+    }
+    last_named = _last_round_named(simulation, result)
+    return RenamingRun(
+        algorithm=algorithm,
+        n=n,
+        seed=seed,
+        rounds=result.rounds,
+        names=names,
+        crashed=result.crashed,
+        failures=len(result.crashed),
+        last_round_named=last_named,
+        metrics=result.metrics,
+        phase_stats=list(stats_observer.phases) if stats_observer else [],
+        trace=trace,
+        result=result,
+    )
+
+
+def _last_round_named(simulation: Simulation, result: SimulationResult) -> Optional[int]:
+    """Latest round at which a correct ball fixed its name (BiL only)."""
+    last: Optional[int] = None
+    for pid, proc in simulation.processes.items():
+        if pid in result.crashed:
+            continue
+        named = getattr(proc, "round_named", None)
+        if named is not None and (last is None or named > last):
+            last = named
+    return last

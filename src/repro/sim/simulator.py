@@ -1,0 +1,242 @@
+"""The lock-step round engine.
+
+One :meth:`Simulation.step` executes a full round of the Section 3 model:
+
+1. every *running* process (alive, not halted) composes its broadcast;
+2. the adversary inspects the round (including the outbox) and returns a
+   crash plan, which the engine validates and clamps against the budget;
+3. inboxes are built: a healthy sender reaches every alive process, a
+   crashing sender reaches only the receivers the adversary chose (crash
+   while broadcasting); senders always know their own message;
+4. every surviving, non-halted process consumes its inbox.
+
+Halted processes stay silent but remain "alive" — distinguishing a
+terminated peer from a crashed one is the algorithm's problem, exactly as
+in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, FrozenSet, List, Mapping, Optional, Sequence, Set
+
+from repro.adversary.base import Adversary, AdversaryContext, CrashPlan, clamp_plan
+from repro.errors import ConfigurationError, RoundLimitExceeded
+from repro.ids import ProcessId, require_distinct
+from repro.sim.metrics import RoundMetrics, SimulationMetrics
+from repro.sim.process import SyncProcess
+from repro.sim.trace import Trace
+
+#: Observers run after every round with (simulation, round_no).
+Observer = Callable[["Simulation", int], None]
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of a completed run."""
+
+    rounds: int
+    decisions: Dict[ProcessId, Any]
+    crashed: FrozenSet[ProcessId]
+    halted: FrozenSet[ProcessId]
+    metrics: SimulationMetrics
+    trace: Optional[Trace] = None
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def correct(self) -> FrozenSet[ProcessId]:
+        """Processes that never crashed."""
+        return frozenset(pid for pid in self.decisions if pid not in self.crashed)
+
+
+class Simulation:
+    """Drives a set of :class:`SyncProcess` against an adversary."""
+
+    def __init__(
+        self,
+        processes: Sequence[SyncProcess],
+        *,
+        adversary: Optional[Adversary] = None,
+        crash_budget: Optional[int] = None,
+        max_rounds: int = 10_000,
+        trace: Optional[Trace] = None,
+        observers: Sequence[Observer] = (),
+    ) -> None:
+        require_distinct([p.pid for p in processes])
+        if not processes:
+            raise ConfigurationError("a simulation needs at least one process")
+        n = len(processes)
+        if crash_budget is None:
+            crash_budget = n - 1  # the paper's t < n default
+        if not 0 <= crash_budget < n:
+            raise ConfigurationError(
+                f"crash budget must satisfy 0 <= t < n; got t={crash_budget}, n={n}"
+            )
+        self._procs: Dict[ProcessId, SyncProcess] = {p.pid: p for p in processes}
+        self._adversary = adversary
+        self._budget = crash_budget
+        self._max_rounds = max_rounds
+        self._trace = trace
+        self._observers = list(observers)
+        self._crashed: Set[ProcessId] = set()
+        self._round = 0
+        self._metrics = SimulationMetrics()
+
+    # ------------------------------------------------------------- inspection
+    @property
+    def round_no(self) -> int:
+        """Rounds executed so far."""
+        return self._round
+
+    @property
+    def processes(self) -> Mapping[ProcessId, SyncProcess]:
+        """All processes by pid (read-only use)."""
+        return self._procs
+
+    @property
+    def crashed(self) -> FrozenSet[ProcessId]:
+        """Pids crashed so far."""
+        return frozenset(self._crashed)
+
+    @property
+    def metrics(self) -> SimulationMetrics:
+        """Per-round counters collected so far."""
+        return self._metrics
+
+    def alive(self) -> List[ProcessId]:
+        """Pids that have not crashed (halted processes included)."""
+        return [pid for pid in self._procs if pid not in self._crashed]
+
+    def running(self) -> List[ProcessId]:
+        """Pids that are alive and have not halted."""
+        return [
+            pid
+            for pid, proc in self._procs.items()
+            if pid not in self._crashed and not proc.halted
+        ]
+
+    # ---------------------------------------------------------------- driving
+    def step(self) -> bool:
+        """Execute one round.  Returns True while any process keeps running."""
+        running = self.running()
+        if not running:
+            return False
+        self._round += 1
+        round_no = self._round
+
+        outbox: Dict[ProcessId, Any] = {}
+        for pid in running:
+            payload = self._procs[pid].compose(round_no)
+            if payload is not None:
+                outbox[pid] = payload
+
+        plan = self._plan_crashes(round_no, running, outbox)
+        for victim in plan:
+            self._crashed.add(victim)
+            if self._trace is not None:
+                self._trace.record(
+                    round_no, "crash", pid=victim, receivers=sorted(plan[victim], key=repr)
+                )
+
+        alive_now = [pid for pid in self._procs if pid not in self._crashed]
+        receivers = [pid for pid in alive_now if not self._procs[pid].halted]
+
+        # Receivers with the same delivery signature (the set of crashing
+        # senders whose broadcast still reaches them) share one inbox dict.
+        # This keeps delivery O(n + crashes * n) per round instead of
+        # O(n^2), and lets the shared-view store key its memo on inbox
+        # object identity.  Inboxes are shared: processes must treat them
+        # as read-only, which SyncProcess implementations do.
+        base_inbox: Dict[ProcessId, Any] = {
+            sender: payload for sender, payload in outbox.items() if sender not in plan
+        }
+        inbox_by_signature: Dict[FrozenSet[ProcessId], Dict[ProcessId, Any]] = {}
+        delivered = 0
+        deliveries: List[Any] = []  # (receiver, inbox) pairs
+        for receiver in receivers:
+            signature = frozenset(
+                victim
+                for victim, kept in plan.items()
+                if receiver in kept and victim in outbox
+            )
+            inbox = inbox_by_signature.get(signature)
+            if inbox is None:
+                if signature:
+                    inbox = dict(base_inbox)
+                    for victim in signature:
+                        inbox[victim] = outbox[victim]
+                else:
+                    inbox = base_inbox
+                inbox_by_signature[signature] = inbox
+            deliveries.append((receiver, inbox))
+            delivered += len(inbox)
+
+        for receiver, inbox in deliveries:
+            proc = self._procs[receiver]
+            proc.deliver(round_no, inbox)
+            if self._trace is not None and proc.halted:
+                self._trace.record(round_no, "halt", pid=receiver, decision=proc.decision)
+
+        self._metrics.record(
+            RoundMetrics(
+                round_no=round_no,
+                messages_sent=len(outbox),
+                messages_delivered=delivered,
+                crashes=len(plan),
+                alive_after=len(alive_now),
+                running_after=len(self.running()),
+            )
+        )
+        if self._trace is not None:
+            self._trace.record(
+                round_no,
+                "round",
+                sent=len(outbox),
+                crashes=len(plan),
+                running=len(self.running()),
+            )
+        for observer in self._observers:
+            observer(self, round_no)
+        return bool(self.running())
+
+    def run(self) -> SimulationResult:
+        """Run rounds until everyone halts or crashes; raise past the limit."""
+        while True:
+            if self._round >= self._max_rounds:
+                raise RoundLimitExceeded(self._max_rounds, len(self.running()))
+            if not self.step():
+                break
+        decisions = {pid: proc.decision for pid, proc in self._procs.items()}
+        halted = frozenset(pid for pid, proc in self._procs.items() if proc.halted)
+        return SimulationResult(
+            rounds=self._round,
+            decisions=decisions,
+            crashed=self.crashed,
+            halted=halted,
+            metrics=self._metrics,
+            trace=self._trace,
+        )
+
+    # ---------------------------------------------------------------- private
+    def _plan_crashes(
+        self,
+        round_no: int,
+        running: Sequence[ProcessId],
+        outbox: Mapping[ProcessId, Any],
+    ) -> CrashPlan:
+        if self._adversary is None:
+            return {}
+        remaining = self._budget - len(self._crashed)
+        if remaining <= 0:
+            return {}
+        ctx = AdversaryContext(
+            round_no=round_no,
+            running=tuple(running),
+            alive=tuple(self.alive()),
+            outbox=dict(outbox),
+            crashed_so_far=frozenset(self._crashed),
+            budget_remaining=remaining,
+            processes=self._procs,
+        )
+        plan = self._adversary.plan(ctx) or {}
+        return clamp_plan(plan, alive=self.alive(), budget_remaining=remaining)

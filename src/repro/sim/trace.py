@@ -1,0 +1,43 @@
+"""Lightweight event tracing for debugging, tests, and figure rendering.
+
+Tracing is opt-in: experiments at scale run without a trace; unit tests
+and the figure-reproduction experiments attach one to inspect exactly what
+the engine did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event: ``kind`` is 'round', 'crash', 'decide' or 'halt'."""
+
+    round_no: int
+    kind: str
+    data: Dict[str, Any]
+
+
+class Trace:
+    """An append-only list of :class:`TraceEvent` with simple filters."""
+
+    def __init__(self) -> None:
+        self._events: List[TraceEvent] = []
+
+    def record(self, round_no: int, kind: str, **data: Any) -> None:
+        """Append an event."""
+        self._events.append(TraceEvent(round_no, kind, data))
+
+    def events(self, kind: Optional[str] = None) -> List[TraceEvent]:
+        """All events, optionally restricted to one kind."""
+        if kind is None:
+            return list(self._events)
+        return [event for event in self._events if event.kind == kind]
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)

@@ -1,0 +1,51 @@
+"""Virtual leaf-tree substrate (Section 4 of the paper).
+
+The ``n`` target names are the leaves of a binary tree.  A node is the
+half-open interval ``(lo, hi)`` of leaf ranks it spans, so the tree exists
+implicitly for any ``n >= 1`` (the paper assumes a power of two; interval
+splitting removes that restriction).  :class:`LocalTreeView` is one ball's
+local copy of everyone's positions, with the capacity bookkeeping needed by
+Algorithm 1, and :mod:`repro.tree.priority` implements the ``<R`` order of
+Definition 1.
+"""
+
+from repro.tree.node import (
+    Node,
+    children,
+    contains,
+    is_leaf,
+    leaf_node,
+    leaf_rank,
+    left_child,
+    right_child,
+    span,
+)
+from repro.tree.topology import Topology
+from repro.tree.local_view import LocalTreeView
+from repro.tree.priority import priority_key, ordered_balls
+from repro.tree.paths import (
+    leftmost_free_leaf_path,
+    path_to_leaf,
+    random_capacity_path,
+)
+from repro.tree.render import render_view
+
+__all__ = [
+    "Node",
+    "children",
+    "contains",
+    "is_leaf",
+    "leaf_node",
+    "leaf_rank",
+    "left_child",
+    "right_child",
+    "span",
+    "Topology",
+    "LocalTreeView",
+    "priority_key",
+    "ordered_balls",
+    "path_to_leaf",
+    "random_capacity_path",
+    "leftmost_free_leaf_path",
+    "render_view",
+]

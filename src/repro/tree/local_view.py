@@ -1,0 +1,280 @@
+"""One ball's local copy of the tree and everyone's positions.
+
+Section 4: "each ball keeps a local tree, containing the current position
+of each ball, including itself".  The view supports the operations of
+Algorithm 1's data-structure box — ``Remove``, ``CurrentNode``,
+``UpdateNode``, ``OrderedBalls``, ``RemainingCapacity`` — with O(height)
+cost per update, by maintaining subtree ball counts along ancestor chains.
+
+Capacity may go *negative* transiently in a view that hosts "ghosts"
+(balls that crashed mid-broadcast and were adopted at positions other
+views never saw).  The raw count is preserved for diagnostics;
+:meth:`LocalTreeView.remaining_capacity` clamps at zero, which is what the
+movement and path rules use.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.errors import TreeError, UnknownBallError
+from repro.tree import node as nd
+from repro.tree.node import Node
+from repro.tree.topology import Topology
+
+BallId = Hashable
+
+
+class LocalTreeView:
+    """Positions of all known balls in one ball's local tree.
+
+    Parameters
+    ----------
+    topology:
+        The shared static tree shape.
+    balls:
+        Optional initial balls, all placed at the root (the configuration
+        of Figure 1).
+    """
+
+    def __init__(self, topology: Topology, balls: Iterable[BallId] = ()) -> None:
+        self._topo = topology
+        self._pos: Dict[BallId, Node] = {}
+        self._count: Dict[Node, int] = {}
+        self._leaf_occ: Dict[Node, int] = {}
+        self._at: Dict[Node, Set[BallId]] = {}
+        self._n_at_leaf = 0
+        self._sorted_cache: Optional[List[BallId]] = None
+        for ball in balls:
+            self.insert(ball, topology.root)
+
+    # ------------------------------------------------------------------ basics
+    @property
+    def topology(self) -> Topology:
+        """The static tree shape shared by all views of a run."""
+        return self._topo
+
+    def __len__(self) -> int:
+        return len(self._pos)
+
+    def __contains__(self, ball: BallId) -> bool:
+        return ball in self._pos
+
+    def balls(self) -> List[BallId]:
+        """All balls currently in the view (unspecified order)."""
+        return list(self._pos)
+
+    def sorted_balls(self) -> List[BallId]:
+        """All balls sorted by label (cached; labels must be comparable)."""
+        if self._sorted_cache is None:
+            self._sorted_cache = sorted(self._pos)
+        return self._sorted_cache
+
+    def label_rank(self, ball: BallId) -> int:
+        """``ball``'s 0-based rank among all known labels (Section 6)."""
+        order = self.sorted_balls()
+        index = bisect.bisect_left(order, ball)
+        if index >= len(order) or order[index] != ball:
+            raise UnknownBallError(f"ball {ball!r} is not in this view")
+        return index
+
+    def position(self, ball: BallId) -> Node:
+        """Current node of ``ball`` (Algorithm 1's ``CurrentNode``)."""
+        try:
+            return self._pos[ball]
+        except KeyError:
+            raise UnknownBallError(f"ball {ball!r} is not in this view") from None
+
+    def depth_of(self, ball: BallId) -> int:
+        """Depth of ``ball``'s current node."""
+        return self._topo.depth(self.position(ball))
+
+    def balls_at(self, node: Node) -> Set[BallId]:
+        """Balls positioned exactly at ``node`` (a fresh copy)."""
+        return set(self._at.get(node, ()))
+
+    def occupancy(self, node: Node) -> int:
+        """Number of balls positioned exactly at ``node``."""
+        return len(self._at.get(node, ()))
+
+    # ------------------------------------------------------------- mutations
+    def insert(self, ball: BallId, node: Optional[Node] = None) -> None:
+        """Add a new ball at ``node`` (default: the root)."""
+        if ball in self._pos:
+            raise TreeError(f"ball {ball!r} is already in this view")
+        target = self._topo.root if node is None else node
+        self._topo.depth(target)  # validate node membership
+        self._pos[ball] = target
+        self._sorted_cache = None
+        self._at.setdefault(target, set()).add(ball)
+        self._adjust(target, +1)
+        if nd.is_leaf(target):
+            self._n_at_leaf += 1
+
+    def remove(self, ball: BallId) -> None:
+        """Drop ``ball`` from the view (Algorithm 1's ``Remove``)."""
+        node = self.position(ball)
+        del self._pos[ball]
+        self._sorted_cache = None
+        holders = self._at[node]
+        holders.discard(ball)
+        if not holders:
+            del self._at[node]
+        self._adjust(node, -1)
+        if nd.is_leaf(node):
+            self._n_at_leaf -= 1
+
+    def place(self, ball: BallId, node: Node) -> None:
+        """Move ``ball`` to ``node`` (Algorithm 1's ``UpdateNode``).
+
+        No capacity check is performed: round-2 synchronization must be
+        able to adopt any announced position, even one that transiently
+        over-fills a subtree in this view (see the module docstring).
+        """
+        if self.position(ball) == node:
+            return
+        self.remove(ball)
+        self.insert(ball, node)
+
+    def _adjust(self, node: Node, delta: int) -> None:
+        """Add ``delta`` to the subtree counts of ``node`` and its ancestors."""
+        is_leaf_ball = nd.is_leaf(node)
+        topo = self._topo
+        current = node
+        while True:
+            self._count[current] = self._count.get(current, 0) + delta
+            if not self._count[current]:
+                del self._count[current]
+            if is_leaf_ball:
+                self._leaf_occ[current] = self._leaf_occ.get(current, 0) + delta
+                if not self._leaf_occ[current]:
+                    del self._leaf_occ[current]
+            if current == topo.root:
+                return
+            current = topo.parent(current)
+
+    # ------------------------------------------------------------- capacities
+    def subtree_balls(self, node: Node) -> int:
+        """Number of balls in the subtree rooted at ``node``."""
+        return self._count.get(node, 0)
+
+    def raw_remaining_capacity(self, node: Node) -> int:
+        """Leaves minus balls in ``node``'s subtree; may be negative (ghosts)."""
+        return nd.span(node) - self._count.get(node, 0)
+
+    def remaining_capacity(self, node: Node) -> int:
+        """Algorithm 1's ``RemainingCapacity``, clamped at zero."""
+        free = nd.span(node) - self._count.get(node, 0)
+        return free if free > 0 else 0
+
+    def leaf_balls(self, node: Node) -> int:
+        """Number of balls positioned *at leaves* within ``node``'s subtree."""
+        return self._leaf_occ.get(node, 0)
+
+    def free_leaves(self, node: Node) -> int:
+        """Leaves of ``node``'s subtree not currently holding a ball."""
+        free = nd.span(node) - self._leaf_occ.get(node, 0)
+        return free if free > 0 else 0
+
+    def kth_free_leaf(self, node: Node, k: int) -> Node:
+        """The ``k``-th (0-based, left-to-right) unoccupied leaf under ``node``.
+
+        Used by the deterministic rank policies.  O(height) via the
+        leaf-occupancy counts.
+        """
+        if k < 0 or k >= self.free_leaves(node):
+            raise TreeError(
+                f"no {k}-th free leaf under {node}: only "
+                f"{self.free_leaves(node)} free"
+            )
+        current = node
+        remaining = k
+        while not nd.is_leaf(current):
+            left, right = nd.children(current)
+            free_left = self.free_leaves(left)
+            if remaining < free_left:
+                current = left
+            else:
+                remaining -= free_left
+                current = right
+        return current
+
+    # ------------------------------------------------------------- aggregates
+    def all_at_leaves(self) -> bool:
+        """Termination test of Algorithm 1 line 29: every ball is at a leaf."""
+        return self._n_at_leaf == len(self._pos)
+
+    def balls_at_leaves(self) -> int:
+        """How many balls are currently positioned at leaves."""
+        return self._n_at_leaf
+
+    def max_inner_occupancy(self) -> int:
+        """``bmax``: the largest number of balls at any single inner node."""
+        best = 0
+        for node, holders in self._at.items():
+            if not nd.is_leaf(node) and len(holders) > best:
+                best = len(holders)
+        return best
+
+    def occupied_inner_nodes(self) -> Iterator[Tuple[Node, int]]:
+        """Yield ``(node, occupancy)`` for inner nodes holding balls."""
+        for node, holders in self._at.items():
+            if not nd.is_leaf(node) and holders:
+                yield node, len(holders)
+
+    def max_path_population(self) -> int:
+        """Largest total of inner-node balls along any root-to-leaf-parent path.
+
+        This is the quantity Lemmas 9-10 drain: the number of balls sitting
+        on a fixed path ``pi``.  Computed by pushing occupancies down the
+        occupied part of the tree in O(occupied nodes * height).
+        """
+        best = 0
+        for node, occupancy in self.occupied_inner_nodes():
+            total = occupancy
+            current = node
+            while current != self._topo.root:
+                current = self._topo.parent(current)
+                total += len(self._at.get(current, ()))
+            if total > best:
+                best = total
+        return best
+
+    def occupancy_by_depth(self) -> Dict[int, int]:
+        """Total balls per tree depth (diagnostic for the figures)."""
+        histogram: Dict[int, int] = {}
+        for node, holders in self._at.items():
+            depth = self._topo.depth(node)
+            histogram[depth] = histogram.get(depth, 0) + len(holders)
+        return histogram
+
+    # ------------------------------------------------------- copy/fingerprint
+    def copy(self) -> "LocalTreeView":
+        """Deep copy sharing only the immutable topology."""
+        clone = LocalTreeView(self._topo)
+        clone._pos = dict(self._pos)
+        clone._count = dict(self._count)
+        clone._leaf_occ = dict(self._leaf_occ)
+        clone._at = {node: set(holders) for node, holders in self._at.items()}
+        clone._n_at_leaf = self._n_at_leaf
+        return clone
+
+    def snapshot(self) -> Tuple[Tuple[BallId, Node], ...]:
+        """Canonical immutable snapshot of all positions (sorted by ball)."""
+        return tuple(sorted(self._pos.items(), key=lambda item: repr(item[0])))
+
+    def position_set(self) -> frozenset:
+        """The exact (ball, node) set — O(n), used to detect equal views."""
+        return frozenset(self._pos.items())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LocalTreeView):
+            return NotImplemented
+        return self._topo.n == other._topo.n and self._pos == other._pos
+
+    def __repr__(self) -> str:
+        return (
+            f"LocalTreeView(n={self._topo.n}, balls={len(self._pos)}, "
+            f"at_leaves={self._n_at_leaf})"
+        )

@@ -1,0 +1,99 @@
+"""Interval nodes of the virtual leaf tree.
+
+A node is the half-open interval ``(lo, hi)`` of the leaf ranks below it.
+The root of a tree with ``n`` leaves is ``(0, n)``; a leaf is any interval
+of span 1.  Intervals are plain tuples: hashable, comparable, and cheap,
+which matters because views keep dictionaries keyed by nodes.
+
+The split rule gives the *left* child the larger half when the span is odd
+(``mid = lo + ceil(span / 2)``), so for power-of-two ``n`` the tree is the
+perfectly balanced tree of the paper, and for other ``n`` it stays balanced
+within one level.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.errors import TreeError
+
+#: A tree node: the half-open interval of leaf ranks in its subtree.
+Node = Tuple[int, int]
+
+
+def make_root(n: int) -> Node:
+    """Return the root node of a tree with ``n`` leaves."""
+    if n < 1:
+        raise TreeError(f"a tree needs at least one leaf, got n={n}")
+    return (0, n)
+
+
+def span(node: Node) -> int:
+    """Number of leaves in ``node``'s subtree (its total capacity)."""
+    return node[1] - node[0]
+
+
+def is_leaf(node: Node) -> bool:
+    """True if ``node`` is a leaf (spans exactly one name)."""
+    return node[1] - node[0] == 1
+
+
+def leaf_rank(node: Node) -> int:
+    """The left-to-right rank of a leaf — the name a ball decides there."""
+    if not is_leaf(node):
+        raise TreeError(f"{node} is not a leaf")
+    return node[0]
+
+
+def leaf_node(rank: int) -> Node:
+    """The leaf node for a given name rank."""
+    if rank < 0:
+        raise TreeError(f"leaf rank must be non-negative, got {rank}")
+    return (rank, rank + 1)
+
+
+def midpoint(node: Node) -> int:
+    """The split point between ``node``'s children (left gets the ceil half)."""
+    lo, hi = node
+    return lo + (hi - lo + 1) // 2
+
+
+def left_child(node: Node) -> Node:
+    """Left child interval; raises :class:`TreeError` on a leaf."""
+    if is_leaf(node):
+        raise TreeError(f"leaf {node} has no children")
+    return (node[0], midpoint(node))
+
+
+def right_child(node: Node) -> Node:
+    """Right child interval; raises :class:`TreeError` on a leaf."""
+    if is_leaf(node):
+        raise TreeError(f"leaf {node} has no children")
+    return (midpoint(node), node[1])
+
+
+def children(node: Node) -> Tuple[Node, Node]:
+    """Both children as ``(left, right)``."""
+    lo, hi = node
+    if hi - lo == 1:
+        raise TreeError(f"leaf {node} has no children")
+    mid = lo + (hi - lo + 1) // 2
+    return (lo, mid), (mid, hi)
+
+
+def contains(ancestor: Node, descendant: Node) -> bool:
+    """True if ``descendant``'s interval lies within ``ancestor``'s.
+
+    Every node contains itself.  Because children partition their parent,
+    interval containment coincides with tree ancestry.
+    """
+    return ancestor[0] <= descendant[0] and descendant[1] <= ancestor[1]
+
+
+def child_towards(node: Node, rank: int) -> Node:
+    """The child of ``node`` whose subtree contains leaf ``rank``."""
+    lo, hi = node
+    if not lo <= rank < hi:
+        raise TreeError(f"leaf rank {rank} is outside node {node}")
+    left, right = children(node)
+    return left if rank < left[1] else right

@@ -1,0 +1,76 @@
+"""Candidate-path construction (Algorithm 1, lines 4-10, and Section 6).
+
+A candidate path is the tuple of nodes from a ball's current position down
+to a leaf.  The randomized rule weights each left/right choice by the
+remaining capacities of the two subtrees, exactly as ``RandomCoin`` on
+line 6; deterministic rules target a specific leaf.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+from repro.errors import TreeError
+from repro.tree import node as nd
+from repro.tree.local_view import LocalTreeView
+from repro.tree.node import Node
+from repro.tree.topology import Topology
+
+
+def random_capacity_path(
+    view: LocalTreeView, start: Node, rng: random.Random
+) -> Tuple[Node, ...]:
+    """Random root-ward path weighted by remaining capacity.
+
+    At each inner node the left child is taken with probability
+    ``cap(left) / (cap(left) + cap(right))`` using clamped capacities.  If
+    ghosts make both children look full, the side with the larger *raw*
+    residual is taken (ties go left): the subsequent movement rule stops
+    the ball safely wherever real capacity runs out, so this fallback only
+    affects liveness for one phase, never safety.
+    """
+    path = [start]
+    current = start
+    while not nd.is_leaf(current):
+        left, right = nd.children(current)
+        cap_left = view.remaining_capacity(left)
+        cap_right = view.remaining_capacity(right)
+        total = cap_left + cap_right
+        if total <= 0:
+            raw_left = view.raw_remaining_capacity(left)
+            raw_right = view.raw_remaining_capacity(right)
+            current = left if raw_left >= raw_right else right
+        elif rng.random() < cap_left / total:
+            current = left
+        else:
+            current = right
+        path.append(current)
+    return tuple(path)
+
+
+def path_to_leaf(topology: Topology, start: Node, rank: int) -> Tuple[Node, ...]:
+    """Deterministic path from ``start`` to the leaf named ``rank``."""
+    if not start[0] <= rank < start[1]:
+        raise TreeError(f"leaf {rank} is not below node {start}")
+    return topology.path_to_leaf(start, rank)
+
+
+def kth_free_leaf_path(
+    view: LocalTreeView, start: Node, k: int
+) -> Tuple[Node, ...]:
+    """Path from ``start`` to its ``k``-th free leaf (rank policies)."""
+    leaf = view.kth_free_leaf(start, k)
+    return path_to_leaf(view.topology, start, nd.leaf_rank(leaf))
+
+
+def leftmost_free_leaf_path(view: LocalTreeView, start: Node) -> Tuple[Node, ...]:
+    """Path to the leftmost free leaf — the degenerate all-collide choice.
+
+    With every ball using this rule the run reproduces Figure 2(a)'s
+    pile-up and the linear deterministic-termination bound of Lemma 11.
+    Falls back to the leftmost leaf when no leaf below is free.
+    """
+    if view.free_leaves(start) > 0:
+        return kth_free_leaf_path(view, start, 0)
+    return path_to_leaf(view.topology, start, start[0])

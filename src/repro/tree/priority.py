@@ -1,0 +1,36 @@
+"""The ``<R`` priority order of Definition 1.
+
+``bi <R bj`` iff ``bi`` is *deeper* in the tree, or at equal depth has the
+smaller label.  Smaller under ``<R`` means higher priority: downstream
+balls move first, so space reserved below them can never be displaced by
+balls higher up (Section 4, "Collisions, priority").
+
+Labels must be mutually comparable within one run (all ints, or all
+strings); this matches the comparison-based model of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Tuple
+
+from repro.tree.local_view import LocalTreeView
+
+BallId = Hashable
+
+
+def priority_key(view: LocalTreeView, ball: BallId) -> Tuple[int, BallId]:
+    """Sort key realizing ``<R``: ascending order == descending priority.
+
+    Depth is negated so deeper balls sort first; ties break by label.
+    """
+    return (-view.depth_of(ball), ball)
+
+
+def ordered_balls(view: LocalTreeView) -> List[BallId]:
+    """Algorithm 1's ``OrderedBalls()``: all balls sorted by ``<R``."""
+    return sorted(view.balls(), key=lambda ball: priority_key(view, ball))
+
+
+def higher_priority(view: LocalTreeView, first: BallId, second: BallId) -> bool:
+    """True iff ``first <R second`` (``first`` moves before ``second``)."""
+    return priority_key(view, first) < priority_key(view, second)

@@ -1,0 +1,83 @@
+"""ASCII rendering of local trees, used to reproduce Figures 1, 2 and 4.
+
+The renderer prints one line per (non-empty) node, indented by depth, with
+the node interval, its remaining capacity, and the balls sitting exactly
+there.  Empty subtrees are summarized so big trees stay readable.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.tree import node as nd
+from repro.tree.local_view import LocalTreeView
+from repro.tree.node import Node
+
+
+def _label(view: LocalTreeView, node: Node) -> str:
+    holders = sorted(view.balls_at(node), key=repr)
+    tag = "leaf" if nd.is_leaf(node) else "node"
+    parts = [
+        f"{tag} [{node[0]},{node[1]})",
+        f"cap={view.raw_remaining_capacity(node)}",
+    ]
+    if holders:
+        shown = ", ".join(str(ball) for ball in holders[:8])
+        if len(holders) > 8:
+            shown += f", ... (+{len(holders) - 8})"
+        parts.append(f"balls={{{shown}}}")
+    return "  ".join(parts)
+
+
+def render_view(
+    view: LocalTreeView, *, skip_empty: bool = True, max_depth: int = 32
+) -> str:
+    """Render ``view`` as an indented ASCII tree.
+
+    Parameters
+    ----------
+    skip_empty:
+        Collapse subtrees containing no balls into a one-line summary.
+    max_depth:
+        Truncate below this depth (protects against huge renders).
+    """
+    topo = view.topology
+    lines: List[str] = []
+
+    def visit(node: Node, depth: int) -> None:
+        indent = "  " * depth
+        in_subtree = view.subtree_balls(node)
+        if skip_empty and in_subtree == 0:
+            lines.append(f"{indent}({nd.span(node)} empty leaves under [{node[0]},{node[1]}))")
+            return
+        lines.append(indent + _label(view, node))
+        if nd.is_leaf(node) or depth >= max_depth:
+            return
+        left, right = nd.children(node)
+        visit(left, depth + 1)
+        visit(right, depth + 1)
+
+    visit(topo.root, 0)
+    return "\n".join(lines)
+
+
+def render_path(view: LocalTreeView, leaf_rank: int) -> str:
+    """Render the root path to ``leaf_rank``'s parent with gateway capacities.
+
+    Reproduces the Figure 4 view: each line shows one path node, the balls
+    stuck there, and the remaining capacity of its gateway subtree (the
+    child hanging off the path).
+    """
+    topo = view.topology
+    path = topo.path_to_leaf(topo.root, leaf_rank)
+    lines = []
+    for node in path[:-1]:  # stop at the leaf's parent
+        left, right = nd.children(node)
+        on_path = left if leaf_rank < left[1] else right
+        gateway = right if on_path == left else left
+        lines.append(
+            f"depth {topo.depth(node):>2}  [{node[0]},{node[1]})  "
+            f"balls_here={view.occupancy(node)}  "
+            f"gateway=[{gateway[0]},{gateway[1]}) cap={view.raw_remaining_capacity(gateway)}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,129 @@
+"""Precomputed shape of the virtual leaf tree for a given ``n``.
+
+The tree itself is implicit in the interval arithmetic of
+:mod:`repro.tree.node`; :class:`Topology` caches the derived quantities the
+algorithms need in inner loops — depths, parents, and the node list — and
+provides path helpers.  One topology is shared by every view of a run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from repro.errors import TreeError
+from repro.tree import node as nd
+from repro.tree.node import Node
+
+
+class Topology:
+    """The static shape of a leaf tree with ``n`` leaves.
+
+    Instances are immutable after construction and safe to share across
+    views and processes.  All per-node lookups are O(1) dictionary hits.
+    """
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise TreeError(f"a topology needs at least one leaf, got n={n}")
+        self._n = n
+        self._root = nd.make_root(n)
+        self._depth: Dict[Node, int] = {}
+        self._parent: Dict[Node, Node] = {}
+        self._nodes: List[Node] = []
+        stack: List[Tuple[Node, int]] = [(self._root, 0)]
+        while stack:
+            node, depth = stack.pop()
+            self._depth[node] = depth
+            self._nodes.append(node)
+            if not nd.is_leaf(node):
+                left, right = nd.children(node)
+                self._parent[left] = node
+                self._parent[right] = node
+                stack.append((right, depth + 1))
+                stack.append((left, depth + 1))
+        self._height = max(self._depth.values())
+
+    # ------------------------------------------------------------------ shape
+    @property
+    def n(self) -> int:
+        """Number of leaves (the size of the target namespace)."""
+        return self._n
+
+    @property
+    def root(self) -> Node:
+        """The root node ``(0, n)``."""
+        return self._root
+
+    @property
+    def height(self) -> int:
+        """Depth of the deepest leaf (``log2 n`` for power-of-two ``n``)."""
+        return self._height
+
+    @property
+    def node_count(self) -> int:
+        """Total number of tree nodes (``2n - 1``)."""
+        return len(self._nodes)
+
+    def nodes(self) -> List[Node]:
+        """All nodes in DFS preorder (a fresh copy)."""
+        return list(self._nodes)
+
+    def leaves(self) -> Iterator[Node]:
+        """All leaf nodes, left to right."""
+        return (nd.leaf_node(rank) for rank in range(self._n))
+
+    # ------------------------------------------------------------ node lookups
+    def is_node(self, node: Node) -> bool:
+        """True if ``node`` is a node of this tree."""
+        return node in self._depth
+
+    def depth(self, node: Node) -> int:
+        """Depth of ``node`` (root is 0)."""
+        try:
+            return self._depth[node]
+        except KeyError:
+            raise TreeError(f"{node} is not a node of a {self._n}-leaf tree") from None
+
+    def parent(self, node: Node) -> Node:
+        """Parent of ``node``; raises :class:`TreeError` at the root."""
+        try:
+            return self._parent[node]
+        except KeyError:
+            if node == self._root:
+                raise TreeError("the root has no parent") from None
+            raise TreeError(f"{node} is not a node of a {self._n}-leaf tree") from None
+
+    def sibling(self, node: Node) -> Node:
+        """The other child of ``node``'s parent (a *gateway* in Section 5.2)."""
+        left, right = nd.children(self.parent(node))
+        return right if node == left else left
+
+    # ----------------------------------------------------------------- paths
+    def ancestors(self, node: Node) -> List[Node]:
+        """Nodes from ``node`` up to and including the root."""
+        self.depth(node)  # validate membership
+        chain = [node]
+        while chain[-1] != self._root:
+            chain.append(self._parent[chain[-1]])
+        return chain
+
+    def path_down(self, ancestor: Node, descendant: Node) -> List[Node]:
+        """The node sequence from ``ancestor`` down to ``descendant`` inclusive."""
+        if not nd.contains(ancestor, descendant):
+            raise TreeError(f"{ancestor} does not contain {descendant}")
+        path = [ancestor]
+        node = ancestor
+        while node != descendant:
+            node = nd.child_towards(node, descendant[0])
+            # Stop early once the descendant interval is reached exactly;
+            # ``child_towards`` always narrows, so this loop terminates.
+            path.append(node)
+            if nd.contains(descendant, node):
+                break
+        if path[-1] != descendant:
+            raise TreeError(f"{descendant} is not a node of a {self._n}-leaf tree")
+        return path
+
+    def path_to_leaf(self, start: Node, rank: int) -> Tuple[Node, ...]:
+        """Root-ward validated path from ``start`` to leaf ``rank`` (inclusive)."""
+        return tuple(self.path_down(start, nd.leaf_node(rank)))

@@ -1,0 +1,178 @@
+"""Unit tests for the adversary strategies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.base import (
+    Adversary,
+    AdversaryContext,
+    clamp_plan,
+    merge_plans,
+)
+from repro.adversary.none import NoFailures
+from repro.adversary.random_crash import RandomCrashAdversary
+from repro.adversary.sandwich import SandwichAdversary
+from repro.adversary.scheduled import ScheduledAdversary, ScheduledCrash
+from repro.adversary.splitter import HalfSplitAdversary
+from repro.adversary.targeted import TargetedPriorityAdversary
+
+
+def make_ctx(round_no=1, n=8, outbox=None, budget=7):
+    pids = list(range(n))
+    return AdversaryContext(
+        round_no=round_no,
+        running=tuple(pids),
+        alive=tuple(pids),
+        outbox=outbox if outbox is not None else {pid: ("hello",) for pid in pids},
+        crashed_so_far=frozenset(),
+        budget_remaining=budget,
+        processes={},
+    )
+
+
+class TestPlanHelpers:
+    def test_silent_plan(self):
+        assert Adversary.silent([1, 2]) == {1: frozenset(), 2: frozenset()}
+
+    def test_partial_plan(self):
+        assert Adversary.partial(1, [2, 3]) == {1: frozenset({2, 3})}
+
+    def test_merge_keeps_first(self):
+        merged = merge_plans({1: frozenset({2})}, {1: frozenset(), 3: frozenset()})
+        assert merged == {1: frozenset({2}), 3: frozenset()}
+
+    def test_clamp_drops_dead_victims(self):
+        plan = {1: frozenset(), 99: frozenset()}
+        clamped = clamp_plan(plan, alive=[1, 2], budget_remaining=5)
+        assert clamped == {1: frozenset()}
+
+    def test_clamp_enforces_budget(self):
+        plan = {pid: frozenset() for pid in range(5)}
+        clamped = clamp_plan(plan, alive=list(range(5)), budget_remaining=2)
+        assert len(clamped) == 2
+
+
+class TestNoFailures:
+    def test_never_crashes(self):
+        assert NoFailures().plan(make_ctx()) == {}
+
+
+class TestRandomCrash:
+    def test_rate_zero_never_crashes(self):
+        adversary = RandomCrashAdversary(0.0, seed=1)
+        assert adversary.plan(make_ctx()) == {}
+
+    def test_rate_one_crashes_everyone(self):
+        adversary = RandomCrashAdversary(1.0, seed=1)
+        assert len(adversary.plan(make_ctx())) == 8
+
+    def test_cap_limits_total(self):
+        adversary = RandomCrashAdversary(1.0, max_crashes=3, seed=1)
+        total = len(adversary.plan(make_ctx())) + len(adversary.plan(make_ctx(2)))
+        assert total == 3
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            RandomCrashAdversary(1.5)
+
+    def test_reproducible_given_seed(self):
+        first = RandomCrashAdversary(0.5, seed=7).plan(make_ctx())
+        second = RandomCrashAdversary(0.5, seed=7).plan(make_ctx())
+        assert first == second
+
+
+class TestScheduled:
+    def test_replays_schedule(self):
+        adversary = ScheduledAdversary(
+            [
+                ScheduledCrash(1, 3, receivers="none"),
+                ScheduledCrash(2, 4, receivers="all"),
+                ScheduledCrash(2, 5, receivers=[0, 1]),
+            ]
+        )
+        round1 = adversary.plan(make_ctx(1))
+        assert round1 == {3: frozenset()}
+        round2 = adversary.plan(make_ctx(2))
+        assert round2[4] == frozenset(set(range(8)) - {4})
+        assert round2[5] == frozenset({0, 1})
+
+    def test_quiet_rounds(self):
+        adversary = ScheduledAdversary([ScheduledCrash(5, 1)])
+        assert adversary.plan(make_ctx(1)) == {}
+
+
+class TestTargeted:
+    def test_strikes_only_path_rounds(self):
+        adversary = TargetedPriorityAdversary()
+        hello_ctx = make_ctx(1)
+        assert adversary.plan(hello_ctx) == {}
+        path_ctx = make_ctx(2, outbox={pid: ("path", ((0, 8),)) for pid in range(8)})
+        plan = adversary.plan(path_ctx)
+        assert list(plan) == [0]  # lowest label
+
+    def test_receivers_are_every_second(self):
+        adversary = TargetedPriorityAdversary()
+        ctx = make_ctx(2, outbox={pid: ("path", ()) for pid in range(8)})
+        plan = adversary.plan(ctx)
+        assert plan[0] == frozenset({1, 3, 5, 7})
+
+    def test_cap(self):
+        adversary = TargetedPriorityAdversary(max_crashes=1)
+        ctx = make_ctx(2, outbox={pid: ("path", ()) for pid in range(8)})
+        adversary.plan(ctx)
+        assert adversary.plan(ctx) == {}
+
+    def test_stride(self):
+        adversary = TargetedPriorityAdversary(every_k_phases=2)
+        ctx = make_ctx(2, outbox={pid: ("path", ()) for pid in range(8)})
+        assert adversary.plan(ctx)  # first strike
+        assert adversary.plan(ctx) == {}  # skipped
+        assert adversary.plan(ctx)  # third seen, second strike
+
+    def test_invalid_stride(self):
+        with pytest.raises(ValueError):
+            TargetedPriorityAdversary(every_k_phases=0)
+
+
+class TestSandwich:
+    def test_crashes_median_with_lower_half_delivery(self):
+        adversary = SandwichAdversary(every_k_rounds=1)
+        plan = adversary.plan(make_ctx(2))
+        assert list(plan) == [4]
+        assert plan[4] == frozenset({0, 1, 2})
+
+    def test_needs_three_running(self):
+        adversary = SandwichAdversary(every_k_rounds=1)
+        assert adversary.plan(make_ctx(2, n=2)) == {}
+
+    def test_cap(self):
+        adversary = SandwichAdversary(every_k_rounds=1, max_crashes=1)
+        assert adversary.plan(make_ctx(2))
+        assert adversary.plan(make_ctx(3)) == {}
+
+
+class TestHalfSplit:
+    def test_first_round_split(self):
+        adversary = HalfSplitAdversary()
+        plan = adversary.plan(make_ctx(1))
+        assert list(plan) == [0]
+        assert plan[0] == frozenset({1, 3, 5, 7})
+
+    def test_quiet_on_other_rounds(self):
+        adversary = HalfSplitAdversary()
+        assert adversary.plan(make_ctx(2)) == {}
+
+    def test_multiple_victims_spread_over_labels(self):
+        adversary = HalfSplitAdversary(victims_per_round=4)
+        plan = adversary.plan(make_ctx(1))
+        assert len(plan) == 4
+        assert set(plan) == {0, 2, 4, 6}
+
+    def test_victims_capped_by_budget_param(self):
+        adversary = HalfSplitAdversary(victims_per_round=8, max_crashes=2)
+        assert len(adversary.plan(make_ctx(1))) == 2
+
+    def test_invalid_victims_per_round(self):
+        with pytest.raises(ValueError):
+            HalfSplitAdversary(victims_per_round=0)

@@ -1,0 +1,88 @@
+"""Numeric verification of the Figure 3 probability facts."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.concentration import (
+    binomial_deviation_probability,
+    binomial_pmf,
+    chernoff_deviation_bound,
+    iterated_sqrt_trajectory,
+    lemma4_bound,
+    lemma6_occupancy_bound,
+    lemma6_phase_budget,
+)
+
+
+class TestBinomialPmf:
+    def test_sums_to_one(self):
+        total = sum(binomial_pmf(20, k, 0.3) for k in range(21))
+        assert total == pytest.approx(1.0)
+
+    def test_degenerate_p(self):
+        assert binomial_pmf(5, 0, 0.0) == 1.0
+        assert binomial_pmf(5, 5, 1.0) == 1.0
+        assert binomial_pmf(5, 3, 0.0) == 0.0
+
+    def test_out_of_range_k(self):
+        assert binomial_pmf(5, 6, 0.5) == 0.0
+        assert binomial_pmf(5, -1, 0.5) == 0.0
+
+    def test_symmetry_at_half(self):
+        assert binomial_pmf(10, 3, 0.5) == pytest.approx(binomial_pmf(10, 7, 0.5))
+
+
+class TestFact1:
+    """Larger M gives larger deviation probability at the same threshold."""
+
+    @pytest.mark.parametrize("p", [0.2, 0.5, 0.8])
+    def test_monotone_in_m(self, p):
+        x = 2.0
+        small = binomial_deviation_probability(20, p, x)
+        large = binomial_deviation_probability(60, p, x)
+        assert small <= large + 1e-12
+
+
+class TestFact2:
+    """p = 1/2 maximizes the deviation probability."""
+
+    @pytest.mark.parametrize("p", [0.1, 0.25, 0.4])
+    def test_half_dominates(self, p):
+        m, x = 40, 3.0
+        skewed = binomial_deviation_probability(m, p, x)
+        balanced = binomial_deviation_probability(m, 0.5, x)
+        assert skewed <= balanced + 1e-12
+
+
+class TestFact3Chernoff:
+    @pytest.mark.parametrize("m,p", [(50, 0.5), (100, 0.2), (200, 0.7)])
+    def test_bound_dominates_exact_tail(self, m, p):
+        for x in (math.sqrt(m) / 2, math.sqrt(m), 2 * math.sqrt(m)):
+            exact = binomial_deviation_probability(m, p, x)
+            bound = chernoff_deviation_bound(m, p, x)
+            assert exact <= bound + 1e-9
+
+    def test_degenerate_inputs(self):
+        assert chernoff_deviation_bound(0, 0.5, 1.0) == 0.0
+        assert chernoff_deviation_bound(10, 0.0, 0.0) == 1.0
+
+
+class TestLemmaBounds:
+    def test_lemma4_scales_with_subtree(self):
+        assert lemma4_bound(1024, 0) > lemma4_bound(1024, 5)
+        assert lemma4_bound(2, 0) >= 0.0
+
+    def test_lemma6_budget_grows_slowly(self):
+        assert lemma6_phase_budget(16) <= lemma6_phase_budget(2**16)
+        assert lemma6_phase_budget(2**16) <= 6
+
+    def test_lemma6_occupancy_bound(self):
+        assert lemma6_occupancy_bound(1024) == pytest.approx(100.0)
+
+    def test_iterated_sqrt_contracts(self):
+        trajectory = iterated_sqrt_trajectory(10_000.0, 1.0, 6)
+        assert trajectory[-1] < trajectory[0]
+        assert trajectory[-1] == pytest.approx(10_000.0 ** (1 / 64), rel=1e-6)

@@ -1,0 +1,153 @@
+"""Unit tests for fitting, statistics, tables, and ASCII plots."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.ascii_plot import line_plot
+from repro.analysis.fitting import best_model, fit_growth_models
+from repro.analysis.stats import fraction_within, percentile, summarize
+from repro.analysis.tables import Table
+
+
+class TestFitting:
+    def test_recovers_loglog_growth(self):
+        ns = [2**k for k in range(4, 14)]
+        ys = [3.0 + 2.0 * math.log2(math.log2(n)) for n in ns]
+        fit = best_model(ns, ys)
+        assert fit.model == "loglog"
+        assert fit.slope == pytest.approx(2.0, rel=1e-6)
+        assert fit.intercept == pytest.approx(3.0, rel=1e-6)
+
+    def test_recovers_log_growth(self):
+        ns = [2**k for k in range(4, 14)]
+        ys = [1.0 + 0.5 * math.log2(n) for n in ns]
+        assert best_model(ns, ys).model == "log"
+
+    def test_recovers_linear_growth(self):
+        ns = [10, 20, 40, 80, 160]
+        ys = [2 * n + 1 for n in ns]
+        fit = best_model(ns, ys)
+        assert fit.model == "linear"
+        assert fit.slope == pytest.approx(2.0)
+
+    def test_recovers_constant(self):
+        ns = [16, 64, 256, 1024]
+        ys = [3.0, 3.0, 3.0, 3.0]
+        fit = best_model(ns, ys)
+        assert fit.model == "const"
+        assert fit.rmse == pytest.approx(0.0)
+
+    def test_results_sorted_by_rmse(self):
+        ns = [2**k for k in range(4, 10)]
+        ys = [math.log2(n) for n in ns]
+        fits = fit_growth_models(ns, ys)
+        rmses = [fit.rmse for fit in fits]
+        assert rmses == sorted(rmses)
+
+    def test_predict(self):
+        ns = [16, 64, 256]
+        ys = [4.0, 6.0, 8.0]
+        fit = best_model(ns, ys, models=("log",))
+        assert fit.predict(64) == pytest.approx(6.0, abs=0.2)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            fit_growth_models([1, 2], [1.0])
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            fit_growth_models([4], [1.0])
+
+
+class TestStats:
+    def test_summary_values(self):
+        stats = summarize([1, 2, 3, 4, 5])
+        assert stats.count == 5
+        assert stats.mean == 3.0
+        assert stats.minimum == 1.0
+        assert stats.maximum == 5.0
+        assert stats.p50 == 3.0
+
+    def test_percentile_interpolates(self):
+        assert percentile([0, 10], 50) == 5.0
+        assert percentile([1, 2, 3, 4], 100) == 4.0
+        assert percentile([7], 30) == 7.0
+
+    def test_percentile_validates(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    def test_empty_summary_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_fraction_within(self):
+        assert fraction_within([1, 2, 3, 4], 2) == 0.5
+        with pytest.raises(ValueError):
+            fraction_within([], 1)
+
+    def test_str_rendering(self):
+        assert "mean=" in str(summarize([1.0, 2.0]))
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table("demo", ["name", "value"])
+        table.add_row("alpha", 1)
+        table.add_row("b", 2.5)
+        text = table.render()
+        assert "== demo ==" in text
+        assert "alpha" in text
+        assert "2.500" in text
+
+    def test_row_arity_checked(self):
+        table = Table("demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_csv_export(self):
+        table = Table("demo", ["a", "b"], notes="ignored in csv")
+        table.add_row(1, 2)
+        assert table.to_csv() == "a,b\n1,2\n"
+
+    def test_notes_rendered(self):
+        table = Table("demo", ["a"], notes="hello")
+        assert "note: hello" in table.render()
+
+    def test_rows_copy(self):
+        table = Table("demo", ["a"])
+        table.add_row(1)
+        rows = table.rows
+        rows[0][0] = "mutated"
+        assert table.rows[0][0] == "1"
+
+
+class TestLinePlot:
+    def test_plot_contains_marks_and_legend(self):
+        text = line_plot(
+            {"a": [1, 2, 3], "b": [3, 2, 1]},
+            xs=[1, 2, 3],
+            title="t",
+            width=20,
+            height=5,
+        )
+        assert "t" in text
+        assert "legend" in text
+        assert "*" in text and "+" in text
+
+    def test_plot_validates_lengths(self):
+        with pytest.raises(ValueError):
+            line_plot({"a": [1]}, xs=[1, 2])
+
+    def test_plot_rejects_empty(self):
+        with pytest.raises(ValueError):
+            line_plot({}, xs=[])
+
+    def test_constant_series(self):
+        text = line_plot({"flat": [2, 2, 2]}, xs=[0, 1, 2], width=10, height=3)
+        assert "flat" in text

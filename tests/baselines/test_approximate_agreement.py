@@ -1,0 +1,107 @@
+"""Unit tests for the approximate-agreement substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.scheduled import ScheduledAdversary, ScheduledCrash
+from repro.baselines.approximate_agreement import (
+    ApproximateAgreementProcess,
+    build_approximate_agreement,
+    decision_diameter,
+    rounds_for,
+)
+from repro.errors import ConfigurationError
+from repro.experiments.approx_agreement import ExtremeHolderAdversary
+from repro.ids import sparse_ids
+from repro.sim.simulator import Simulation
+
+
+def run_aa(values, rounds, adversary=None, budget=None):
+    ids = sparse_ids(len(values))
+    processes = build_approximate_agreement(ids, values, rounds=rounds)
+    result = Simulation(
+        processes,
+        adversary=adversary,
+        crash_budget=budget if budget is not None else len(values) - 1,
+        max_rounds=rounds + 2,
+    ).run()
+    return result, processes, ids
+
+
+class TestConvergence:
+    def test_failure_free_one_round_exact(self):
+        result, _, _ = run_aa([0.0, 10.0, 4.0], rounds=1)
+        assert decision_diameter(result.decisions) == 0.0
+        assert set(result.decisions.values()) == {5.0}
+
+    def test_values_stay_in_initial_interval(self):
+        result, _, _ = run_aa([2.0, 8.0, 5.0], rounds=3)
+        assert all(2.0 <= v <= 8.0 for v in result.decisions.values())
+
+    def test_single_process(self):
+        result, _, _ = run_aa([7.0], rounds=2)
+        assert result.decisions[sparse_ids(1)[0]] == 7.0
+
+    def test_crash_splits_then_reconverges(self):
+        ids = sparse_ids(4)
+        # The max holder (index 3) crashes in round 1, seen by ids[0] only.
+        adversary = ScheduledAdversary(
+            [ScheduledCrash(1, ids[3], receivers=[ids[0]])]
+        )
+        values = [0.0, 0.0, 0.0, 16.0]
+        processes = build_approximate_agreement(ids, values, rounds=4)
+        result = Simulation(processes, adversary=adversary, max_rounds=8).run()
+        survivors = {
+            pid: value for pid, value in result.decisions.items() if pid != ids[3]
+        }
+        assert decision_diameter(survivors) == 0.0
+
+    def test_history_tracks_rounds(self):
+        _, processes, _ = run_aa([1.0, 3.0], rounds=3)
+        assert all(len(p.history) == 4 for p in processes)  # initial + 3 rounds
+
+
+class TestExtremeHolderAdversary:
+    def test_diameter_shrinks_despite_adaptive_crashes(self):
+        values = [float(i) for i in range(16)]
+        adversary = ExtremeHolderAdversary(max_crashes=8, seed=1)
+        rounds = rounds_for(0.5, 15.0, 8)
+        result, _, _ = run_aa(values, rounds, adversary=adversary)
+        correct = {
+            pid: value
+            for pid, value in result.decisions.items()
+            if pid not in result.crashed and value is not None
+        }
+        assert decision_diameter(correct) <= 0.5
+
+    def test_respects_cap(self):
+        values = [float(i) for i in range(8)]
+        adversary = ExtremeHolderAdversary(max_crashes=2, seed=1)
+        result, _, _ = run_aa(values, rounds=8, adversary=adversary)
+        assert len(result.crashed) <= 2
+
+
+class TestValidation:
+    def test_rounds_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            ApproximateAgreementProcess(1, 0.0, rounds=0)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ConfigurationError):
+            build_approximate_agreement([1, 2], [0.0], rounds=1)
+
+    def test_empty(self):
+        with pytest.raises(ConfigurationError):
+            build_approximate_agreement([], [], rounds=1)
+
+    def test_rounds_for_epsilon_validation(self):
+        with pytest.raises(ConfigurationError):
+            rounds_for(0.0, 10.0, 1)
+
+    def test_rounds_for_scales(self):
+        assert rounds_for(1.0, 1024.0, 0) == 10
+        assert rounds_for(1.0, 1024.0, 5) == 15
+
+    def test_decision_diameter_handles_none(self):
+        assert decision_diameter({"a": None, "b": 3.0}) == 0.0

@@ -1,0 +1,75 @@
+"""Unit tests for the flooding baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.scheduled import ScheduledAdversary, ScheduledCrash
+from repro.baselines.flood_consensus import FloodRenamingProcess, build_flood_renaming
+from repro.errors import ConfigurationError
+from repro.ids import sparse_ids
+from repro.sim.checker import RenamingSpec, check_renaming
+from repro.sim.simulator import Simulation
+
+
+class TestFloodRenaming:
+    def test_rounds_equal_budget_plus_one(self):
+        procs = build_flood_renaming(sparse_ids(5), crash_budget=4)
+        result = Simulation(procs, crash_budget=4).run()
+        assert result.rounds == 5
+        check_renaming(result, RenamingSpec(n=5))
+
+    def test_names_are_sorted_ranks(self):
+        ids = [50, 10, 30]
+        procs = build_flood_renaming(ids, crash_budget=2)
+        result = Simulation(procs, crash_budget=2).run()
+        assert result.decisions == {10: 0, 30: 1, 50: 2}
+
+    def test_tolerates_partial_delivery_chain(self):
+        """A chain of crashes relaying knowledge to only one peer each."""
+        ids = sparse_ids(5)
+        schedule = [
+            ScheduledCrash(1, ids[0], receivers=[ids[1]]),
+            ScheduledCrash(2, ids[1], receivers=[ids[2]]),
+            ScheduledCrash(3, ids[2], receivers=[ids[3]]),
+        ]
+        procs = build_flood_renaming(ids, crash_budget=4)
+        result = Simulation(
+            procs, adversary=ScheduledAdversary(schedule), crash_budget=4
+        ).run()
+        check_renaming(result, RenamingSpec(n=5))
+        # Survivors agree on the set, so their names are distinct ranks.
+        survivors = {pid: result.decisions[pid] for pid in (ids[3], ids[4])}
+        assert len(set(survivors.values())) == 2
+
+    def test_crashed_ids_may_still_occupy_ranks(self):
+        ids = sparse_ids(3)
+        schedule = [ScheduledCrash(2, ids[0], receivers="all")]
+        procs = build_flood_renaming(ids, crash_budget=2)
+        result = Simulation(
+            procs, adversary=ScheduledAdversary(schedule), crash_budget=2
+        ).run()
+        # The crashed lowest id was flooded before crashing, so survivors
+        # keep it in their sets and take ranks 1 and 2.
+        assert sorted(result.decisions[pid] for pid in ids[1:]) == [1, 2]
+
+    def test_known_grows_monotonically(self):
+        proc = FloodRenamingProcess(1, crash_budget=2)
+        proc.deliver(1, {2: ("ids", frozenset({2}))})
+        assert proc.known == frozenset({1, 2})
+        proc.deliver(2, {})
+        assert proc.known == frozenset({1, 2})
+
+    def test_rejects_negative_budget(self):
+        with pytest.raises(ConfigurationError):
+            FloodRenamingProcess(1, crash_budget=-1)
+
+    def test_rejects_empty_ids(self):
+        with pytest.raises(ConfigurationError):
+            build_flood_renaming([], crash_budget=0)
+
+    def test_zero_budget_single_round(self):
+        procs = build_flood_renaming(sparse_ids(4), crash_budget=0)
+        result = Simulation(procs, crash_budget=0).run()
+        assert result.rounds == 1
+        check_renaming(result, RenamingSpec(n=4))

@@ -1,0 +1,44 @@
+"""Unit tests for the deterministic rank-descent baseline."""
+
+from __future__ import annotations
+
+from repro.adversary.splitter import HalfSplitAdversary
+from repro.baselines.rank_descent import build_rank_descent
+from repro.ids import sparse_ids
+from repro.sim.checker import RenamingSpec, check_renaming
+from repro.sim.simulator import Simulation
+from repro.sim.runner import run_renaming
+
+
+class TestRankDescent:
+    def test_failure_free_one_phase(self):
+        run = run_renaming("rank-descent", sparse_ids(32), seed=0)
+        assert run.rounds == 3
+
+    def test_names_preserve_label_order_without_failures(self):
+        """Deterministic rank paths are order-preserving when fault-free."""
+        ids = sparse_ids(16)
+        run = run_renaming("rank-descent", ids, seed=0)
+        assert run.names == {pid: rank for rank, pid in enumerate(sorted(ids))}
+
+    def test_determinism_no_seed_sensitivity(self):
+        """Rank descent ignores randomness entirely."""
+        first = run_renaming("rank-descent", sparse_ids(16), seed=1)
+        second = run_renaming("rank-descent", sparse_ids(16), seed=999)
+        assert first.names == second.names
+        assert first.rounds == second.rounds
+
+    def test_correct_under_half_split(self):
+        ids = sparse_ids(32)
+        procs, _store = build_rank_descent(ids, seed=0)
+        adversary = HalfSplitAdversary(
+            rounds=frozenset({1, 3, 5, 7, 9}), seed=0
+        )
+        result = Simulation(procs, adversary=adversary, max_rounds=400).run()
+        check_renaming(result, RenamingSpec(n=32))
+
+    def test_builder_exposes_store(self):
+        procs, store = build_rank_descent(sparse_ids(4), seed=0)
+        Simulation(procs, max_rounds=64).run()
+        reference = store.view_of(procs[0].pid)
+        assert reference.all_at_leaves()

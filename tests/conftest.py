@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ids import sparse_ids
+from repro.tree.local_view import LocalTreeView
+from repro.tree.topology import Topology
+
+
+@pytest.fixture
+def topo8() -> Topology:
+    """An 8-leaf topology (depth 3)."""
+    return Topology(8)
+
+
+@pytest.fixture
+def topo16() -> Topology:
+    """A 16-leaf topology (depth 4)."""
+    return Topology(16)
+
+
+@pytest.fixture
+def view8(topo8: Topology) -> LocalTreeView:
+    """An 8-leaf view with 8 integer balls at the root."""
+    return LocalTreeView(topo8, range(8))
+
+
+@pytest.fixture
+def ids16() -> list:
+    """16 sparse original identifiers."""
+    return sparse_ids(16)

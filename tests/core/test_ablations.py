@@ -1,0 +1,120 @@
+"""Tests for the ablation variants (EXP-ABL's machinery).
+
+The ablated algorithms are part of the library surface (they document the
+design), so their contracts are tested: the liveness ablations stay
+correct but slower; the safety ablation demonstrably breaks under crashes
+while remaining correct failure-free.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.splitter import HalfSplitAdversary
+from repro.core.balls_into_leaves import build_balls_into_leaves
+from repro.core.config import BallsIntoLeavesConfig
+from repro.core.policies import UnweightedRandomPolicy, make_policy
+from repro.errors import ConfigurationError, RoundLimitExceeded, SpecViolation
+from repro.ids import sparse_ids
+from repro.sim.checker import RenamingSpec, check_renaming
+from repro.sim.simulator import Simulation
+
+
+def run_config(config, n=32, seed=1, adversary=None, max_rounds=None):
+    processes, _ = build_balls_into_leaves(sparse_ids(n), seed=seed, config=config)
+    simulation = Simulation(
+        processes, adversary=adversary, max_rounds=max_rounds or (6 * n + 32)
+    )
+    result = simulation.run()
+    return result, simulation
+
+
+class TestConfigValidation:
+    def test_rejects_unknown_movement_order(self):
+        with pytest.raises(ConfigurationError):
+            BallsIntoLeavesConfig(movement_order="chaotic")
+
+    def test_unweighted_policy_registered(self):
+        assert isinstance(make_policy("random-unweighted"), UnweightedRandomPolicy)
+
+    def test_with_policy_preserves_ablation_flags(self):
+        config = BallsIntoLeavesConfig(movement_order="label", sync_positions=False)
+        copy = config.with_policy("rank")
+        assert copy.movement_order == "label"
+        assert not copy.sync_positions
+
+
+class TestFairCoins:
+    def test_correct_failure_free(self):
+        config = BallsIntoLeavesConfig(path_policy="random-unweighted")
+        result, _ = run_config(config)
+        check_renaming(result, RenamingSpec(n=32))
+
+    def test_correct_under_crashes(self):
+        config = BallsIntoLeavesConfig(path_policy="random-unweighted")
+        adversary = HalfSplitAdversary(rounds=frozenset({1, 3, 5}), seed=1)
+        result, _ = run_config(config, adversary=adversary)
+        check_renaming(result, RenamingSpec(n=32))
+
+    def test_unweighted_never_enters_full_subtree_when_alternative(self):
+        import random
+
+        from repro.tree import node as nd
+        from repro.tree.local_view import LocalTreeView
+        from repro.tree.topology import Topology
+
+        topo = Topology(8)
+        view = LocalTreeView(topo, ["mover"])
+        for rank in range(4):
+            view.insert(f"s{rank}", nd.leaf_node(rank))
+        policy = UnweightedRandomPolicy()
+        for seed in range(20):
+            path = policy.choose(view, "mover", 1, random.Random(seed))
+            assert path[1] == (4, 8)
+
+
+class TestLabelOrder:
+    def test_correct_failure_free(self):
+        config = BallsIntoLeavesConfig(movement_order="label")
+        result, _ = run_config(config)
+        check_renaming(result, RenamingSpec(n=32))
+
+    def test_correct_under_crashes(self):
+        config = BallsIntoLeavesConfig(movement_order="label")
+        adversary = HalfSplitAdversary(rounds=frozenset({1, 3, 5, 7}), seed=2)
+        result, _ = run_config(config, adversary=adversary)
+        check_renaming(result, RenamingSpec(n=32))
+
+
+class TestNoResync:
+    def test_correct_and_faster_failure_free(self):
+        full, _ = run_config(BallsIntoLeavesConfig(), seed=3)
+        ablated, _ = run_config(BallsIntoLeavesConfig(sync_positions=False), seed=3)
+        check_renaming(ablated, RenamingSpec(n=32))
+        assert ablated.rounds < full.rounds  # one-round phases
+
+    def test_breaks_under_crashes_somewhere(self):
+        """Across seeds, skipping round 2 must eventually fail the spec."""
+        config = BallsIntoLeavesConfig(sync_positions=False)
+        failures = 0
+        for seed in range(8):
+            adversary = HalfSplitAdversary(
+                rounds=frozenset({1} | set(range(2, 40))), max_crashes=8, seed=seed
+            )
+            try:
+                result, _ = run_config(
+                    config, n=32, seed=seed, adversary=adversary, max_rounds=100
+                )
+                check_renaming(result, RenamingSpec(n=32))
+            except (SpecViolation, RoundLimitExceeded):
+                failures += 1
+        assert failures > 0
+
+    def test_full_algorithm_survives_same_schedules(self):
+        config = BallsIntoLeavesConfig()
+        for seed in range(8):
+            adversary = HalfSplitAdversary(
+                rounds=frozenset({1} | set(range(2, 40))), max_crashes=8, seed=seed
+            )
+            result, _ = run_config(config, n=32, seed=seed, adversary=adversary)
+            check_renaming(result, RenamingSpec(n=32))

@@ -1,0 +1,156 @@
+"""Behavioural tests of Algorithm 1 as a whole."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.scheduled import ScheduledAdversary, ScheduledCrash
+from repro.core.balls_into_leaves import BallProcess, build_balls_into_leaves
+from repro.core.config import BallsIntoLeavesConfig
+from repro.errors import ConfigurationError
+from repro.ids import sparse_ids
+from repro.sim.simulator import Simulation
+from repro.sim.runner import run_renaming
+from repro.tree import node as nd
+
+
+class TestBuild:
+    def test_builder_shares_one_store(self):
+        processes, store = build_balls_into_leaves(sparse_ids(4), seed=0)
+        assert len(processes) == 4
+        assert all(proc._store is store for proc in processes)
+
+    def test_builder_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            build_balls_into_leaves([1, 1])
+
+    def test_builder_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            build_balls_into_leaves([])
+
+
+class TestRoundStructure:
+    def test_round_count_is_one_plus_two_per_phase(self):
+        run = run_renaming("balls-into-leaves", sparse_ids(16), seed=7)
+        assert run.rounds % 2 == 1  # hello + 2 * phases
+        assert run.phases == (run.rounds - 1) // 2
+
+    def test_phase_tracking(self):
+        processes, _store = build_balls_into_leaves(sparse_ids(4), seed=1)
+        simulation = Simulation(processes, max_rounds=64)
+        simulation.step()  # hello
+        assert all(proc.phase == 1 for proc in processes)
+        simulation.step()  # paths
+        simulation.step()  # positions
+        running = [p for p in processes if not p.halted]
+        assert all(proc.phase >= 1 for proc in processes)
+        assert all(proc.phase == 2 for proc in running)
+
+    def test_names_are_leaf_ranks(self):
+        processes, store = build_balls_into_leaves(sparse_ids(8), seed=2)
+        Simulation(processes, max_rounds=64).run()
+        for proc in processes:
+            position = store.view_of(proc.pid).position(proc.pid)
+            assert nd.is_leaf(position)
+            assert proc.decision == nd.leaf_rank(position)
+
+    def test_round_named_precedes_halt(self):
+        processes, _ = build_balls_into_leaves(sparse_ids(16), seed=3)
+        Simulation(processes, max_rounds=64).run()
+        for proc in processes:
+            assert proc.round_named is not None
+            assert proc.round_halted is not None
+            assert proc.round_named <= proc.round_halted
+
+
+class TestNameStability:
+    def test_name_never_changes_once_at_leaf(self):
+        """A ball that reached a leaf is never displaced (Appendix A)."""
+        processes, store = build_balls_into_leaves(sparse_ids(16), seed=5)
+        simulation = Simulation(processes, max_rounds=64)
+        first_leaf: dict = {}
+        while simulation.step():
+            for proc in processes:
+                if proc.pid in simulation.crashed or proc.pid not in store.view_of(
+                    proc.pid
+                ):
+                    continue
+                position = store.view_of(proc.pid).position(proc.pid)
+                if nd.is_leaf(position):
+                    rank = nd.leaf_rank(position)
+                    assert first_leaf.setdefault(proc.pid, rank) == rank
+
+
+class TestCrashScenarios:
+    def test_crash_during_hello_shrinks_namespace_usage(self):
+        ids = sparse_ids(8)
+        adversary = ScheduledAdversary([ScheduledCrash(1, ids[0], receivers="none")])
+        run = run_renaming("balls-into-leaves", ids, seed=1, adversary=adversary)
+        assert ids[0] in run.crashed
+        assert len(run.names) == 7
+        assert len(set(run.names.values())) == 7
+
+    def test_crash_mid_path_round_with_partial_delivery(self):
+        ids = sparse_ids(8)
+        half = ids[1::2]
+        adversary = ScheduledAdversary([ScheduledCrash(2, ids[0], receivers=half)])
+        run = run_renaming(
+            "balls-into-leaves", ids, seed=2, adversary=adversary, check_invariants=True
+        )
+        assert len(set(run.names.values())) == 7
+
+    def test_crash_mid_position_round(self):
+        ids = sparse_ids(8)
+        adversary = ScheduledAdversary([ScheduledCrash(3, ids[3], receivers=ids[:2])])
+        run = run_renaming(
+            "balls-into-leaves", ids, seed=3, adversary=adversary, check_invariants=True
+        )
+        assert len(set(run.names.values())) == 7
+
+    def test_all_but_one_crash(self):
+        ids = sparse_ids(5)
+        adversary = ScheduledAdversary(
+            [ScheduledCrash(2, pid, receivers="none") for pid in ids[1:]]
+        )
+        run = run_renaming("balls-into-leaves", ids, seed=4, adversary=adversary)
+        assert set(run.names) == {ids[0]}
+
+    def test_cascading_crashes_across_phases(self):
+        ids = sparse_ids(12)
+        schedule = [
+            ScheduledCrash(2, ids[0], receivers=ids[1::2]),
+            ScheduledCrash(3, ids[1], receivers=ids[2::3]),
+            ScheduledCrash(4, ids[2], receivers="none"),
+            ScheduledCrash(5, ids[3], receivers=ids[4:6]),
+        ]
+        run = run_renaming(
+            "balls-into-leaves",
+            ids,
+            seed=5,
+            adversary=ScheduledAdversary(schedule),
+            check_invariants=True,
+        )
+        survivors = [pid for pid in ids if pid not in run.crashed]
+        assert sorted(run.names) == sorted(survivors)
+
+
+class TestEarlyTerminatingVariant:
+    def test_failure_free_takes_three_rounds(self):
+        for n in (2, 8, 64, 200):
+            run = run_renaming("early-terminating", sparse_ids(n), seed=0)
+            assert run.rounds == 3, f"n={n}"
+
+    def test_names_equal_label_ranks_without_failures(self):
+        ids = sparse_ids(16)
+        run = run_renaming("early-terminating", ids, seed=0)
+        expected = {pid: rank for rank, pid in enumerate(sorted(ids))}
+        assert run.names == expected
+
+    def test_single_hello_crash_forces_extra_phases(self):
+        ids = sparse_ids(16)
+        adversary = ScheduledAdversary(
+            [ScheduledCrash(1, ids[0], receivers=ids[1::2])]
+        )
+        run = run_renaming("early-terminating", ids, seed=1, adversary=adversary)
+        assert run.rounds > 3  # collisions from rank shifts need resolving
+        assert len(run.names) == 15

@@ -1,0 +1,88 @@
+"""Ghost-ball scenarios: crashed balls lingering in some views.
+
+DESIGN.md section 3 documents the ghost interpretation; these tests pin
+the behaviour: ghosts may transiently over-fill subtrees in a view, are
+purged before lower-priority live balls move, and never break uniqueness.
+"""
+
+from __future__ import annotations
+
+from repro.adversary.scheduled import ScheduledAdversary, ScheduledCrash
+from repro.core.messages import path_message, position_message
+from repro.core.movement import apply_path_round, apply_position_round
+from repro.ids import sparse_ids
+from repro.sim.runner import run_renaming
+from repro.tree.local_view import LocalTreeView
+
+
+class TestGhostPurgeOrder:
+    def test_deep_ghost_removed_before_shallow_mover(self, topo8):
+        """<R order processes the deeper (silent) ghost first, freeing its
+        capacity for live balls in the same round."""
+        view = LocalTreeView(topo8)
+        view.insert("ghost", (0, 1))
+        view.insert("ghost2", (1, 2))
+        view.insert("live", (0, 8))
+        inbox = {"live": path_message(((0, 8), (0, 4), (0, 2), (0, 1)))}
+        apply_path_round(view, inbox)
+        assert view.balls() == ["live"]
+        assert view.position("live") == (0, 1)
+
+    def test_same_depth_larger_label_ghost_is_conservative(self, topo8):
+        """A ghost ordered after the mover blocks capacity this phase only."""
+        view = LocalTreeView(topo8)
+        view.insert("z-ghost", (0, 2))  # same depth processed after 'a'? no:
+        # depth((0,2)) = 2 > depth(root): ghost is deeper, still first.
+        view.insert("a", (0, 8))
+        inbox = {"a": path_message(((0, 8), (0, 4), (0, 2), (0, 1)))}
+        apply_path_round(view, inbox)
+        assert view.position("a") == (0, 1)
+
+    def test_ghost_position_adoption_then_purge(self, topo8):
+        """Round 2 adopts a ghost's position; next path round purges it."""
+        view = LocalTreeView(topo8, ["g", "live"])
+        apply_position_round(
+            view, {"g": position_message((0, 1)), "live": position_message((0, 8))}
+        )
+        assert view.position("g") == (0, 1)
+        # Next phase: the ghost is silent and vanishes before 'live' moves.
+        apply_path_round(
+            view, {"live": path_message(((0, 8), (0, 4), (0, 2), (0, 1)))}
+        )
+        assert "g" not in view
+        assert view.position("live") == (0, 1)
+
+
+class TestGhostEndToEnd:
+    def test_round2_partial_crash_keeps_uniqueness(self):
+        """A ball crashing mid-position-broadcast haunts half the views."""
+        ids = sparse_ids(8)
+        schedule = [ScheduledCrash(3, ids[2], receivers=ids[0:4])]
+        run = run_renaming(
+            "balls-into-leaves",
+            ids,
+            seed=13,
+            adversary=ScheduledAdversary(schedule),
+            check_invariants=True,
+            view_mode="faithful",
+        )
+        names = list(run.names.values())
+        assert len(names) == 7
+        assert len(set(names)) == 7
+
+    def test_repeated_round2_crashes(self):
+        ids = sparse_ids(10)
+        schedule = [
+            ScheduledCrash(3, ids[1], receivers=ids[5:]),
+            ScheduledCrash(5, ids[2], receivers=ids[:3]),
+            ScheduledCrash(7, ids[3], receivers=ids[7:9]),
+        ]
+        run = run_renaming(
+            "balls-into-leaves",
+            ids,
+            seed=21,
+            adversary=ScheduledAdversary(schedule),
+            check_invariants=True,
+            view_mode="faithful",
+        )
+        assert len(set(run.names.values())) == len(run.names)

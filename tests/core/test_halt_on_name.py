@@ -1,0 +1,132 @@
+"""Tests for the per-ball termination extension (halt_on_name).
+
+The paper: "It is easy to change the algorithm to allow a ball to
+terminate as soon as it reaches a leaf.  Such modification requires
+additional checks."  The additional check implemented here: silent balls
+positioned at leaves are retained (their slot stays reserved); silent
+balls at inner nodes are still purged as crashed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.random_crash import RandomCrashAdversary
+from repro.adversary.scheduled import ScheduledAdversary, ScheduledCrash
+from repro.adversary.splitter import HalfSplitAdversary
+from repro.core.config import BallsIntoLeavesConfig
+from repro.core.messages import path_message
+from repro.core.movement import apply_path_round
+from repro.errors import ConfigurationError
+from repro.ids import sparse_ids
+from repro.sim.runner import run_renaming
+from repro.tree.local_view import LocalTreeView
+
+
+class TestRetentionRule:
+    def test_silent_leaf_ball_is_retained(self, topo8):
+        view = LocalTreeView(topo8)
+        view.insert("done", (0, 1))
+        view.insert("live", (0, 8))
+        inbox = {"live": path_message(((0, 8), (0, 4), (0, 2), (0, 1)))}
+        apply_path_round(view, inbox, retain_silent_leaf_balls=True)
+        assert "done" in view  # retained: its name slot stays reserved
+        assert view.position("live") != (0, 1)
+
+    def test_silent_inner_ball_is_still_purged(self, topo8):
+        view = LocalTreeView(topo8)
+        view.insert("crashed", (0, 2))
+        view.insert("live", (0, 8))
+        inbox = {"live": path_message(((0, 8), (0, 4), (0, 2), (0, 1)))}
+        apply_path_round(view, inbox, retain_silent_leaf_balls=True)
+        assert "crashed" not in view
+        assert view.position("live") == (0, 1)
+
+    def test_default_mode_removes_silent_leaf_balls(self, topo8):
+        view = LocalTreeView(topo8)
+        view.insert("crashed-at-leaf", (0, 1))
+        view.insert("live", (0, 8))
+        inbox = {"live": path_message(((0, 8), (0, 4), (0, 2), (0, 1)))}
+        apply_path_round(view, inbox)
+        assert "crashed-at-leaf" not in view
+        assert view.position("live") == (0, 1)
+
+
+class TestEndToEnd:
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            BallsIntoLeavesConfig(halt_on_name=True, sync_positions=False)
+
+    def test_same_names_as_standard_failure_free(self):
+        ids = sparse_ids(32)
+        standard = run_renaming("balls-into-leaves", ids, seed=4)
+        halting = run_renaming("balls-into-leaves", ids, seed=4, halt_on_name=True)
+        assert halting.names == standard.names
+        assert halting.rounds == standard.rounds  # last ball unchanged
+
+    def test_sends_fewer_messages(self):
+        ids = sparse_ids(64)
+        standard = run_renaming("balls-into-leaves", ids, seed=5)
+        halting = run_renaming("balls-into-leaves", ids, seed=5, halt_on_name=True)
+        assert (
+            halting.metrics.total_messages_sent
+            < standard.metrics.total_messages_sent
+        )
+
+    def test_balls_halt_at_different_rounds(self):
+        from repro.core.balls_into_leaves import build_balls_into_leaves
+        from repro.sim.simulator import Simulation
+
+        config = BallsIntoLeavesConfig(halt_on_name=True)
+        processes, _ = build_balls_into_leaves(sparse_ids(32), seed=6, config=config)
+        Simulation(processes, max_rounds=200).run()
+        halt_rounds = {proc.round_halted for proc in processes}
+        assert len(halt_rounds) > 1  # staggered termination
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_correct_under_random_crashes(self, seed):
+        run = run_renaming(
+            "balls-into-leaves",
+            sparse_ids(40),
+            seed=seed,
+            adversary=RandomCrashAdversary(0.12, seed=seed),
+            halt_on_name=True,
+            check_invariants=True,
+        )
+        assert len(set(run.names.values())) == len(run.names)
+
+    @pytest.mark.parametrize("mode", ["faithful", "shared"])
+    def test_correct_under_half_split(self, mode):
+        run = run_renaming(
+            "balls-into-leaves",
+            sparse_ids(24),
+            seed=3,
+            adversary=HalfSplitAdversary(rounds=frozenset({1, 3, 5}), seed=3),
+            halt_on_name=True,
+            view_mode=mode,
+        )
+        assert len(set(run.names.values())) == len(run.names)
+
+    def test_crashed_leaf_holder_wastes_its_slot_safely(self):
+        """A ball that crashes right after claiming a leaf keeps the slot
+        reserved in the views that saw it, yet everyone still renames."""
+        ids = sparse_ids(8)
+        # Crash a ball during a position round, reaching only some peers.
+        schedule = [ScheduledCrash(3, ids[4], receivers=ids[:3])]
+        run = run_renaming(
+            "balls-into-leaves",
+            ids,
+            seed=11,
+            adversary=ScheduledAdversary(schedule),
+            halt_on_name=True,
+        )
+        names = list(run.names.values())
+        assert len(names) == 7
+        assert len(set(names)) == 7
+
+    def test_works_with_early_terminating_variant(self):
+        run = run_renaming(
+            "early-terminating", sparse_ids(64), seed=2, halt_on_name=True
+        )
+        assert run.rounds == 3
+        assert sorted(run.names.values()) == list(range(64))

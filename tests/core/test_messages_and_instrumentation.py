@@ -1,0 +1,78 @@
+"""Unit tests for the wire format and the phase-stats observer."""
+
+from __future__ import annotations
+
+from repro.core.messages import (
+    hello_message,
+    is_hello,
+    parse_path,
+    parse_position,
+    path_message,
+    position_message,
+)
+from repro.core.instrumentation import TreeStatsObserver
+from repro.ids import sparse_ids
+from repro.sim.runner import run_renaming
+
+
+class TestMessages:
+    def test_hello_round_trip(self):
+        assert is_hello(hello_message())
+        assert not is_hello(("path", ()))
+        assert not is_hello("hello")
+
+    def test_path_round_trip(self):
+        path = ((0, 8), (0, 4))
+        assert parse_path(path_message(path)) == path
+        assert parse_path(hello_message()) is None
+        assert parse_path(position_message((0, 8))) is None
+        assert parse_path(None) is None
+
+    def test_position_round_trip(self):
+        assert parse_position(position_message((2, 3))) == (2, 3)
+        assert parse_position(path_message(((0, 8),))) is None
+
+    def test_messages_are_hashable(self):
+        # The shared-view fingerprinting relies on tuple payloads.
+        {hello_message(), path_message(((0, 2),)), position_message((0, 1))}
+
+
+class TestTreeStatsObserver:
+    def test_phase_stats_shape(self):
+        run = run_renaming(
+            "balls-into-leaves", sparse_ids(32), seed=1, collect_phase_stats=True
+        )
+        assert run.phase_stats
+        phases = [stats.phase for stats in run.phase_stats]
+        assert phases == list(range(1, len(phases) + 1))
+        for stats in run.phase_stats:
+            assert stats.round_no == 2 * stats.phase + 1
+            assert 0 <= stats.balls_at_leaves <= stats.balls <= 32
+            assert stats.bmax_inner >= 0
+            assert stats.max_path_population >= stats.bmax_inner
+
+    def test_final_phase_all_at_leaves(self):
+        run = run_renaming(
+            "balls-into-leaves", sparse_ids(16), seed=2, collect_phase_stats=True
+        )
+        final = run.phase_stats[-1]
+        assert final.balls_at_leaves == final.balls == 16
+        assert final.bmax_inner == 0
+
+    def test_trajectories(self):
+        run = run_renaming(
+            "balls-into-leaves", sparse_ids(64), seed=3, collect_phase_stats=True
+        )
+        observer = TreeStatsObserver.__new__(TreeStatsObserver)
+        observer.phases = run.phase_stats
+        bmax = observer.bmax_trajectory()
+        paths = observer.path_population_trajectory()
+        assert len(bmax) == len(paths) == len(run.phase_stats)
+        assert bmax[-1] == 0
+
+    def test_first_phase_occupancy_below_sqrt_bound(self):
+        """Lemma 4 flavour: phase-1 bmax is far below n for large n."""
+        run = run_renaming(
+            "balls-into-leaves", sparse_ids(256), seed=4, collect_phase_stats=True
+        )
+        assert run.phase_stats[0].bmax_inner < 256 / 4

@@ -1,0 +1,140 @@
+"""Unit tests for the movement rule (Algorithm 1 lines 12-28)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.messages import path_message, position_message
+from repro.core.movement import (
+    apply_path_round,
+    apply_position_round,
+    assert_capacity_invariant,
+)
+from repro.errors import SimulationError
+from repro.tree.local_view import LocalTreeView
+from repro.tree.topology import Topology
+
+
+def paths_inbox(**paths):
+    return {ball: path_message(tuple(path)) for ball, path in paths.items()}
+
+
+class TestPathRound:
+    def test_single_ball_descends_to_leaf(self, topo8):
+        view = LocalTreeView(topo8, ["a"])
+        inbox = paths_inbox(a=[(0, 8), (0, 4), (0, 2), (0, 1)])
+        apply_path_round(view, inbox)
+        assert view.position("a") == (0, 1)
+
+    def test_collision_stops_just_above_full_subtree(self, topo8):
+        """The Figure 2a semantics: losers stop above the full subtree."""
+        view = LocalTreeView(topo8, ["a", "b"])
+        path = [(0, 8), (0, 4), (0, 2), (0, 1)]
+        apply_path_round(view, paths_inbox(a=path, b=path))
+        assert view.position("a") == (0, 1)  # smaller label wins the leaf
+        assert view.position("b") == (0, 2)  # stops at the leaf's parent
+
+    def test_pileup_counts(self, topo8):
+        """All 8 balls to leaf 0 reproduces the Figure 2a stacking."""
+        view = LocalTreeView(topo8, list(range(8)))
+        path = [(0, 8), (0, 4), (0, 2), (0, 1)]
+        inbox = {ball: path_message(tuple(path)) for ball in range(8)}
+        apply_path_round(view, inbox)
+        assert view.occupancy((0, 1)) == 1
+        assert view.occupancy((0, 2)) == 1
+        assert view.occupancy((0, 4)) == 2  # capacity 4, minus leaf + parent
+        assert view.occupancy((0, 8)) == 4
+        assert_capacity_invariant(view)
+
+    def test_priority_order_deeper_first(self, topo8):
+        """A deeper ball moves before a shallower one with a smaller label."""
+        view = LocalTreeView(topo8)
+        view.insert(9, (0, 2))  # deep, large label
+        view.insert(1, (0, 8))  # shallow, small label
+        inbox = paths_inbox(**{})
+        inbox[9] = path_message(((0, 2), (0, 1)))
+        inbox[1] = path_message(((0, 8), (0, 4), (0, 2), (0, 1)))
+        apply_path_round(view, inbox)
+        assert view.position(9) == (0, 1)  # deeper ball won the leaf
+        assert view.position(1) == (0, 2)
+
+    def test_silent_ball_is_removed(self, topo8):
+        view = LocalTreeView(topo8, ["a", "b"])
+        apply_path_round(view, paths_inbox(a=[(0, 8), (4, 8), (4, 6), (4, 5)]))
+        assert "b" not in view
+        assert view.position("a") == (4, 5)
+
+    def test_removal_frees_capacity_for_later_balls(self, topo8):
+        """A crashed deep ball is purged before shallower balls move."""
+        view = LocalTreeView(topo8)
+        view.insert("ghost", (0, 1))  # will be silent
+        view.insert("mover", (0, 8))
+        inbox = paths_inbox(mover=[(0, 8), (0, 4), (0, 2), (0, 1)])
+        apply_path_round(view, inbox)
+        assert "ghost" not in view
+        assert view.position("mover") == (0, 1)
+
+    def test_ball_at_leaf_stays(self, topo8):
+        view = LocalTreeView(topo8)
+        view.insert("settled", (3, 4))
+        apply_path_round(view, paths_inbox(settled=[(3, 4)]))
+        assert view.position("settled") == (3, 4)
+
+    def test_path_not_containing_position_keeps_ball(self, topo8):
+        view = LocalTreeView(topo8)
+        view.insert("weird", (4, 8))
+        # Stale path starting at the root (not at the recorded position).
+        apply_path_round(view, paths_inbox(weird=[(0, 8), (0, 4)]))
+        assert view.position("weird") == (4, 8)
+
+    def test_non_path_payload_counts_as_silent(self, topo8):
+        view = LocalTreeView(topo8, ["a"])
+        apply_path_round(view, {"a": ("pos", (0, 8))})
+        assert "a" not in view
+
+
+class TestPositionRound:
+    def test_positions_adopted(self, topo8):
+        view = LocalTreeView(topo8, ["a", "b"])
+        inbox = {
+            "a": position_message((0, 1)),
+            "b": position_message((4, 8)),
+        }
+        apply_position_round(view, inbox)
+        assert view.position("a") == (0, 1)
+        assert view.position("b") == (4, 8)
+
+    def test_silent_ball_removed(self, topo8):
+        view = LocalTreeView(topo8, ["a", "b"])
+        apply_position_round(view, {"a": position_message((0, 8))})
+        assert "b" not in view
+
+    def test_ghost_overflow_is_tolerated(self, topo8):
+        """Round-2 adoption may transiently over-fill a subtree."""
+        view = LocalTreeView(topo8)
+        view.insert("g1", (0, 1))
+        view.insert("g2", (0, 8))
+        inbox = {
+            "g1": position_message((0, 1)),
+            "g2": position_message((0, 1)),  # claims the same leaf
+        }
+        apply_position_round(view, inbox, check_invariants=True)
+        assert view.occupancy((0, 1)) == 2  # tolerated; purged next phase
+
+
+class TestInvariantChecker:
+    def test_detects_subtree_overflow(self, topo8):
+        view = LocalTreeView(topo8)
+        view.insert("a", (0, 1))
+        view.insert("b", (0, 1))
+        with pytest.raises(SimulationError):
+            assert_capacity_invariant(view)
+
+    def test_detects_too_many_balls(self, topo8):
+        view = LocalTreeView(topo8, range(8))
+        view.insert("extra", (0, 8))
+        with pytest.raises(SimulationError):
+            assert_capacity_invariant(view, allow_ghost_overflow=True)
+
+    def test_passes_on_consistent_view(self, view8):
+        assert_capacity_invariant(view8)

@@ -1,0 +1,141 @@
+"""Unit tests for the path policies."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.config import BallsIntoLeavesConfig
+from repro.core.policies import (
+    HybridRankThenRandomPolicy,
+    LeftmostPolicy,
+    RandomPolicy,
+    RankPolicy,
+    make_policy,
+    rank_among_all,
+    rank_at_node,
+)
+from repro.errors import ConfigurationError
+from repro.tree import node as nd
+from repro.tree.local_view import LocalTreeView
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("random", RandomPolicy),
+            ("hybrid", HybridRankThenRandomPolicy),
+            ("rank", RankPolicy),
+            ("leftmost", LeftmostPolicy),
+        ],
+    )
+    def test_known_policies(self, name, cls):
+        assert isinstance(make_policy(name), cls)
+        assert make_policy(name).name == name
+
+    def test_unknown_policy(self):
+        with pytest.raises(ConfigurationError):
+            make_policy("oracle")
+
+    def test_config_validates_policy(self):
+        with pytest.raises(ConfigurationError):
+            BallsIntoLeavesConfig(path_policy="oracle")
+        with pytest.raises(ConfigurationError):
+            BallsIntoLeavesConfig(view_mode="telepathic")
+
+    def test_config_with_policy(self):
+        config = BallsIntoLeavesConfig().with_policy("rank")
+        assert config.path_policy == "rank"
+
+
+class TestRanks:
+    def test_rank_among_all(self, topo8):
+        view = LocalTreeView(topo8, [30, 10, 20])
+        assert rank_among_all(view, 10) == 0
+        assert rank_among_all(view, 20) == 1
+        assert rank_among_all(view, 30) == 2
+
+    def test_rank_at_node_only_counts_cohabitants(self, topo8):
+        view = LocalTreeView(topo8, [30, 10])
+        view.insert(20, (0, 4))
+        assert rank_at_node(view, 30) == 1  # only 10 and 30 at the root
+        assert rank_at_node(view, 20) == 0
+
+
+class TestHybridPolicy:
+    def test_phase1_targets_label_rank(self, topo8):
+        view = LocalTreeView(topo8, [300, 100, 200])
+        policy = HybridRankThenRandomPolicy()
+        rng = random.Random(0)
+        assert policy.choose(view, 100, 1, rng)[-1] == (0, 1)
+        assert policy.choose(view, 200, 1, rng)[-1] == (1, 2)
+        assert policy.choose(view, 300, 1, rng)[-1] == (2, 3)
+
+    def test_phase1_is_collision_free_for_full_population(self, topo8):
+        view = LocalTreeView(topo8, range(8))
+        policy = HybridRankThenRandomPolicy()
+        rng = random.Random(0)
+        targets = {policy.choose(view, b, 1, rng)[-1] for b in range(8)}
+        assert len(targets) == 8
+
+    def test_later_phases_are_random(self, topo8):
+        view = LocalTreeView(topo8, range(4))
+        policy = HybridRankThenRandomPolicy()
+        targets = {
+            policy.choose(view, 0, 2, random.Random(seed))[-1] for seed in range(30)
+        }
+        assert len(targets) > 1  # randomized, not pinned to the rank leaf
+
+    def test_rank_clamped_to_subtree(self):
+        from repro.tree.topology import Topology
+
+        topo = Topology(2)
+        view = LocalTreeView(topo, [1, 2, 3])  # ghosts: more balls than leaves
+        policy = HybridRankThenRandomPolicy()
+        path = policy.choose(view, 3, 1, random.Random(0))
+        assert nd.is_leaf(path[-1])  # clamped instead of raising
+
+
+class TestRankPolicy:
+    def test_targets_kth_free_leaf(self, topo8):
+        view = LocalTreeView(topo8, [10, 20])
+        view.insert("settled", (0, 1))
+        policy = RankPolicy()
+        rng = random.Random(0)
+        assert policy.choose(view, 10, 1, rng)[-1] == (1, 2)
+        assert policy.choose(view, 20, 1, rng)[-1] == (2, 3)
+
+    def test_at_leaf_stays(self, topo8):
+        view = LocalTreeView(topo8)
+        view.insert("a", (5, 6))
+        assert RankPolicy().choose(view, "a", 3, random.Random(0)) == ((5, 6),)
+
+    def test_no_free_leaf_stays_put(self):
+        from repro.tree.topology import Topology
+
+        topo = Topology(2)
+        view = LocalTreeView(topo, ["x"])
+        view.insert("l0", (0, 1))
+        view.insert("l1", (1, 2))
+        assert RankPolicy().choose(view, "x", 2, random.Random(0)) == (topo.root,)
+
+
+class TestLeftmostPolicy:
+    def test_targets_leftmost_free_leaf(self, topo8):
+        view = LocalTreeView(topo8, ["a"])
+        view.insert("s", (0, 1))
+        path = LeftmostPolicy().choose(view, "a", 1, random.Random(0))
+        assert path[-1] == (1, 2)
+
+
+class TestRandomPolicyDistribution:
+    def test_uniform_over_free_leaves_from_root(self, topo8):
+        view = LocalTreeView(topo8, ["a"])
+        counts = {}
+        for seed in range(800):
+            path = RandomPolicy().choose(view, "a", 1, random.Random(seed))
+            counts[path[-1]] = counts.get(path[-1], 0) + 1
+        assert len(counts) == 8
+        assert max(counts.values()) < 3 * min(counts.values())

@@ -1,0 +1,89 @@
+"""The shared-view engine must reproduce the faithful mode bit-for-bit.
+
+This is the load-bearing validation for the S5 optimization in DESIGN.md:
+every (algorithm, adversary, n, seed) combination must yield identical
+round counts, name assignments, and crash sets in both modes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.random_crash import RandomCrashAdversary
+from repro.adversary.sandwich import SandwichAdversary
+from repro.adversary.splitter import HalfSplitAdversary
+from repro.adversary.targeted import TargetedPriorityAdversary
+from repro.ids import sparse_ids
+from repro.sim.runner import run_renaming
+
+
+def signature(run):
+    return (
+        run.rounds,
+        tuple(sorted(run.names.items())),
+        tuple(sorted(run.crashed, key=repr)),
+    )
+
+
+ADVERSARIES = {
+    "none": lambda seed: None,
+    "random": lambda seed: RandomCrashAdversary(0.15, seed=seed),
+    "targeted": lambda seed: TargetedPriorityAdversary(seed=seed),
+    "sandwich": lambda seed: SandwichAdversary(seed=seed),
+    "halfsplit": lambda seed: HalfSplitAdversary(
+        rounds=frozenset({1, 3, 5, 7}), seed=seed
+    ),
+}
+
+
+class TestModeEquivalence:
+    @pytest.mark.parametrize("adversary_name", sorted(ADVERSARIES))
+    @pytest.mark.parametrize("n", [2, 7, 16, 33])
+    def test_bil_modes_agree(self, n, adversary_name):
+        factory = ADVERSARIES[adversary_name]
+        runs = {}
+        for mode in ("faithful", "shared"):
+            runs[mode] = run_renaming(
+                "balls-into-leaves",
+                sparse_ids(n),
+                seed=11,
+                adversary=factory(11),
+                view_mode=mode,
+                check_invariants=True,
+            )
+        assert signature(runs["faithful"]) == signature(runs["shared"])
+
+    @pytest.mark.parametrize("algorithm", ["early-terminating", "rank-descent"])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_variant_modes_agree_under_crashes(self, algorithm, seed):
+        factory = ADVERSARIES["random"]
+        runs = {}
+        for mode in ("faithful", "shared"):
+            runs[mode] = run_renaming(
+                algorithm,
+                sparse_ids(24),
+                seed=seed,
+                adversary=factory(seed),
+                view_mode=mode,
+                check_invariants=True,
+            )
+        assert signature(runs["faithful"]) == signature(runs["shared"])
+
+    def test_shared_mode_keeps_single_class_without_crashes(self):
+        run = run_renaming(
+            "balls-into-leaves",
+            sparse_ids(32),
+            seed=3,
+            collect_phase_stats=True,
+        )
+        assert all(stats.view_classes == 1 for stats in run.phase_stats)
+
+    def test_shared_mode_splits_classes_on_partial_delivery(self):
+        run = run_renaming(
+            "balls-into-leaves",
+            sparse_ids(32),
+            seed=3,
+            adversary=HalfSplitAdversary(rounds=frozenset({2}), seed=3),
+            collect_phase_stats=True,
+        )
+        assert any(stats.view_classes > 1 for stats in run.phase_stats)

@@ -1,0 +1,123 @@
+"""Unit tests for the view stores."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.messages import path_message, position_message
+from repro.core.views import (
+    PrivateViewStore,
+    SharedViewStore,
+    make_store,
+)
+from repro.errors import ConfigurationError, SimulationError
+from repro.tree.topology import Topology
+
+
+@pytest.fixture
+def topo4():
+    return Topology(4)
+
+
+def hello_inbox(*pids):
+    return {pid: ("hello",) for pid in pids}
+
+
+class TestFactory:
+    def test_make_faithful(self, topo4):
+        assert isinstance(make_store("faithful", topo4), PrivateViewStore)
+
+    def test_make_shared(self, topo4):
+        assert isinstance(make_store("shared", topo4), SharedViewStore)
+
+    def test_unknown_mode(self, topo4):
+        with pytest.raises(ConfigurationError):
+            make_store("psychic", topo4)
+
+
+class TestPrivateStore:
+    def test_views_are_independent(self, topo4):
+        store = PrivateViewStore(topo4)
+        store.initialize("a", 1, hello_inbox("a", "b"))
+        store.initialize("b", 1, hello_inbox("a", "b"))
+        assert store.view_of("a") is not store.view_of("b")
+        assert store.view_of("a") == store.view_of("b")
+
+    def test_uninitialized_view_raises(self, topo4):
+        with pytest.raises(SimulationError):
+            PrivateViewStore(topo4).view_of("nobody")
+
+    def test_apply_paths_mutates_only_own_view(self, topo4):
+        store = PrivateViewStore(topo4)
+        for pid in ("a", "b"):
+            store.initialize(pid, 1, hello_inbox("a", "b"))
+        inbox = {
+            "a": path_message(((0, 4), (0, 2), (0, 1))),
+            "b": path_message(((0, 4), (2, 4), (2, 3))),
+        }
+        store.apply_paths("a", 2, inbox)
+        assert store.view_of("a").position("a") == (0, 1)
+        assert store.view_of("b").position("a") == (0, 4)  # untouched
+
+
+class TestSharedStore:
+    def test_same_inbox_shares_one_tree(self, topo4):
+        store = SharedViewStore(topo4)
+        inbox = hello_inbox("a", "b")
+        store.initialize("a", 1, inbox)
+        store.initialize("b", 1, inbox)
+        assert store.view_of("a") is store.view_of("b")
+        assert store.class_count() == 1
+
+    def test_different_inboxes_split_classes(self, topo4):
+        store = SharedViewStore(topo4)
+        store.initialize("a", 1, hello_inbox("a", "b"))
+        store.initialize("b", 1, hello_inbox("a", "b", "ghost"))
+        assert store.view_of("a") is not store.view_of("b")
+        assert store.class_count() == 2
+
+    def test_classes_merge_when_states_reconverge(self, topo4):
+        store = SharedViewStore(topo4)
+        # Two classes that differ only in a ghost ball.
+        store.initialize("a", 1, hello_inbox("a", "b"))
+        store.initialize("b", 1, hello_inbox("a", "b", "ghost"))
+        # The ghost never speaks again: after one path round both views
+        # hold exactly {a, b} at the same nodes.
+        inbox = {
+            "a": path_message(((0, 4), (0, 2), (0, 1))),
+            "b": path_message(((0, 4), (2, 4), (2, 3))),
+        }
+        store.apply_paths("a", 2, inbox)
+        store.apply_paths("b", 2, inbox)
+        assert store.view_of("a") is store.view_of("b")
+        assert store.class_count() == 1
+
+    def test_apply_positions_updates_shared_tree(self, topo4):
+        store = SharedViewStore(topo4)
+        inbox = hello_inbox("a", "b")
+        store.initialize("a", 1, inbox)
+        store.initialize("b", 1, inbox)
+        pos_inbox = {
+            "a": position_message((0, 1)),
+            "b": position_message((1, 2)),
+        }
+        store.apply_positions("a", 2, pos_inbox)
+        store.apply_positions("b", 2, pos_inbox)
+        assert store.view_of("a").all_at_leaves()
+
+    def test_uninitialized_apply_raises(self, topo4):
+        store = SharedViewStore(topo4)
+        with pytest.raises(SimulationError):
+            store.apply_paths("nobody", 2, {})
+
+    def test_memo_does_not_leak_across_rounds(self, topo4):
+        store = SharedViewStore(topo4)
+        inbox = hello_inbox("a")
+        store.initialize("a", 1, inbox)
+        # Same inbox object in a later round must be recomputed, not
+        # replayed from the stale memo.
+        path_inbox = {"a": path_message(((0, 4), (0, 2), (0, 1)))}
+        store.apply_paths("a", 2, path_inbox)
+        position = store.view_of("a").position("a")
+        store.apply_positions("a", 3, {"a": position_message(position)})
+        assert store.view_of("a").position("a") == (0, 1)

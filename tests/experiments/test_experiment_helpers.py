@@ -1,0 +1,119 @@
+"""Unit tests for the experiment modules' helper machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.base import AdversaryContext
+from repro.experiments.approx_agreement import ExtremeHolderAdversary
+from repro.experiments.common import (
+    failure_stats,
+    no_adversary,
+    round_stats,
+    rounds_over_trials,
+    scaled,
+)
+from repro.experiments.fig_path_view import build_figure4_view, gateway_capacity_total
+from repro.experiments.separation import _stress_adversary
+from repro.experiments.t4_early_termination import _first_round_crashes
+from repro.errors import ExperimentError
+from repro.ids import sparse_ids
+
+
+class TestCommonHelpers:
+    def test_scaled_picks_by_scale(self):
+        assert scaled("smoke", 1, 2) == 1
+        assert scaled("paper", 1, 2) == 2
+        with pytest.raises(ExperimentError):
+            scaled("cosmic", 1, 2)
+
+    def test_no_adversary(self):
+        assert no_adversary(7) is None
+
+    def test_rounds_over_trials_runs_distinct_seeds(self):
+        runs = rounds_over_trials("balls-into-leaves", 8, trials=3, base_seed=1)
+        assert len(runs) == 3
+        assert len({run.seed for run in runs}) == 3
+
+    def test_round_and_failure_stats(self):
+        runs = rounds_over_trials("balls-into-leaves", 8, trials=3, base_seed=1)
+        assert round_stats(runs).count == 3
+        assert failure_stats(runs).maximum == 0.0
+
+
+class TestT4Adversary:
+    def test_f_zero_means_no_adversary(self):
+        assert _first_round_crashes(sparse_ids(16), 0, 1) is None
+
+    def test_exactly_f_victims_scheduled(self):
+        ids = sparse_ids(64)
+        for f in (1, 4, 16):
+            adversary = _first_round_crashes(ids, f, 1)
+            scheduled = adversary._by_round[1]
+            assert len(scheduled) == f
+            victims = {entry.victim for entry in scheduled}
+            assert len(victims) == f
+
+    def test_victims_spread_over_label_space(self):
+        ids = sparse_ids(64)
+        adversary = _first_round_crashes(ids, 4, 1)
+        victims = sorted(entry.victim for entry in adversary._by_round[1])
+        positions = [ids.index(victim) for victim in victims]
+        assert positions == [0, 16, 32, 48]
+
+    def test_receivers_form_half_camps(self):
+        ids = sparse_ids(16)
+        adversary = _first_round_crashes(ids, 2, 1)
+        for entry in adversary._by_round[1]:
+            receivers = set(entry.receivers)
+            assert entry.victim not in receivers
+            assert 7 <= len(receivers) <= 8  # one half of 16, minus self
+
+
+class TestSeparationAdversary:
+    def test_strikes_hello_and_position_rounds(self):
+        adversary = _stress_adversary(1)
+        assert 1 in adversary._rounds
+        assert 3 in adversary._rounds
+        assert 2 not in adversary._rounds
+
+
+class TestFigure4Helpers:
+    def test_gateway_identity_on_other_paths(self):
+        view = build_figure4_view()
+        # The identity "gateway capacity == balls on the path" holds for
+        # the illustrated (rightmost) path by construction.
+        assert gateway_capacity_total(view, 15) == 5
+
+    def test_total_population_is_sixteen(self):
+        view = build_figure4_view()
+        assert len(view) == 16  # 5 stuck + 11 settled
+
+
+class TestExtremeHolderAdversary:
+    def test_targets_the_max_value_sender(self):
+        adversary = ExtremeHolderAdversary(max_crashes=1)
+        ctx = AdversaryContext(
+            round_no=1,
+            running=(1, 2, 3),
+            alive=(1, 2, 3),
+            outbox={1: ("aa-value", 5.0), 2: ("aa-value", 9.0), 3: ("aa-value", 1.0)},
+            crashed_so_far=frozenset(),
+            budget_remaining=2,
+            processes={},
+        )
+        plan = adversary.plan(ctx)
+        assert list(plan) == [2]
+
+    def test_ignores_non_value_traffic(self):
+        adversary = ExtremeHolderAdversary(max_crashes=1)
+        ctx = AdversaryContext(
+            round_no=1,
+            running=(1, 2),
+            alive=(1, 2),
+            outbox={1: ("hello",), 2: ("hello",)},
+            crashed_so_far=frozenset(),
+            budget_remaining=1,
+            processes={},
+        )
+        assert adversary.plan(ctx) == {}

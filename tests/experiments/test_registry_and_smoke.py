@@ -1,0 +1,80 @@
+"""Every registered experiment must run at smoke scale and claim-check."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError, UnknownExperimentError
+from repro.experiments.common import ExperimentResult, check_scale
+from repro.experiments.registry import all_experiments, get_experiment, run_experiment
+
+EXPECTED_IDS = [
+    "EXP-F12",
+    "EXP-F4",
+    "EXP-T2",
+    "EXP-SEP",
+    "EXP-L6",
+    "EXP-L10",
+    "EXP-T3",
+    "EXP-T4",
+    "EXP-ADV",
+    "EXP-LB",
+    "EXP-DET",
+    "EXP-ABL",
+    "EXP-MSG",
+    "EXP-AA",
+    "EXP-NP2",
+]
+
+
+class TestRegistry:
+    def test_all_expected_ids_registered(self):
+        assert [entry.experiment_id for entry in all_experiments()] == EXPECTED_IDS
+
+    def test_lookup(self):
+        entry = get_experiment("EXP-T2")
+        assert "Theorem 2" in entry.title
+
+    def test_unknown_id(self):
+        with pytest.raises(UnknownExperimentError):
+            get_experiment("EXP-NOPE")
+
+    def test_scale_validation(self):
+        with pytest.raises(ExperimentError):
+            check_scale("galactic")
+
+
+@pytest.mark.parametrize("experiment_id", EXPECTED_IDS)
+def test_smoke_run_produces_report(experiment_id):
+    result = run_experiment(experiment_id, scale="smoke", seed=1)
+    assert isinstance(result, ExperimentResult)
+    assert result.experiment_id == experiment_id
+    report = result.render()
+    assert experiment_id in report
+    assert "reproduce with" in report
+    assert result.tables or result.plots
+
+
+class TestClaimShapes:
+    """Cheap, deterministic checks that the headline shapes hold."""
+
+    def test_t3_constant(self):
+        result = run_experiment("EXP-T3", scale="smoke", seed=2)
+        note = next(n for n in result.notes if "distinct" in n)
+        assert "[3.0]" in note
+
+    def test_det_is_linear(self):
+        result = run_experiment("EXP-DET", scale="smoke", seed=2)
+        note = next(n for n in result.notes if "best fit" in n)
+        assert "linear" in note
+
+    def test_f4_identity_holds(self):
+        result = run_experiment("EXP-F4", scale="smoke", seed=2)
+        note = next(n for n in result.notes if "gateway" in n)
+        assert "balls on the path: 5; total gateway capacity: 5" in note
+
+    def test_lb_duplicates_appear_under_loss(self):
+        result = run_experiment("EXP-LB", scale="smoke", seed=2)
+        faulty = result.tables[-1]
+        lossy_rows = [row for row in faulty.rows if row[1] != "0.000"]
+        assert any(row[2].split("/")[0] != "0" for row in lossy_rows)

@@ -1,0 +1,134 @@
+"""Cross-algorithm integration: every algorithm, every adversary, mid n.
+
+These are the "does the whole stack hold together" runs: each algorithm
+against each adversary family at n=48 (not a power of two, on purpose),
+plus determinism and complexity sanity assertions across the matrix.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.none import NoFailures
+from repro.adversary.random_crash import RandomCrashAdversary
+from repro.adversary.sandwich import SandwichAdversary
+from repro.adversary.splitter import HalfSplitAdversary
+from repro.adversary.targeted import TargetedPriorityAdversary
+from repro.ids import sparse_ids
+from repro.sim.runner import run_renaming
+
+N = 48
+
+ADVERSARIES = {
+    "none": lambda: NoFailures(),
+    "random-split": lambda: RandomCrashAdversary(0.08, seed=5),
+    "random-uniform": lambda: RandomCrashAdversary(0.08, delivery="uniform", seed=5),
+    "targeted": lambda: TargetedPriorityAdversary(seed=5),
+    "sandwich": lambda: SandwichAdversary(seed=5),
+    "half-split": lambda: HalfSplitAdversary(
+        rounds=frozenset({1, 3, 5, 7, 9}), seed=5
+    ),
+}
+
+ALGORITHMS = ["balls-into-leaves", "early-terminating", "rank-descent"]
+
+
+@pytest.mark.parametrize("adversary_name", sorted(ADVERSARIES))
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_algorithm_survives_adversary(algorithm, adversary_name):
+    run = run_renaming(
+        algorithm,
+        sparse_ids(N),
+        seed=5,
+        adversary=ADVERSARIES[adversary_name](),
+    )
+    names = list(run.names.values())
+    assert len(names) == N - run.failures
+    assert len(set(names)) == len(names)
+    assert all(0 <= name < N for name in names)
+
+
+class TestComplexitySanity:
+    def test_bil_beats_flood_by_a_lot(self):
+        bil = run_renaming("balls-into-leaves", sparse_ids(N), seed=6)
+        flood = run_renaming("flood", sparse_ids(N), seed=6)
+        assert bil.rounds * 4 < flood.rounds
+
+    def test_early_terminating_beats_plain_failure_free(self):
+        early = run_renaming("early-terminating", sparse_ids(N), seed=6)
+        plain = run_renaming("balls-into-leaves", sparse_ids(N), seed=6)
+        assert early.rounds < plain.rounds
+
+    def test_rounds_grow_very_slowly(self):
+        small = run_renaming("balls-into-leaves", sparse_ids(16), seed=6)
+        large = run_renaming("balls-into-leaves", sparse_ids(1024), seed=6)
+        assert large.rounds <= small.rounds + 6  # loglog growth
+
+    def test_crashes_do_not_blow_up_rounds(self):
+        calm = run_renaming("balls-into-leaves", sparse_ids(256), seed=7)
+        stormy = run_renaming(
+            "balls-into-leaves",
+            sparse_ids(256),
+            seed=7,
+            adversary=RandomCrashAdversary(0.2, seed=7),
+        )
+        assert stormy.rounds <= calm.rounds + 6  # Section 5.3
+
+
+class TestDeterminismMatrix:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_reproducible_under_adversary(self, algorithm):
+        def once():
+            return run_renaming(
+                algorithm,
+                sparse_ids(N),
+                seed=8,
+                adversary=RandomCrashAdversary(0.1, seed=8),
+            )
+
+        first, second = once(), once()
+        assert first.names == second.names
+        assert first.rounds == second.rounds
+        assert first.crashed == second.crashed
+
+
+class TestAtScale:
+    """One larger run per headline configuration (a few seconds total)."""
+
+    def test_bil_2048_with_heavy_crashes(self):
+        run = run_renaming(
+            "balls-into-leaves",
+            sparse_ids(2048),
+            seed=12,
+            adversary=RandomCrashAdversary(0.1, seed=12),
+        )
+        names = list(run.names.values())
+        assert len(names) == 2048 - run.failures
+        assert len(set(names)) == len(names)
+        assert run.rounds <= 13  # ~ 2 * loglog n phases + slack
+
+    def test_early_terminating_2048_halt_on_name(self):
+        run = run_renaming(
+            "early-terminating", sparse_ids(2048), seed=13, halt_on_name=True
+        )
+        assert run.rounds == 3
+        assert sorted(run.names.values()) == list(range(2048))
+
+
+class TestNamespaceShapes:
+    @pytest.mark.parametrize("n", [1, 2, 3, 17, 100])
+    def test_odd_sizes_across_algorithms(self, n):
+        for algorithm in ALGORITHMS:
+            run = run_renaming(algorithm, sparse_ids(n), seed=9)
+            assert sorted(run.names.values()) == list(range(n))
+
+    def test_string_ids_under_crashes(self):
+        from repro.ids import string_ids
+
+        run = run_renaming(
+            "balls-into-leaves",
+            string_ids(30),
+            seed=10,
+            adversary=RandomCrashAdversary(0.1, seed=10),
+        )
+        assert len(set(run.names.values())) == len(run.names)

@@ -1,0 +1,122 @@
+"""Unit tests for the balls-into-bins strategies."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.loadbalance.bins import BinLoads, load_histogram, loads_from_assignment
+from repro.loadbalance.faulty import crash_faulted_parallel_retry
+from repro.loadbalance.parallel_retry import parallel_retry
+from repro.loadbalance.single_choice import single_choice
+from repro.loadbalance.two_choice import two_choice
+
+
+class TestBinLoads:
+    def test_aggregates(self):
+        loads = BinLoads([0, 2, 1, 1])
+        assert loads.n_bins == 4
+        assert loads.n_balls == 4
+        assert loads.max_load == 2
+        assert loads.empty_bins == 1
+        assert not loads.is_perfect
+
+    def test_perfect_allocation(self):
+        assert BinLoads([1, 1, 1]).is_perfect
+
+    def test_histogram(self):
+        assert load_histogram([0, 2, 1, 1]) == {0: 1, 1: 2, 2: 1}
+
+    def test_loads_from_assignment(self):
+        assert loads_from_assignment([0, 0, 2], 3) == [2, 0, 1]
+
+
+class TestSingleChoice:
+    def test_places_all_balls(self):
+        loads = single_choice(100, 100, random.Random(0))
+        assert loads.n_balls == 100
+
+    def test_max_load_grows_like_log_over_loglog(self):
+        n = 4096
+        trials = [single_choice(n, n, random.Random(s)).max_load for s in range(5)]
+        expected = math.log(n) / math.log(math.log(n))
+        assert expected / 2 < sum(trials) / 5 < expected * 3
+
+    def test_rejects_zero_bins(self):
+        with pytest.raises(ValueError):
+            single_choice(1, 0, random.Random(0))
+
+
+class TestTwoChoice:
+    def test_beats_single_choice(self):
+        n = 4096
+        singles = [single_choice(n, n, random.Random(s)).max_load for s in range(5)]
+        doubles = [two_choice(n, n, random.Random(s)).max_load for s in range(5)]
+        assert sum(doubles) < sum(singles)
+
+    def test_max_load_near_loglog(self):
+        n = 4096
+        loads = [two_choice(n, n, random.Random(s)).max_load for s in range(5)]
+        assert max(loads) <= math.log2(math.log2(n)) + 3
+
+    def test_more_choices_never_worse(self):
+        n = 1024
+        two = two_choice(n, n, random.Random(1), choices=2).max_load
+        four = two_choice(n, n, random.Random(1), choices=4).max_load
+        assert four <= two + 1
+
+    def test_rejects_zero_choices(self):
+        with pytest.raises(ValueError):
+            two_choice(4, 4, random.Random(0), choices=0)
+
+
+class TestParallelRetry:
+    def test_reaches_one_to_one(self):
+        outcome = parallel_retry(512, 512, random.Random(3))
+        assert outcome.one_to_one
+        assert len(outcome.assignment) == 512
+
+    def test_rounds_are_doubly_logarithmic_ish(self):
+        rounds = [parallel_retry(4096, 4096, random.Random(s)).rounds for s in range(3)]
+        assert max(rounds) <= 4 * math.log2(math.log2(4096)) + 6
+
+    def test_unplaced_counts_decrease(self):
+        outcome = parallel_retry(256, 256, random.Random(0))
+        counts = outcome.per_round_unplaced
+        assert counts[0] == 256
+        assert all(a >= b for a, b in zip(counts, counts[1:]))
+
+    def test_rejects_more_balls_than_bins(self):
+        with pytest.raises(ValueError):
+            parallel_retry(5, 4, random.Random(0))
+
+    def test_fewer_balls_than_bins(self):
+        outcome = parallel_retry(10, 100, random.Random(0))
+        assert outcome.one_to_one
+
+
+class TestFaultyAllocation:
+    def test_no_loss_stays_one_to_one(self):
+        outcome = crash_faulted_parallel_retry(128, 128, random.Random(0),
+                                               announcement_loss_rate=0.0)
+        assert outcome.one_to_one
+
+    def test_losses_create_duplicates(self):
+        duplicates = 0
+        for seed in range(5):
+            outcome = crash_faulted_parallel_retry(
+                128, 128, random.Random(seed), announcement_loss_rate=0.3
+            )
+            duplicates += len(outcome.duplicate_bins)
+        assert duplicates > 0  # the uniqueness violation the paper warns about
+
+    def test_rejects_invalid_loss_rate(self):
+        with pytest.raises(ValueError):
+            crash_faulted_parallel_retry(4, 4, random.Random(0),
+                                         announcement_loss_rate=1.5)
+
+    def test_rejects_more_balls_than_bins(self):
+        with pytest.raises(ValueError):
+            crash_faulted_parallel_retry(5, 4, random.Random(0))

@@ -1,0 +1,147 @@
+"""Executable checks of the paper's stated invariants on real traces.
+
+* Lemma 1  — capacity invariant in every (reference) view, every phase.
+* Lemma 2  — path isolation: balls never join a root path from outside,
+  equivalently every ball's position interval only ever narrows.
+* Prop. 1  — correct balls' positions agree across views at phase ends.
+* Section 5.2 — a path's total gateway capacity equals its ball count.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.adversary.random_crash import RandomCrashAdversary
+from repro.core.balls_into_leaves import build_balls_into_leaves
+from repro.core.config import BallsIntoLeavesConfig
+from repro.ids import sparse_ids
+from repro.sim.simulator import Simulation
+from repro.tree import node as nd
+from repro.tree.topology import Topology
+
+
+def run_capturing_positions(n, seed, adversary=None, view_mode="shared"):
+    """Drive a run, returning per-position-round snapshots of the views."""
+    config = BallsIntoLeavesConfig(path_policy="random", view_mode=view_mode)
+    processes, store = build_balls_into_leaves(sparse_ids(n), seed=seed, config=config)
+    snapshots = []
+
+    def observer(simulation, round_no):
+        if round_no < 3 or round_no % 2 == 0:
+            return
+        per_view = {}
+        for pid in simulation.alive():
+            try:
+                view = store.view_of(pid)
+            except Exception:
+                continue
+            per_view[pid] = dict(
+                (ball, view.position(ball)) for ball in view.balls()
+            )
+        snapshots.append(per_view)
+
+    simulation = Simulation(
+        processes, adversary=adversary, max_rounds=10 * n + 16, observers=[observer]
+    )
+    simulation.run()
+    return snapshots, simulation
+
+
+class TestPathIsolation:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=200))
+    def test_positions_only_narrow(self, seed):
+        """Lemma 2, per ball: position intervals form a containment chain."""
+        snapshots, _sim = run_capturing_positions(12, seed)
+        previous = {}
+        for per_view in snapshots:
+            for pid, positions in per_view.items():
+                for ball, position in positions.items():
+                    key = (pid, ball)
+                    if key in previous:
+                        assert nd.contains(previous[key], position), (
+                            f"ball {ball} moved upward/sideways in view of {pid}"
+                        )
+                    previous[key] = position
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=100))
+    def test_positions_narrow_under_crashes(self, seed):
+        snapshots, sim = run_capturing_positions(
+            12, seed, adversary=RandomCrashAdversary(0.1, seed=seed)
+        )
+        previous = {}
+        for per_view in snapshots:
+            for pid, positions in per_view.items():
+                for ball, position in positions.items():
+                    key = (pid, ball)
+                    if key in previous:
+                        assert nd.contains(previous[key], position)
+                    previous[key] = position
+
+
+class TestProposition1:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=100))
+    def test_correct_positions_agree_across_views(self, seed):
+        snapshots, sim = run_capturing_positions(
+            10, seed, adversary=RandomCrashAdversary(0.15, seed=seed), view_mode="faithful"
+        )
+        crashed = sim.crashed
+        for per_view in snapshots:
+            correct_views = {
+                pid: positions
+                for pid, positions in per_view.items()
+                if pid not in crashed
+            }
+            for ball in sparse_ids(10):
+                if ball in crashed:
+                    continue
+                seen = {
+                    positions[ball]
+                    for positions in correct_views.values()
+                    if ball in positions
+                }
+                assert len(seen) <= 1, f"views disagree on correct ball {ball}: {seen}"
+
+
+class TestLemma1:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=100))
+    def test_correct_balls_respect_capacity_in_every_view(self, seed):
+        snapshots, sim = run_capturing_positions(
+            10, seed, adversary=RandomCrashAdversary(0.15, seed=seed), view_mode="faithful"
+        )
+        crashed = sim.crashed
+        topo = Topology(10)
+        for per_view in snapshots:
+            for pid, positions in per_view.items():
+                if pid in crashed:
+                    continue
+                # Count correct balls per subtree by brute force.
+                counts = {}
+                for ball, position in positions.items():
+                    if ball in crashed:
+                        continue
+                    for node in topo.ancestors(position):
+                        counts[node] = counts.get(node, 0) + 1
+                for node, count in counts.items():
+                    assert count <= nd.span(node), (
+                        f"Lemma 1 violated at {node} in view of {pid}"
+                    )
+
+
+class TestGatewayIdentity:
+    def test_gateway_capacity_equals_path_population(self):
+        """Section 5.2's identity on the constructed Figure 4 view."""
+        from repro.experiments.fig_path_view import (
+            build_figure4_view,
+            gateway_capacity_total,
+        )
+
+        view = build_figure4_view()
+        path = view.topology.path_to_leaf(view.topology.root, 15)
+        on_path = sum(view.occupancy(node) for node in path[:-1])
+        assert on_path == 5
+        assert gateway_capacity_total(view, 15) == on_path

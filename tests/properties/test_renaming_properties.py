@@ -1,0 +1,111 @@
+"""Property-based tests: the renaming spec holds under arbitrary crashes.
+
+Hypothesis drives the adversary: arbitrary victims, rounds, and receiver
+subsets.  Whatever it throws at the algorithms, correct processes must
+terminate with distinct valid names (Theorem 1 + deterministic
+termination), in both view modes.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.adversary.scheduled import ScheduledAdversary, ScheduledCrash
+from repro.ids import sparse_ids
+from repro.sim.runner import run_renaming
+
+
+def schedules(max_n: int, max_round: int = 9):
+    """Strategy: a crash schedule over process indices 0..max_n-1."""
+    crash = st.tuples(
+        st.integers(min_value=1, max_value=max_round),  # round
+        st.integers(min_value=0, max_value=max_n - 1),  # victim index
+        st.lists(  # receiver indices
+            st.integers(min_value=0, max_value=max_n - 1), max_size=max_n
+        ),
+    )
+    return st.lists(crash, max_size=max_n - 1)
+
+
+def build_adversary(ids, raw_schedule):
+    entries = []
+    seen_victims = set()
+    for round_no, victim_index, receiver_indices in raw_schedule:
+        victim = ids[victim_index]
+        if victim in seen_victims:
+            continue
+        seen_victims.add(victim)
+        receivers = [ids[i] for i in sorted(set(receiver_indices)) if ids[i] != victim]
+        entries.append(ScheduledCrash(round_no, victim, receivers))
+    return ScheduledAdversary(entries)
+
+
+class TestSpecUnderArbitraryCrashes:
+    @settings(max_examples=60, deadline=None)
+    @given(raw=schedules(max_n=9), seed=st.integers(min_value=0, max_value=50))
+    def test_balls_into_leaves(self, raw, seed):
+        ids = sparse_ids(9)
+        run = run_renaming(
+            "balls-into-leaves",
+            ids,
+            seed=seed,
+            adversary=build_adversary(ids, raw),
+            check_invariants=True,
+        )
+        names = list(run.names.values())
+        assert len(names) == len(set(names))
+        assert all(0 <= name < 9 for name in names)
+
+    @settings(max_examples=40, deadline=None)
+    @given(raw=schedules(max_n=8), seed=st.integers(min_value=0, max_value=20))
+    def test_early_terminating(self, raw, seed):
+        ids = sparse_ids(8)
+        run = run_renaming(
+            "early-terminating",
+            ids,
+            seed=seed,
+            adversary=build_adversary(ids, raw),
+            check_invariants=True,
+        )
+        assert len(set(run.names.values())) == len(run.names)
+
+    @settings(max_examples=40, deadline=None)
+    @given(raw=schedules(max_n=8), seed=st.integers(min_value=0, max_value=20))
+    def test_rank_descent(self, raw, seed):
+        ids = sparse_ids(8)
+        run = run_renaming(
+            "rank-descent",
+            ids,
+            seed=seed,
+            adversary=build_adversary(ids, raw),
+            check_invariants=True,
+        )
+        assert len(set(run.names.values())) == len(run.names)
+
+    @settings(max_examples=30, deadline=None)
+    @given(raw=schedules(max_n=7, max_round=7))
+    def test_flood(self, raw):
+        ids = sparse_ids(7)
+        run = run_renaming("flood", ids, adversary=build_adversary(ids, raw))
+        assert len(set(run.names.values())) == len(run.names)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        raw=schedules(max_n=7),
+        seed=st.integers(min_value=0, max_value=10),
+        n=st.integers(min_value=1, max_value=7),
+    )
+    def test_view_modes_agree_under_arbitrary_crashes(self, raw, seed, n):
+        ids = sparse_ids(n)
+        raw = [(r, v % n, [i % n for i in rec]) for r, v, rec in raw]
+        outcomes = {}
+        for mode in ("faithful", "shared"):
+            run = run_renaming(
+                "balls-into-leaves",
+                ids,
+                seed=seed,
+                adversary=build_adversary(ids, raw),
+                view_mode=mode,
+            )
+            outcomes[mode] = (run.rounds, tuple(sorted(run.names.items())))
+        assert outcomes["faithful"] == outcomes["shared"]

@@ -1,0 +1,160 @@
+"""Property-based tests for the remaining substrates.
+
+Covers the load-balancing schemes, the flooding baseline, approximate
+agreement, and the halt-on-name extension under hypothesis-generated
+inputs and crash schedules.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.adversary.scheduled import ScheduledAdversary, ScheduledCrash
+from repro.baselines.approximate_agreement import (
+    build_approximate_agreement,
+    decision_diameter,
+)
+from repro.baselines.flood_consensus import build_flood_renaming
+from repro.ids import sparse_ids
+from repro.loadbalance.parallel_retry import parallel_retry
+from repro.loadbalance.single_choice import single_choice
+from repro.loadbalance.two_choice import two_choice
+from repro.sim.runner import run_renaming
+from repro.sim.simulator import Simulation
+
+
+def schedule_strategy(n, max_round=8):
+    crash = st.tuples(
+        st.integers(min_value=1, max_value=max_round),
+        st.integers(min_value=0, max_value=n - 1),
+        st.lists(st.integers(min_value=0, max_value=n - 1), max_size=n),
+    )
+    return st.lists(crash, max_size=n - 1)
+
+
+def to_adversary(ids, raw):
+    entries = []
+    seen = set()
+    for round_no, victim_index, receivers in raw:
+        victim = ids[victim_index]
+        if victim in seen:
+            continue
+        seen.add(victim)
+        entries.append(
+            ScheduledCrash(
+                round_no,
+                victim,
+                [ids[i] for i in sorted(set(receivers)) if ids[i] != victim],
+            )
+        )
+    return ScheduledAdversary(entries)
+
+
+class TestLoadBalanceProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        n_balls=st.integers(min_value=0, max_value=200),
+        n_bins=st.integers(min_value=1, max_value=200),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_single_choice_conserves_balls(self, n_balls, n_bins, seed):
+        loads = single_choice(n_balls, n_bins, random.Random(seed))
+        assert loads.n_balls == n_balls
+        assert loads.n_bins == n_bins
+        assert all(load >= 0 for load in loads.loads)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=200),
+        choices=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_two_choice_conserves_balls(self, n, choices, seed):
+        loads = two_choice(n, n, random.Random(seed), choices=choices)
+        assert loads.n_balls == n
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n_balls=st.integers(min_value=0, max_value=128),
+        extra_bins=st.integers(min_value=0, max_value=64),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_parallel_retry_is_always_one_to_one(self, n_balls, extra_bins, seed):
+        outcome = parallel_retry(n_balls, n_balls + extra_bins, random.Random(seed))
+        assert outcome.one_to_one
+        assert len(outcome.assignment) == n_balls
+        assert sorted(outcome.assignment) == list(range(n_balls))
+
+
+class TestFloodProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(raw=st.data())
+    def test_flood_knowledge_only_grows(self, raw):
+        n = raw.draw(st.integers(min_value=1, max_value=8))
+        ids = sparse_ids(n)
+        adversary = to_adversary(ids, raw.draw(schedule_strategy(n)))
+        processes = build_flood_renaming(ids, crash_budget=n - 1)
+        simulation = Simulation(processes, adversary=adversary, max_rounds=n + 4)
+        previous = {proc.pid: set(proc.known) for proc in processes}
+        while simulation.step():
+            for proc in processes:
+                assert previous[proc.pid] <= set(proc.known)
+                previous[proc.pid] = set(proc.known)
+
+
+class TestApproximateAgreementProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=12,
+        ),
+        raw=st.data(),
+    )
+    def test_decisions_stay_in_initial_interval(self, values, raw):
+        n = len(values)
+        ids = sparse_ids(n)
+        adversary = to_adversary(ids, raw.draw(schedule_strategy(n)))
+        processes = build_approximate_agreement(ids, values, rounds=6)
+        result = Simulation(processes, adversary=adversary, max_rounds=10).run()
+        low, high = min(values), max(values)
+        for pid, decision in result.decisions.items():
+            if decision is not None:
+                assert low - 1e-9 <= decision <= high + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(min_value=0, max_value=1000, allow_nan=False),
+            min_size=2,
+            max_size=10,
+        )
+    )
+    def test_failure_free_exact_agreement(self, values):
+        ids = sparse_ids(len(values))
+        processes = build_approximate_agreement(ids, values, rounds=2)
+        result = Simulation(processes, max_rounds=4).run()
+        assert decision_diameter(result.decisions) == 0.0
+
+
+class TestHaltOnNameProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(raw=st.data(), seed=st.integers(min_value=0, max_value=30))
+    def test_spec_under_arbitrary_crashes(self, raw, seed):
+        n = 9
+        ids = sparse_ids(n)
+        adversary = to_adversary(ids, raw.draw(schedule_strategy(n)))
+        run = run_renaming(
+            "balls-into-leaves",
+            ids,
+            seed=seed,
+            adversary=adversary,
+            halt_on_name=True,
+            check_invariants=True,
+        )
+        names = list(run.names.values())
+        assert len(names) == len(set(names))
+        assert all(0 <= name < n for name in names)

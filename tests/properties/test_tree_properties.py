@@ -1,0 +1,146 @@
+"""Property-based tests for the tree substrate."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.tree import node as nd
+from repro.tree.local_view import LocalTreeView
+from repro.tree.paths import random_capacity_path
+from repro.tree.priority import ordered_balls, priority_key
+from repro.tree.topology import Topology
+
+
+def recount(view: LocalTreeView):
+    """Recompute subtree counts from positions, the slow way."""
+    counts = {}
+    for ball in view.balls():
+        position = view.position(ball)
+        for node in view.topology.ancestors(position):
+            counts[node] = counts.get(node, 0) + 1
+    return counts
+
+
+@st.composite
+def op_sequences(draw):
+    """A tree size and a sequence of insert/place/remove operations."""
+    n = draw(st.integers(min_value=1, max_value=12))
+    ops = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["insert", "place", "remove"]),
+                st.integers(min_value=0, max_value=19),  # ball label
+                st.integers(min_value=0, max_value=10_000),  # node selector
+            ),
+            max_size=40,
+        )
+    )
+    return n, ops
+
+
+def pick_node(topo: Topology, selector: int):
+    nodes = topo.nodes()
+    return nodes[selector % len(nodes)]
+
+
+class TestViewConsistency:
+    @settings(max_examples=150, deadline=None)
+    @given(data=op_sequences())
+    def test_counts_always_match_positions(self, data):
+        n, ops = data
+        topo = Topology(n)
+        view = LocalTreeView(topo)
+        for op, ball, selector in ops:
+            if op == "insert" and ball not in view:
+                view.insert(ball, pick_node(topo, selector))
+            elif op == "place" and ball in view:
+                view.place(ball, pick_node(topo, selector))
+            elif op == "remove" and ball in view:
+                view.remove(ball)
+        expected = recount(view)
+        for node in topo.nodes():
+            assert view.subtree_balls(node) == expected.get(node, 0)
+        assert view.balls_at_leaves() == sum(
+            1 for b in view.balls() if nd.is_leaf(view.position(b))
+        )
+        assert view.all_at_leaves() == (view.balls_at_leaves() == len(view))
+
+    @settings(max_examples=80, deadline=None)
+    @given(data=op_sequences())
+    def test_copy_detaches_state(self, data):
+        n, ops = data
+        topo = Topology(n)
+        view = LocalTreeView(topo)
+        for op, ball, selector in ops:
+            if op == "insert" and ball not in view:
+                view.insert(ball, pick_node(topo, selector))
+        clone = view.copy()
+        assert clone.snapshot() == view.snapshot()
+        balls_before = len(view)
+        for ball in list(clone.balls()):
+            clone.remove(ball)
+        # Emptying the clone must not disturb the original.
+        assert len(view) == balls_before
+        assert len(clone) == 0
+        expected = recount(view)
+        for node in topo.nodes():
+            assert view.subtree_balls(node) == expected.get(node, 0)
+
+
+class TestPriorityOrderProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=10),
+        placements=st.lists(st.integers(min_value=0, max_value=10_000), max_size=12),
+    )
+    def test_strict_total_order(self, n, placements):
+        topo = Topology(n)
+        view = LocalTreeView(topo)
+        for index, selector in enumerate(placements):
+            view.insert(index, pick_node(topo, selector))
+        order = ordered_balls(view)
+        assert len(order) == len(view)
+        keys = [priority_key(view, ball) for ball in order]
+        for first, second in zip(keys, keys[1:]):
+            assert first < second  # strictly increasing: total, antisymmetric
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=10),
+        placements=st.lists(st.integers(min_value=0, max_value=10_000), max_size=12),
+    )
+    def test_deeper_always_precedes_shallower(self, n, placements):
+        topo = Topology(n)
+        view = LocalTreeView(topo)
+        for index, selector in enumerate(placements):
+            view.insert(index, pick_node(topo, selector))
+        order = ordered_balls(view)
+        depths = [view.depth_of(ball) for ball in order]
+        assert depths == sorted(depths, reverse=True)
+
+
+class TestRandomPathProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=16),
+        settled=st.sets(st.integers(min_value=0, max_value=15), max_size=15),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_path_valid_and_avoids_full_subtrees(self, n, settled, seed):
+        topo = Topology(n)
+        view = LocalTreeView(topo, ["mover"])
+        occupied = [rank for rank in settled if rank < n]
+        if len(occupied) >= n:
+            occupied = occupied[: n - 1]  # keep one leaf free for the mover
+        for rank in occupied:
+            view.insert(f"s{rank}", nd.leaf_node(rank))
+        path = random_capacity_path(view, topo.root, random.Random(seed))
+        assert path[0] == topo.root
+        assert nd.is_leaf(path[-1])
+        for parent, child in zip(path, path[1:]):
+            assert topo.parent(child) == parent
+        # The chosen leaf must be free (capacity-weighted choice never
+        # enters a full subtree when a free alternative exists).
+        assert nd.leaf_rank(path[-1]) not in occupied

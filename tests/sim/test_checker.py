@@ -1,0 +1,89 @@
+"""Unit tests for the renaming specification checker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SpecViolation
+from repro.sim.checker import RenamingSpec, check_renaming
+from repro.sim.metrics import SimulationMetrics
+from repro.sim.simulator import SimulationResult
+
+
+def make_result(decisions, crashed=(), halted=None):
+    halted = set(decisions) - set(crashed) if halted is None else halted
+    return SimulationResult(
+        rounds=5,
+        decisions=dict(decisions),
+        crashed=frozenset(crashed),
+        halted=frozenset(halted),
+        metrics=SimulationMetrics(),
+    )
+
+
+class TestSpec:
+    def test_m_defaults_to_n(self):
+        spec = RenamingSpec(n=8)
+        assert spec.m == 8
+        assert spec.tight
+
+    def test_loose_namespace(self):
+        spec = RenamingSpec(n=8, namespace_size=15)
+        assert spec.m == 15
+        assert not spec.tight
+
+
+class TestChecks:
+    def test_accepts_valid_tight_renaming(self):
+        result = make_result({"a": 0, "b": 1, "c": 2})
+        decided = check_renaming(result, RenamingSpec(n=3))
+        assert decided == {"a": 0, "b": 1, "c": 2}
+
+    def test_crashed_processes_are_exempt(self):
+        result = make_result({"a": 0, "b": None, "c": 0}, crashed={"b", "c"})
+        decided = check_renaming(result, RenamingSpec(n=3))
+        assert decided == {"a": 0}
+
+    def test_termination_violation(self):
+        result = make_result({"a": 0, "b": None})
+        with pytest.raises(SpecViolation, match="termination"):
+            check_renaming(result, RenamingSpec(n=2))
+
+    def test_validity_violation_above_range(self):
+        result = make_result({"a": 0, "b": 2})
+        with pytest.raises(SpecViolation, match="validity"):
+            check_renaming(result, RenamingSpec(n=2))
+
+    def test_validity_violation_negative(self):
+        result = make_result({"a": -1, "b": 0})
+        with pytest.raises(SpecViolation, match="validity"):
+            check_renaming(result, RenamingSpec(n=2))
+
+    def test_validity_violation_non_integer(self):
+        result = make_result({"a": "zero", "b": 0})
+        with pytest.raises(SpecViolation, match="validity"):
+            check_renaming(result, RenamingSpec(n=2))
+
+    def test_uniqueness_violation(self):
+        result = make_result({"a": 1, "b": 1})
+        with pytest.raises(SpecViolation, match="uniqueness"):
+            check_renaming(result, RenamingSpec(n=2))
+
+    def test_decided_but_not_halted_is_flagged(self):
+        result = make_result({"a": 0, "b": 1}, halted={"a"})
+        with pytest.raises(SpecViolation, match="never halted"):
+            check_renaming(result, RenamingSpec(n=2))
+
+    def test_loose_namespace_allows_larger_names(self):
+        result = make_result({"a": 9, "b": 1})
+        decided = check_renaming(result, RenamingSpec(n=2, namespace_size=10))
+        assert decided["a"] == 9
+
+    def test_multiple_problems_reported_together(self):
+        result = make_result({"a": 5, "b": 5, "c": None})
+        with pytest.raises(SpecViolation) as exc:
+            check_renaming(result, RenamingSpec(n=3))
+        message = str(exc.value)
+        assert "validity" in message
+        assert "uniqueness" in message
+        assert "termination" in message

@@ -1,0 +1,90 @@
+"""Unit tests for the process protocol, trace, and metrics helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProtocolViolation
+from repro.sim.metrics import RoundMetrics, SimulationMetrics
+from repro.sim.process import SyncProcess
+from repro.sim.trace import Trace
+
+
+class Dummy(SyncProcess):
+    def compose(self, round_no):
+        return ("noop",)
+
+    def deliver(self, round_no, inbox):
+        pass
+
+
+class TestProcessContract:
+    def test_initial_state(self):
+        proc = Dummy("p")
+        assert proc.pid == "p"
+        assert not proc.halted
+        assert not proc.decided
+        assert proc.decision is None
+
+    def test_decide_fixes_value(self):
+        proc = Dummy("p")
+        proc.decide(4)
+        assert proc.decided
+        assert proc.decision == 4
+
+    def test_redeciding_same_value_is_fine(self):
+        proc = Dummy("p")
+        proc.decide(4)
+        proc.decide(4)
+        assert proc.decision == 4
+
+    def test_changing_decision_raises(self):
+        proc = Dummy("p")
+        proc.decide(4)
+        with pytest.raises(ProtocolViolation):
+            proc.decide(5)
+
+    def test_halt(self):
+        proc = Dummy("p")
+        proc.halt()
+        assert proc.halted
+
+    def test_repr_mentions_state(self):
+        proc = Dummy("p")
+        assert "running" in repr(proc)
+        proc.halt()
+        assert "halted" in repr(proc)
+
+
+class TestTrace:
+    def test_record_and_filter(self):
+        trace = Trace()
+        trace.record(1, "crash", pid=3)
+        trace.record(2, "round", sent=5)
+        trace.record(2, "crash", pid=4)
+        assert len(trace) == 3
+        crashes = trace.events("crash")
+        assert [e.data["pid"] for e in crashes] == [3, 4]
+        assert len(trace.events()) == 3
+
+    def test_iteration_order(self):
+        trace = Trace()
+        for index in range(5):
+            trace.record(index, "round")
+        assert [e.round_no for e in trace] == list(range(5))
+
+
+class TestMetrics:
+    def test_totals(self):
+        metrics = SimulationMetrics()
+        metrics.record(RoundMetrics(1, messages_sent=4, messages_delivered=16, crashes=1))
+        metrics.record(RoundMetrics(2, messages_sent=3, messages_delivered=9, crashes=0))
+        assert metrics.total_rounds == 2
+        assert metrics.total_messages_sent == 7
+        assert metrics.total_messages_delivered == 25
+        assert metrics.total_crashes == 1
+
+    def test_empty(self):
+        metrics = SimulationMetrics()
+        assert metrics.total_rounds == 0
+        assert metrics.total_messages_sent == 0

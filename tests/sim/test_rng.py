@@ -1,0 +1,32 @@
+"""Unit tests for deterministic randomness derivation."""
+
+from __future__ import annotations
+
+from repro.sim.rng import derive_rng, derive_seed
+
+
+class TestDeriveSeed:
+    def test_same_scope_same_seed(self):
+        assert derive_seed(7, "ball", 3) == derive_seed(7, "ball", 3)
+
+    def test_different_scope_different_seed(self):
+        assert derive_seed(7, "ball", 3) != derive_seed(7, "ball", 4)
+        assert derive_seed(7, "ball", 3) != derive_seed(7, "adversary", 3)
+
+    def test_different_run_seed_different_seed(self):
+        assert derive_seed(7, "ball", 3) != derive_seed(8, "ball", 3)
+
+    def test_string_and_int_scopes_are_distinct(self):
+        assert derive_seed(7, "ball", 3) != derive_seed(7, "ball", "3")
+
+
+class TestDeriveRng:
+    def test_streams_are_reproducible(self):
+        first = [derive_rng(1, "x").random() for _ in range(5)]
+        second = [derive_rng(1, "x").random() for _ in range(5)]
+        assert first == second
+
+    def test_streams_are_independent(self):
+        a = derive_rng(1, "a")
+        b = derive_rng(1, "b")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]

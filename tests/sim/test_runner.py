@@ -1,0 +1,87 @@
+"""Integration tests for the high-level runner API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.random_crash import RandomCrashAdversary
+from repro.errors import ConfigurationError
+from repro.ids import sparse_ids, string_ids
+from repro.sim.runner import ALGORITHMS, run_renaming
+
+
+class TestRunRenaming:
+    @pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+    def test_every_algorithm_renames_small_instance(self, algorithm):
+        run = run_renaming(algorithm, sparse_ids(8), seed=1)
+        assert sorted(run.names.values()) == list(range(8))
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ConfigurationError):
+            run_renaming("quantum", sparse_ids(4))
+
+    def test_empty_ids(self):
+        with pytest.raises(ConfigurationError):
+            run_renaming("balls-into-leaves", [])
+
+    def test_single_process(self):
+        run = run_renaming("balls-into-leaves", [99], seed=0)
+        assert run.names == {99: 0}
+        assert run.rounds >= 1
+
+    def test_string_ids_work(self):
+        run = run_renaming("balls-into-leaves", string_ids(9), seed=2)
+        assert sorted(run.names.values()) == list(range(9))
+
+    def test_non_power_of_two(self):
+        for n in (3, 5, 11, 23):
+            run = run_renaming("balls-into-leaves", sparse_ids(n), seed=3)
+            assert sorted(run.names.values()) == list(range(n))
+
+    def test_deterministic_given_seed(self):
+        first = run_renaming("balls-into-leaves", sparse_ids(32), seed=5)
+        second = run_renaming("balls-into-leaves", sparse_ids(32), seed=5)
+        assert first.names == second.names
+        assert first.rounds == second.rounds
+
+    def test_different_seed_changes_names(self):
+        first = run_renaming("balls-into-leaves", sparse_ids(64), seed=1)
+        second = run_renaming("balls-into-leaves", sparse_ids(64), seed=2)
+        assert first.names != second.names
+
+    def test_crashes_reported(self):
+        adversary = RandomCrashAdversary(0.2, seed=9)
+        run = run_renaming("balls-into-leaves", sparse_ids(32), seed=9, adversary=adversary)
+        assert run.failures == len(run.crashed) > 0
+        # Correct survivors still hold distinct names.
+        names = list(run.names.values())
+        assert len(names) == len(set(names))
+
+    def test_phase_stats_collection(self):
+        run = run_renaming(
+            "balls-into-leaves", sparse_ids(16), seed=4, collect_phase_stats=True
+        )
+        assert run.phase_stats
+        assert run.phase_stats[0].balls == 16
+        assert run.phase_stats[-1].balls_at_leaves == 16
+
+    def test_phases_property(self):
+        run = run_renaming("early-terminating", sparse_ids(16), seed=4)
+        assert run.rounds == 3
+        assert run.phases == 1
+
+    def test_last_round_named_at_most_total(self):
+        run = run_renaming("balls-into-leaves", sparse_ids(32), seed=6)
+        assert run.last_round_named is not None
+        assert run.last_round_named <= run.rounds
+
+    def test_crash_budget_respected(self):
+        adversary = RandomCrashAdversary(1.0, seed=1)
+        run = run_renaming(
+            "balls-into-leaves", sparse_ids(16), seed=1, adversary=adversary, crash_budget=3
+        )
+        assert run.failures <= 3
+
+    def test_flood_rounds_equal_budget_plus_one(self):
+        run = run_renaming("flood", sparse_ids(6), seed=0, crash_budget=4)
+        assert run.rounds == 5

@@ -1,0 +1,157 @@
+"""Unit tests for the lock-step engine and crash semantics."""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import pytest
+
+from repro.adversary.scheduled import ScheduledAdversary, ScheduledCrash
+from repro.errors import ConfigurationError, RoundLimitExceeded
+from repro.sim.process import SyncProcess
+from repro.sim.simulator import Simulation
+from repro.sim.trace import Trace
+
+
+class EchoProcess(SyncProcess):
+    """Broadcasts its pid and records every inbox; halts after `life` rounds."""
+
+    def __init__(self, pid, life=3):
+        super().__init__(pid)
+        self.inboxes = []
+        self._life = life
+
+    def compose(self, round_no):
+        return ("echo", self.pid, round_no)
+
+    def deliver(self, round_no, inbox: Mapping[Any, Any]):
+        self.inboxes.append(dict(inbox))
+        if round_no >= self._life:
+            self.decide(self.pid)
+            self.halt()
+
+
+def make_sim(n=4, life=3, **kwargs):
+    procs = [EchoProcess(i, life) for i in range(n)]
+    return procs, Simulation(procs, **kwargs)
+
+
+class TestLockStep:
+    def test_runs_until_all_halt(self):
+        _, sim = make_sim(life=3)
+        result = sim.run()
+        assert result.rounds == 3
+        assert len(result.halted) == 4
+        assert not result.crashed
+
+    def test_full_delivery_without_crashes(self):
+        procs, sim = make_sim(n=3, life=1)
+        sim.run()
+        for proc in procs:
+            assert set(proc.inboxes[0]) == {0, 1, 2}
+
+    def test_self_delivery_included(self):
+        procs, sim = make_sim(n=2, life=1)
+        sim.run()
+        assert procs[0].inboxes[0][0] == ("echo", 0, 1)
+
+    def test_round_limit_enforced(self):
+        class Forever(EchoProcess):
+            def deliver(self, round_no, inbox):
+                pass
+
+        sim = Simulation([Forever(0)], max_rounds=5)
+        with pytest.raises(RoundLimitExceeded):
+            sim.run()
+
+    def test_requires_processes(self):
+        with pytest.raises(ConfigurationError):
+            Simulation([])
+
+    def test_rejects_duplicate_pids(self):
+        with pytest.raises(ValueError):
+            Simulation([EchoProcess(1), EchoProcess(1)])
+
+    def test_rejects_bad_budget(self):
+        with pytest.raises(ConfigurationError):
+            Simulation([EchoProcess(0)], crash_budget=1)  # t < n required
+
+    def test_metrics_count_messages(self):
+        _, sim = make_sim(n=3, life=2)
+        result = sim.run()
+        assert result.metrics.total_rounds == 2
+        assert result.metrics.total_messages_sent == 6
+        assert result.metrics.total_messages_delivered == 18
+
+
+class TestCrashSemantics:
+    def test_silent_crash_removes_message_everywhere(self):
+        adversary = ScheduledAdversary([ScheduledCrash(1, 0, receivers="none")])
+        procs, sim = make_sim(n=4, life=2, adversary=adversary)
+        result = sim.run()
+        assert result.crashed == frozenset({0})
+        for proc in procs[1:]:
+            assert 0 not in proc.inboxes[0]
+
+    def test_partial_delivery_splits_receivers(self):
+        adversary = ScheduledAdversary([ScheduledCrash(1, 0, receivers=[1])])
+        procs, sim = make_sim(n=4, life=2, adversary=adversary)
+        sim.run()
+        assert 0 in procs[1].inboxes[0]
+        assert 0 not in procs[2].inboxes[0]
+        assert 0 not in procs[3].inboxes[0]
+
+    def test_crashed_process_stops_for_good(self):
+        adversary = ScheduledAdversary([ScheduledCrash(1, 0, receivers="all")])
+        procs, sim = make_sim(n=3, life=3, adversary=adversary)
+        sim.run()
+        # Victim delivered in no later round.
+        assert len(procs[0].inboxes) == 0
+        # Later rounds never contain the victim's messages.
+        assert all(0 not in inbox for inbox in procs[1].inboxes[1:])
+
+    def test_budget_clamps_plan(self):
+        adversary = ScheduledAdversary(
+            [ScheduledCrash(1, pid, receivers="none") for pid in range(4)]
+        )
+        _, sim = make_sim(n=4, life=2, adversary=adversary, crash_budget=2)
+        result = sim.run()
+        assert len(result.crashed) == 2
+
+    def test_crash_of_unknown_pid_is_ignored(self):
+        adversary = ScheduledAdversary([ScheduledCrash(1, "ghost", receivers="none")])
+        _, sim = make_sim(n=2, life=1, adversary=adversary)
+        result = sim.run()
+        assert not result.crashed
+
+    def test_trace_records_crash_and_halt(self):
+        trace = Trace()
+        adversary = ScheduledAdversary([ScheduledCrash(1, 0, receivers="none")])
+        _, sim = make_sim(n=3, life=2, adversary=adversary, trace=trace)
+        sim.run()
+        assert len(trace.events("crash")) == 1
+        assert trace.events("crash")[0].data["pid"] == 0
+        assert len(trace.events("halt")) == 2
+
+    def test_correct_set_excludes_crashed(self):
+        adversary = ScheduledAdversary([ScheduledCrash(1, 2, receivers="none")])
+        _, sim = make_sim(n=4, life=2, adversary=adversary)
+        result = sim.run()
+        assert result.correct == frozenset({0, 1, 3})
+
+
+class TestObservers:
+    def test_observer_called_each_round(self):
+        seen = []
+        _, sim = make_sim(n=2, life=3)
+        sim2 = Simulation(
+            [EchoProcess(i, 3) for i in range(2)],
+            observers=[lambda s, r: seen.append(r)],
+        )
+        sim2.run()
+        assert seen == [1, 2, 3]
+
+    def test_step_returns_false_when_done(self):
+        _, sim = make_sim(n=1, life=1)
+        assert not sim.step()  # life=1: halts in round 1
+        assert not sim.step()  # idempotent afterwards

@@ -1,0 +1,50 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "EXP-T2" in out
+        assert "EXP-DET" in out
+
+    def test_demo(self, capsys):
+        assert main(["demo", "--n", "8", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "renamed n=8" in out
+        assert "-> name" in out
+
+    def test_demo_other_algorithm(self, capsys):
+        assert main(["demo", "--n", "6", "--algorithm", "early-terminating"]) == 0
+        assert "early-terminating" in capsys.readouterr().out
+
+    def test_run_smoke(self, capsys):
+        assert main(["run", "EXP-F4", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "EXP-F4" in out
+        assert "gateway" in out
+
+    def test_run_unknown_experiment_fails_cleanly(self, capsys):
+        assert main(["run", "EXP-NOPE"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_writes_out_file(self, tmp_path, capsys):
+        out_file = tmp_path / "report.txt"
+        assert main(["run", "EXP-F4", "--scale", "smoke", "--out", str(out_file)]) == 0
+        capsys.readouterr()
+        assert "EXP-F4" in out_file.read_text()
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

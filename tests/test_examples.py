@@ -1,0 +1,40 @@
+"""The examples are deliverables: they must run clean, end to end.
+
+Each script is executed in a subprocess (as a user would run it) and must
+exit 0 with its closing message on stdout.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+EXPECTED_CLOSERS = {
+    "quickstart.py": "the gap the paper closes",
+    "shard_assignment.py": "within a constant of the calm run",
+    "failover_early_termination.py": "failure-free instance",
+    "adversary_gauntlet.py": "round count beyond a small constant",
+    "loadbalance_vs_renaming.py": "doubly-logarithmic",
+}
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED_CLOSERS))
+def test_example_runs_clean(script):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert EXPECTED_CLOSERS[script] in completed.stdout
+
+
+def test_every_example_is_covered():
+    on_disk = {path.name for path in EXAMPLES.glob("*.py")}
+    assert on_disk == set(EXPECTED_CLOSERS)

@@ -1,0 +1,58 @@
+"""Golden regression tests: exact outputs for pinned seeds.
+
+Determinism is a documented guarantee (README, repro.sim.rng).  These
+tests pin complete outputs for a few seeds so that any change to the
+derivation scheme, the movement rule, or the round structure is caught
+deliberately rather than silently.  If you change the algorithm on
+purpose, update the goldens in the same commit and say so.
+"""
+
+from __future__ import annotations
+
+from repro.adversary.splitter import HalfSplitAdversary
+from repro.ids import sparse_ids
+from repro.sim.runner import run_renaming
+
+
+class TestGoldenRuns:
+    def test_bil_n8_seed0(self):
+        run = run_renaming("balls-into-leaves", sparse_ids(8), seed=0)
+        assert run.rounds == 5
+        assert run.names == {
+            10000: 5,
+            10097: 1,
+            10194: 4,
+            10291: 3,
+            10388: 6,
+            10485: 0,
+            10582: 7,
+            10679: 2,
+        }
+
+    def test_bil_n8_seed1_differs(self):
+        run = run_renaming("balls-into-leaves", sparse_ids(8), seed=1)
+        assert run.names != run_renaming("balls-into-leaves", sparse_ids(8), seed=0).names
+
+    def test_early_terminating_names_are_ranks(self):
+        ids = sparse_ids(8)
+        run = run_renaming("early-terminating", ids, seed=0)
+        assert run.rounds == 3
+        assert run.names == {pid: rank for rank, pid in enumerate(ids)}
+
+    def test_bil_under_half_split_seed0(self):
+        ids = sparse_ids(8)
+        run = run_renaming(
+            "balls-into-leaves",
+            ids,
+            seed=0,
+            adversary=HalfSplitAdversary(seed=0),
+        )
+        assert run.crashed == frozenset({ids[0]})
+        names = list(run.names.values())
+        assert len(names) == 7
+        assert len(set(names)) == 7
+
+    def test_faithful_mode_matches_golden(self):
+        run = run_renaming("balls-into-leaves", sparse_ids(8), seed=0, view_mode="faithful")
+        assert run.names[10485] == 0
+        assert run.rounds == 5

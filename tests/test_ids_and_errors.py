@@ -1,0 +1,89 @@
+"""Unit tests for identifiers, helpers, and the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import errors
+from repro.ids import interleave, require_distinct, sparse_ids, string_ids
+
+
+class TestIds:
+    def test_sparse_ids_distinct_and_sparse(self):
+        ids = sparse_ids(100)
+        assert len(set(ids)) == 100
+        assert all(b - a > 1 for a, b in zip(ids, ids[1:]))
+
+    def test_sparse_ids_empty(self):
+        assert sparse_ids(0) == []
+
+    def test_sparse_ids_rejects_negative(self):
+        with pytest.raises(ValueError):
+            sparse_ids(-1)
+
+    def test_string_ids_sortable_and_distinct(self):
+        ids = string_ids(12)
+        assert ids == sorted(ids)
+        assert len(set(ids)) == 12
+
+    def test_string_ids_prefix(self):
+        assert string_ids(1, prefix="node")[0].startswith("node-")
+
+    def test_require_distinct_accepts(self):
+        require_distinct([1, 2, 3])
+
+    def test_require_distinct_rejects(self):
+        with pytest.raises(ValueError):
+            require_distinct([1, 2, 1])
+
+    def test_interleave(self):
+        assert interleave([1, 3], [2, 4]) == [1, 2, 3, 4]
+        assert interleave([1], [2, 4, 6]) == [1, 2, 4, 6]
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.ConfigurationError,
+            errors.SimulationError,
+            errors.ProtocolViolation,
+            errors.SpecViolation,
+            errors.TreeError,
+            errors.CapacityError,
+            errors.UnknownBallError,
+            errors.ExperimentError,
+            errors.UnknownExperimentError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_round_limit_carries_context(self):
+        error = errors.RoundLimitExceeded(10, 3)
+        assert error.limit == 10
+        assert error.alive == 3
+        assert "10" in str(error)
+
+    def test_unknown_experiment_lists_known(self):
+        error = errors.UnknownExperimentError("EXP-X", ["EXP-A", "EXP-B"])
+        assert "EXP-A" in str(error)
+
+
+class TestPublicApi:
+    def test_version_exposed(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_algorithms_registry(self):
+        assert set(repro.ALGORITHMS) == {
+            "balls-into-leaves",
+            "early-terminating",
+            "rank-descent",
+            "leftmost",
+            "flood",
+        }

@@ -1,0 +1,173 @@
+"""Unit tests for LocalTreeView bookkeeping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TreeError, UnknownBallError
+from repro.tree import node as nd
+from repro.tree.local_view import LocalTreeView
+from repro.tree.topology import Topology
+
+
+class TestInsertRemove:
+    def test_initial_balls_start_at_root(self, view8):
+        assert len(view8) == 8
+        assert all(view8.position(b) == (0, 8) for b in range(8))
+
+    def test_insert_at_specific_node(self, topo8):
+        view = LocalTreeView(topo8)
+        view.insert("a", (0, 4))
+        assert view.position("a") == (0, 4)
+        assert view.subtree_balls((0, 8)) == 1
+        assert view.subtree_balls((0, 4)) == 1
+        assert view.subtree_balls((4, 8)) == 0
+
+    def test_duplicate_insert_rejected(self, view8):
+        with pytest.raises(TreeError):
+            view8.insert(3)
+
+    def test_insert_validates_node(self, topo8):
+        view = LocalTreeView(topo8)
+        with pytest.raises(TreeError):
+            view.insert("a", (1, 3))
+
+    def test_remove_updates_counts(self, view8):
+        view8.remove(0)
+        assert 0 not in view8
+        assert view8.subtree_balls((0, 8)) == 7
+
+    def test_remove_unknown_ball(self, view8):
+        with pytest.raises(UnknownBallError):
+            view8.remove("ghost")
+
+    def test_contains(self, view8):
+        assert 5 in view8
+        assert "nope" not in view8
+
+
+class TestPlace:
+    def test_place_descends(self, view8):
+        view8.place(0, (0, 1))
+        assert view8.position(0) == (0, 1)
+        assert view8.subtree_balls((0, 4)) == 1
+        assert view8.subtree_balls((0, 8)) == 8
+
+    def test_place_is_idempotent_at_same_node(self, view8):
+        view8.place(0, (0, 8))
+        assert view8.subtree_balls((0, 8)) == 8
+
+    def test_place_moves_between_subtrees(self, topo8):
+        view = LocalTreeView(topo8, ["x"])
+        view.place("x", (0, 1))
+        view.place("x", (7, 8))
+        assert view.subtree_balls((0, 4)) == 0
+        assert view.subtree_balls((4, 8)) == 1
+
+
+class TestCapacities:
+    def test_remaining_capacity_decreases(self, topo8):
+        view = LocalTreeView(topo8)
+        assert view.remaining_capacity((0, 8)) == 8
+        view.insert("a", (0, 1))
+        view.insert("b", (0, 4))
+        assert view.remaining_capacity((0, 8)) == 6
+        assert view.remaining_capacity((0, 4)) == 2
+        assert view.remaining_capacity((0, 1)) == 0
+
+    def test_raw_capacity_can_go_negative(self, topo8):
+        view = LocalTreeView(topo8)
+        view.insert("a", (0, 1))
+        view.insert("ghost", (0, 1))  # over-filled leaf: allowed, clamped
+        assert view.raw_remaining_capacity((0, 1)) == -1
+        assert view.remaining_capacity((0, 1)) == 0
+
+    def test_leaf_balls_and_free_leaves(self, topo8):
+        view = LocalTreeView(topo8, ["inner"])
+        view.insert("leafy", (2, 3))
+        assert view.leaf_balls((0, 8)) == 1
+        assert view.free_leaves((0, 8)) == 7
+        assert view.free_leaves((0, 4)) == 3
+
+    def test_kth_free_leaf_skips_occupied(self, topo8):
+        view = LocalTreeView(topo8)
+        view.insert("a", (0, 1))
+        view.insert("b", (2, 3))
+        assert view.kth_free_leaf((0, 8), 0) == (1, 2)
+        assert view.kth_free_leaf((0, 8), 1) == (3, 4)
+        assert view.kth_free_leaf((0, 8), 5) == (7, 8)
+
+    def test_kth_free_leaf_out_of_range(self, topo8):
+        view = LocalTreeView(topo8)
+        with pytest.raises(TreeError):
+            view.kth_free_leaf((0, 8), 8)
+
+
+class TestAggregates:
+    def test_all_at_leaves_transitions(self, topo8):
+        view = LocalTreeView(topo8, ["a", "b"])
+        assert not view.all_at_leaves()
+        view.place("a", (0, 1))
+        view.place("b", (1, 2))
+        assert view.all_at_leaves()
+        assert view.balls_at_leaves() == 2
+
+    def test_max_inner_occupancy_ignores_leaves(self, topo8):
+        view = LocalTreeView(topo8, ["a", "b", "c"])
+        view.place("a", (0, 1))
+        assert view.max_inner_occupancy() == 2  # b, c at the root
+
+    def test_max_path_population_accumulates_down(self, topo8):
+        view = LocalTreeView(topo8)
+        view.insert("r", (0, 8))
+        view.insert("m", (0, 4))
+        view.insert("d", (0, 2))
+        view.insert("elsewhere", (4, 8))
+        # Path root -> (0,4) -> (0,2) carries 3 balls.
+        assert view.max_path_population() == 3
+
+    def test_occupancy_by_depth(self, topo8):
+        view = LocalTreeView(topo8, ["a", "b"])
+        view.place("a", (0, 1))
+        histogram = view.occupancy_by_depth()
+        assert histogram[0] == 1
+        assert histogram[3] == 1
+
+    def test_sorted_balls_and_label_rank(self, topo8):
+        view = LocalTreeView(topo8, [5, 1, 9])
+        assert view.sorted_balls() == [1, 5, 9]
+        assert view.label_rank(5) == 1
+        view.insert(0)
+        assert view.label_rank(5) == 2  # cache invalidated by insert
+        with pytest.raises(UnknownBallError):
+            view.label_rank(42)
+
+
+class TestCopyAndEquality:
+    def test_copy_is_deep(self, view8):
+        clone = view8.copy()
+        clone.place(0, (0, 1))
+        assert view8.position(0) == (0, 8)
+        assert clone.position(0) == (0, 1)
+
+    def test_copy_equal_until_diverging(self, view8):
+        clone = view8.copy()
+        assert clone == view8
+        clone.remove(7)
+        assert clone != view8
+
+    def test_snapshot_is_canonical(self, topo8):
+        first = LocalTreeView(topo8, [2, 1])
+        second = LocalTreeView(topo8, [1, 2])
+        assert first.snapshot() == second.snapshot()
+
+
+class TestUnevenTrees:
+    @pytest.mark.parametrize("n", [3, 5, 6, 7])
+    def test_full_occupation_possible(self, n):
+        topo = Topology(n)
+        view = LocalTreeView(topo)
+        for rank in range(n):
+            view.insert(f"b{rank}", nd.leaf_node(rank))
+        assert view.all_at_leaves()
+        assert view.remaining_capacity(topo.root) == 0

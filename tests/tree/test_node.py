@@ -1,0 +1,105 @@
+"""Unit tests for interval-node arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TreeError
+from repro.tree import node as nd
+
+
+class TestMakeRoot:
+    def test_root_spans_all_leaves(self):
+        assert nd.make_root(8) == (0, 8)
+
+    def test_single_leaf_tree(self):
+        root = nd.make_root(1)
+        assert nd.is_leaf(root)
+
+    @pytest.mark.parametrize("bad", [0, -1, -100])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(TreeError):
+            nd.make_root(bad)
+
+
+class TestSpanAndLeaves:
+    def test_span_counts_leaves(self):
+        assert nd.span((0, 8)) == 8
+        assert nd.span((3, 5)) == 2
+
+    def test_leaf_detection(self):
+        assert nd.is_leaf((4, 5))
+        assert not nd.is_leaf((4, 6))
+
+    def test_leaf_rank_round_trip(self):
+        for rank in range(10):
+            assert nd.leaf_rank(nd.leaf_node(rank)) == rank
+
+    def test_leaf_rank_rejects_inner_node(self):
+        with pytest.raises(TreeError):
+            nd.leaf_rank((0, 2))
+
+    def test_leaf_node_rejects_negative(self):
+        with pytest.raises(TreeError):
+            nd.leaf_node(-1)
+
+
+class TestChildren:
+    def test_even_split(self):
+        assert nd.children((0, 8)) == ((0, 4), (4, 8))
+
+    def test_odd_split_left_gets_ceil(self):
+        assert nd.children((0, 5)) == ((0, 3), (3, 5))
+
+    def test_children_partition_parent(self):
+        for node in [(0, 8), (0, 7), (2, 9), (0, 2)]:
+            left, right = nd.children(node)
+            assert left[0] == node[0]
+            assert left[1] == right[0]
+            assert right[1] == node[1]
+            assert nd.span(left) + nd.span(right) == nd.span(node)
+
+    def test_left_right_match_children(self):
+        node = (0, 6)
+        assert nd.left_child(node) == nd.children(node)[0]
+        assert nd.right_child(node) == nd.children(node)[1]
+
+    def test_leaf_has_no_children(self):
+        with pytest.raises(TreeError):
+            nd.children((3, 4))
+        with pytest.raises(TreeError):
+            nd.left_child((3, 4))
+        with pytest.raises(TreeError):
+            nd.right_child((3, 4))
+
+
+class TestContainment:
+    def test_node_contains_itself(self):
+        assert nd.contains((0, 8), (0, 8))
+
+    def test_ancestor_contains_descendant(self):
+        assert nd.contains((0, 8), (2, 4))
+        assert nd.contains((0, 8), (7, 8))
+
+    def test_disjoint_not_contained(self):
+        assert not nd.contains((0, 4), (4, 8))
+        assert not nd.contains((4, 8), (0, 4))
+
+    def test_descendant_does_not_contain_ancestor(self):
+        assert not nd.contains((2, 4), (0, 8))
+
+
+class TestChildTowards:
+    def test_routes_to_correct_child(self):
+        assert nd.child_towards((0, 8), 1) == (0, 4)
+        assert nd.child_towards((0, 8), 6) == (4, 8)
+
+    def test_rejects_rank_outside(self):
+        with pytest.raises(TreeError):
+            nd.child_towards((0, 4), 5)
+
+    def test_descends_to_leaf(self):
+        node = (0, 8)
+        while not nd.is_leaf(node):
+            node = nd.child_towards(node, 5)
+        assert node == (5, 6)

@@ -1,0 +1,101 @@
+"""Unit tests for candidate-path construction."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import TreeError
+from repro.tree import node as nd
+from repro.tree.local_view import LocalTreeView
+from repro.tree.paths import (
+    kth_free_leaf_path,
+    leftmost_free_leaf_path,
+    path_to_leaf,
+    random_capacity_path,
+)
+from repro.tree.topology import Topology
+
+
+def _assert_valid_path(topo, path, start):
+    assert path[0] == start
+    assert nd.is_leaf(path[-1])
+    for parent, child in zip(path, path[1:]):
+        assert topo.parent(child) == parent
+
+
+class TestRandomCapacityPath:
+    def test_path_shape(self, view8, topo8):
+        path = random_capacity_path(view8, topo8.root, random.Random(1))
+        _assert_valid_path(topo8, path, topo8.root)
+        assert len(path) == 4  # depth 3 + start
+
+    def test_never_enters_full_subtree(self, topo8):
+        view = LocalTreeView(topo8, ["mover"])
+        # Fill the entire left half with settled balls.
+        for rank in range(4):
+            view.insert(f"s{rank}", nd.leaf_node(rank))
+        for trial in range(50):
+            path = random_capacity_path(view, topo8.root, random.Random(trial))
+            assert path[1] == (4, 8), "must avoid the full left subtree"
+
+    def test_weighted_choice_respects_capacity_ratio(self, topo8):
+        view = LocalTreeView(topo8, ["mover"])
+        # Left subtree has 1 free leaf, right has 4: P(left) = 1/5.
+        for rank in range(3):
+            view.insert(f"s{rank}", nd.leaf_node(rank))
+        rng = random.Random(42)
+        lefts = sum(
+            random_capacity_path(view, topo8.root, rng)[1] == (0, 4)
+            for _ in range(4000)
+        )
+        assert 0.15 < lefts / 4000 < 0.25  # expected 0.2
+
+    def test_ghost_overflow_falls_back_to_larger_residual(self):
+        topo = Topology(2)
+        view = LocalTreeView(topo, ["mover"])
+        # Ghosts over-fill both leaves; the path must still reach a leaf.
+        view.insert("g1", (0, 1))
+        view.insert("g2", (1, 2))
+        view.insert("g3", (1, 2))
+        path = random_capacity_path(view, topo.root, random.Random(0))
+        assert nd.is_leaf(path[-1])
+        assert path[-1] == (0, 1)  # raw residual 0 beats raw residual -1
+
+    def test_path_from_leaf_is_singleton(self, topo8):
+        view = LocalTreeView(topo8)
+        view.insert("a", (3, 4))
+        assert random_capacity_path(view, (3, 4), random.Random(0)) == ((3, 4),)
+
+
+class TestDeterministicPaths:
+    def test_path_to_leaf(self, topo8):
+        path = path_to_leaf(topo8, topo8.root, 6)
+        _assert_valid_path(topo8, path, topo8.root)
+        assert path[-1] == (6, 7)
+
+    def test_path_to_leaf_rejects_outside_rank(self, topo8):
+        with pytest.raises(TreeError):
+            path_to_leaf(topo8, (0, 4), 6)
+
+    def test_kth_free_leaf_path(self, topo8):
+        view = LocalTreeView(topo8)
+        view.insert("s", (0, 1))
+        path = kth_free_leaf_path(view, topo8.root, 0)
+        assert path[-1] == (1, 2)
+
+    def test_leftmost_free_leaf_path(self, topo8):
+        view = LocalTreeView(topo8)
+        view.insert("s", (0, 1))
+        view.insert("t", (1, 2))
+        path = leftmost_free_leaf_path(view, topo8.root)
+        assert path[-1] == (2, 3)
+
+    def test_leftmost_falls_back_when_no_free_leaf(self):
+        topo = Topology(2)
+        view = LocalTreeView(topo)
+        view.insert("a", (0, 1))
+        view.insert("b", (1, 2))
+        path = leftmost_free_leaf_path(view, topo.root)
+        assert path[-1] == (0, 1)

@@ -1,0 +1,50 @@
+"""Unit tests for the <R priority order (Definition 1)."""
+
+from __future__ import annotations
+
+from repro.tree.local_view import LocalTreeView
+from repro.tree.priority import higher_priority, ordered_balls, priority_key
+
+
+class TestDefinition1:
+    def test_deeper_ball_has_higher_priority(self, topo8):
+        view = LocalTreeView(topo8)
+        view.insert("deep", (0, 1))
+        view.insert("shallow", (0, 8))
+        assert higher_priority(view, "deep", "shallow")
+        assert not higher_priority(view, "shallow", "deep")
+
+    def test_equal_depth_breaks_by_label(self, topo8):
+        view = LocalTreeView(topo8, ["a", "b"])
+        assert higher_priority(view, "a", "b")
+
+    def test_depth_dominates_label(self, topo8):
+        view = LocalTreeView(topo8)
+        view.insert("z", (0, 1))  # deep but large label
+        view.insert("a", (0, 8))  # shallow small label
+        assert higher_priority(view, "z", "a")
+
+
+class TestOrderedBalls:
+    def test_orders_by_depth_then_label(self, topo8):
+        view = LocalTreeView(topo8)
+        view.insert(30, (0, 8))
+        view.insert(20, (0, 4))
+        view.insert(10, (0, 8))
+        view.insert(5, (0, 1))
+        assert ordered_balls(view) == [5, 20, 10, 30]
+
+    def test_total_order_is_consistent_with_keys(self, topo8):
+        view = LocalTreeView(topo8)
+        for index in range(8):
+            view.insert(index, (index, index + 1))
+        order = ordered_balls(view)
+        keys = [priority_key(view, ball) for ball in order]
+        assert keys == sorted(keys)
+
+    def test_empty_view(self, topo8):
+        assert ordered_balls(LocalTreeView(topo8)) == []
+
+    def test_string_labels(self, topo8):
+        view = LocalTreeView(topo8, ["srv-2", "srv-1"])
+        assert ordered_balls(view) == ["srv-1", "srv-2"]

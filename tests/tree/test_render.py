@@ -1,0 +1,54 @@
+"""Unit tests for the ASCII renderers."""
+
+from __future__ import annotations
+
+from repro.tree import node as nd
+from repro.tree.local_view import LocalTreeView
+from repro.tree.render import render_path, render_view
+from repro.tree.topology import Topology
+
+
+class TestRenderView:
+    def test_initial_configuration(self, topo8):
+        view = LocalTreeView(topo8, range(8))
+        text = render_view(view)
+        assert "node [0,8)" in text
+        assert "balls={0, 1, 2" in text
+        assert "empty leaves" in text
+
+    def test_skip_empty_false_shows_all(self, topo8):
+        view = LocalTreeView(topo8)
+        view.insert("a", (0, 1))
+        full = render_view(view, skip_empty=False)
+        assert full.count("leaf") >= 8
+
+    def test_many_balls_truncated(self, topo16):
+        view = LocalTreeView(topo16, range(16))
+        text = render_view(view)
+        assert "(+8)" in text
+
+    def test_settled_leaf_shown(self, topo8):
+        view = LocalTreeView(topo8)
+        view.insert("winner", (0, 1))
+        assert "leaf [0,1)" in render_view(view)
+        assert "winner" in render_view(view)
+
+
+class TestRenderPath:
+    def test_shows_gateways_per_depth(self):
+        topo = Topology(16)
+        view = LocalTreeView(topo)
+        view.insert("p", (8, 16))
+        text = render_path(view, 15)
+        lines = text.splitlines()
+        assert len(lines) == 4  # root .. parent of leaf 15
+        assert "gateway=[0,8)" in lines[0]
+        assert "balls_here=1" in lines[1]
+
+    def test_gateway_capacity_reflects_occupancy(self):
+        topo = Topology(8)
+        view = LocalTreeView(topo)
+        for rank in range(4):
+            view.insert(f"s{rank}", nd.leaf_node(rank))
+        text = render_path(view, 7)
+        assert "gateway=[0,4) cap=0" in text
