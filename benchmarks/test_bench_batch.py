@@ -1,0 +1,74 @@
+"""Benchmark the batch engine: serial vs multiprocessing on a t2-style sweep.
+
+The workload is the acceptance sweep — Balls-into-Leaves at n=64 over 100
+seeds — run through both executors.  On a multi-core box the process
+backend must beat serial wall-clock with >= 4 workers; on boxes without 4
+cores the speedup assertion skips (pool overhead cannot win on one core)
+while the determinism assertion still runs everywhere.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.sim.batch import ScenarioMatrix, run_batch
+
+
+def _sweep_matrix(trials: int = 100) -> ScenarioMatrix:
+    return ScenarioMatrix.build(
+        ["balls-into-leaves"], [64], ["none"], trials=trials, base_seed=0
+    )
+
+
+def test_bench_batch_serial(benchmark):
+    result = benchmark.pedantic(
+        run_batch, args=(_sweep_matrix(),), kwargs={"executor": "serial"},
+        iterations=1, rounds=3,
+    )
+    assert len(result) == 100
+
+
+def test_bench_batch_process(benchmark):
+    workers = min(4, os.cpu_count() or 1)
+    result = benchmark.pedantic(
+        run_batch, args=(_sweep_matrix(),),
+        kwargs={"executor": "process", "workers": workers},
+        iterations=1, rounds=3,
+    )
+    assert len(result) == 100
+
+
+def test_process_backend_matches_serial_everywhere():
+    matrix = _sweep_matrix(trials=20)
+    assert (
+        run_batch(matrix, executor="serial").trials
+        == run_batch(matrix, executor="process", workers=2).trials
+    )
+
+
+@pytest.mark.tier2  # wall-clock comparison: too flaky for the -x tier-1 gate
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason="parallel speedup needs >= 4 cores; pool overhead cannot win on fewer",
+)
+def test_parallel_speedup_on_four_workers():
+    matrix = _sweep_matrix()
+    # Warm both paths once so interpreter/pool startup is off the clock.
+    run_batch(ScenarioMatrix.build(["balls-into-leaves"], [8], trials=2))
+
+    started = time.perf_counter()
+    serial = run_batch(matrix, executor="serial")
+    serial_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel = run_batch(matrix, executor="process", workers=4)
+    parallel_s = time.perf_counter() - started
+
+    assert serial.trials == parallel.trials
+    assert parallel_s < serial_s, (
+        f"process backend ({parallel_s:.2f}s) did not beat serial ({serial_s:.2f}s) "
+        "on 4 workers"
+    )

@@ -6,9 +6,12 @@ Subcommands::
     repro run EXP-T2 [--scale ...] # run one experiment, print its report
     repro all [--scale smoke]      # run the whole suite
     repro demo [--n 32]            # one quick renaming run, human-readable
+    repro batch --algorithms ...   # run a raw scenario matrix
 
 Every experiment prints the exact command reproducing it, and all
-randomness flows from ``--seed``.
+randomness flows from ``--seed``.  ``--executor process --workers K``
+spreads batched sweeps over ``K`` processes without changing a digit of
+the output.
 """
 
 from __future__ import annotations
@@ -21,7 +24,23 @@ from repro._version import __version__
 from repro.errors import ReproError
 from repro.experiments.registry import all_experiments, run_experiment
 from repro.ids import sparse_ids
+from repro.sim.batch import EXECUTORS, ScenarioMatrix, run_batch
 from repro.sim.runner import run_renaming
+
+
+def _add_executor_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--executor",
+        default=None,
+        choices=EXECUTORS,
+        help="trial execution backend (default: serial; process when --workers > 1)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the process executor",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -39,11 +58,13 @@ def _build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--scale", default="paper", choices=("smoke", "paper"))
     run_parser.add_argument("--seed", type=int, default=0)
     run_parser.add_argument("--out", help="also write the report to this file")
+    _add_executor_options(run_parser)
 
     all_parser = sub.add_parser("all", help="run every experiment")
     all_parser.add_argument("--scale", default="smoke", choices=("smoke", "paper"))
     all_parser.add_argument("--seed", type=int, default=0)
     all_parser.add_argument("--out", help="also write the combined report to this file")
+    _add_executor_options(all_parser)
 
     demo_parser = sub.add_parser("demo", help="one quick renaming run")
     demo_parser.add_argument("--n", type=int, default=32)
@@ -53,6 +74,37 @@ def _build_parser() -> argparse.ArgumentParser:
         default="balls-into-leaves",
         choices=("balls-into-leaves", "early-terminating", "rank-descent", "flood"),
     )
+
+    batch_parser = sub.add_parser(
+        "batch", help="run a raw algorithm x adversary x n x seed matrix"
+    )
+    batch_parser.add_argument(
+        "--algorithms",
+        default="balls-into-leaves",
+        help="comma-separated algorithm names",
+    )
+    batch_parser.add_argument(
+        "--sizes", default="32", help="comma-separated participant counts"
+    )
+    batch_parser.add_argument(
+        "--adversary",
+        action="append",
+        dest="adversaries",
+        metavar="SPEC",
+        help="adversary spec 'name[:key=value,...]', e.g. random:rate=0.2 "
+        "(repeatable; default: none)",
+    )
+    batch_parser.add_argument("--trials", type=int, default=10, help="seeds per cell")
+    batch_parser.add_argument("--seed", type=int, default=0)
+    batch_parser.add_argument(
+        "--seed-mode",
+        default="legacy",
+        choices=("legacy", "derived"),
+        help="per-trial seed schedule (derived = independent per-cell streams)",
+    )
+    batch_parser.add_argument("--out", help="also write the report to this file")
+    batch_parser.add_argument("--csv", help="write the per-cell table as CSV here")
+    _add_executor_options(batch_parser)
     return parser
 
 
@@ -70,18 +122,32 @@ def _emit(report: str, out: Optional[str]) -> None:
         print(f"[written to {out}]", file=sys.stderr)
 
 
-def _cmd_run(experiment_id: str, scale: str, seed: int, out: Optional[str]) -> int:
-    result = run_experiment(experiment_id, scale=scale, seed=seed)
-    _emit(result.render(), out)
+def _cmd_run(args: argparse.Namespace) -> int:
+    result = run_experiment(
+        args.experiment_id,
+        scale=args.scale,
+        seed=args.seed,
+        executor=args.executor,
+        workers=args.workers,
+    )
+    _emit(result.render(), args.out)
     return 0
 
 
-def _cmd_all(scale: str, seed: int, out: Optional[str]) -> int:
+def _cmd_all(args: argparse.Namespace) -> int:
     reports = []
     for entry in all_experiments():
         print(f"... running {entry.experiment_id}", file=sys.stderr)
-        reports.append(entry.run(scale=scale, seed=seed).render())
-    _emit("\n\n".join(reports), out)
+        reports.append(
+            run_experiment(
+                entry.experiment_id,
+                scale=args.scale,
+                seed=args.seed,
+                executor=args.executor,
+                workers=args.workers,
+            ).render()
+        )
+    _emit("\n\n".join(reports), args.out)
     return 0
 
 
@@ -96,6 +162,41 @@ def _cmd_demo(n: int, seed: int, algorithm: str) -> int:
     return 0
 
 
+def _parse_sizes(raw: str) -> List[int]:
+    try:
+        return [int(n) for n in raw.split(",") if n.strip()]
+    except ValueError:
+        raise ReproError(f"--sizes must be comma-separated integers, got {raw!r}") from None
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    matrix = ScenarioMatrix.build(
+        [name.strip() for name in args.algorithms.split(",") if name.strip()],
+        _parse_sizes(args.sizes),
+        args.adversaries or ["none"],
+        trials=args.trials,
+        base_seed=args.seed,
+        seed_mode=args.seed_mode,
+    )
+    batch = run_batch(matrix, executor=args.executor, workers=args.workers)
+    table = batch.to_table(
+        f"scenario matrix: {len(matrix)} trials "
+        f"({len(matrix.algorithms)} algorithms x {len(matrix.sizes)} sizes "
+        f"x {len(matrix.adversaries)} adversaries x {matrix.trials} seeds)"
+    )
+    _emit(table.render(), args.out)
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8") as handle:
+            handle.write(table.to_csv())
+        print(f"[csv written to {args.csv}]", file=sys.stderr)
+    print(
+        f"ran {len(batch)} trials via the {batch.executor} executor "
+        f"in {batch.elapsed:.2f}s",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = _build_parser().parse_args(argv)
@@ -103,11 +204,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.command == "list":
             return _cmd_list()
         if args.command == "run":
-            return _cmd_run(args.experiment_id, args.scale, args.seed, args.out)
+            return _cmd_run(args)
         if args.command == "all":
-            return _cmd_all(args.scale, args.seed, args.out)
+            return _cmd_all(args)
         if args.command == "demo":
             return _cmd_demo(args.n, args.seed, args.algorithm)
+        if args.command == "batch":
+            return _cmd_batch(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

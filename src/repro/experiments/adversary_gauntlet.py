@@ -6,48 +6,62 @@ round distributions against the failure-free baseline.  The paper's
 argument: a failure only ever *increases* the gateway capacity relative
 to path populations, so every ball is at least as likely to escape; round
 counts should not degrade beyond a small constant.
+
+The gauntlet is a single scenario matrix whose adversary dimension spans
+the whole suite; the batch engine runs it on any executor.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Tuple
 
-from repro.adversary.base import Adversary
-from repro.adversary.random_crash import RandomCrashAdversary
-from repro.adversary.sandwich import SandwichAdversary
-from repro.adversary.splitter import HalfSplitAdversary
-from repro.adversary.targeted import TargetedPriorityAdversary
 from repro.analysis.tables import Table
 from repro.experiments.common import (
+    ExecutorLike,
     ExperimentResult,
     failure_stats,
     round_stats,
-    rounds_over_trials,
     scaled,
+    sweep,
 )
+from repro.sim.batch import AdversarySpec
 
 EXPERIMENT_ID = "EXP-ADV"
 TITLE = "Section 5.3: adversary gauntlet for Balls-into-Leaves"
 
 
-def _strategies() -> Dict[str, Callable[[int], Optional[Adversary]]]:
-    return {
-        "none": lambda seed: None,
-        "random 5%": lambda seed: RandomCrashAdversary(0.05, seed=seed),
-        "random 20%": lambda seed: RandomCrashAdversary(0.20, seed=seed),
-        "targeted-priority": lambda seed: TargetedPriorityAdversary(seed=seed),
-        "sandwich": lambda seed: SandwichAdversary(seed=seed),
-        "half-split r1": lambda seed: HalfSplitAdversary(seed=seed),
-        "half-split all": lambda seed: HalfSplitAdversary(
-            rounds=frozenset({1} | set(range(3, 200, 2))), seed=seed
-        ),
-    }
+def _strategies() -> Tuple[AdversarySpec, ...]:
+    return (
+        AdversarySpec.of("none", label="none"),
+        AdversarySpec.of("random", rate=0.05, label="random 5%"),
+        AdversarySpec.of("random", rate=0.20, label="random 20%"),
+        AdversarySpec.of("targeted", label="targeted-priority"),
+        AdversarySpec.of("sandwich", label="sandwich"),
+        AdversarySpec.of("half-split", label="half-split r1"),
+        AdversarySpec.of("half-split", last_round=200, label="half-split all"),
+    )
 
 
-def run(scale: str = "paper", seed: int = 0) -> ExperimentResult:
+def run(
+    scale: str = "paper",
+    seed: int = 0,
+    executor: ExecutorLike = None,
+    workers: int = None,
+) -> ExperimentResult:
     """Run the gauntlet at a fixed n."""
     n = scaled(scale, 64, 512)
     trials = scaled(scale, 3, 15)
+
+    strategies = _strategies()
+    batch = sweep(
+        ["balls-into-leaves"],
+        [n],
+        strategies,
+        trials=trials,
+        base_seed=seed,
+        executor=executor,
+        workers=workers,
+    )
 
     result = ExperimentResult(EXPERIMENT_ID, TITLE, scale)
     table = Table(
@@ -56,18 +70,12 @@ def run(scale: str = "paper", seed: int = 0) -> ExperimentResult:
         notes="every run passes the tight-renaming checker; budget t = n-1",
     )
     baseline = None
-    for name, factory in _strategies().items():
-        runs = rounds_over_trials(
-            "balls-into-leaves",
-            n,
-            trials=trials,
-            base_seed=seed,
-            adversary_factory=factory,
-        )
+    for strategy in strategies:
+        runs = batch.cell("balls-into-leaves", n, strategy)
         rounds = round_stats(runs)
         failures = failure_stats(runs)
-        table.add_row(name, rounds.mean, rounds.p95, rounds.maximum, failures.mean)
-        if name == "none":
+        table.add_row(strategy.key, rounds.mean, rounds.p95, rounds.maximum, failures.mean)
+        if strategy.key == "none":
             baseline = rounds.mean
     result.tables.append(table)
     if baseline:

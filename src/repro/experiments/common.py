@@ -1,16 +1,37 @@
-"""Shared scaffolding for experiment modules."""
+"""Shared scaffolding for experiment modules.
+
+Seed sweeps route through :mod:`repro.sim.batch`: :func:`sweep` expands a
+scenario matrix and runs it on the chosen executor (serial by default,
+multiprocessing when the caller passes ``executor="process"`` or
+``workers > 1``), and :func:`rounds_over_trials` — for experiments that
+need full :class:`~repro.sim.runner.RenamingRun` objects such as phase
+statistics — shares the engine's legacy per-trial seed schedule so both
+paths stay byte-identical.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.adversary.base import Adversary
 from repro.analysis.stats import TrialStats, summarize
 from repro.analysis.tables import Table
 from repro.errors import ExperimentError
 from repro.ids import sparse_ids
+from repro.sim.batch import (
+    AdversaryLike,
+    BatchResult,
+    MultiprocessingExecutor,
+    ScenarioMatrix,
+    SerialExecutor,
+    legacy_trial_seeds,
+    run_batch,
+)
 from repro.sim.runner import RenamingRun, run_renaming
+
+#: What experiments accept as an execution backend.
+ExecutorLike = Union[None, str, SerialExecutor, MultiprocessingExecutor]
 
 #: Experiment scales: "smoke" finishes in seconds (CI / benchmarks),
 #: "paper" uses the full sweeps recorded in EXPERIMENTS.md.
@@ -59,6 +80,35 @@ def check_scale(scale: Scale) -> None:
         raise ExperimentError(f"unknown scale {scale!r}; choose from {SCALES}")
 
 
+def sweep(
+    algorithms: Iterable[str],
+    sizes: Iterable[int],
+    adversaries: Iterable[AdversaryLike] = ("none",),
+    *,
+    trials: int,
+    base_seed: int,
+    executor: ExecutorLike = None,
+    workers: Optional[int] = None,
+    halt_on_name: bool = False,
+) -> BatchResult:
+    """Run an algorithm x size x adversary x seed grid through the engine.
+
+    Uses the legacy seed schedule, so a cell's trials see exactly the
+    seeds the old per-experiment serial loops used — tables built from
+    the result are byte-identical to the historical output, on any
+    executor.
+    """
+    matrix = ScenarioMatrix.build(
+        algorithms,
+        sizes,
+        adversaries,
+        trials=trials,
+        base_seed=base_seed,
+        halt_on_name=halt_on_name,
+    )
+    return run_batch(matrix, executor=executor, workers=workers)
+
+
 def rounds_over_trials(
     algorithm: str,
     n: int,
@@ -69,11 +119,15 @@ def rounds_over_trials(
     collect_phase_stats: bool = False,
     **run_kwargs,
 ) -> List[RenamingRun]:
-    """Run ``trials`` seeded executions of ``algorithm`` at size ``n``."""
+    """Run ``trials`` seeded executions of ``algorithm`` at size ``n``.
+
+    In-process sibling of :func:`sweep` for experiments that need full
+    :class:`RenamingRun` objects (phase statistics, traces) or ad-hoc
+    adversary factories; the seed schedule is the engine's.
+    """
     runs = []
     ids = sparse_ids(n)
-    for trial in range(trials):
-        seed = base_seed * 100_003 + trial
+    for seed in legacy_trial_seeds(base_seed, trials):
         runs.append(
             run_renaming(
                 algorithm,
@@ -87,13 +141,13 @@ def rounds_over_trials(
     return runs
 
 
-def round_stats(runs: Sequence[RenamingRun]) -> TrialStats:
-    """Distribution of total round counts across runs."""
+def round_stats(runs: Sequence) -> TrialStats:
+    """Distribution of total round counts across runs (or trial results)."""
     return summarize([run.rounds for run in runs])
 
 
-def failure_stats(runs: Sequence[RenamingRun]) -> TrialStats:
-    """Distribution of actual failure counts across runs."""
+def failure_stats(runs: Sequence) -> TrialStats:
+    """Distribution of actual failure counts across runs (or trial results)."""
     return summarize([run.failures for run in runs])
 
 

@@ -6,24 +6,62 @@ broadcasts = alive-process-rounds and point-to-point deliveries ~ n per
 broadcast.  This experiment measures both for Balls-into-Leaves and the
 early-terminating variant, failure-free and under crashes, giving the
 O(n^2 log log n) delivery total implied by Theorem 2.
+
+Three scenario matrices through the batch engine (failure-free,
+halt-on-name, crash mix); the failure-free trials are shared across the
+three tables instead of being recomputed.
 """
 
 from __future__ import annotations
 
 import math
 
-from repro.adversary.random_crash import RandomCrashAdversary
 from repro.analysis.tables import Table
-from repro.experiments.common import ExperimentResult, rounds_over_trials, scaled
+from repro.experiments.common import ExecutorLike, ExperimentResult, scaled, sweep
+from repro.sim.batch import AdversarySpec
 
 EXPERIMENT_ID = "EXP-MSG"
 TITLE = "Message complexity: broadcasts and deliveries per run"
 
 
-def run(scale: str = "paper", seed: int = 0) -> ExperimentResult:
+def run(
+    scale: str = "paper",
+    seed: int = 0,
+    executor: ExecutorLike = None,
+    workers: int = None,
+) -> ExperimentResult:
     """Measure message counts across sizes."""
     sizes = scaled(scale, [16, 64], [64, 256, 1024, 4096])
     trials = scaled(scale, 2, 5)
+
+    ff_batch = sweep(
+        ["balls-into-leaves", "early-terminating"],
+        sizes,
+        ["none"],
+        trials=trials,
+        base_seed=seed,
+        executor=executor,
+        workers=workers,
+    )
+    halting_batch = sweep(
+        ["balls-into-leaves"],
+        sizes,
+        ["none"],
+        trials=trials,
+        base_seed=seed,
+        executor=executor,
+        workers=workers,
+        halt_on_name=True,
+    )
+    crash_batch = sweep(
+        ["balls-into-leaves"],
+        sizes,
+        [AdversarySpec.of("random", rate=0.05)],
+        trials=trials,
+        base_seed=seed + 1,
+        executor=executor,
+        workers=workers,
+    )
 
     result = ExperimentResult(EXPERIMENT_ID, TITLE, scale)
     for algorithm in ("balls-into-leaves", "early-terminating"):
@@ -40,10 +78,10 @@ def run(scale: str = "paper", seed: int = 0) -> ExperimentResult:
             notes="deliveries ~ n^2 per phase: the n^2 loglog n total of Theorem 2",
         )
         for n in sizes:
-            runs = rounds_over_trials(algorithm, n, trials=trials, base_seed=seed)
+            runs = ff_batch.cell(algorithm, n)
             mean_rounds = sum(r.rounds for r in runs) / trials
-            broadcasts = sum(r.metrics.total_messages_sent for r in runs) / trials
-            deliveries = sum(r.metrics.total_messages_delivered for r in runs) / trials
+            broadcasts = sum(r.messages_sent for r in runs) / trials
+            deliveries = sum(r.messages_delivered for r in runs) / trials
             table.add_row(
                 n,
                 mean_rounds,
@@ -61,14 +99,10 @@ def run(scale: str = "paper", seed: int = 0) -> ExperimentResult:
         "(the per-ball termination extension the paper sketches)",
     )
     for n in sizes:
-        standard = rounds_over_trials(
-            "balls-into-leaves", n, trials=trials, base_seed=seed
-        )
-        early_halt = rounds_over_trials(
-            "balls-into-leaves", n, trials=trials, base_seed=seed, halt_on_name=True
-        )
-        sent_standard = sum(r.metrics.total_messages_sent for r in standard) / trials
-        sent_halting = sum(r.metrics.total_messages_sent for r in early_halt) / trials
+        standard = ff_batch.cell("balls-into-leaves", n)
+        early_halt = halting_batch.cell("balls-into-leaves", n)
+        sent_standard = sum(r.messages_sent for r in standard) / trials
+        sent_halting = sum(r.messages_sent for r in early_halt) / trials
         halt_table.add_row(
             n,
             sum(r.rounds for r in early_halt) / trials,
@@ -84,19 +118,15 @@ def run(scale: str = "paper", seed: int = 0) -> ExperimentResult:
         notes="crashed processes stop broadcasting, so failures reduce traffic",
     )
     for n in sizes:
-        ff = rounds_over_trials("balls-into-leaves", n, trials=trials, base_seed=seed)
-        crash = rounds_over_trials(
-            "balls-into-leaves",
-            n,
-            trials=trials,
-            base_seed=seed + 1,
-            adversary_factory=lambda s: RandomCrashAdversary(0.05, seed=s),
+        ff = ff_batch.cell("balls-into-leaves", n)
+        crash = crash_batch.cell(
+            "balls-into-leaves", n, AdversarySpec.of("random", rate=0.05)
         )
         crash_table.add_row(
             n,
             sum(r.rounds for r in crash) / trials,
-            sum(r.metrics.total_messages_delivered for r in ff) / trials,
-            sum(r.metrics.total_messages_delivered for r in crash) / trials,
+            sum(r.messages_delivered for r in ff) / trials,
+            sum(r.messages_delivered for r in crash) / trials,
             sum(r.failures for r in crash) / trials,
         )
     result.tables.append(crash_table)

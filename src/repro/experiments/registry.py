@@ -1,10 +1,17 @@
-"""Registry of experiment ids -> runner modules."""
+"""Registry of experiment ids -> runner modules.
+
+Experiments whose ``run`` accepts ``executor`` / ``workers`` (the modules
+routed through :mod:`repro.sim.batch`) get the caller's execution backend
+threaded through; the rest keep their historical signature and run
+in-process.
+"""
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
 from types import ModuleType
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from repro.errors import UnknownExperimentError
 from repro.experiments import (
@@ -34,6 +41,11 @@ class ExperimentEntry:
     experiment_id: str
     title: str
     run: Callable[..., ExperimentResult]
+
+    @property
+    def batched(self) -> bool:
+        """True when the runner routes its sweeps through the batch engine."""
+        return "executor" in inspect.signature(self.run).parameters
 
 
 _MODULES: List[ModuleType] = [
@@ -76,7 +88,18 @@ def get_experiment(experiment_id: str) -> ExperimentEntry:
 
 
 def run_experiment(
-    experiment_id: str, *, scale: str = "paper", seed: int = 0
+    experiment_id: str,
+    *,
+    scale: str = "paper",
+    seed: int = 0,
+    executor: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
-    """Run one experiment by id."""
-    return get_experiment(experiment_id).run(scale=scale, seed=seed)
+    """Run one experiment by id, threading the execution backend through
+    when the experiment supports it (others ignore it and run serially)."""
+    entry = get_experiment(experiment_id)
+    kwargs = {"scale": scale, "seed": seed}
+    if entry.batched:
+        kwargs["executor"] = executor
+        kwargs["workers"] = workers
+    return entry.run(**kwargs)

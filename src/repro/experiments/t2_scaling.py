@@ -5,32 +5,61 @@ with an aggressive random crash mix), and fit the mean round count to the
 candidate growth models.  Theorem 2 predicts the ``loglog`` model wins by
 a wide margin over ``log`` — and that crashes do not slow the algorithm
 down (Section 5.3).
+
+The whole sweep is two scenario matrices through the batch engine; pass
+``executor="process"`` (or ``--workers`` on the CLI) to spread the trials
+over cores without changing a digit of the output.
 """
 
 from __future__ import annotations
 
 import math
 
-from repro.adversary.random_crash import RandomCrashAdversary
 from repro.analysis.ascii_plot import line_plot
 from repro.analysis.fitting import fit_growth_models
 from repro.analysis.tables import Table
 from repro.experiments.common import (
+    ExecutorLike,
     ExperimentResult,
     round_stats,
-    rounds_over_trials,
     scaled,
+    sweep,
 )
+from repro.sim.batch import AdversarySpec
 
 EXPERIMENT_ID = "EXP-T2"
 TITLE = "Theorem 2: O(log log n) rounds w.h.p. for Balls-into-Leaves"
 
 
-def run(scale: str = "paper", seed: int = 0) -> ExperimentResult:
+def run(
+    scale: str = "paper",
+    seed: int = 0,
+    executor: ExecutorLike = None,
+    workers: int = None,
+) -> ExperimentResult:
     """Run the scaling sweep and return tables + fit report."""
     sizes = scaled(scale, [16, 64, 256], [16, 32, 64, 128, 256, 512, 1024, 2048, 4096])
     trials = scaled(scale, 3, 20)
     crash_rate = 0.05
+
+    ff_batch = sweep(
+        ["balls-into-leaves"],
+        sizes,
+        ["none"],
+        trials=trials,
+        base_seed=seed,
+        executor=executor,
+        workers=workers,
+    )
+    crash_batch = sweep(
+        ["balls-into-leaves"],
+        sizes,
+        [AdversarySpec.of("random", rate=crash_rate)],
+        trials=trials,
+        base_seed=seed + 1,
+        executor=executor,
+        workers=workers,
+    )
 
     result = ExperimentResult(EXPERIMENT_ID, TITLE, scale)
     table = Table(
@@ -51,13 +80,9 @@ def run(scale: str = "paper", seed: int = 0) -> ExperimentResult:
 
     ff_means, crash_means = [], []
     for n in sizes:
-        ff_runs = rounds_over_trials("balls-into-leaves", n, trials=trials, base_seed=seed)
-        crash_runs = rounds_over_trials(
-            "balls-into-leaves",
-            n,
-            trials=trials,
-            base_seed=seed + 1,
-            adversary_factory=lambda s: RandomCrashAdversary(crash_rate, seed=s),
+        ff_runs = ff_batch.cell("balls-into-leaves", n, "none")
+        crash_runs = crash_batch.cell(
+            "balls-into-leaves", n, AdversarySpec.of("random", rate=crash_rate)
         )
         ff = round_stats(ff_runs)
         crash = round_stats(crash_runs)

@@ -4,26 +4,44 @@ Without crashes the deterministic phase-1 rank paths are collision-free,
 so every ball reaches a distinct leaf in the first phase: 3 rounds total
 (hello + one two-round phase), independent of ``n``.  The table verifies
 the constant across the sweep and contrasts plain Balls-into-Leaves.
+
+One two-algorithm scenario matrix through the batch engine.
 """
 
 from __future__ import annotations
 
 from repro.analysis.tables import Table
 from repro.experiments.common import (
+    ExecutorLike,
     ExperimentResult,
     round_stats,
-    rounds_over_trials,
     scaled,
+    sweep,
 )
 
 EXPERIMENT_ID = "EXP-T3"
 TITLE = "Theorem 3: failure-free early termination in O(1) rounds"
 
 
-def run(scale: str = "paper", seed: int = 0) -> ExperimentResult:
+def run(
+    scale: str = "paper",
+    seed: int = 0,
+    executor: ExecutorLike = None,
+    workers: int = None,
+) -> ExperimentResult:
     """Sweep n failure-free; early-terminating rounds must be constant."""
     sizes = scaled(scale, [16, 256], [16, 64, 256, 1024, 4096])
     trials = scaled(scale, 2, 5)
+
+    batch = sweep(
+        ["early-terminating", "balls-into-leaves"],
+        sizes,
+        ["none"],
+        trials=trials,
+        base_seed=seed,
+        executor=executor,
+        workers=workers,
+    )
 
     result = ExperimentResult(EXPERIMENT_ID, TITLE, scale)
     table = Table(
@@ -33,12 +51,8 @@ def run(scale: str = "paper", seed: int = 0) -> ExperimentResult:
     )
     constants = set()
     for n in sizes:
-        early = round_stats(
-            rounds_over_trials("early-terminating", n, trials=trials, base_seed=seed)
-        )
-        plain = round_stats(
-            rounds_over_trials("balls-into-leaves", n, trials=trials, base_seed=seed)
-        )
+        early = round_stats(batch.cell("early-terminating", n))
+        plain = round_stats(batch.cell("balls-into-leaves", n))
         table.add_row(n, int(early.maximum), plain.mean)
         constants.add(early.maximum)
     result.tables.append(table)

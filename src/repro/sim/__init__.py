@@ -18,6 +18,19 @@ from repro.sim.metrics import RoundMetrics, SimulationMetrics
 from repro.sim.trace import Trace, TraceEvent
 from repro.sim.checker import RenamingSpec, check_renaming
 from repro.sim.runner import RenamingRun, run_renaming, ALGORITHMS
+from repro.sim.batch import (
+    AdversarySpec,
+    BatchResult,
+    CellKey,
+    CellStats,
+    MultiprocessingExecutor,
+    ScenarioMatrix,
+    SerialExecutor,
+    TrialResult,
+    TrialSpec,
+    run_batch,
+    run_trial,
+)
 
 __all__ = [
     "SyncProcess",
@@ -34,4 +47,15 @@ __all__ = [
     "RenamingRun",
     "run_renaming",
     "ALGORITHMS",
+    "AdversarySpec",
+    "BatchResult",
+    "CellKey",
+    "CellStats",
+    "MultiprocessingExecutor",
+    "ScenarioMatrix",
+    "SerialExecutor",
+    "TrialResult",
+    "TrialSpec",
+    "run_batch",
+    "run_trial",
 ]

@@ -1,0 +1,573 @@
+"""Parallel trial engine: scenario matrices over algorithm x adversary x n x seed.
+
+Every claim in the paper is a w.h.p. statement over many independent
+executions, so every experiment is, at heart, a seed sweep.  This module
+makes those sweeps first-class:
+
+* :class:`TrialSpec` — one fully-described execution (algorithm, size,
+  seed, adversary), picklable so it can cross process boundaries;
+* :class:`ScenarioMatrix` — expands an algorithm x size x adversary x
+  seed grid into trial specs with deterministic per-trial seeds;
+* :class:`SerialExecutor` / :class:`MultiprocessingExecutor` — pluggable
+  backends that map :func:`run_trial` over the specs, chunked, preserving
+  input order so results are independent of the backend;
+* :class:`BatchResult` — the aggregated outcome, grouped into per-cell
+  round/failure/message statistics ready for :mod:`repro.analysis.tables`.
+
+Determinism is the design invariant: a matrix expands to the same specs
+on every platform, each trial's randomness is derived only from its spec
+(via :func:`repro.sim.rng.derive_seed` in ``"derived"`` seed mode, or the
+historical ``base_seed * 100_003 + trial`` schedule in ``"legacy"`` mode),
+and executors preserve order — so serial and multiprocessing backends
+produce identical :class:`BatchResult` cells, byte for byte.
+"""
+
+from __future__ import annotations
+
+import ast
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.adversary.base import Adversary
+from repro.adversary.random_crash import RandomCrashAdversary
+from repro.adversary.sandwich import SandwichAdversary
+from repro.adversary.splitter import HalfSplitAdversary
+from repro.adversary.targeted import TargetedPriorityAdversary
+from repro.analysis.stats import TrialStats, summarize
+from repro.analysis.tables import Table
+from repro.errors import ConfigurationError
+from repro.ids import Name, ProcessId, sparse_ids
+from repro.sim.rng import derive_seed
+from repro.sim.runner import ALGORITHMS, run_renaming
+
+# --------------------------------------------------------------- seed schedules
+
+#: Seed-derivation modes for a matrix: "legacy" reproduces the historical
+#: per-experiment schedule (byte-identical tables with the old serial
+#: loops); "derived" hashes the whole cell coordinate through SHA-256 so
+#: every cell gets an independent stream.
+SEED_MODES = ("legacy", "derived")
+
+
+def legacy_trial_seeds(base_seed: int, trials: int) -> List[int]:
+    """The historical seed schedule shared by every experiment sweep."""
+    return [base_seed * 100_003 + trial for trial in range(trials)]
+
+
+def derived_trial_seed(
+    base_seed: int, algorithm: str, n: int, adversary_key: str, trial: int
+) -> int:
+    """An independent per-cell, per-trial seed (SHA-256 derivation)."""
+    return derive_seed(base_seed, "trial", algorithm, n, adversary_key, trial)
+
+
+# ----------------------------------------------------------- adversary registry
+
+#: Adversary builders by name: ``builder(seed, **params) -> Optional[Adversary]``.
+#: Builders are module-level so specs naming them stay picklable.
+AdversaryBuilder = Callable[..., Optional[Adversary]]
+
+
+def _build_none(seed: int) -> Optional[Adversary]:
+    return None
+
+
+def _build_random(
+    seed: int,
+    rate: float = 0.05,
+    delivery: str = "split",
+    max_crashes: Optional[int] = None,
+) -> Adversary:
+    return RandomCrashAdversary(rate, delivery=delivery, max_crashes=max_crashes, seed=seed)
+
+
+def _build_targeted(
+    seed: int, max_crashes: Optional[int] = None, every_k_phases: int = 1
+) -> Adversary:
+    return TargetedPriorityAdversary(
+        max_crashes=max_crashes, every_k_phases=every_k_phases, seed=seed
+    )
+
+
+def _build_sandwich(
+    seed: int, max_crashes: Optional[int] = None, every_k_rounds: int = 2
+) -> Adversary:
+    return SandwichAdversary(max_crashes=max_crashes, every_k_rounds=every_k_rounds, seed=seed)
+
+
+def _build_half_split(
+    seed: int,
+    victims_per_round: int = 1,
+    max_crashes: Optional[int] = None,
+    last_round: Optional[int] = None,
+) -> Adversary:
+    """Round-1 strike by default; ``last_round`` strikes every odd round up to it."""
+    rounds = None
+    if last_round is not None:
+        rounds = frozenset({1} | set(range(3, last_round, 2)))
+    return HalfSplitAdversary(
+        rounds=rounds,
+        victims_per_round=victims_per_round,
+        max_crashes=max_crashes,
+        seed=seed,
+    )
+
+
+ADVERSARY_BUILDERS: Dict[str, AdversaryBuilder] = {
+    "none": _build_none,
+    "random": _build_random,
+    "targeted": _build_targeted,
+    "sandwich": _build_sandwich,
+    "half-split": _build_half_split,
+}
+
+
+@dataclass(frozen=True)
+class AdversarySpec:
+    """A named, parameterized adversary — hashable and picklable.
+
+    ``params`` is a sorted tuple of ``(key, value)`` pairs so specs can be
+    dict keys and cross process boundaries; :meth:`build` instantiates a
+    fresh adversary for one trial, seeded with that trial's seed.
+    """
+
+    name: str = "none"
+    params: Tuple[Tuple[str, Any], ...] = ()
+    label: Optional[str] = None
+
+    @classmethod
+    def of(cls, name: str, *, label: Optional[str] = None, **params: Any) -> "AdversarySpec":
+        """Build a spec, validating the adversary name."""
+        if name not in ADVERSARY_BUILDERS:
+            raise ConfigurationError(
+                f"unknown adversary {name!r}; choose from {sorted(ADVERSARY_BUILDERS)}"
+            )
+        return cls(name=name, params=tuple(sorted(params.items())), label=label)
+
+    @classmethod
+    def parse(cls, text: str) -> "AdversarySpec":
+        """Parse the CLI grammar ``name[:key=value[,key=value...]]``.
+
+        Values go through :func:`ast.literal_eval` when possible (so
+        ``rate=0.2`` is a float) and stay strings otherwise.
+        """
+        name, _, raw_params = text.partition(":")
+        params: Dict[str, Any] = {}
+        if raw_params:
+            for item in raw_params.split(","):
+                key, sep, raw_value = item.partition("=")
+                if not sep or not key:
+                    raise ConfigurationError(
+                        f"bad adversary parameter {item!r} in {text!r}; "
+                        "expected name:key=value[,key=value...]"
+                    )
+                try:
+                    value = ast.literal_eval(raw_value)
+                except (SyntaxError, ValueError):
+                    value = raw_value
+                params[key.strip()] = value
+        return cls.of(name.strip(), **params)
+
+    @property
+    def key(self) -> str:
+        """The display / cell-grouping label."""
+        if self.label is not None:
+            return self.label
+        if not self.params:
+            return self.name
+        rendered = ",".join(f"{key}={value}" for key, value in self.params)
+        return f"{self.name}:{rendered}"
+
+    def build(self, seed: int) -> Optional[Adversary]:
+        """A fresh adversary instance for one trial."""
+        builder = ADVERSARY_BUILDERS.get(self.name)
+        if builder is None:
+            raise ConfigurationError(
+                f"unknown adversary {self.name!r}; choose from {sorted(ADVERSARY_BUILDERS)}"
+            )
+        try:
+            return builder(seed, **dict(self.params))
+        except (TypeError, ValueError) as error:
+            raise ConfigurationError(
+                f"bad parameters for adversary {self.name!r}: {error}"
+            ) from None
+
+
+#: Anything coercible to an AdversarySpec in matrix/CLI construction.
+AdversaryLike = Union[str, AdversarySpec]
+
+
+def as_adversary_spec(value: AdversaryLike) -> AdversarySpec:
+    """Coerce a string (CLI grammar) or spec to an :class:`AdversarySpec`."""
+    if isinstance(value, AdversarySpec):
+        return value
+    return AdversarySpec.parse(value)
+
+
+# -------------------------------------------------------------------- the trial
+
+
+class CellKey(NamedTuple):
+    """Coordinates of one matrix cell (seed dimension aggregated away)."""
+
+    algorithm: str
+    n: int
+    adversary: str
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One fully-described execution; picklable, hashable, deterministic."""
+
+    algorithm: str
+    n: int
+    seed: int
+    adversary: AdversarySpec = AdversarySpec()
+    halt_on_name: bool = False
+    crash_budget: Optional[int] = None
+    check: bool = True
+
+    @property
+    def cell(self) -> CellKey:
+        """The matrix cell this trial belongs to."""
+        return CellKey(self.algorithm, self.n, self.adversary.key)
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """Scalar outcome of one trial — small enough to ship between processes."""
+
+    spec: TrialSpec
+    rounds: int
+    failures: int
+    messages_sent: int
+    messages_delivered: int
+    last_round_named: Optional[int]
+    names: Tuple[Tuple[ProcessId, Name], ...]
+
+    @property
+    def cell(self) -> CellKey:
+        """The matrix cell this result belongs to."""
+        return self.spec.cell
+
+
+def run_trial(spec: TrialSpec) -> TrialResult:
+    """Execute one spec end to end (module-level so executors can pickle it)."""
+    run = run_renaming(
+        spec.algorithm,
+        sparse_ids(spec.n),
+        seed=spec.seed,
+        adversary=spec.adversary.build(spec.seed),
+        crash_budget=spec.crash_budget,
+        halt_on_name=spec.halt_on_name,
+        check=spec.check,
+    )
+    return TrialResult(
+        spec=spec,
+        rounds=run.rounds,
+        failures=run.failures,
+        messages_sent=run.metrics.total_messages_sent,
+        messages_delivered=run.metrics.total_messages_delivered,
+        last_round_named=run.last_round_named,
+        names=tuple(sorted(run.names.items(), key=lambda item: repr(item[0]))),
+    )
+
+
+# -------------------------------------------------------------------- executors
+
+
+class SerialExecutor:
+    """Run trials in-process, one after another."""
+
+    name = "serial"
+
+    def run(self, specs: Sequence[TrialSpec]) -> List[TrialResult]:
+        """Map :func:`run_trial` over ``specs`` in order."""
+        return [run_trial(spec) for spec in specs]
+
+
+class MultiprocessingExecutor:
+    """Run trials across a :mod:`multiprocessing` pool, chunked.
+
+    ``Pool.map`` preserves input order, so cells come back in exactly the
+    order the serial executor would produce — determinism under
+    parallelism.  Falls back to in-process execution for tiny batches
+    where pool startup would dominate.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        *,
+        chunksize: Optional[int] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        self.chunksize = chunksize
+        self.start_method = start_method
+
+    def run(self, specs: Sequence[TrialSpec]) -> List[TrialResult]:
+        """Map :func:`run_trial` over ``specs``, preserving order."""
+        specs = list(specs)
+        if self.workers == 1 or len(specs) <= 1:
+            return SerialExecutor().run(specs)
+        chunksize = self.chunksize
+        if chunksize is None:
+            # ~4 chunks per worker balances load without drowning in IPC.
+            chunksize = max(1, len(specs) // (self.workers * 4))
+        context = multiprocessing.get_context(self.start_method)
+        with context.Pool(processes=self.workers) as pool:
+            return pool.map(run_trial, specs, chunksize)
+
+
+#: Executor names accepted by :func:`as_executor` and the CLI.
+EXECUTORS = ("serial", "process")
+
+
+def as_executor(
+    value: Union[None, str, SerialExecutor, MultiprocessingExecutor],
+    *,
+    workers: Optional[int] = None,
+    chunksize: Optional[int] = None,
+):
+    """Coerce a name / None / executor instance to an executor object."""
+    if value is None:
+        if workers is not None and workers > 1:
+            return MultiprocessingExecutor(workers, chunksize=chunksize)
+        return SerialExecutor()
+    if isinstance(value, str):
+        if value == "serial":
+            return SerialExecutor()
+        if value == "process":
+            return MultiprocessingExecutor(workers, chunksize=chunksize)
+        raise ConfigurationError(
+            f"unknown executor {value!r}; choose from {EXECUTORS}"
+        )
+    if hasattr(value, "run"):
+        return value
+    raise ConfigurationError(f"not an executor: {value!r}")
+
+
+# -------------------------------------------------------------- scenario matrix
+
+
+@dataclass(frozen=True)
+class ScenarioMatrix:
+    """An algorithm x size x adversary x seed grid of trials."""
+
+    algorithms: Tuple[str, ...]
+    sizes: Tuple[int, ...]
+    adversaries: Tuple[AdversarySpec, ...] = (AdversarySpec(),)
+    trials: int = 1
+    base_seed: int = 0
+    seed_mode: str = "legacy"
+    halt_on_name: bool = False
+    crash_budget: Optional[int] = None
+    check: bool = True
+
+    @classmethod
+    def build(
+        cls,
+        algorithms: Iterable[str],
+        sizes: Iterable[int],
+        adversaries: Iterable[AdversaryLike] = ("none",),
+        *,
+        trials: int = 1,
+        base_seed: int = 0,
+        seed_mode: str = "legacy",
+        halt_on_name: bool = False,
+        crash_budget: Optional[int] = None,
+        check: bool = True,
+    ) -> "ScenarioMatrix":
+        """Validate and normalize a grid definition."""
+        algorithms = tuple(algorithms)
+        sizes = tuple(int(n) for n in sizes)
+        adversary_specs = tuple(as_adversary_spec(adv) for adv in adversaries)
+        for algorithm in algorithms:
+            if algorithm not in ALGORITHMS:
+                raise ConfigurationError(
+                    f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)}"
+                )
+        if not algorithms or not sizes or not adversary_specs:
+            raise ConfigurationError("a scenario matrix needs >= 1 of every dimension")
+        for n in sizes:
+            if n < 1:
+                raise ConfigurationError(f"sizes must be >= 1, got {n}")
+        if trials < 1:
+            raise ConfigurationError(f"trials must be >= 1, got {trials}")
+        if seed_mode not in SEED_MODES:
+            raise ConfigurationError(
+                f"unknown seed mode {seed_mode!r}; choose from {SEED_MODES}"
+            )
+        return cls(
+            algorithms=algorithms,
+            sizes=sizes,
+            adversaries=adversary_specs,
+            trials=trials,
+            base_seed=base_seed,
+            seed_mode=seed_mode,
+            halt_on_name=halt_on_name,
+            crash_budget=crash_budget,
+            check=check,
+        )
+
+    def __len__(self) -> int:
+        return len(self.algorithms) * len(self.sizes) * len(self.adversaries) * self.trials
+
+    def trial_seed(self, algorithm: str, n: int, adversary: AdversarySpec, trial: int) -> int:
+        """The seed of one trial under this matrix's seed mode."""
+        if self.seed_mode == "legacy":
+            return self.base_seed * 100_003 + trial
+        return derived_trial_seed(self.base_seed, algorithm, n, adversary.key, trial)
+
+    def expand(self) -> List[TrialSpec]:
+        """All trial specs, cells in grid order, seeds ascending per cell."""
+        specs: List[TrialSpec] = []
+        for algorithm in self.algorithms:
+            for n in self.sizes:
+                for adversary in self.adversaries:
+                    for trial in range(self.trials):
+                        specs.append(
+                            TrialSpec(
+                                algorithm=algorithm,
+                                n=n,
+                                seed=self.trial_seed(algorithm, n, adversary, trial),
+                                adversary=adversary,
+                                halt_on_name=self.halt_on_name,
+                                crash_budget=self.crash_budget,
+                                check=self.check,
+                            )
+                        )
+        return specs
+
+
+# ----------------------------------------------------------------- batch result
+
+
+@dataclass(frozen=True)
+class CellStats:
+    """Aggregated statistics of one matrix cell."""
+
+    key: CellKey
+    count: int
+    rounds: TrialStats
+    failures: TrialStats
+    messages_sent: TrialStats
+    messages_delivered: TrialStats
+
+
+@dataclass
+class BatchResult:
+    """All trial results of one batch, with per-cell aggregation."""
+
+    trials: List[TrialResult] = field(default_factory=list)
+    executor: str = "serial"
+    elapsed: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.trials)
+
+    def cells(self) -> Dict[CellKey, List[TrialResult]]:
+        """Results grouped by cell, preserving trial order within each."""
+        grouped: Dict[CellKey, List[TrialResult]] = {}
+        for result in self.trials:
+            grouped.setdefault(result.cell, []).append(result)
+        return grouped
+
+    def cell(
+        self, algorithm: str, n: int, adversary: AdversaryLike = "none"
+    ) -> List[TrialResult]:
+        """Results of one cell (raises on an empty/unknown cell)."""
+        key = CellKey(algorithm, int(n), as_adversary_spec(adversary).key)
+        results = [result for result in self.trials if result.cell == key]
+        if not results:
+            raise ConfigurationError(f"no trials in cell {key}")
+        return results
+
+    def stats(self, algorithm: str, n: int, adversary: AdversaryLike = "none") -> CellStats:
+        """Aggregated statistics of one cell."""
+        return self._stats(self.cell(algorithm, n, adversary))
+
+    def cell_stats(self) -> List[CellStats]:
+        """Statistics of every cell, in first-seen (grid) order."""
+        return [self._stats(results) for results in self.cells().values()]
+
+    def to_table(self, title: str = "scenario matrix") -> Table:
+        """One row per cell, ready for experiment reports."""
+        table = Table(
+            title,
+            [
+                "algorithm",
+                "n",
+                "adversary",
+                "trials",
+                "mean rounds",
+                "p95",
+                "max",
+                "mean f",
+                "mean deliveries",
+            ],
+            notes=f"executor={self.executor}; every trial checked against the renaming spec",
+        )
+        for stats in self.cell_stats():
+            table.add_row(
+                stats.key.algorithm,
+                stats.key.n,
+                stats.key.adversary,
+                stats.count,
+                stats.rounds.mean,
+                stats.rounds.p95,
+                stats.rounds.maximum,
+                stats.failures.mean,
+                stats.messages_delivered.mean,
+            )
+        return table
+
+    @staticmethod
+    def _stats(results: Sequence[TrialResult]) -> CellStats:
+        return CellStats(
+            key=results[0].cell,
+            count=len(results),
+            rounds=summarize([r.rounds for r in results]),
+            failures=summarize([r.failures for r in results]),
+            messages_sent=summarize([r.messages_sent for r in results]),
+            messages_delivered=summarize([r.messages_delivered for r in results]),
+        )
+
+
+def run_batch(
+    source: Union[ScenarioMatrix, Sequence[TrialSpec]],
+    *,
+    executor: Union[None, str, SerialExecutor, MultiprocessingExecutor] = None,
+    workers: Optional[int] = None,
+    chunksize: Optional[int] = None,
+) -> BatchResult:
+    """Expand (if needed) and execute a batch of trials.
+
+    ``executor`` may be an executor object, a name from
+    :data:`EXECUTORS`, or None (serial; or process when ``workers > 1``).
+    """
+    specs = source.expand() if isinstance(source, ScenarioMatrix) else list(source)
+    backend = as_executor(executor, workers=workers, chunksize=chunksize)
+    started = time.perf_counter()
+    results = backend.run(specs)
+    elapsed = time.perf_counter() - started
+    return BatchResult(trials=results, executor=backend.name, elapsed=elapsed)

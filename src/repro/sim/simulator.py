@@ -42,11 +42,17 @@ class SimulationResult:
     metrics: SimulationMetrics
     trace: Optional[Trace] = None
     extras: Dict[str, Any] = field(default_factory=dict)
+    #: All participating pids.  The simulator always fills this in; when a
+    #: hand-built result leaves it None, the decision keys stand in — but
+    #: then a process that crashed before deciding and was dropped from
+    #: ``decisions`` would silently vanish from the correct set.
+    participants: Optional[FrozenSet[ProcessId]] = None
 
     @property
     def correct(self) -> FrozenSet[ProcessId]:
-        """Processes that never crashed."""
-        return frozenset(pid for pid in self.decisions if pid not in self.crashed)
+        """Processes that never crashed, over *all* participants."""
+        pids = self.participants if self.participants is not None else self.decisions
+        return frozenset(pid for pid in pids if pid not in self.crashed)
 
 
 class Simulation:
@@ -215,6 +221,7 @@ class Simulation:
             halted=halted,
             metrics=self._metrics,
             trace=self._trace,
+            participants=frozenset(self._procs),
         )
 
     # ---------------------------------------------------------------- private

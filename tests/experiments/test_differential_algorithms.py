@@ -1,0 +1,53 @@
+"""Differential test across the whole algorithm table.
+
+Every algorithm registered in :data:`repro.sim.runner.ALGORITHMS` must
+satisfy the tight renaming specification on every failure-free trial of a
+batch sweep: all ``n`` processes decide, names are exactly a permutation
+of ``0..n-1``.  A regression anywhere in an algorithm, the simulator, or
+the checker shows up here as a cross-table diff.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.batch import ScenarioMatrix, run_batch
+from repro.sim.runner import ALGORITHMS
+
+
+def _assert_tight_one_to_one(batch, n: int) -> None:
+    for result in batch.trials:
+        # check=True already ran check_renaming inside the trial; assert
+        # the tight one-to-one property independently of the checker.
+        assert result.failures == 0
+        names = [name for _, name in result.names]
+        assert len(names) == n, f"{result.spec}: {len(names)} of {n} processes named"
+        assert sorted(names) == list(range(n)), f"{result.spec}: names {sorted(names)}"
+
+
+class TestEveryAlgorithmSatisfiesTheSpec:
+    def test_quick_differential_sweep(self):
+        """Tier-1 guard: every algorithm, 25 failure-free trials at n=16."""
+        n = 16
+        batch = run_batch(
+            ScenarioMatrix.build(sorted(ALGORITHMS), [n], ["none"], trials=25, base_seed=1)
+        )
+        assert len(batch) == len(ALGORITHMS) * 25
+        _assert_tight_one_to_one(batch, n)
+
+    @pytest.mark.tier2
+    def test_200_trial_differential_sweep(self):
+        """Nightly: every algorithm, 200 failure-free trials, two sizes."""
+        for n in (16, 32):
+            batch = run_batch(
+                ScenarioMatrix.build(
+                    sorted(ALGORITHMS),
+                    [n],
+                    ["none"],
+                    trials=200,
+                    base_seed=7,
+                    seed_mode="derived",
+                )
+            )
+            assert len(batch) == len(ALGORITHMS) * 200
+            _assert_tight_one_to_one(batch, n)

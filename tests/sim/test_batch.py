@@ -1,0 +1,176 @@
+"""Unit tests for the parallel trial engine (repro.sim.batch)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.batch import (
+    AdversarySpec,
+    CellKey,
+    MultiprocessingExecutor,
+    ScenarioMatrix,
+    SerialExecutor,
+    TrialSpec,
+    as_executor,
+    derived_trial_seed,
+    legacy_trial_seeds,
+    run_batch,
+    run_trial,
+)
+
+
+class TestAdversarySpec:
+    def test_default_is_no_failures(self):
+        spec = AdversarySpec()
+        assert spec.key == "none"
+        assert spec.build(7) is None
+
+    def test_of_validates_name(self):
+        with pytest.raises(ConfigurationError, match="unknown adversary"):
+            AdversarySpec.of("byzantine")
+
+    def test_params_are_sorted_and_shown_in_key(self):
+        spec = AdversarySpec.of("random", rate=0.2, delivery="uniform")
+        assert spec.params == (("delivery", "uniform"), ("rate", 0.2))
+        assert spec.key == "random:delivery=uniform,rate=0.2"
+
+    def test_label_overrides_key(self):
+        spec = AdversarySpec.of("random", rate=0.05, label="random 5%")
+        assert spec.key == "random 5%"
+
+    def test_parse_literal_values(self):
+        spec = AdversarySpec.parse("random:rate=0.2,delivery=split")
+        assert dict(spec.params) == {"rate": 0.2, "delivery": "split"}
+        adversary = spec.build(3)
+        assert type(adversary).__name__ == "RandomCrashAdversary"
+
+    def test_parse_plain_name(self):
+        assert AdversarySpec.parse("sandwich").name == "sandwich"
+
+    def test_parse_rejects_malformed_params(self):
+        with pytest.raises(ConfigurationError, match="bad adversary parameter"):
+            AdversarySpec.parse("random:rate")
+
+    def test_build_rejects_unknown_params(self):
+        spec = AdversarySpec.of("sandwich", not_a_param=1)
+        with pytest.raises(ConfigurationError, match="bad parameters"):
+            spec.build(0)
+
+    def test_builders_seeded_per_trial(self):
+        spec = AdversarySpec.of("random", rate=1.0, delivery="uniform")
+        first = spec.build(1)
+        second = spec.build(1)
+        assert first is not second
+        assert first.rng.random() == second.rng.random()
+
+
+class TestScenarioMatrix:
+    def test_expansion_covers_the_grid_in_order(self):
+        matrix = ScenarioMatrix.build(
+            ["balls-into-leaves", "flood"], [4, 8], ["none", "sandwich"], trials=2
+        )
+        specs = matrix.expand()
+        assert len(specs) == len(matrix) == 2 * 2 * 2 * 2
+        assert specs[0].cell == CellKey("balls-into-leaves", 4, "none")
+        # Trials of a cell are adjacent and seed-ascending.
+        assert specs[0].seed < specs[1].seed
+        assert specs[1].cell == specs[0].cell
+        assert specs[-1].cell == CellKey("flood", 8, "sandwich")
+
+    def test_legacy_seed_schedule_matches_historical_loops(self):
+        matrix = ScenarioMatrix.build(["flood"], [4], trials=3, base_seed=9)
+        assert [spec.seed for spec in matrix.expand()] == legacy_trial_seeds(9, 3)
+        assert legacy_trial_seeds(9, 3) == [9 * 100_003 + t for t in range(3)]
+
+    def test_derived_seeds_differ_across_cells(self):
+        matrix = ScenarioMatrix.build(
+            ["balls-into-leaves", "flood"], [4], trials=2, seed_mode="derived"
+        )
+        seeds = [spec.seed for spec in matrix.expand()]
+        assert len(set(seeds)) == len(seeds)
+        assert seeds[0] == derived_trial_seed(0, "balls-into-leaves", 4, "none", 0)
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(ConfigurationError, match="unknown algorithm"):
+            ScenarioMatrix.build(["quantum"], [4])
+
+    def test_rejects_empty_dimensions_and_bad_values(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioMatrix.build([], [4])
+        with pytest.raises(ConfigurationError):
+            ScenarioMatrix.build(["flood"], [0])
+        with pytest.raises(ConfigurationError):
+            ScenarioMatrix.build(["flood"], [4], trials=0)
+        with pytest.raises(ConfigurationError, match="seed mode"):
+            ScenarioMatrix.build(["flood"], [4], seed_mode="lunar")
+
+
+class TestRunTrial:
+    def test_trial_result_carries_scalars_and_names(self):
+        result = run_trial(TrialSpec("balls-into-leaves", 8, seed=5))
+        assert result.rounds > 0
+        assert result.failures == 0
+        assert result.messages_sent > 0
+        assert result.messages_delivered >= result.messages_sent
+        names = [name for _, name in result.names]
+        assert sorted(names) == list(range(8))
+
+    def test_trial_is_deterministic(self):
+        spec = TrialSpec("balls-into-leaves", 8, seed=5, adversary=AdversarySpec.of("random", rate=0.2))
+        assert run_trial(spec) == run_trial(spec)
+
+
+class TestExecutors:
+    def test_as_executor_coercions(self):
+        assert isinstance(as_executor(None), SerialExecutor)
+        assert isinstance(as_executor("serial"), SerialExecutor)
+        assert isinstance(as_executor("process"), MultiprocessingExecutor)
+        assert isinstance(as_executor(None, workers=4), MultiprocessingExecutor)
+        custom = SerialExecutor()
+        assert as_executor(custom) is custom
+        with pytest.raises(ConfigurationError, match="unknown executor"):
+            as_executor("gpu")
+
+    def test_worker_default_and_validation(self):
+        assert MultiprocessingExecutor().workers >= 1
+        with pytest.raises(ConfigurationError):
+            MultiprocessingExecutor(0)
+
+    def test_single_worker_falls_back_to_serial(self):
+        matrix = ScenarioMatrix.build(["flood"], [4], trials=2)
+        serial = SerialExecutor().run(matrix.expand())
+        assert MultiprocessingExecutor(1).run(matrix.expand()) == serial
+
+
+class TestBatchResult:
+    @pytest.fixture(scope="class")
+    def batch(self):
+        matrix = ScenarioMatrix.build(
+            ["balls-into-leaves", "flood"], [4, 8], ["none", "sandwich"], trials=3
+        )
+        return run_batch(matrix)
+
+    def test_cells_preserve_grid_order(self, batch):
+        keys = list(batch.cells())
+        assert keys[0] == CellKey("balls-into-leaves", 4, "none")
+        assert len(keys) == 8
+        assert all(len(cell) == 3 for cell in batch.cells().values())
+
+    def test_cell_lookup_and_stats(self, batch):
+        cell = batch.cell("flood", 8, "sandwich")
+        assert len(cell) == 3
+        stats = batch.stats("flood", 8, "sandwich")
+        assert stats.count == 3
+        assert stats.rounds.mean == sum(r.rounds for r in cell) / 3
+
+    def test_unknown_cell_raises(self, batch):
+        with pytest.raises(ConfigurationError, match="no trials"):
+            batch.cell("flood", 1024)
+
+    def test_to_table_has_one_row_per_cell(self, batch):
+        table = batch.to_table("demo")
+        assert len(table.rows) == 8
+        rendered = table.render()
+        assert "balls-into-leaves" in rendered
+        assert "sandwich" in rendered

@@ -155,3 +155,62 @@ class TestObservers:
         _, sim = make_sim(n=1, life=1)
         assert not sim.step()  # life=1: halts in round 1
         assert not sim.step()  # idempotent afterwards
+
+
+class TestCorrectSet:
+    """`SimulationResult.correct` must cover *all* participants.
+
+    Regression: it used to derive the correct set from the decision keys,
+    so a hand-built result that dropped a non-decider from ``decisions``
+    silently dropped it from the correct set too.
+    """
+
+    def test_crash_before_deciding_still_counted_as_participant(self):
+        from repro.sim.metrics import SimulationMetrics
+        from repro.sim.simulator import SimulationResult
+
+        adversary = ScheduledAdversary([ScheduledCrash(1, 2, receivers="none")])
+        _, sim = make_sim(n=4, life=3, adversary=adversary)
+        result = sim.run()
+        # The victim crashed in round 1, well before its life-3 decision.
+        assert result.decisions[2] is None
+        assert result.participants == frozenset(range(4))
+        assert result.correct == result.participants - result.crashed
+        # A result rebuilt without the undecided victim in `decisions`
+        # (as external tooling does) must report the same correct set.
+        rebuilt = SimulationResult(
+            rounds=result.rounds,
+            decisions={pid: name for pid, name in result.decisions.items() if name is not None},
+            crashed=result.crashed,
+            halted=result.halted,
+            metrics=SimulationMetrics(),
+            participants=result.participants,
+        )
+        assert rebuilt.correct == result.correct
+
+    def test_correct_survivor_that_never_decided_is_not_dropped(self):
+        from repro.sim.metrics import SimulationMetrics
+        from repro.sim.simulator import SimulationResult
+
+        result = SimulationResult(
+            rounds=1,
+            decisions={"a": 0},  # "c" never decided and was left out entirely
+            crashed=frozenset({"b"}),
+            halted=frozenset({"a"}),
+            metrics=SimulationMetrics(),
+            participants=frozenset({"a", "b", "c"}),
+        )
+        assert result.correct == frozenset({"a", "c"})
+
+    def test_decisions_keys_remain_the_fallback(self):
+        from repro.sim.metrics import SimulationMetrics
+        from repro.sim.simulator import SimulationResult
+
+        result = SimulationResult(
+            rounds=1,
+            decisions={"a": 0, "b": None},
+            crashed=frozenset({"b"}),
+            halted=frozenset({"a"}),
+            metrics=SimulationMetrics(),
+        )
+        assert result.correct == frozenset({"a"})

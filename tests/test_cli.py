@@ -48,3 +48,71 @@ class TestCli:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestBatchCli:
+    def test_batch_renders_one_row_per_cell(self, capsys):
+        assert (
+            main(
+                [
+                    "batch",
+                    "--algorithms", "balls-into-leaves,flood",
+                    "--sizes", "8,16",
+                    "--adversary", "none",
+                    "--adversary", "random:rate=0.2",
+                    "--trials", "2",
+                    "--seed", "1",
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "scenario matrix: 16 trials" in captured.out
+        assert "random:rate=0.2" in captured.out
+        assert captured.out.count("flood") == 4  # one row per (n, adversary) cell
+        assert "ran 16 trials via the serial executor" in captured.err
+
+    def test_batch_process_executor_prints_identical_table(self, capsys):
+        argv = ["batch", "--algorithms", "flood", "--sizes", "8", "--trials", "3"]
+        assert main(argv) == 0
+        serial_out = capsys.readouterr().out
+        assert main(argv + ["--executor", "process", "--workers", "2"]) == 0
+        process_out = capsys.readouterr().out
+        # Identical cells; only the executor named in the note differs.
+        assert process_out.replace("executor=process", "executor=serial") == serial_out
+
+    def test_batch_writes_csv(self, tmp_path, capsys):
+        csv_path = tmp_path / "cells.csv"
+        assert (
+            main(["batch", "--algorithms", "flood", "--sizes", "8", "--trials", "2",
+                  "--csv", str(csv_path)])
+            == 0
+        )
+        capsys.readouterr()
+        content = csv_path.read_text()
+        assert content.splitlines()[0].startswith("algorithm,n,adversary,trials")
+        assert "flood,8,none,2" in content
+
+    def test_batch_derived_seed_mode(self, capsys):
+        assert (
+            main(["batch", "--algorithms", "flood", "--sizes", "8", "--trials", "2",
+                  "--seed-mode", "derived"])
+            == 0
+        )
+        assert "scenario matrix: 2 trials" in capsys.readouterr().out
+
+    def test_batch_unknown_algorithm_fails_cleanly(self, capsys):
+        assert main(["batch", "--algorithms", "quantum", "--sizes", "8"]) == 2
+        assert "unknown algorithm" in capsys.readouterr().err
+
+    def test_batch_unknown_adversary_fails_cleanly(self, capsys):
+        assert (
+            main(["batch", "--algorithms", "flood", "--sizes", "8",
+                  "--adversary", "byzantine"])
+            == 2
+        )
+        assert "unknown adversary" in capsys.readouterr().err
+
+    def test_run_threads_workers_through_batched_experiments(self, capsys):
+        assert main(["run", "EXP-T3", "--scale", "smoke", "--workers", "2"]) == 0
+        assert "EXP-T3" in capsys.readouterr().out
