@@ -22,6 +22,7 @@ from repro.errors import (
     CapacityError,
     ConfigurationError,
     ExperimentError,
+    KernelUnsupported,
     ProtocolViolation,
     ReproError,
     RoundLimitExceeded,
@@ -33,12 +34,14 @@ from repro.errors import (
 from repro.ids import Name, ProcessId, sparse_ids, string_ids
 from repro.sim import (
     ALGORITHMS,
+    KERNEL_CHOICES,
     RenamingRun,
     RenamingSpec,
     Simulation,
     check_renaming,
     derive_rng,
     run_renaming,
+    select_kernel,
 )
 from repro.adversary import (
     Adversary,
@@ -66,6 +69,7 @@ __all__ = [
     "CapacityError",
     "UnknownBallError",
     "ExperimentError",
+    "KernelUnsupported",
     # ids
     "ProcessId",
     "Name",
@@ -79,6 +83,8 @@ __all__ = [
     "check_renaming",
     "run_renaming",
     "derive_rng",
+    "KERNEL_CHOICES",
+    "select_kernel",
     # adversaries
     "Adversary",
     "NoFailures",

@@ -60,6 +60,10 @@ class Table:
         lines.extend(",".join(row) for row in self._rows)
         return "\n".join(lines) + "\n"
 
+    def row_dicts(self) -> List[dict]:
+        """One ``{header: formatted cell}`` dict per row (JSONL export)."""
+        return [dict(zip(self.headers, row)) for row in self._rows]
+
     @staticmethod
     def _format(cell: Any) -> str:
         if isinstance(cell, float):

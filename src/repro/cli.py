@@ -17,14 +17,16 @@ the output.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from typing import Iterable, List, Optional
 
 from repro._version import __version__
 from repro.errors import ReproError
 from repro.experiments.registry import all_experiments, run_experiment
 from repro.ids import sparse_ids
 from repro.sim.batch import EXECUTORS, ScenarioMatrix, run_batch
+from repro.sim.kernel import KERNEL_CHOICES
 from repro.sim.runner import run_renaming
 
 
@@ -41,6 +43,15 @@ def _add_executor_options(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="worker processes for the process executor",
     )
+    parser.add_argument(
+        "--kernel",
+        default="auto",
+        choices=KERNEL_CHOICES,
+        help="simulation kernel: auto picks the columnar fast path for "
+        "failure-free balls-into-leaves-family runs and falls back to the "
+        "reference lock-step engine otherwise; columnar pins the fast path "
+        "and fails on runs it cannot model",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -55,15 +66,23 @@ def _build_parser() -> argparse.ArgumentParser:
 
     run_parser = sub.add_parser("run", help="run one experiment")
     run_parser.add_argument("experiment_id", help="e.g. EXP-T2")
-    run_parser.add_argument("--scale", default="paper", choices=("smoke", "paper"))
+    run_parser.add_argument("--scale", default="paper", choices=("smoke", "paper", "deep"))
     run_parser.add_argument("--seed", type=int, default=0)
-    run_parser.add_argument("--out", help="also write the report to this file")
+    run_parser.add_argument(
+        "--out",
+        help="also write the report to this file; a .jsonl path persists "
+        "the per-cell table rows as JSON lines instead",
+    )
     _add_executor_options(run_parser)
 
     all_parser = sub.add_parser("all", help="run every experiment")
-    all_parser.add_argument("--scale", default="smoke", choices=("smoke", "paper"))
+    all_parser.add_argument("--scale", default="smoke", choices=("smoke", "paper", "deep"))
     all_parser.add_argument("--seed", type=int, default=0)
-    all_parser.add_argument("--out", help="also write the combined report to this file")
+    all_parser.add_argument(
+        "--out",
+        help="also write the combined report to this file; a .jsonl path "
+        "persists every experiment's table rows as JSON lines instead",
+    )
     _add_executor_options(all_parser)
 
     demo_parser = sub.add_parser("demo", help="one quick renaming run")
@@ -73,6 +92,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--algorithm",
         default="balls-into-leaves",
         choices=("balls-into-leaves", "early-terminating", "rank-descent", "flood"),
+    )
+    demo_parser.add_argument(
+        "--kernel",
+        default="auto",
+        choices=KERNEL_CHOICES,
+        help="simulation kernel (auto = columnar fast path when supported)",
     )
 
     batch_parser = sub.add_parser(
@@ -102,7 +127,11 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=("legacy", "derived"),
         help="per-trial seed schedule (derived = independent per-cell streams)",
     )
-    batch_parser.add_argument("--out", help="also write the report to this file")
+    batch_parser.add_argument(
+        "--out",
+        help="also write the report to this file; a .jsonl path persists "
+        "one JSON row per trial instead",
+    )
     batch_parser.add_argument("--csv", help="write the per-cell table as CSV here")
     _add_executor_options(batch_parser)
     return parser
@@ -114,12 +143,45 @@ def _cmd_list() -> int:
     return 0
 
 
-def _emit(report: str, out: Optional[str]) -> None:
+def _is_jsonl(out: Optional[str]) -> bool:
+    return bool(out) and out.endswith(".jsonl")
+
+
+def _write_jsonl(path: str, rows: Iterable[dict]) -> int:
+    """Write one compact JSON object per line; returns the row count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for row in rows:
+            handle.write(json.dumps(row, separators=(",", ":")) + "\n")
+            count += 1
+    return count
+
+
+def _experiment_rows(results) -> Iterable[dict]:
+    """Per-cell rows of every table of every experiment result."""
+    for result in results:
+        for table in result.tables:
+            for row in table.row_dicts():
+                yield {
+                    "experiment": result.experiment_id,
+                    "scale": result.scale,
+                    "table": table.title,
+                    **row,
+                }
+
+
+def _emit(report: str, out: Optional[str], jsonl_rows=None) -> None:
+    """Print the report; persist to ``out`` (JSONL rows for .jsonl paths)."""
     print(report)
-    if out:
-        with open(out, "w", encoding="utf-8") as handle:
-            handle.write(report + "\n")
-        print(f"[written to {out}]", file=sys.stderr)
+    if not out:
+        return
+    if _is_jsonl(out) and jsonl_rows is not None:
+        count = _write_jsonl(out, jsonl_rows)
+        print(f"[{count} JSONL rows written to {out}]", file=sys.stderr)
+        return
+    with open(out, "w", encoding="utf-8") as handle:
+        handle.write(report + "\n")
+    print(f"[written to {out}]", file=sys.stderr)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -129,31 +191,40 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         executor=args.executor,
         workers=args.workers,
+        kernel=args.kernel,
     )
-    _emit(result.render(), args.out)
+    _emit(result.render(), args.out, jsonl_rows=_experiment_rows([result]))
     return 0
 
 
 def _cmd_all(args: argparse.Namespace) -> int:
-    reports = []
+    results = []
     for entry in all_experiments():
         print(f"... running {entry.experiment_id}", file=sys.stderr)
-        reports.append(
+        results.append(
             run_experiment(
                 entry.experiment_id,
                 scale=args.scale,
                 seed=args.seed,
                 executor=args.executor,
                 workers=args.workers,
-            ).render()
+                kernel=args.kernel,
+            )
         )
-    _emit("\n\n".join(reports), args.out)
+    _emit(
+        "\n\n".join(result.render() for result in results),
+        args.out,
+        jsonl_rows=_experiment_rows(results),
+    )
     return 0
 
 
-def _cmd_demo(n: int, seed: int, algorithm: str) -> int:
-    run = run_renaming(algorithm, sparse_ids(n), seed=seed)
-    print(f"{algorithm}: renamed n={n} processes in {run.rounds} rounds")
+def _cmd_demo(n: int, seed: int, algorithm: str, kernel: str = "auto") -> int:
+    run = run_renaming(algorithm, sparse_ids(n), seed=seed, kernel=kernel)
+    print(
+        f"{algorithm}: renamed n={n} processes in {run.rounds} rounds "
+        f"({run.kernel} kernel)"
+    )
     shown = sorted(run.names.items())[:8]
     for pid, name in shown:
         print(f"  original id {pid} -> name {name}")
@@ -177,6 +248,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         trials=args.trials,
         base_seed=args.seed,
         seed_mode=args.seed_mode,
+        kernel=args.kernel,
     )
     batch = run_batch(matrix, executor=args.executor, workers=args.workers)
     table = batch.to_table(
@@ -184,7 +256,11 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         f"({len(matrix.algorithms)} algorithms x {len(matrix.sizes)} sizes "
         f"x {len(matrix.adversaries)} adversaries x {matrix.trials} seeds)"
     )
-    _emit(table.render(), args.out)
+    _emit(
+        table.render(),
+        args.out,
+        jsonl_rows=(trial.to_row() for trial in batch.trials),
+    )
     if args.csv:
         with open(args.csv, "w", encoding="utf-8") as handle:
             handle.write(table.to_csv())
@@ -208,7 +284,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.command == "all":
             return _cmd_all(args)
         if args.command == "demo":
-            return _cmd_demo(args.n, args.seed, args.algorithm)
+            return _cmd_demo(args.n, args.seed, args.algorithm, args.kernel)
         if args.command == "batch":
             return _cmd_batch(args)
     except ReproError as error:

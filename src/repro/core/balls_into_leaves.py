@@ -24,7 +24,7 @@ from repro.ids import require_distinct
 from repro.sim.process import SyncProcess
 from repro.sim.rng import derive_rng
 from repro.tree import node as nd
-from repro.tree.topology import Topology
+from repro.tree.topology import cached_topology
 from repro.core.config import BallsIntoLeavesConfig
 from repro.core.messages import hello_message, path_message, position_message
 from repro.core.policies import PathPolicy, make_policy
@@ -173,7 +173,7 @@ def build_balls_into_leaves(
     if not ids:
         raise ConfigurationError("renaming needs at least one participant")
     config = config or BallsIntoLeavesConfig()
-    topology = Topology(len(ids))
+    topology = cached_topology(len(ids))
     store = make_store(
         config.view_mode,
         topology,

@@ -1,0 +1,441 @@
+"""Columnar Balls-into-Leaves: the whole population as flat arrays.
+
+The lock-step engine materializes one :class:`BallProcess` per ball and
+moves a dict inbox per delivery signature per round.  In a failure-free
+run every broadcast is a position announcement over one shared view, so
+none of that machinery is observable: the run is a deterministic function
+of (ids, seed, policy, halt_on_name).  This module executes exactly that
+function as array passes:
+
+* per-ball state — node index, decided name, naming/halting rounds,
+  halted flag — lives in parallel lists indexed by *label rank* (balls
+  are numbered in sorted-label order, so ``<R`` tie-breaks and Section 6
+  label ranks are plain integer comparisons);
+* the one shared tree is two integer arrays over
+  :class:`~repro.tree.arrays.TopologyArrays` node indices: subtree ball
+  counts and subtree leaf-occupancy counts;
+* a round is one pass to choose candidate paths (consuming each ball's
+  private RNG stream exactly as :mod:`repro.core.policies` does, with
+  the left/right probabilities memoized per node per round — the view is
+  frozen while everyone composes, so thousands of balls crossing the
+  same node share one division) and one pass to move balls in ``<R``
+  order (bucketed by depth — a counting sort — instead of a comparison
+  sort) under the capacity rule of
+  :func:`repro.core.movement.apply_path_round`.
+
+Bit-for-bit equivalence with the reference engine — same round counts,
+same names, same per-round metrics — is asserted by the differential
+suite in ``tests/sim/test_kernel_equivalence.py``; any behavioural change
+here must keep that suite green.  Runs the fast path cannot model
+(crashing adversaries, traces, phase statistics) are rejected up front by
+:func:`columnar_rejections` and fall back to the reference kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.ids import require_distinct
+from repro.sim.rng import derive_seed
+from repro.tree.topology import cached_topology
+from repro.core.config import BallsIntoLeavesConfig
+
+try:  # The C Mersenne-Twister base type.  random.Random passes integer
+    # seeds straight through to it, so the streams are bit-identical to
+    # derive_rng's — this only skips the Python subclass construction.
+    from _random import Random as _MTRandom
+except ImportError:  # pragma: no cover - CPython always has _random
+    from random import Random as _MTRandom
+
+BallId = Hashable
+
+#: Path policies the columnar layout models (all of :data:`ALGORITHMS`'
+#: BiL-based entries; ``random-unweighted`` is an ablation-only policy and
+#: stays on the reference engine).
+SUPPORTED_POLICIES = ("random", "hybrid", "rank", "leftmost")
+
+_STAGE_INIT = 0
+_STAGE_PATH = 1
+_STAGE_POSITION = 2
+
+#: Sentinels in the per-node probability memo: the rare both-children-full
+#: fallback of ``random_capacity_path`` picks a side *without* consuming a
+#: random draw, so it cannot be encoded as a comparison threshold.
+_FORCE_LEFT = 2.0
+_FORCE_RIGHT = -1.0
+
+
+def columnar_rejections(config: BallsIntoLeavesConfig) -> List[str]:
+    """Why this config cannot run on the columnar engine (empty = it can).
+
+    The columnar layout assumes one shared view: any knob that makes
+    per-ball views observable (invariant checking inside the movement
+    code, non-``<R`` movement orders, one-round phases) keeps the run on
+    the reference engine.
+    """
+    reasons = []
+    if config.path_policy not in SUPPORTED_POLICIES:
+        reasons.append(
+            f"path policy {config.path_policy!r} is not columnar-modeled "
+            f"(supported: {SUPPORTED_POLICIES})"
+        )
+    if config.view_mode != "shared":
+        reasons.append(
+            f"view mode {config.view_mode!r} asks for the reference "
+            "engine's store (faithful = the paper-verbatim per-ball trees)"
+        )
+    if config.check_invariants:
+        reasons.append("check_invariants instruments the reference movement code")
+    if config.movement_order != "priority":
+        reasons.append(
+            f"movement order {config.movement_order!r} is an ablation of the "
+            "reference engine"
+        )
+    if not config.sync_positions:
+        reasons.append("one-round phases (sync_positions=False) are an ablation")
+    return reasons
+
+
+class ColumnarBallsEngine:
+    """One failure-free Balls-into-Leaves run over flat arrays.
+
+    Drive with :meth:`step` once per round; the engine sequences the
+    init / path / position stages internally, exactly mirroring
+    :class:`~repro.core.balls_into_leaves.BallProcess`.  After
+    ``running_count`` drops to zero the per-ball arrays hold the run's
+    outcome.
+    """
+
+    def __init__(
+        self,
+        ids: Sequence[BallId],
+        *,
+        seed: int = 0,
+        policy: str = "random",
+        halt_on_name: bool = False,
+    ) -> None:
+        require_distinct(ids)
+        if not ids:
+            raise ConfigurationError("renaming needs at least one participant")
+        if policy not in SUPPORTED_POLICIES:
+            raise ConfigurationError(
+                f"policy {policy!r} is not columnar-modeled; "
+                f"choose from {SUPPORTED_POLICIES}"
+            )
+        self.labels: List[BallId] = sorted(ids)
+        n = len(self.labels)
+        self.n = n
+        self._seed = seed
+        self._policy = policy
+        self._halt_on_name = halt_on_name
+        self._arr = cached_topology(n).arrays()
+        self._height = self._arr.topology.height
+        node_count = len(self._arr.nodes)
+        # Shared-view state: subtree ball counts, and (for the free-leaf
+        # policies only — the random walk never asks) leaf-occupancy
+        # counts.
+        self._count = [0] * node_count
+        self._track_leaf_occ = policy in ("rank", "leftmost")
+        self._leaf_occ = [0] * node_count if self._track_leaf_occ else None
+        self._n_at_leaf = 0
+        # Per-round memo of the left-child probability at each inner node
+        # (see _random_paths); the stamp makes invalidation O(1) per round.
+        self._thr = [0.0] * node_count
+        self._thr_stamp = [0] * node_count
+        self._tick = 0
+        # Per-ball state, indexed by label rank.
+        self.pos: List[int] = [self._arr.root] * n
+        self.halted: List[bool] = [False] * n
+        self.decision: List[Optional[int]] = [None] * n
+        self.round_named: List[Optional[int]] = [None] * n
+        self.round_halted: List[Optional[int]] = [None] * n
+        self._rngs: List[Optional[_MTRandom]] = [None] * n
+        self.running_count = n
+        self.phase = 0
+        self._stage = _STAGE_INIT
+
+    # ------------------------------------------------------------------ driving
+    def step(self, round_no: int) -> None:
+        """Execute one round (the caller owns the lock-step loop)."""
+        if self._stage == _STAGE_INIT:
+            self._init_round()
+        elif self._stage == _STAGE_PATH:
+            self._path_round(round_no)
+        else:
+            self._position_round(round_no)
+
+    # ------------------------------------------------------------------- rounds
+    def _init_round(self) -> None:
+        """Line 1: every ball announces its label; all start at the root."""
+        root = self._arr.root
+        self._count[root] = self.n
+        if self._arr.span[root] == 1:  # n == 1: the root already is a leaf
+            if self._track_leaf_occ:
+                self._leaf_occ[root] = self.n
+            self._n_at_leaf = self.n
+        self.phase = 1
+        self._stage = _STAGE_PATH
+
+    def _path_round(self, round_no: int) -> None:
+        """Phase round 1: exchange candidate paths, move in ``<R`` order."""
+        paths = self._choose_paths()
+        arr = self._arr
+        span = arr.span
+        parent = arr.parent
+        depth = arr.depth
+        leaf_rank = arr.leaf_rank
+        count = self._count
+        leaf_occ = self._leaf_occ
+        pos = self.pos
+        halted = self.halted
+        round_named = self.round_named
+        decision = self.decision
+        # Algorithm 1 lines 12-21, in the <R order of Definition 1: deeper
+        # balls first, ties by label — and label order is index order, so
+        # depth buckets filled in index order realize the whole order.
+        # Halted balls are silent leaf-holders (the halt-on-name retention
+        # rule) and balls whose path never leaves their node are no-ops:
+        # neither moves nor changes any capacity, so both drop out here.
+        buckets: List[List[int]] = [[] for _ in range(self._height + 1)]
+        for j in range(self.n):
+            if halted[j]:
+                continue
+            if len(paths[j]) == 1:
+                # Already at a leaf (or wedged by a full subtree): no
+                # movement, but a leaf reached before this round's
+                # broadcast still fixes the name now (the n=1 root-leaf
+                # case arrives here).
+                node = pos[j]
+                if round_named[j] is None and span[node] == 1:
+                    round_named[j] = round_no
+                    decision[j] = leaf_rank[node]
+                continue
+            buckets[depth[pos[j]]].append(j)
+        for bucket in reversed(buckets):
+            for j in bucket:
+                path = paths[j]
+                node = path[0]
+                k = 1
+                length = len(path)
+                while k < length:
+                    nxt = path[k]
+                    if span[nxt] - count[nxt] > 0:
+                        node = nxt
+                        k += 1
+                    else:
+                        break
+                if k > 1:
+                    # The ball only ever descends, so re-placing it adds
+                    # one ball to exactly the subtrees strictly below its
+                    # old node.
+                    for i in range(1, k):
+                        count[path[i]] += 1
+                    pos[j] = node
+                    if span[node] == 1:
+                        self._n_at_leaf += 1
+                        round_named[j] = round_no
+                        decision[j] = leaf_rank[node]
+                        if leaf_occ is not None:
+                            walk = node
+                            while walk != -1:
+                                leaf_occ[walk] += 1
+                                walk = parent[walk]
+        self._stage = _STAGE_POSITION
+
+    def _position_round(self, round_no: int) -> None:
+        """Phase round 2: re-synchronize positions, terminate (lines 22-29).
+
+        Failure-free, every announced position matches the shared view, so
+        the tree is untouched; only the termination rule runs.
+        """
+        all_at_leaves = self._n_at_leaf == self.n
+        if self._halt_on_name or all_at_leaves:
+            span = self._arr.span
+            leaf_rank = self._arr.leaf_rank
+            for j in range(self.n):
+                if self.halted[j]:
+                    continue
+                if all_at_leaves or span[self.pos[j]] == 1:
+                    self.round_halted[j] = round_no
+                    self.decision[j] = leaf_rank[self.pos[j]]
+                    self.halted[j] = True
+                    self.running_count -= 1
+        if self.running_count:
+            self.phase += 1
+            self._stage = _STAGE_PATH
+
+    # ------------------------------------------------------------- path choice
+    def _choose_paths(self) -> List[Optional[List[int]]]:
+        """Each running ball's candidate path against the pre-round view.
+
+        All choices read the same snapshot (the lock-step engine composes
+        every broadcast before any delivery), so the pass order is free;
+        per-ball RNG streams keep randomized choices independent of it.
+        """
+        policy = self._policy
+        if policy == "random" or (policy == "hybrid" and self.phase > 1):
+            return self._random_paths()
+        if policy == "hybrid":
+            # Section 6, phase 1: ball bi aims at the leaf indexed by its
+            # label rank (everyone is at the root, so the rank clamp of
+            # the reference policy never binds failure-free).
+            arr = self._arr
+            paths: List[Optional[List[int]]] = []
+            for j in range(self.n):
+                if self.halted[j]:
+                    paths.append(None)
+                    continue
+                lo, hi = arr.nodes[self.pos[j]]
+                paths.append(arr.path_to_rank(self.pos[j], min(lo + j, hi - 1)))
+            return paths
+        if policy == "rank":
+            return self._rank_paths()
+        if policy == "leftmost":
+            return [
+                None if self.halted[j] else self._free_leaf_path(self.pos[j], 0)
+                for j in range(self.n)
+            ]
+        raise ConfigurationError(f"policy {policy!r} is not columnar-modeled")
+
+    def _random_paths(self) -> List[Optional[List[int]]]:
+        """Algorithm 1 lines 5-10 for every running ball.
+
+        Consumes ``rng.random()`` exactly where
+        :func:`repro.tree.paths.random_capacity_path` does, so the
+        per-ball streams stay bit-identical to the reference engine's.
+        The view is frozen for the whole pass, so the left-child
+        probability of each inner node is computed once per round
+        (stamp-memoized) no matter how many balls cross it.
+        """
+        arr = self._arr
+        left = arr.left
+        right = arr.right
+        span = arr.span
+        count = self._count
+        thr = self._thr
+        stamp = self._thr_stamp
+        self._tick += 1
+        tick = self._tick
+        pos = self.pos
+        halted = self.halted
+        rngs = self._rngs
+        labels = self.labels
+        seed = self._seed
+        paths: List[Optional[List[int]]] = [None] * self.n
+        for j in range(self.n):
+            if halted[j]:
+                continue
+            node = pos[j]
+            path = [node]
+            if left[node] != -1:
+                rng = rngs[j]
+                if rng is None:
+                    rng = _MTRandom(derive_seed(seed, "ball", labels[j]))
+                    rngs[j] = rng
+                rng_random = rng.random
+                append = path.append
+                while True:
+                    lft = left[node]
+                    if lft == -1:
+                        break
+                    if stamp[node] != tick:
+                        stamp[node] = tick
+                        rgt = right[node]
+                        cap_left = span[lft] - count[lft]
+                        if cap_left < 0:
+                            cap_left = 0
+                        cap_right = span[rgt] - count[rgt]
+                        if cap_right < 0:
+                            cap_right = 0
+                        total = cap_left + cap_right
+                        if total <= 0:
+                            # Both (apparently) full: larger raw residual
+                            # wins, ties left, *no* draw is consumed.
+                            thr[node] = (
+                                _FORCE_LEFT
+                                if span[lft] - count[lft]
+                                >= span[rgt] - count[rgt]
+                                else _FORCE_RIGHT
+                            )
+                        else:
+                            thr[node] = cap_left / total
+                    threshold = thr[node]
+                    if threshold == _FORCE_LEFT:
+                        node = lft
+                    elif threshold == _FORCE_RIGHT:
+                        node = right[node]
+                    elif rng_random() < threshold:
+                        node = lft
+                    else:
+                        node = right[node]
+                    append(node)
+            paths[j] = path
+        return paths
+
+    def _rank_paths(self) -> List[Optional[List[int]]]:
+        """Deterministic rank paths: k-th free leaf by rank at the node."""
+        arr = self._arr
+        span = arr.span
+        leaf_occ = self._leaf_occ
+        # Balls at each node in label order (ball index *is* label rank),
+        # flattened to one rank-at-node per ball so the pass stays O(n).
+        at_node: Dict[int, List[int]] = {}
+        for j in range(self.n):
+            at_node.setdefault(self.pos[j], []).append(j)
+        rank_at_node: List[int] = [0] * self.n
+        for group in at_node.values():
+            for rank, j in enumerate(group):
+                rank_at_node[j] = rank
+        paths: List[Optional[List[int]]] = []
+        for j in range(self.n):
+            if self.halted[j]:
+                paths.append(None)
+                continue
+            start = self.pos[j]
+            if span[start] == 1:
+                paths.append([start])
+                continue
+            free = span[start] - leaf_occ[start]
+            if free <= 0:
+                paths.append([start])
+                continue
+            paths.append(self._free_leaf_path(start, min(rank_at_node[j], free - 1)))
+        return paths
+
+    def _free_leaf_path(self, start: int, k: int) -> List[int]:
+        """Path from ``start`` to its ``k``-th free leaf (left to right).
+
+        Mirrors :meth:`LocalTreeView.kth_free_leaf` plus the leftmost
+        policy's fallback: with no free leaf below, aim at the leftmost
+        leaf of the subtree and let the movement rule park the ball.
+        """
+        arr = self._arr
+        span = arr.span
+        left = arr.left
+        right = arr.right
+        leaf_occ = self._leaf_occ
+        free = span[start] - leaf_occ[start]
+        if free <= 0:
+            return arr.path_to_rank(start, arr.nodes[start][0])
+        node = start
+        path = [node]
+        remaining = k
+        while left[node] != -1:
+            lft = left[node]
+            free_left = span[lft] - leaf_occ[lft]
+            if free_left < 0:
+                free_left = 0
+            if remaining < free_left:
+                node = lft
+            else:
+                remaining -= free_left
+                node = right[node]
+            path.append(node)
+        return path
+
+    # ---------------------------------------------------------------- reporting
+    def last_round_named(self) -> Optional[int]:
+        """Latest round at which any ball fixed its name."""
+        rounds = [r for r in self.round_named if r is not None]
+        return max(rounds) if rounds else None

@@ -15,6 +15,22 @@ class ConfigurationError(ReproError):
     """An algorithm, simulator, or experiment was configured inconsistently."""
 
 
+class KernelUnsupported(ConfigurationError):
+    """An explicitly requested simulation kernel cannot model the run.
+
+    Raised by :func:`repro.sim.kernel.select_kernel` when the caller pins
+    ``kernel="columnar"`` for a run the fast path rejects (a crashing
+    adversary, a non-BiL algorithm, traces, ...).  With ``kernel="auto"``
+    the same rejection silently falls back to the reference engine
+    instead.
+    """
+
+    def __init__(self, kernel: str, reason: str) -> None:
+        super().__init__(f"kernel {kernel!r} cannot run this simulation: {reason}")
+        self.kernel = kernel
+        self.reason = reason
+
+
 class SimulationError(ReproError):
     """The simulator reached an invalid state (engine bug or misuse)."""
 

@@ -34,9 +34,11 @@ from repro.sim.runner import RenamingRun, run_renaming
 ExecutorLike = Union[None, str, SerialExecutor, MultiprocessingExecutor]
 
 #: Experiment scales: "smoke" finishes in seconds (CI / benchmarks),
-#: "paper" uses the full sweeps recorded in EXPERIMENTS.md.
+#: "paper" uses the full sweeps recorded in EXPERIMENTS.md, and "deep"
+#: extends kernel-aware sweeps to sizes only the columnar fast path can
+#: reach (experiments without a deep grid treat it as "paper").
 Scale = str
-SCALES = ("smoke", "paper")
+SCALES = ("smoke", "paper", "deep")
 
 #: A per-trial adversary factory (fresh instance per run, seeded).
 AdversaryFactory = Callable[[int], Optional[Adversary]]
@@ -90,13 +92,15 @@ def sweep(
     executor: ExecutorLike = None,
     workers: Optional[int] = None,
     halt_on_name: bool = False,
+    kernel: str = "auto",
 ) -> BatchResult:
     """Run an algorithm x size x adversary x seed grid through the engine.
 
     Uses the legacy seed schedule, so a cell's trials see exactly the
     seeds the old per-experiment serial loops used — tables built from
     the result are byte-identical to the historical output, on any
-    executor.
+    executor and any kernel (the columnar fast path is differentially
+    checked against the reference engine).
     """
     matrix = ScenarioMatrix.build(
         algorithms,
@@ -105,6 +109,7 @@ def sweep(
         trials=trials,
         base_seed=base_seed,
         halt_on_name=halt_on_name,
+        kernel=kernel,
     )
     return run_batch(matrix, executor=executor, workers=workers)
 

@@ -47,6 +47,11 @@ class ExperimentEntry:
         """True when the runner routes its sweeps through the batch engine."""
         return "executor" in inspect.signature(self.run).parameters
 
+    @property
+    def kernel_aware(self) -> bool:
+        """True when the runner accepts a simulation-kernel selection."""
+        return "kernel" in inspect.signature(self.run).parameters
+
 
 _MODULES: List[ModuleType] = [
     fig_phase_snapshots,
@@ -94,12 +99,16 @@ def run_experiment(
     seed: int = 0,
     executor: Optional[str] = None,
     workers: Optional[int] = None,
+    kernel: Optional[str] = None,
 ) -> ExperimentResult:
-    """Run one experiment by id, threading the execution backend through
-    when the experiment supports it (others ignore it and run serially)."""
+    """Run one experiment by id, threading the execution backend (and the
+    simulation-kernel selection) through when the experiment supports it
+    (others ignore them and run serially on the default kernel)."""
     entry = get_experiment(experiment_id)
     kwargs = {"scale": scale, "seed": seed}
     if entry.batched:
         kwargs["executor"] = executor
         kwargs["workers"] = workers
+    if entry.kernel_aware and kernel is not None:
+        kwargs["kernel"] = kernel
     return entry.run(**kwargs)

@@ -36,10 +36,25 @@ def run(
     seed: int = 0,
     executor: ExecutorLike = None,
     workers: int = None,
+    kernel: str = "auto",
 ) -> ExperimentResult:
-    """Run the scaling sweep and return tables + fit report."""
-    sizes = scaled(scale, [16, 64, 256], [16, 32, 64, 128, 256, 512, 1024, 2048, 4096])
-    trials = scaled(scale, 3, 20)
+    """Run the scaling sweep and return tables + fit report.
+
+    ``--scale deep`` extends the grid to n = 2^14..2^17, where the
+    log log shape becomes visually unmistakable.  Those sizes are only
+    tractable on the columnar fast kernel, so the deep sweep is
+    failure-free only (a crashing adversary would force every trial back
+    onto the reference engine at ~minutes per trial).
+    """
+    deep = scale == "deep"
+    if deep:
+        sizes = [1024, 4096, 16384, 32768, 65536, 131072]
+        trials = 5
+    else:
+        sizes = scaled(
+            scale, [16, 64, 256], [16, 32, 64, 128, 256, 512, 1024, 2048, 4096]
+        )
+        trials = scaled(scale, 3, 20)
     crash_rate = 0.05
 
     ff_batch = sweep(
@@ -50,41 +65,65 @@ def run(
         base_seed=seed,
         executor=executor,
         workers=workers,
+        kernel=kernel,
     )
-    crash_batch = sweep(
-        ["balls-into-leaves"],
-        sizes,
-        [AdversarySpec.of("random", rate=crash_rate)],
-        trials=trials,
-        base_seed=seed + 1,
-        executor=executor,
-        workers=workers,
-    )
+    crash_batch = None
+    if not deep:
+        crash_batch = sweep(
+            ["balls-into-leaves"],
+            sizes,
+            [AdversarySpec.of("random", rate=crash_rate)],
+            trials=trials,
+            base_seed=seed + 1,
+            executor=executor,
+            workers=workers,
+            kernel=kernel,
+        )
 
     result = ExperimentResult(EXPERIMENT_ID, TITLE, scale)
-    table = Table(
-        "Rounds to rename, Balls-into-Leaves",
-        [
-            "n",
-            "log2(log2 n)",
-            "ff mean",
-            "ff p95",
-            "ff max",
-            "crash mean",
-            "crash p95",
-            "crash max",
-            "mean f",
-        ],
-        notes="ff = failure-free; crash = 5%/round random crashes, budget t=n-1",
-    )
+    if deep:
+        table = Table(
+            "Rounds to rename, Balls-into-Leaves (deep grid, fast kernel)",
+            ["n", "log2(log2 n)", "ff mean", "ff p95", "ff max", "kernel"],
+            notes="failure-free only: the columnar kernel is what makes "
+            "n up to 2^17 tractable",
+        )
+    else:
+        table = Table(
+            "Rounds to rename, Balls-into-Leaves",
+            [
+                "n",
+                "log2(log2 n)",
+                "ff mean",
+                "ff p95",
+                "ff max",
+                "crash mean",
+                "crash p95",
+                "crash max",
+                "mean f",
+            ],
+            notes="ff = failure-free; crash = 5%/round random crashes, budget t=n-1",
+        )
 
     ff_means, crash_means = [], []
     for n in sizes:
         ff_runs = ff_batch.cell("balls-into-leaves", n, "none")
+        ff = round_stats(ff_runs)
+        if deep:
+            kernels = sorted({run_.kernel for run_ in ff_runs})
+            table.add_row(
+                n,
+                math.log2(math.log2(n)),
+                ff.mean,
+                ff.p95,
+                ff.maximum,
+                "+".join(kernels),
+            )
+            ff_means.append(ff.mean)
+            continue
         crash_runs = crash_batch.cell(
             "balls-into-leaves", n, AdversarySpec.of("random", rate=crash_rate)
         )
-        ff = round_stats(ff_runs)
         crash = round_stats(crash_runs)
         mean_f = sum(run_.failures for run_ in crash_runs) / len(crash_runs)
         table.add_row(
@@ -112,9 +151,12 @@ def run(
         fit_table.add_row(fit.model, fit.intercept, fit.slope, fit.r_squared, fit.rmse)
     result.tables.append(fit_table)
 
+    series = {"failure-free": ff_means}
+    if not deep:
+        series["5% crashes"] = crash_means
     result.plots.append(
         line_plot(
-            {"failure-free": ff_means, "5% crashes": crash_means},
+            series,
             xs=[math.log2(n) for n in sizes],
             title="mean rounds vs log2(n)  (flat-ish curve == sub-logarithmic)",
             x_label="log2(n)",
@@ -126,8 +168,15 @@ def run(
         f"best-fitting growth model: {best.model} "
         f"(R^2={best.r_squared:.3f}); paper predicts loglog or const-like at these sizes"
     )
-    result.notes.append(
-        "crashes do not slow the run down (Section 5.3): compare 'crash mean' "
-        "with 'ff mean' per row"
-    )
+    if deep:
+        result.notes.append(
+            "deep grid (n up to 2^17) runs on the columnar kernel; the crash "
+            "matrix is omitted because crashing adversaries fall back to the "
+            "reference engine (see EXPERIMENTS.md, kernel selection)"
+        )
+    else:
+        result.notes.append(
+            "crashes do not slow the run down (Section 5.3): compare 'crash mean' "
+            "with 'ff mean' per row"
+        )
     return result

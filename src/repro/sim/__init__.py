@@ -14,6 +14,13 @@ is exactly reproducible.
 from repro.sim.process import SyncProcess
 from repro.sim.simulator import Simulation, SimulationResult
 from repro.sim.rng import derive_rng, derive_seed
+from repro.sim.kernel import (
+    KERNEL_CHOICES,
+    KernelRequest,
+    KernelRun,
+    SimulationKernel,
+    select_kernel,
+)
 from repro.sim.metrics import RoundMetrics, SimulationMetrics
 from repro.sim.trace import Trace, TraceEvent
 from repro.sim.checker import RenamingSpec, check_renaming
@@ -38,6 +45,11 @@ __all__ = [
     "SimulationResult",
     "derive_rng",
     "derive_seed",
+    "KERNEL_CHOICES",
+    "KernelRequest",
+    "KernelRun",
+    "SimulationKernel",
+    "select_kernel",
     "RoundMetrics",
     "SimulationMetrics",
     "Trace",

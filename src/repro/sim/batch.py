@@ -240,6 +240,10 @@ class TrialSpec:
     halt_on_name: bool = False
     crash_budget: Optional[int] = None
     check: bool = True
+    #: Kernel selection: "auto" (columnar fast path when it models the
+    #: run, reference otherwise), "reference", or "columnar" (raises
+    #: KernelUnsupported on cells the fast path rejects).
+    kernel: str = "auto"
 
     @property
     def cell(self) -> CellKey:
@@ -258,11 +262,29 @@ class TrialResult:
     messages_delivered: int
     last_round_named: Optional[int]
     names: Tuple[Tuple[ProcessId, Name], ...]
+    #: Which kernel actually executed the trial (resolved from the spec's
+    #: "auto" where applicable).
+    kernel: str = "reference"
 
     @property
     def cell(self) -> CellKey:
         """The matrix cell this result belongs to."""
         return self.spec.cell
+
+    def to_row(self) -> Dict[str, Any]:
+        """This trial as a flat JSON-ready dict (one ``--out .jsonl`` line)."""
+        return {
+            "algorithm": self.spec.algorithm,
+            "n": self.spec.n,
+            "adversary": self.spec.adversary.key,
+            "seed": self.spec.seed,
+            "kernel": self.kernel,
+            "rounds": self.rounds,
+            "failures": self.failures,
+            "messages_sent": self.messages_sent,
+            "messages_delivered": self.messages_delivered,
+            "last_round_named": self.last_round_named,
+        }
 
 
 def run_trial(spec: TrialSpec) -> TrialResult:
@@ -275,6 +297,7 @@ def run_trial(spec: TrialSpec) -> TrialResult:
         crash_budget=spec.crash_budget,
         halt_on_name=spec.halt_on_name,
         check=spec.check,
+        kernel=spec.kernel,
     )
     return TrialResult(
         spec=spec,
@@ -284,6 +307,7 @@ def run_trial(spec: TrialSpec) -> TrialResult:
         messages_delivered=run.metrics.total_messages_delivered,
         last_round_named=run.last_round_named,
         names=tuple(sorted(run.names.items(), key=lambda item: repr(item[0]))),
+        kernel=run.kernel,
     )
 
 
@@ -382,6 +406,7 @@ class ScenarioMatrix:
     halt_on_name: bool = False
     crash_budget: Optional[int] = None
     check: bool = True
+    kernel: str = "auto"
 
     @classmethod
     def build(
@@ -396,6 +421,7 @@ class ScenarioMatrix:
         halt_on_name: bool = False,
         crash_budget: Optional[int] = None,
         check: bool = True,
+        kernel: str = "auto",
     ) -> "ScenarioMatrix":
         """Validate and normalize a grid definition."""
         algorithms = tuple(algorithms)
@@ -417,6 +443,12 @@ class ScenarioMatrix:
             raise ConfigurationError(
                 f"unknown seed mode {seed_mode!r}; choose from {SEED_MODES}"
             )
+        from repro.sim.kernel import KERNEL_CHOICES
+
+        if kernel not in KERNEL_CHOICES:
+            raise ConfigurationError(
+                f"unknown kernel {kernel!r}; choose from {KERNEL_CHOICES}"
+            )
         return cls(
             algorithms=algorithms,
             sizes=sizes,
@@ -427,6 +459,7 @@ class ScenarioMatrix:
             halt_on_name=halt_on_name,
             crash_budget=crash_budget,
             check=check,
+            kernel=kernel,
         )
 
     def __len__(self) -> int:
@@ -454,6 +487,7 @@ class ScenarioMatrix:
                                 halt_on_name=self.halt_on_name,
                                 crash_budget=self.crash_budget,
                                 check=self.check,
+                                kernel=self.kernel,
                             )
                         )
         return specs

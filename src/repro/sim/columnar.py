@@ -1,0 +1,129 @@
+"""The columnar kernel: failure-free BiL-family runs as array passes.
+
+Wraps :class:`repro.core.columnar.ColumnarBallsEngine` in the
+:class:`~repro.sim.kernel.SimulationKernel` interface: sequences the
+lock-step rounds, produces the same per-round
+:class:`~repro.sim.metrics.RoundMetrics` the reference engine records,
+and assembles an identical :class:`~repro.sim.simulator.SimulationResult`
+— bit-for-bit, as asserted by the differential suite.
+
+Scope (everything else is rejected so ``auto`` selection falls back):
+
+* BiL-family algorithms only (``flood`` has no shared-view structure);
+* no crashing adversary — a single shared view exists only while every
+  broadcast reaches everyone, and adversaries may also inspect payloads
+  the fast path never materializes;
+* no trace, phase statistics, or invariant checking — those observe the
+  reference engine's internals;
+* the default ``shared`` view mode only — asking for the paper-verbatim
+  ``faithful`` per-ball store is asking for the reference engine itself.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.adversary.none import NoFailures
+from repro.errors import ConfigurationError, RoundLimitExceeded
+from repro.sim.kernel import KernelRequest, KernelRun, SimulationKernel
+from repro.sim.metrics import RoundMetrics, SimulationMetrics
+from repro.sim.simulator import SimulationResult
+
+
+class ColumnarKernel(SimulationKernel):
+    """Flat-array fast path for failure-free Balls-into-Leaves sweeps."""
+
+    name = "columnar"
+
+    def rejects(self, request: KernelRequest) -> Optional[str]:
+        if request.policy is None:
+            return (
+                f"algorithm {request.algorithm!r} is not Balls-into-Leaves-"
+                "based; its broadcasts are not position announcements over "
+                "a shared view"
+            )
+        if request.adversary is not None and not isinstance(
+            request.adversary, NoFailures
+        ):
+            return (
+                f"adversary {type(request.adversary).__name__} may crash "
+                "processes or inspect payloads; the columnar layout models "
+                "only the failure-free shared view"
+            )
+        if request.trace is not None:
+            return "trace recording observes the reference engine's events"
+        if request.collect_phase_stats:
+            return "phase statistics observe the reference view store"
+        # Config-level knobs (policy, view mode, invariant checking) share
+        # one gatekeeper with the engine itself.
+        from repro.core.columnar import columnar_rejections
+        from repro.core.config import BallsIntoLeavesConfig
+
+        config = BallsIntoLeavesConfig(
+            path_policy=request.policy,
+            view_mode=request.view_mode,
+            check_invariants=request.check_invariants,
+            halt_on_name=request.halt_on_name,
+        )
+        reasons = columnar_rejections(config)
+        if reasons:
+            return "; ".join(reasons)
+        return None
+
+    def run(self, request: KernelRequest) -> KernelRun:
+        from repro.core.columnar import ColumnarBallsEngine
+
+        n = request.n
+        # Same validation the reference Simulation constructor applies, so
+        # pinning the kernel never relaxes it (view-mode and policy names
+        # were already validated by the config built in rejects()).
+        if not 0 <= request.crash_budget < n:
+            raise ConfigurationError(
+                f"crash budget must satisfy 0 <= t < n; "
+                f"got t={request.crash_budget}, n={n}"
+            )
+        engine = ColumnarBallsEngine(
+            request.ids,
+            seed=request.seed,
+            policy=request.policy,
+            halt_on_name=request.halt_on_name,
+        )
+        metrics = SimulationMetrics()
+        round_no = 0
+        while engine.running_count:
+            if round_no >= request.max_rounds:
+                raise RoundLimitExceeded(request.max_rounds, engine.running_count)
+            round_no += 1
+            senders = engine.running_count
+            engine.step(round_no)
+            # Failure-free: every running process broadcasts, every
+            # running process receives every broadcast (self included).
+            metrics.record(
+                RoundMetrics(
+                    round_no=round_no,
+                    messages_sent=senders,
+                    messages_delivered=senders * senders,
+                    crashes=0,
+                    alive_after=n,
+                    running_after=engine.running_count,
+                )
+            )
+        labels = engine.labels
+        decisions = {
+            pid: engine.decision[j] for j, pid in enumerate(labels)
+        }
+        result = SimulationResult(
+            rounds=round_no,
+            decisions=decisions,
+            crashed=frozenset(),
+            halted=frozenset(labels),
+            metrics=metrics,
+            trace=None,
+            participants=frozenset(labels),
+        )
+        return KernelRun(
+            result=result,
+            last_round_named=engine.last_round_named(),
+            phase_stats=[],
+            kernel=self.name,
+        )

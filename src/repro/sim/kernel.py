@@ -1,0 +1,124 @@
+"""Pluggable simulation kernels.
+
+A *kernel* is one way of executing a fully-described renaming run.  The
+**reference** kernel is the executable specification: one
+:class:`~repro.sim.process.SyncProcess` per participant driven by the
+lock-step :class:`~repro.sim.simulator.Simulation` against the adversary.
+The **columnar** kernel is an optimized implementation for the runs that
+dominate large-``n`` sweeps — failure-free Balls-into-Leaves-family
+executions — representing the whole population as flat arrays (see
+:mod:`repro.core.columnar`).
+
+The two are differentially checked to be bit-identical on every run the
+fast path supports (``tests/sim/test_kernel_equivalence.py``), in the
+spirit of spec-vs-implementation runtime checking: the reference engine
+stays the ground truth, the columnar engine earns its speed by agreeing
+with it.
+
+Selection: callers say ``kernel="auto"`` (the default everywhere) to get
+the columnar engine whenever it models the run and the reference engine
+otherwise; ``"reference"`` pins the spec; ``"columnar"`` pins the fast
+path and raises :class:`~repro.errors.KernelUnsupported` with the
+rejection reason when the run is out of scope.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.adversary.base import Adversary
+from repro.errors import ConfigurationError, KernelUnsupported
+from repro.ids import ProcessId
+from repro.sim.simulator import SimulationResult
+from repro.sim.trace import Trace
+
+#: Kernel names accepted by :func:`select_kernel`, the runner, the batch
+#: engine, and the CLI.
+KERNEL_CHOICES = ("auto", "reference", "columnar")
+
+
+@dataclass(frozen=True)
+class KernelRequest:
+    """One fully-resolved execution, independent of how it is run.
+
+    Built by :func:`repro.sim.runner.run_renaming` after defaulting: the
+    crash budget and round limit are concrete numbers, and ``policy`` is
+    the algorithm's Balls-into-Leaves path policy (``None`` for non-BiL
+    algorithms such as ``flood``).
+    """
+
+    algorithm: str
+    ids: Tuple[ProcessId, ...]
+    seed: int
+    policy: Optional[str]
+    adversary: Optional[Adversary] = None
+    crash_budget: int = 0
+    max_rounds: int = 10_000
+    view_mode: str = "shared"
+    halt_on_name: bool = False
+    check_invariants: bool = False
+    collect_phase_stats: bool = False
+    trace: Optional[Trace] = None
+
+    @property
+    def n(self) -> int:
+        """Number of participants."""
+        return len(self.ids)
+
+
+@dataclass
+class KernelRun:
+    """What a kernel produces: the result plus runner-level extras."""
+
+    result: SimulationResult
+    last_round_named: Optional[int] = None
+    phase_stats: List[Any] = field(default_factory=list)
+    kernel: str = "reference"
+
+
+class SimulationKernel(ABC):
+    """One execution strategy for a :class:`KernelRequest`."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def rejects(self, request: KernelRequest) -> Optional[str]:
+        """Why this kernel cannot model ``request`` (None = it can)."""
+
+    @abstractmethod
+    def run(self, request: KernelRequest) -> KernelRun:
+        """Execute the run.  Callers must have checked :meth:`rejects`."""
+
+
+def _kernels():
+    # Imported lazily: the concrete kernels pull in the process machinery
+    # and the columnar engine, which themselves import from repro.sim.
+    from repro.sim.columnar import ColumnarKernel
+    from repro.sim.reference import ReferenceKernel
+
+    return {"reference": ReferenceKernel(), "columnar": ColumnarKernel()}
+
+
+def select_kernel(name: str, request: KernelRequest) -> SimulationKernel:
+    """Resolve a kernel name against one request.
+
+    ``"auto"`` prefers the columnar fast path and falls back to the
+    reference engine for runs it rejects; pinning ``"columnar"`` turns
+    the rejection into an explicit :class:`KernelUnsupported`.
+    """
+    if name not in KERNEL_CHOICES:
+        raise ConfigurationError(
+            f"unknown kernel {name!r}; choose from {KERNEL_CHOICES}"
+        )
+    kernels = _kernels()
+    if name == "reference":
+        return kernels["reference"]
+    columnar = kernels["columnar"]
+    reason = columnar.rejects(request)
+    if reason is None:
+        return columnar
+    if name == "columnar":
+        raise KernelUnsupported("columnar", reason)
+    return kernels["reference"]

@@ -1,0 +1,80 @@
+"""The reference kernel: the lock-step engine as executable specification.
+
+This is the faithful Section 3 execution extracted from the original
+``run_renaming`` body: build one process per participant, drive the
+:class:`~repro.sim.simulator.Simulation` against the adversary, collect
+observers.  It models *every* run — all algorithms, adversaries, traces,
+phase statistics — and serves as the ground truth the columnar fast path
+is differentially checked against.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.kernel import KernelRequest, KernelRun, SimulationKernel
+from repro.sim.simulator import Simulation, SimulationResult
+
+
+class ReferenceKernel(SimulationKernel):
+    """One process object per participant, dict inboxes, full generality."""
+
+    name = "reference"
+
+    def rejects(self, request: KernelRequest) -> Optional[str]:
+        return None  # the reference engine models everything
+
+    def run(self, request: KernelRequest) -> KernelRun:
+        observers = []
+        stats_observer = None
+        if request.policy is not None:
+            from repro.core.balls_into_leaves import build_balls_into_leaves
+            from repro.core.config import BallsIntoLeavesConfig
+            from repro.core.instrumentation import TreeStatsObserver
+
+            config = BallsIntoLeavesConfig(
+                path_policy=request.policy,
+                view_mode=request.view_mode,
+                check_invariants=request.check_invariants,
+                halt_on_name=request.halt_on_name,
+            )
+            processes, store = build_balls_into_leaves(
+                request.ids, seed=request.seed, config=config
+            )
+            if request.collect_phase_stats:
+                stats_observer = TreeStatsObserver(store)
+                observers.append(stats_observer)
+        else:
+            from repro.baselines.flood_consensus import build_flood_renaming
+
+            processes = build_flood_renaming(
+                request.ids, crash_budget=request.crash_budget
+            )
+
+        simulation = Simulation(
+            processes,
+            adversary=request.adversary,
+            crash_budget=request.crash_budget,
+            max_rounds=request.max_rounds,
+            trace=request.trace,
+            observers=observers,
+        )
+        result = simulation.run()
+        return KernelRun(
+            result=result,
+            last_round_named=_last_round_named(simulation, result),
+            phase_stats=list(stats_observer.phases) if stats_observer else [],
+            kernel=self.name,
+        )
+
+
+def _last_round_named(simulation: Simulation, result: SimulationResult) -> Optional[int]:
+    """Latest round at which a correct ball fixed its name (BiL only)."""
+    last: Optional[int] = None
+    for pid, proc in simulation.processes.items():
+        if pid in result.crashed:
+            continue
+        named = getattr(proc, "round_named", None)
+        if named is not None and (last is None or named > last):
+            last = named
+    return last

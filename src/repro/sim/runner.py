@@ -1,10 +1,12 @@
 """High-level entry point: run a renaming algorithm end to end.
 
-``run_renaming("balls-into-leaves", ids, seed=1)`` builds the processes,
-drives the simulator against the chosen adversary, checks the renaming
-specification, and returns a :class:`RenamingRun` with the round counts
-and (optionally) per-phase tree statistics.  This is the main public API;
-the examples and every experiment go through it.
+``run_renaming("balls-into-leaves", ids, seed=1)`` resolves the run into
+a :class:`~repro.sim.kernel.KernelRequest`, selects a simulation kernel
+(the columnar fast path when it models the run, the reference lock-step
+engine otherwise), checks the renaming specification, and returns a
+:class:`RenamingRun` with the round counts and (optionally) per-phase
+tree statistics.  This is the main public API; the examples and every
+experiment go through it.
 """
 
 from __future__ import annotations
@@ -16,8 +18,9 @@ from repro.adversary.base import Adversary
 from repro.errors import ConfigurationError
 from repro.ids import Name, ProcessId
 from repro.sim.checker import RenamingSpec, check_renaming
+from repro.sim.kernel import KernelRequest, select_kernel
 from repro.sim.metrics import SimulationMetrics
-from repro.sim.simulator import Simulation, SimulationResult
+from repro.sim.simulator import SimulationResult
 from repro.sim.trace import Trace
 
 #: Algorithm name -> Balls-into-Leaves path policy (None = not BiL-based).
@@ -46,6 +49,8 @@ class RenamingRun:
     phase_stats: List[Any] = field(default_factory=list)
     trace: Optional[Trace] = None
     result: Optional[SimulationResult] = None
+    #: Which kernel actually executed the run ("reference"/"columnar").
+    kernel: str = "reference"
 
     @property
     def phases(self) -> int:
@@ -67,6 +72,7 @@ def run_renaming(
     collect_phase_stats: bool = False,
     trace: Optional[Trace] = None,
     max_rounds: Optional[int] = None,
+    kernel: str = "auto",
 ) -> RenamingRun:
     """Run one tight-renaming execution and verify its output.
 
@@ -90,7 +96,14 @@ def run_renaming(
         Verify termination/validity/uniqueness and raise on violation.
     collect_phase_stats:
         Attach a :class:`~repro.core.instrumentation.TreeStatsObserver`
-        (BiL-based algorithms only).
+        (BiL-based algorithms only; keeps the run on the reference
+        kernel).
+    kernel:
+        ``"auto"`` (default) runs the columnar fast path whenever it
+        models the run and the reference engine otherwise;
+        ``"reference"`` pins the lock-step engine; ``"columnar"`` pins
+        the fast path and raises
+        :class:`~repro.errors.KernelUnsupported` for runs it rejects.
     """
     if algorithm not in ALGORITHMS:
         raise ConfigurationError(
@@ -100,43 +113,32 @@ def run_renaming(
     if n == 0:
         raise ConfigurationError("renaming needs at least one participant")
     budget = n - 1 if crash_budget is None else crash_budget
-
-    observers = []
     policy = ALGORITHMS[algorithm]
-    if policy is not None:
-        from repro.core.balls_into_leaves import build_balls_into_leaves
-        from repro.core.config import BallsIntoLeavesConfig
-        from repro.core.instrumentation import TreeStatsObserver
-
-        config = BallsIntoLeavesConfig(
-            path_policy=policy,
-            view_mode=view_mode,
-            check_invariants=check_invariants,
-            halt_on_name=halt_on_name,
-        )
-        processes, store = build_balls_into_leaves(ids, seed=seed, config=config)
-        stats_observer = None
-        if collect_phase_stats:
-            stats_observer = TreeStatsObserver(store)
-            observers.append(stats_observer)
+    if max_rounds is not None:
+        limit = max_rounds
+    elif policy is not None:
         # Lemma 11: at most n fault-free phases, plus one phase per crash.
-        default_limit = 4 * n + 2 * budget + 16
+        limit = 4 * n + 2 * budget + 16
     else:
-        from repro.baselines.flood_consensus import build_flood_renaming
+        limit = budget + 8
 
-        processes = build_flood_renaming(ids, crash_budget=budget)
-        stats_observer = None
-        default_limit = budget + 8
-
-    simulation = Simulation(
-        processes,
+    request = KernelRequest(
+        algorithm=algorithm,
+        ids=tuple(ids),
+        seed=seed,
+        policy=policy,
         adversary=adversary,
         crash_budget=budget,
-        max_rounds=max_rounds if max_rounds is not None else default_limit,
+        max_rounds=limit,
+        view_mode=view_mode,
+        halt_on_name=halt_on_name,
+        check_invariants=check_invariants,
+        collect_phase_stats=collect_phase_stats,
         trace=trace,
-        observers=observers,
     )
-    result = simulation.run()
+    engine = select_kernel(kernel, request)
+    run = engine.run(request)
+    result = run.result
     if check:
         check_renaming(result, RenamingSpec(n=n))
 
@@ -145,7 +147,6 @@ def run_renaming(
         for pid, name in result.decisions.items()
         if pid not in result.crashed and name is not None
     }
-    last_named = _last_round_named(simulation, result)
     return RenamingRun(
         algorithm=algorithm,
         n=n,
@@ -154,21 +155,10 @@ def run_renaming(
         names=names,
         crashed=result.crashed,
         failures=len(result.crashed),
-        last_round_named=last_named,
+        last_round_named=run.last_round_named,
         metrics=result.metrics,
-        phase_stats=list(stats_observer.phases) if stats_observer else [],
+        phase_stats=run.phase_stats,
         trace=trace,
         result=result,
+        kernel=run.kernel,
     )
-
-
-def _last_round_named(simulation: Simulation, result: SimulationResult) -> Optional[int]:
-    """Latest round at which a correct ball fixed its name (BiL only)."""
-    last: Optional[int] = None
-    for pid, proc in simulation.processes.items():
-        if pid in result.crashed:
-            continue
-        named = getattr(proc, "round_named", None)
-        if named is not None and (last is None or named > last):
-            last = named
-    return last

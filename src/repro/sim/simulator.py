@@ -183,6 +183,10 @@ class Simulation:
             if self._trace is not None and proc.halted:
                 self._trace.record(round_no, "halt", pid=receiver, decision=proc.decision)
 
+        # Deliveries are done, so the running set is stable for the rest
+        # of the round: compute it once for metrics, trace, and the
+        # return value.
+        running_after = len(self.running())
         self._metrics.record(
             RoundMetrics(
                 round_no=round_no,
@@ -190,7 +194,7 @@ class Simulation:
                 messages_delivered=delivered,
                 crashes=len(plan),
                 alive_after=len(alive_now),
-                running_after=len(self.running()),
+                running_after=running_after,
             )
         )
         if self._trace is not None:
@@ -199,11 +203,11 @@ class Simulation:
                 "round",
                 sent=len(outbox),
                 crashes=len(plan),
-                running=len(self.running()),
+                running=running_after,
             )
         for observer in self._observers:
             observer(self, round_no)
-        return bool(self.running())
+        return bool(running_after)
 
     def run(self) -> SimulationResult:
         """Run rounds until everyone halts or crashes; raise past the limit."""

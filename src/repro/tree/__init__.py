@@ -21,6 +21,7 @@ from repro.tree.node import (
     span,
 )
 from repro.tree.topology import Topology
+from repro.tree.arrays import TopologyArrays
 from repro.tree.local_view import LocalTreeView
 from repro.tree.priority import priority_key, ordered_balls
 from repro.tree.paths import (
@@ -41,6 +42,7 @@ __all__ = [
     "right_child",
     "span",
     "Topology",
+    "TopologyArrays",
     "LocalTreeView",
     "priority_key",
     "ordered_balls",

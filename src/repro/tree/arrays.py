@@ -1,0 +1,110 @@
+"""Array-indexed topology accessors for the columnar simulation kernel.
+
+:class:`LocalTreeView` keys every per-node quantity by the interval tuple
+of the node, which costs a tuple hash per lookup.  The columnar engine
+(:mod:`repro.core.columnar`) instead addresses nodes by a dense integer
+index into flat lists, which turns the hot loops of a round — capacity
+lookups during path choice, subtree-count updates during movement — into
+plain list indexing.
+
+:class:`TopologyArrays` is the bridge: a frozen, shared-per-run encoding
+of one :class:`~repro.tree.topology.Topology` as parallel lists in DFS
+preorder.  It carries no per-run state; ball positions and subtree counts
+live in the engine that uses it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.tree import node as nd
+from repro.tree.node import Node
+from repro.tree.topology import Topology
+
+
+class TopologyArrays:
+    """Flat-array encoding of a leaf tree's shape.
+
+    Nodes are numbered 0..2n-2 in DFS preorder (the root is index 0).
+    All attributes are parallel lists indexed by node number:
+
+    * ``nodes[i]`` — the interval tuple of node ``i``;
+    * ``left[i]`` / ``right[i]`` — child indices, ``-1`` for leaves;
+    * ``parent[i]`` — parent index, ``-1`` for the root;
+    * ``span[i]`` — leaves below node ``i`` (its total capacity);
+    * ``depth[i]`` — distance from the root;
+    * ``leaf_rank[i]`` — the name decided at leaf ``i``, ``-1`` for
+      inner nodes;
+    * ``mid[i]`` — the split rank between ``i``'s children (leaves keep
+      their ``lo``), so descending toward a leaf rank is one comparison.
+
+    ``index_of`` maps interval tuples back to indices for the boundary
+    with tuple-keyed code.
+    """
+
+    __slots__ = (
+        "topology",
+        "n",
+        "nodes",
+        "index_of",
+        "left",
+        "right",
+        "parent",
+        "span",
+        "depth",
+        "leaf_rank",
+        "mid",
+        "root",
+    )
+
+    def __init__(self, topology: Topology) -> None:
+        self.topology = topology
+        self.n = topology.n
+        nodes: List[Node] = topology.nodes()
+        self.nodes = nodes
+        index_of: Dict[Node, int] = {node: i for i, node in enumerate(nodes)}
+        self.index_of = index_of
+        count = len(nodes)
+        self.left = [-1] * count
+        self.right = [-1] * count
+        self.parent = [-1] * count
+        self.span = [0] * count
+        self.depth = [0] * count
+        self.leaf_rank = [-1] * count
+        self.mid = [0] * count
+        for i, node in enumerate(nodes):
+            lo, hi = node
+            self.span[i] = hi - lo
+            self.depth[i] = topology.depth(node)
+            if hi - lo == 1:
+                self.leaf_rank[i] = lo
+                self.mid[i] = lo
+            else:
+                left, right = nd.children(node)
+                li, ri = index_of[left], index_of[right]
+                self.left[i] = li
+                self.right[i] = ri
+                self.parent[li] = i
+                self.parent[ri] = i
+                self.mid[i] = left[1]
+        self.root = index_of[topology.root]
+
+    def leaf_index(self, rank: int) -> int:
+        """The node index of the leaf deciding name ``rank``."""
+        return self.index_of[nd.leaf_node(rank)]
+
+    def path_to_rank(self, start: int, rank: int) -> List[int]:
+        """Node indices from ``start`` down to the leaf of ``rank``.
+
+        The array twin of :meth:`Topology.path_to_leaf`: one comparison
+        against ``mid`` per level instead of interval arithmetic.
+        """
+        lo, hi = self.nodes[start]
+        if not lo <= rank < hi:
+            raise ValueError(f"leaf rank {rank} is outside node {self.nodes[start]}")
+        path = [start]
+        node = start
+        while self.span[node] != 1:
+            node = self.left[node] if rank < self.mid[node] else self.right[node]
+            path.append(node)
+        return path

@@ -17,7 +17,7 @@ from repro.adversary.splitter import HalfSplitAdversary
 from repro.core.config import BallsIntoLeavesConfig
 from repro.core.messages import path_message
 from repro.core.movement import apply_path_round
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, RoundLimitExceeded
 from repro.ids import sparse_ids
 from repro.sim.runner import run_renaming
 from repro.tree.local_view import LocalTreeView
@@ -130,3 +130,27 @@ class TestEndToEnd:
         )
         assert run.rounds == 3
         assert sorted(run.names.values()) == list(range(64))
+
+    @pytest.mark.xfail(
+        reason="known latent liveness bug (pre-dates the kernel refactor): a "
+        "ball that crashes mid-path-broadcast can be simulated onto a leaf in "
+        "a partial receiver's view and then retained as a 'terminated' holder "
+        "by the silent-at-leaf rule, reserving the one leaf that receiver "
+        "needs — it then loops forever with no capacity below its node. "
+        "Discovered by hypothesis (test_spec_under_arbitrary_crashes); the "
+        "retention rule needs to distinguish announced leaf positions from "
+        "path-simulated ghost positions. See ROADMAP open items.",
+        raises=RoundLimitExceeded,
+        strict=True,
+    )
+    def test_mid_path_crash_ghost_must_not_reserve_a_survivors_leaf(self):
+        ids = sparse_ids(9)
+        schedule = [ScheduledCrash(2, ids[0], receivers=[ids[1]])]
+        run = run_renaming(
+            "balls-into-leaves",
+            ids,
+            seed=1,
+            adversary=ScheduledAdversary(schedule),
+            halt_on_name=True,
+        )
+        assert sorted(run.names.values()) == sorted(set(run.names.values()))

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -116,3 +118,68 @@ class TestBatchCli:
     def test_run_threads_workers_through_batched_experiments(self, capsys):
         assert main(["run", "EXP-T3", "--scale", "smoke", "--workers", "2"]) == 0
         assert "EXP-T3" in capsys.readouterr().out
+
+
+class TestKernelCli:
+    def test_demo_reports_columnar_kernel(self, capsys):
+        assert main(["demo", "--n", "8", "--kernel", "columnar"]) == 0
+        assert "(columnar kernel)" in capsys.readouterr().out
+
+    def test_demo_reference_kernel(self, capsys):
+        assert main(["demo", "--n", "8", "--kernel", "reference"]) == 0
+        assert "(reference kernel)" in capsys.readouterr().out
+
+    def test_demo_pinned_columnar_rejects_flood_cleanly(self, capsys):
+        assert main(["demo", "--n", "8", "--algorithm", "flood",
+                     "--kernel", "columnar"]) == 2
+        assert "cannot run this simulation" in capsys.readouterr().err
+
+    def test_batch_kernel_pinning_matches_auto_output(self, capsys):
+        argv = ["batch", "--algorithms", "balls-into-leaves", "--sizes", "16",
+                "--trials", "3"]
+        assert main(argv + ["--kernel", "reference"]) == 0
+        reference_out = capsys.readouterr().out
+        assert main(argv + ["--kernel", "columnar"]) == 0
+        columnar_out = capsys.readouterr().out
+        assert columnar_out == reference_out
+
+    def test_run_threads_kernel_through_experiments(self, capsys):
+        assert main(["run", "EXP-T2", "--scale", "smoke",
+                     "--kernel", "reference"]) == 0
+        assert "EXP-T2" in capsys.readouterr().out
+
+
+class TestJsonlOut:
+    def test_batch_out_jsonl_writes_per_trial_rows(self, tmp_path, capsys):
+        out = tmp_path / "trials.jsonl"
+        assert main(["batch", "--algorithms", "balls-into-leaves", "--sizes", "8",
+                     "--trials", "3", "--out", str(out)]) == 0
+        captured = capsys.readouterr()
+        assert "3 JSONL rows written" in captured.err
+        rows = [json.loads(line) for line in out.read_text().splitlines()]
+        assert len(rows) == 3
+        assert rows[0]["algorithm"] == "balls-into-leaves"
+        assert rows[0]["n"] == 8
+        assert rows[0]["adversary"] == "none"
+        assert rows[0]["kernel"] == "columnar"
+        assert {row["seed"] for row in rows} == {0, 1, 2}
+        assert all(row["rounds"] >= 3 for row in rows)
+
+    def test_run_out_jsonl_writes_per_cell_rows(self, tmp_path, capsys):
+        out = tmp_path / "cells.jsonl"
+        assert main(["run", "EXP-T2", "--scale", "smoke", "--out", str(out)]) == 0
+        capsys.readouterr()
+        rows = [json.loads(line) for line in out.read_text().splitlines()]
+        assert rows
+        assert all(row["experiment"] == "EXP-T2" for row in rows)
+        tables = {row["table"] for row in rows}
+        assert any("Rounds to rename" in title for title in tables)
+        first = rows[0]
+        assert first["n"] == "16"  # table cells persist as formatted strings
+
+    def test_non_jsonl_out_still_writes_text_report(self, tmp_path, capsys):
+        out = tmp_path / "report.txt"
+        assert main(["batch", "--algorithms", "flood", "--sizes", "8",
+                     "--trials", "2", "--out", str(out)]) == 0
+        capsys.readouterr()
+        assert "scenario matrix" in out.read_text()

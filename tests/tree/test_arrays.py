@@ -1,0 +1,60 @@
+"""TopologyArrays must encode exactly the shape Topology describes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tree import node as nd
+from repro.tree.arrays import TopologyArrays
+from repro.tree.topology import Topology, cached_topology
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 5, 8, 13, 16, 31, 64])
+class TestArraysMatchTopology:
+    def test_every_node_round_trips(self, n):
+        topo = Topology(n)
+        arr = TopologyArrays(topo)
+        assert arr.n == n
+        assert len(arr.nodes) == topo.node_count
+        for i, node in enumerate(arr.nodes):
+            assert arr.index_of[node] == i
+            assert arr.span[i] == nd.span(node)
+            assert arr.depth[i] == topo.depth(node)
+            if nd.is_leaf(node):
+                assert arr.left[i] == -1 and arr.right[i] == -1
+                assert arr.leaf_rank[i] == nd.leaf_rank(node)
+            else:
+                left, right = nd.children(node)
+                assert arr.nodes[arr.left[i]] == left
+                assert arr.nodes[arr.right[i]] == right
+                assert arr.leaf_rank[i] == -1
+                assert arr.mid[i] == left[1]
+            if node == topo.root:
+                assert arr.parent[i] == -1
+                assert arr.root == i
+            else:
+                assert arr.nodes[arr.parent[i]] == topo.parent(node)
+
+    def test_path_to_rank_matches_topology_paths(self, n):
+        topo = Topology(n)
+        arr = TopologyArrays(topo)
+        for rank in range(n):
+            expected = topo.path_to_leaf(topo.root, rank)
+            got = [arr.nodes[i] for i in arr.path_to_rank(arr.root, rank)]
+            assert got == list(expected)
+            assert arr.nodes[arr.leaf_index(rank)] == nd.leaf_node(rank)
+
+    def test_path_to_rank_rejects_outside_rank(self, n):
+        arr = Topology(n).arrays()
+        with pytest.raises(ValueError):
+            arr.path_to_rank(arr.root, n)
+
+
+class TestCaching:
+    def test_topology_arrays_cached_per_instance(self):
+        topo = Topology(8)
+        assert topo.arrays() is topo.arrays()
+
+    def test_cached_topology_shared(self):
+        assert cached_topology(32) is cached_topology(32)
+        assert cached_topology(32) is not cached_topology(16)
