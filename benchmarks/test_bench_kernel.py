@@ -1,7 +1,9 @@
 """Kernel wall-clock: reference engine vs columnar fast path.
 
 Times one failure-free Balls-into-Leaves trial per kernel at
-n in {256, 4096, 65536} and writes the measurements to
+n in {256, 4096, 65536}, plus a *crashing-adversary* workload
+(random 10% crash rate, halt-on-name, the columnar crash engine's
+home turf) at n in {256, 1024, 4096}, and writes the measurements to
 ``BENCH_kernel.json`` at the repository root — the perf-trajectory
 artifact the CI benchmark job uploads.
 
@@ -31,12 +33,17 @@ from pathlib import Path
 import pytest
 
 from repro._version import __version__
+from repro.adversary.random_crash import RandomCrashAdversary
 from repro.ids import sparse_ids
 from repro.sim.runner import run_renaming
 
 SIZES = (256, 4096, 65536)
 #: Best-of repetitions per cell, scaled down as trials get longer.
 REPS = {256: 5, 4096: 3, 65536: 1}
+#: Crashing-adversary cells (the columnar crash engine path).
+CRASH_SIZES = (256, 1024, 4096)
+CRASH_REPS = {256: 5, 1024: 3, 4096: 2}
+CRASH_RATE = 0.10
 #: Largest n at which the faithful (spec) configuration is timed by
 #: default; BENCH_KERNEL_FULL=1 extends it to 4096 (~minutes).
 FAITHFUL_DEFAULT_MAX = 256
@@ -64,6 +71,19 @@ def _trial(n, kernel, view_mode="shared"):
         seed=SEED,
         kernel=kernel,
         view_mode=view_mode,
+    )
+
+
+def _crash_trial(n, kernel):
+    # The adversary is stateful (crash counters, RNG): build a fresh,
+    # identically-seeded instance per timed run.
+    return run_renaming(
+        "balls-into-leaves",
+        sparse_ids(n),
+        seed=SEED,
+        adversary=RandomCrashAdversary(CRASH_RATE, seed=SEED),
+        halt_on_name=True,
+        kernel=kernel,
     )
 
 
@@ -108,9 +128,40 @@ def test_bench_kernel_writes_json(capsys):
                 ),
             }
         )
+    # Crashing-adversary workload: the columnar crash engine (receiver
+    # equivalence classes + announced-termination lifecycle) against the
+    # reference lock-step engine on the same spec.
+    for n in CRASH_SIZES:
+        reps = CRASH_REPS[n]
+        columnar_s, columnar_run = _best_of(reps, lambda: _crash_trial(n, "columnar"))
+        reference_s, reference_run = _best_of(reps, lambda: _crash_trial(n, "reference"))
+        assert columnar_run.kernel == "columnar"
+        assert columnar_run.names == reference_run.names
+        assert columnar_run.rounds == reference_run.rounds
+        assert columnar_run.crashed == reference_run.crashed
+        cells.append(
+            {
+                "n": n,
+                "algorithm": "balls-into-leaves",
+                "adversary": f"random:rate={CRASH_RATE},halt_on_name",
+                "seed": SEED,
+                "reps": reps,
+                "columnar_s": round(columnar_s, 6),
+                "reference_s": round(reference_s, 6),
+                "reference_faithful_s": None,
+                "speedup_vs_reference": round(reference_s / columnar_s, 2),
+                "speedup_vs_faithful": None,
+            }
+        )
+
     payload = {
         "benchmark": "kernel",
-        "workload": "run_renaming, failure-free balls-into-leaves, best-of-reps wall clock",
+        "workload": (
+            "run_renaming, balls-into-leaves, best-of-reps wall clock; "
+            "failure-free cells plus a crashing-adversary workload "
+            "(random 10% crash rate, halt-on-name) on the columnar "
+            "crash engine"
+        ),
         "version": __version__,
         "python": platform.python_version(),
         "notes": (
@@ -142,7 +193,10 @@ def test_bench_kernel_writes_json(capsys):
     # The fast path must actually be fast: comfortably ahead of the
     # default reference configuration everywhere, and an order of
     # magnitude ahead of the spec configuration wherever that is timed.
+    # Crash cells pay for adversary planning and per-class copies, so
+    # their bar is lower than the failure-free single-view path's.
     for cell in cells:
-        assert cell["speedup_vs_reference"] > 2.0, cell
+        floor = 1.5 if cell["adversary"] != "none" else 2.0
+        assert cell["speedup_vs_reference"] > floor, cell
         if cell["speedup_vs_faithful"] is not None:
             assert cell["speedup_vs_faithful"] >= 10.0, cell

@@ -8,6 +8,7 @@ synchronization, termination) is shared, mirroring the paper's structure.
 """
 
 from repro.core.config import BallsIntoLeavesConfig
+from repro.core.lifecycle import BallStatus
 from repro.core.messages import (
     HELLO,
     PATH,
@@ -31,6 +32,7 @@ from repro.core.instrumentation import PhaseStats, TreeStatsObserver
 
 __all__ = [
     "BallsIntoLeavesConfig",
+    "BallStatus",
     "HELLO",
     "PATH",
     "POSITION",

@@ -139,8 +139,9 @@ class BallProcess(SyncProcess):
             self._config.halt_on_name and nd.is_leaf(my_position)
         ):
             # With halt_on_name, this ball just announced its leaf in the
-            # position broadcast of this very round, so peers retain it
-            # (silent-at-leaf rule) and its slot stays reserved.
+            # position broadcast of this very round, so peers marked it
+            # ANNOUNCED (the lifecycle retention rule) and its slot stays
+            # reserved through all future silence.
             self._round_halted = round_no
             self.decide(nd.leaf_rank(my_position))
             self.halt()
@@ -179,7 +180,7 @@ def build_balls_into_leaves(
         topology,
         check_invariants=config.check_invariants,
         movement_order=config.movement_order,
-        retain_silent_leaf_balls=config.halt_on_name,
+        lifecycle=config.halt_on_name,
     )
     processes = [
         BallProcess(pid, store=store, config=config, seed=seed) for pid in ids

@@ -26,20 +26,40 @@ function as array passes:
 Bit-for-bit equivalence with the reference engine — same round counts,
 same names, same per-round metrics — is asserted by the differential
 suite in ``tests/sim/test_kernel_equivalence.py``; any behavioural change
-here must keep that suite green.  Runs the fast path cannot model
-(crashing adversaries, traces, phase statistics) are rejected up front by
-:func:`columnar_rejections` and fall back to the reference kernel.
+here must keep that suite green.
+
+Two engines share the layout:
+
+* :class:`ColumnarBallsEngine` — the failure-free fast path: one shared
+  view, no inboxes, no adversary bookkeeping.
+* :class:`ColumnarCrashEngine` — the crash-capable extension: partial
+  deliveries split receivers into *equivalence classes* (the flat-array
+  twin of :class:`repro.core.views.SharedViewStore`), each class holding
+  its own position/status/count columns; the announced-termination
+  lifecycle of :mod:`repro.core.lifecycle` runs as a per-ball status
+  byte, and crash masks are applied per round exactly as the lock-step
+  simulator does.  Failure-free it degenerates to one class, but the
+  per-round payload materialization for the adversary keeps the
+  dedicated failure-free engine worthwhile.
+
+Runs the fast path cannot model (traces, phase statistics, invariant
+checking, uncertified adversary types) are rejected up front by
+:func:`columnar_rejections` / the kernel and fall back to the reference
+kernel.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional, Sequence
+from typing import Any, Dict, Hashable, List, Mapping, Optional, Sequence, Set, Tuple
 
-from repro.errors import ConfigurationError
+from repro.adversary.base import AdversaryContext, clamp_plan
+from repro.errors import ConfigurationError, SimulationError
 from repro.ids import require_distinct
 from repro.sim.rng import derive_seed
 from repro.tree.topology import cached_topology
 from repro.core.config import BallsIntoLeavesConfig
+from repro.core.lifecycle import BallStatus
+from repro.core.messages import hello_message, path_message, position_message
 
 try:  # The C Mersenne-Twister base type.  random.Random passes integer
     # seeds straight through to it, so the streams are bit-identical to
@@ -293,7 +313,9 @@ class ColumnarBallsEngine:
             return self._rank_paths()
         if policy == "leftmost":
             return [
-                None if self.halted[j] else self._free_leaf_path(self.pos[j], 0)
+                None
+                if self.halted[j]
+                else self._arr.path_to_kth_free_leaf(self.pos[j], 0, self._leaf_occ)
                 for j in range(self.n)
             ]
         raise ConfigurationError(f"policy {policy!r} is not columnar-modeled")
@@ -400,42 +422,689 @@ class ColumnarBallsEngine:
             if free <= 0:
                 paths.append([start])
                 continue
-            paths.append(self._free_leaf_path(start, min(rank_at_node[j], free - 1)))
+            paths.append(
+                self._arr.path_to_kth_free_leaf(
+                    start, min(rank_at_node[j], free - 1), self._leaf_occ
+                )
+            )
         return paths
-
-    def _free_leaf_path(self, start: int, k: int) -> List[int]:
-        """Path from ``start`` to its ``k``-th free leaf (left to right).
-
-        Mirrors :meth:`LocalTreeView.kth_free_leaf` plus the leftmost
-        policy's fallback: with no free leaf below, aim at the leftmost
-        leaf of the subtree and let the movement rule park the ball.
-        """
-        arr = self._arr
-        span = arr.span
-        left = arr.left
-        right = arr.right
-        leaf_occ = self._leaf_occ
-        free = span[start] - leaf_occ[start]
-        if free <= 0:
-            return arr.path_to_rank(start, arr.nodes[start][0])
-        node = start
-        path = [node]
-        remaining = k
-        while left[node] != -1:
-            lft = left[node]
-            free_left = span[lft] - leaf_occ[lft]
-            if free_left < 0:
-                free_left = 0
-            if remaining < free_left:
-                node = lft
-            else:
-                remaining -= free_left
-                node = right[node]
-            path.append(node)
-        return path
 
     # ---------------------------------------------------------------- reporting
     def last_round_named(self) -> Optional[int]:
         """Latest round at which any ball fixed its name."""
         rounds = [r for r in self.round_named if r is not None]
         return max(rounds) if rounds else None
+
+
+# --------------------------------------------------------------------------
+# Crash-capable engine: equivalence classes of receivers over flat arrays.
+# --------------------------------------------------------------------------
+
+_ACTIVE = int(BallStatus.ACTIVE)
+_ANNOUNCED = int(BallStatus.ANNOUNCED)
+
+
+class _ProcessIntrospectionUnavailable(Mapping):
+    """Stands in for ``AdversaryContext.processes`` on the fast path.
+
+    Columnar-certified adversaries plan from the public context fields
+    only; any attempt to introspect process objects fails loudly instead
+    of silently diverging from the reference engine.
+    """
+
+    def __init__(self, pids: Sequence[Hashable]) -> None:
+        self._pids = tuple(pids)
+
+    def _unavailable(self) -> SimulationError:
+        return SimulationError(
+            "the columnar kernel does not materialize process objects; "
+            "adversaries that introspect ctx.processes must run on the "
+            "reference kernel"
+        )
+
+    def __getitem__(self, key: Hashable) -> Any:
+        raise self._unavailable()
+
+    def __iter__(self):
+        # Iteration and len() would also diverge from the reference
+        # engine's mapping (all processes, crashed included) — fail
+        # loudly on every access, not just item lookup.
+        raise self._unavailable()
+
+    def __len__(self) -> int:
+        raise self._unavailable()
+
+
+class _ClassView:
+    """One receiver equivalence class: a shared flat-array local tree.
+
+    The array twin of one :class:`~repro.core.views._ViewClass` tree:
+    ``pos[j]`` is ball ``j``'s node index (``-1`` = not in this view),
+    ``status[j]`` its lifecycle byte, ``count``/``leaf_occ`` the subtree
+    aggregates of :class:`~repro.tree.local_view.LocalTreeView`.
+    """
+
+    __slots__ = (
+        "pos",
+        "status",
+        "count",
+        "leaf_occ",
+        "n_at_leaf",
+        "present",
+        "memo_tick",
+        "thr",
+        "rank_all",
+        "rank_here",
+    )
+
+    def __init__(
+        self,
+        pos: List[int],
+        status: bytearray,
+        count: List[int],
+        leaf_occ: Optional[List[int]],
+        n_at_leaf: int,
+        present: int,
+    ) -> None:
+        self.pos = pos
+        self.status = status
+        self.count = count
+        self.leaf_occ = leaf_occ
+        self.n_at_leaf = n_at_leaf
+        self.present = present
+        # Per-round compose caches (invalidated by the engine tick):
+        # left-probability memo, present-prefix ranks, at-node ranks.
+        self.memo_tick = -1
+        self.thr: Optional[Dict[int, float]] = None
+        self.rank_all: Optional[List[int]] = None
+        self.rank_here: Optional[Dict[int, int]] = None
+
+    def clone(self) -> "_ClassView":
+        return _ClassView(
+            list(self.pos),
+            bytearray(self.status),
+            list(self.count),
+            None if self.leaf_occ is None else list(self.leaf_occ),
+            self.n_at_leaf,
+            self.present,
+        )
+
+    def merge_key(self) -> Tuple[Tuple[int, ...], bytes]:
+        """The view's identity: positions *and* lifecycle bytes (the
+        array twin of :meth:`LocalTreeView.state_set`)."""
+        return (tuple(self.pos), bytes(self.status))
+
+
+class ColumnarCrashEngine:
+    """Balls-into-Leaves under a crashing adversary, as array passes.
+
+    The lock-step round structure, the ``<R`` movement rule, the
+    announced-termination lifecycle and the adversary protocol are all
+    reproduced bit-for-bit (same per-ball RNG streams, same adversary
+    context, same clamping) — asserted by the differential suite.
+    Receivers sharing one inbox history share one :class:`_ClassView`;
+    classes split on partial delivery and re-merge when their states
+    coincide, mirroring :class:`~repro.core.views.SharedViewStore`.
+    """
+
+    def __init__(
+        self,
+        ids: Sequence[BallId],
+        *,
+        seed: int = 0,
+        policy: str = "random",
+        halt_on_name: bool = False,
+        adversary: Any = None,
+        crash_budget: int = 0,
+    ) -> None:
+        require_distinct(ids)
+        if not ids:
+            raise ConfigurationError("renaming needs at least one participant")
+        if policy not in SUPPORTED_POLICIES:
+            raise ConfigurationError(
+                f"policy {policy!r} is not columnar-modeled; "
+                f"choose from {SUPPORTED_POLICIES}"
+            )
+        self.labels: List[BallId] = sorted(ids)
+        n = len(self.labels)
+        self.n = n
+        self._index_of: Dict[BallId, int] = {
+            pid: j for j, pid in enumerate(self.labels)
+        }
+        # Adversary context exposes pids in *input* order (the reference
+        # simulator's process-dict insertion order), not label order.
+        self._input_order: List[int] = [self._index_of[pid] for pid in ids]
+        self._seed = seed
+        self._policy = policy
+        self._halt_on_name = halt_on_name
+        self._adversary = adversary
+        self._budget = crash_budget
+        self._arr = cached_topology(n).arrays()
+        self._height = self._arr.topology.height
+        self._track_leaf_occ = policy in ("rank", "leftmost")
+        self._tick = 0
+        # Per-ball run state, indexed by label rank.
+        self.halted: List[bool] = [False] * n
+        self.crashed: List[bool] = [False] * n
+        self.decision: List[Optional[int]] = [None] * n
+        self.round_named: List[Optional[int]] = [None] * n
+        self.round_halted: List[Optional[int]] = [None] * n
+        self._rngs: List[Optional[_MTRandom]] = [None] * n
+        self._class_of: List[Optional[_ClassView]] = [None] * n
+        self._crashed_count = 0
+        self.running_count = n
+        # Metrics of the most recent round (read by the kernel).
+        self.last_sent = 0
+        self.last_delivered = 0
+        self.last_crashes = 0
+        self.last_alive = n
+        self.last_running = n
+
+    # ------------------------------------------------------------------ driving
+    def step(self, round_no: int) -> None:
+        """Execute one full round: compose, crash plan, deliver, halt."""
+        labels = self.labels
+        halted = self.halted
+        crashed = self.crashed
+        running = [
+            j for j in self._input_order if not crashed[j] and not halted[j]
+        ]
+        running_set = set(running)
+        self.last_sent = len(running)
+        self._tick += 1
+
+        if round_no == 1:
+            kind = "init"
+            paths: Optional[List[Optional[List[int]]]] = None
+            announced: Optional[List[Optional[int]]] = None
+        elif round_no % 2 == 0:
+            kind = "path"
+            paths = self._choose_paths(round_no, running)
+            announced = None
+        else:
+            kind = "pos"
+            paths = None
+            announced = [None] * self.n
+            for j in running:
+                announced[j] = self._class_of[j].pos[j]
+
+        plan = self._plan_crashes(round_no, running, kind, paths, announced)
+        for victim in plan:
+            j = self._index_of[victim]
+            crashed[j] = True
+            self._crashed_count += 1
+            if not halted[j]:
+                self.running_count -= 1
+        self.last_crashes = len(plan)
+        self.last_alive = self.n - self._crashed_count
+
+        # Victims that composed this round (halted victims sent nothing).
+        partial: List[Tuple[int, frozenset]] = [
+            (self._index_of[victim], kept)
+            for victim, kept in plan.items()
+            if self._index_of[victim] in running_set
+        ]
+        victim_idx: Set[int] = {vi for vi, _kept in partial}
+        base_count = self.last_sent - len(partial)
+
+        receivers = [
+            j for j in self._input_order if not crashed[j] and not halted[j]
+        ]
+        # Distinct delivery camps: victims usually share receiver sets
+        # (split-mode adversaries build two), so a receiver's signature
+        # is a function of its camp-membership pattern, computed with
+        # one membership test per distinct camp instead of per victim.
+        camps: List[Tuple[frozenset, List[int]]] = []
+        camp_index: Dict[frozenset, List[int]] = {}
+        for vi, kept in partial:
+            bucket = camp_index.get(kept)
+            if bucket is None:
+                bucket = []
+                camp_index[kept] = bucket
+                camps.append((kept, bucket))
+            bucket.append(vi)
+        empty_sig: frozenset = frozenset()
+        sig_cache: Dict[Tuple[bool, ...], Tuple[frozenset, int]] = {}
+        # Group receivers by (pre-class, delivery signature); every group
+        # member shares one tree update, like the shared store's memo.
+        groups: Dict[Tuple[int, frozenset], Tuple[Optional[_ClassView], frozenset, List[int]]] = {}
+        delivered = 0
+        for j in receivers:
+            if camps:
+                pid = labels[j]
+                pattern = tuple(pid in kept for kept, _vis in camps)
+                cached = sig_cache.get(pattern)
+                if cached is None:
+                    members: List[int] = []
+                    for flag, (_kept, vis) in zip(pattern, camps):
+                        if flag:
+                            members.extend(vis)
+                    cached = (frozenset(members), len(members))
+                    sig_cache[pattern] = cached
+                sig, sig_len = cached
+            else:
+                sig, sig_len = empty_sig, 0
+            delivered += base_count + sig_len
+            pre = self._class_of[j]
+            key = (id(pre), sig)
+            group = groups.get(key)
+            if group is None:
+                groups[key] = (pre, sig, [j])
+            else:
+                group[2].append(j)
+        self.last_delivered = delivered
+
+        merge_index: Dict[Tuple[Tuple[int, ...], bytes], _ClassView] = {}
+        for pre, sig, members in groups.values():
+            if kind == "init":
+                post = self._initialize_class(running_set, victim_idx, sig)
+            elif kind == "path":
+                post = self._apply_path_round(
+                    pre, paths, victim_idx, sig, round_no
+                )
+            else:
+                post = self._apply_position_round(
+                    pre, announced, victim_idx, sig
+                )
+            canonical = merge_index.setdefault(post.merge_key(), post)
+            for j in members:
+                self._class_of[j] = canonical
+
+        if kind == "init":
+            self.last_running = self.running_count
+            return
+
+        # Per-ball bookkeeping against the ball's own (post) view.  Not
+        # for the hello round: a ball only notes its leaf after a path
+        # or position exchange (BallProcess._note_leaf), so the n == 1
+        # root-leaf is named in round 2, not round 1.
+        arr = self._arr
+        span = arr.span
+        leaf_rank = arr.leaf_rank
+        for j in receivers:
+            cv = self._class_of[j]
+            p = cv.pos[j]
+            if self.round_named[j] is None and span[p] == 1:
+                self.round_named[j] = round_no
+                self.decision[j] = leaf_rank[p]
+            if kind == "pos":
+                if cv.n_at_leaf == cv.present or (
+                    self._halt_on_name and span[p] == 1
+                ):
+                    self.round_halted[j] = round_no
+                    self.decision[j] = leaf_rank[p]
+                    halted[j] = True
+                    self.running_count -= 1
+        self.last_running = self.running_count
+
+    # -------------------------------------------------------------- adversary
+    def _plan_crashes(self, round_no, running, kind, paths, announced):
+        if self._adversary is None:
+            return {}
+        remaining = self._budget - self._crashed_count
+        if remaining <= 0:
+            return {}
+        labels = self.labels
+        nodes = self._arr.nodes
+        outbox: Dict[BallId, Any] = {}
+        if kind == "init":
+            hello = hello_message()
+            for j in running:
+                outbox[labels[j]] = hello
+        elif kind == "path":
+            for j in running:
+                outbox[labels[j]] = path_message(
+                    tuple(nodes[i] for i in paths[j])
+                )
+        else:
+            for j in running:
+                outbox[labels[j]] = position_message(nodes[announced[j]])
+        alive = [
+            labels[j] for j in self._input_order if not self.crashed[j]
+        ]
+        crashed_pids = frozenset(
+            labels[j] for j in range(self.n) if self.crashed[j]
+        )
+        ctx = AdversaryContext(
+            round_no=round_no,
+            running=tuple(labels[j] for j in running),
+            alive=tuple(alive),
+            outbox=outbox,
+            crashed_so_far=crashed_pids,
+            budget_remaining=remaining,
+            processes=_ProcessIntrospectionUnavailable(alive),
+        )
+        plan = self._adversary.plan(ctx) or {}
+        return clamp_plan(plan, alive=alive, budget_remaining=remaining)
+
+    # --------------------------------------------------------------- the rounds
+    def _initialize_class(self, running_set, victim_idx, sig):
+        """Line 1: the heard-from senders at the root."""
+        arr = self._arr
+        node_count = len(arr.nodes)
+        root = arr.root
+        pos = [-1] * self.n
+        members = 0
+        for i in running_set:
+            if i in victim_idx and i not in sig:
+                continue
+            pos[i] = root
+            members += 1
+        count = [0] * node_count
+        count[root] = members
+        leaf_occ = None
+        n_at_leaf = 0
+        if self._track_leaf_occ:
+            leaf_occ = [0] * node_count
+        if arr.span[root] == 1:  # n == 1: the root already is a leaf
+            n_at_leaf = members
+            if leaf_occ is not None:
+                leaf_occ[root] = members
+        return _ClassView(
+            pos, bytearray(self.n), count, leaf_occ, n_at_leaf, members
+        )
+
+    def _apply_path_round(self, pre, paths, victim_idx, sig, round_no):
+        """Lines 12-21 on a copy of ``pre``, in the ``<R`` order.
+
+        Mirrors :func:`repro.core.movement.apply_path_round`: silent
+        balls are purged (or retained while ``ANNOUNCED``) interleaved
+        with movers in priority order, and a delivered path is walked
+        from *this view's* recorded position with the same defensive
+        ghost handling as ``_descend``.
+        """
+        cv = pre.clone()
+        arr = self._arr
+        span = arr.span
+        depth = arr.depth
+        parent = arr.parent
+        pos = cv.pos
+        status = cv.status
+        count = cv.count
+        leaf_occ = cv.leaf_occ
+        lifecycle = self._halt_on_name
+        # Depth buckets realize <R (deeper first, ties by label = index).
+        # No-ops — retained announced terminators and length-1 paths —
+        # change no capacity and drop out of the ordered walk.
+        buckets: List[List[int]] = [[] for _ in range(self._height + 1)]
+        for i in range(self.n):
+            p = pos[i]
+            if p < 0:
+                continue
+            path = paths[i]
+            if path is not None and (i not in victim_idx or i in sig):
+                if len(path) > 1:
+                    buckets[depth[p]].append(i)
+            else:
+                if lifecycle and status[i] == _ANNOUNCED:
+                    continue
+                buckets[depth[p]].append(i)
+        for bucket in reversed(buckets):
+            for i in bucket:
+                path = paths[i]
+                p = pos[i]
+                if path is None or (i in victim_idx and i not in sig):
+                    # Silent: crashed (ACTIVE silence).  Remove.
+                    pos[i] = -1
+                    status[i] = _ACTIVE
+                    cv.present -= 1
+                    walk = p
+                    while walk != -1:
+                        count[walk] -= 1
+                        walk = parent[walk]
+                    if span[p] == 1:
+                        cv.n_at_leaf -= 1
+                        if leaf_occ is not None:
+                            walk = p
+                            while walk != -1:
+                                leaf_occ[walk] -= 1
+                                walk = parent[walk]
+                    continue
+                # Mover: resume the walk from this view's position.
+                if path[0] == p:
+                    k0 = 0
+                else:
+                    try:
+                        k0 = path.index(p)
+                    except ValueError:
+                        continue  # inconsistent ghost: stays put
+                node = p
+                k = k0
+                length = len(path)
+                while k + 1 < length:
+                    nxt = path[k + 1]
+                    if span[nxt] - count[nxt] > 0:
+                        node = nxt
+                        k += 1
+                    else:
+                        break
+                if k > k0:
+                    for m in range(k0 + 1, k + 1):
+                        count[path[m]] += 1
+                    pos[i] = node
+                    if span[node] == 1:
+                        cv.n_at_leaf += 1
+                        if leaf_occ is not None:
+                            walk = node
+                            while walk != -1:
+                                leaf_occ[walk] += 1
+                                walk = parent[walk]
+        return cv
+
+    def _apply_position_round(self, pre, announced, victim_idx, sig):
+        """Lines 22-28 on a copy of ``pre`` (order-independent)."""
+        cv = pre.clone()
+        arr = self._arr
+        span = arr.span
+        parent = arr.parent
+        pos = cv.pos
+        status = cv.status
+        count = cv.count
+        leaf_occ = cv.leaf_occ
+        lifecycle = self._halt_on_name
+        for i in range(self.n):
+            p = pos[i]
+            if p < 0:
+                continue
+            new = announced[i]
+            if new is not None and (i not in victim_idx or i in sig):
+                if new != p:
+                    walk = p
+                    while walk != -1:
+                        count[walk] -= 1
+                        walk = parent[walk]
+                    walk = new
+                    while walk != -1:
+                        count[walk] += 1
+                        walk = parent[walk]
+                    if span[p] == 1:
+                        cv.n_at_leaf -= 1
+                    if span[new] == 1:
+                        cv.n_at_leaf += 1
+                    if leaf_occ is not None:
+                        if span[p] == 1:
+                            walk = p
+                            while walk != -1:
+                                leaf_occ[walk] -= 1
+                                walk = parent[walk]
+                        if span[new] == 1:
+                            walk = new
+                            while walk != -1:
+                                leaf_occ[walk] += 1
+                                walk = parent[walk]
+                    pos[i] = new
+                if lifecycle:
+                    status[i] = _ANNOUNCED if span[new] == 1 else _ACTIVE
+            else:
+                if lifecycle and status[i] == _ANNOUNCED:
+                    continue
+                pos[i] = -1
+                status[i] = _ACTIVE
+                cv.present -= 1
+                walk = p
+                while walk != -1:
+                    count[walk] -= 1
+                    walk = parent[walk]
+                if span[p] == 1:
+                    cv.n_at_leaf -= 1
+                    if leaf_occ is not None:
+                        walk = p
+                        while walk != -1:
+                            leaf_occ[walk] -= 1
+                            walk = parent[walk]
+        return cv
+
+    # ------------------------------------------------------------- path choice
+    def _choose_paths(self, round_no, running):
+        """Each running ball's candidate path against *its own* view."""
+        phase = round_no // 2
+        policy = self._policy
+        paths: List[Optional[List[int]]] = [None] * self.n
+        if policy == "random" or (policy == "hybrid" and phase > 1):
+            for j in running:
+                paths[j] = self._random_path(j)
+            return paths
+        if policy == "hybrid":
+            # Section 6, phase 1: aim at the leaf indexed by the ball's
+            # label rank among all balls its view knows.
+            arr = self._arr
+            for j in running:
+                cv = self._class_of[j]
+                rank = self._rank_among_all(cv, j)
+                start = cv.pos[j]
+                lo, hi = arr.nodes[start]
+                paths[j] = arr.path_to_rank(start, min(lo + rank, hi - 1))
+            return paths
+        if policy == "rank":
+            arr = self._arr
+            span = arr.span
+            for j in running:
+                cv = self._class_of[j]
+                start = cv.pos[j]
+                if span[start] == 1:
+                    paths[j] = [start]
+                    continue
+                free = span[start] - cv.leaf_occ[start]
+                if free <= 0:
+                    paths[j] = [start]
+                    continue
+                rank = self._rank_at_node(cv, j)
+                paths[j] = arr.path_to_kth_free_leaf(
+                    start, min(rank, free - 1), cv.leaf_occ
+                )
+            return paths
+        if policy == "leftmost":
+            arr = self._arr
+            for j in running:
+                cv = self._class_of[j]
+                paths[j] = arr.path_to_kth_free_leaf(cv.pos[j], 0, cv.leaf_occ)
+            return paths
+        raise ConfigurationError(f"policy {policy!r} is not columnar-modeled")
+
+    def _random_path(self, j):
+        """Algorithm 1 lines 5-10 for ball ``j`` in its own class view.
+
+        Same RNG discipline as the failure-free engine; the per-node
+        probability memo is scoped to (class, round) since capacities
+        differ between classes.
+        """
+        arr = self._arr
+        left = arr.left
+        right = arr.right
+        span = arr.span
+        cv = self._class_of[j]
+        count = cv.count
+        if cv.memo_tick != self._tick:
+            cv.memo_tick = self._tick
+            cv.thr = {}
+            cv.rank_all = None
+            cv.rank_here = None
+        thr = cv.thr
+        node = cv.pos[j]
+        path = [node]
+        if left[node] == -1:
+            return path
+        rng = self._rngs[j]
+        if rng is None:
+            rng = _MTRandom(derive_seed(self._seed, "ball", self.labels[j]))
+            self._rngs[j] = rng
+        rng_random = rng.random
+        append = path.append
+        while True:
+            lft = left[node]
+            if lft == -1:
+                break
+            threshold = thr.get(node)
+            if threshold is None:
+                rgt = right[node]
+                raw_left = span[lft] - count[lft]
+                raw_right = span[rgt] - count[rgt]
+                cap_left = raw_left if raw_left > 0 else 0
+                cap_right = raw_right if raw_right > 0 else 0
+                total = cap_left + cap_right
+                if total <= 0:
+                    threshold = (
+                        _FORCE_LEFT if raw_left >= raw_right else _FORCE_RIGHT
+                    )
+                else:
+                    threshold = cap_left / total
+                thr[node] = threshold
+            if threshold == _FORCE_LEFT:
+                node = lft
+            elif threshold == _FORCE_RIGHT:
+                node = right[node]
+            elif rng_random() < threshold:
+                node = lft
+            else:
+                node = right[node]
+            append(node)
+        return path
+
+    def _rank_among_all(self, cv, j):
+        """Label rank of ``j`` among the balls present in ``cv``."""
+        if cv.memo_tick != self._tick or cv.rank_all is None:
+            if cv.memo_tick != self._tick:
+                cv.memo_tick = self._tick
+                cv.thr = None
+                cv.rank_here = None
+            ranks = [0] * self.n
+            seen = 0
+            pos = cv.pos
+            for i in range(self.n):
+                ranks[i] = seen
+                if pos[i] >= 0:
+                    seen += 1
+            cv.rank_all = ranks
+        return cv.rank_all[j]
+
+    def _rank_at_node(self, cv, j):
+        """Label rank of ``j`` among the balls at its own node in ``cv``."""
+        if cv.memo_tick != self._tick or cv.rank_here is None:
+            if cv.memo_tick != self._tick:
+                cv.memo_tick = self._tick
+                cv.thr = None
+                cv.rank_all = None
+            rank_here: Dict[int, int] = {}
+            seen_at: Dict[int, int] = {}
+            pos = cv.pos
+            for i in range(self.n):
+                p = pos[i]
+                if p < 0:
+                    continue
+                rank = seen_at.get(p, 0)
+                rank_here[i] = rank
+                seen_at[p] = rank + 1
+            cv.rank_here = rank_here
+        return cv.rank_here[j]
+
+    # ---------------------------------------------------------------- reporting
+    def last_round_named(self) -> Optional[int]:
+        """Latest round at which a *correct* ball fixed its name."""
+        last: Optional[int] = None
+        for j in range(self.n):
+            if self.crashed[j]:
+                continue
+            named = self.round_named[j]
+            if named is not None and (last is None or named > last):
+                last = named
+        return last

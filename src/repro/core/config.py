@@ -55,11 +55,15 @@ class BallsIntoLeavesConfig:
         The per-ball termination extension the paper sketches ("allow a
         ball to terminate as soon as it reaches a leaf ... requires
         additional checks").  A ball halts right after announcing its
-        leaf; the additional check is that views *retain* silent balls
-        positioned at leaves (a silent leaf-holder is terminated-or-
-        crashed either way, and its slot must stay reserved) while still
-        purging silent balls at inner nodes.  Cuts message volume; the
-        last ball's round count is unchanged.
+        leaf; the additional check is the announced-termination
+        lifecycle of :mod:`repro.core.lifecycle`: views retain a silent
+        ball — reserving its slot — only while its status is
+        ``ANNOUNCED`` (the ball itself broadcast the leaf position it
+        occupies).  Silence from any other ball, including one this
+        view merely *simulated* onto a leaf from a crashed ball's
+        candidate path, still means a crash and the ball is purged —
+        retaining such path-simulated ghosts deadlocked survivors.
+        Cuts message volume; the last ball's round count is unchanged.
     """
 
     path_policy: str = "random"

@@ -1,0 +1,60 @@
+"""The ball lifecycle: making termination an announced event.
+
+The halt-on-name extension lets a ball stop as soon as it has a name.
+The paper sketches the required "additional checks" as: a silent ball
+positioned at a leaf is a terminated name holder, so its slot stays
+reserved.  That inference from *silence alone* is unsound: a ball that
+crashes while broadcasting its candidate *path* can be simulated onto a
+leaf in a partial receiver's view, and the silence-at-leaf rule then
+retains the ghost as if it had terminated there, reserving forever a
+leaf that every other view considers free — the one survivor whose free
+leaf it was loops without capacity (``RoundLimitExceeded``).
+
+The sound rule makes termination an *announced* event, in the spirit of
+specification-vs-execution runtime checking: a view may retain a silent
+ball only if the ball itself **announced** its leaf position (a round-2
+position broadcast), never because the view merely *simulated* the ball
+onto a leaf from a candidate path.  Equivalently: a silent leaf ball is
+retained only if it did not move during the current phase's path round.
+
+:class:`BallStatus` is the per-ball, per-view state machine realizing
+this.  Within a view a ball is:
+
+* ``ACTIVE`` — the default; the last processed broadcast from the ball
+  was a candidate path or a non-leaf position.  Silence means a crash
+  and the ball is removed.
+* ``ANNOUNCED`` — the ball's last processed broadcast was a position
+  announcement naming a **leaf**, under halt-on-name semantics (where a
+  ball halts immediately after announcing its leaf).  Silence is the
+  expected behaviour of a terminated holder; the ball is retained and
+  its leaf stays reserved.
+* ``CRASHED`` — the ball was removed from the view (silence while
+  ``ACTIVE``).  Views drop crashed balls entirely, so this value never
+  appears inside a live view; the columnar engine uses it for its flat
+  per-ball status column.
+
+Transitions (per view, applied by :mod:`repro.core.movement`):
+
+``ACTIVE --(leaf position announced, halt-on-name)--> ANNOUNCED``
+``ACTIVE --(silence)--> CRASHED`` (removed)
+``ANNOUNCED --(silence)--> ANNOUNCED`` (retained, slot reserved)
+
+An ``ANNOUNCED`` ball can never broadcast again — under halt-on-name a
+ball halts in the very round it announces its leaf — so ``ANNOUNCED``
+is absorbing for live messages too.  The two view stores
+(:mod:`repro.core.views`) carry the status as part of each view's
+identity, so equivalence classes with identical positions but different
+lifecycle knowledge are never merged.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+class BallStatus(IntEnum):
+    """Per-view lifecycle state of one ball (see module docstring)."""
+
+    ACTIVE = 0
+    ANNOUNCED = 1
+    CRASHED = 2

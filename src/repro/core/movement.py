@@ -9,18 +9,29 @@ depicts); a silent ball has crashed and is removed.
 :func:`apply_position_round` is lines 22-28 — adopt every announced
 position and remove silent balls.
 
+With ``lifecycle=True`` (the halt-on-name extension) both rounds run the
+announced-termination rule of :mod:`repro.core.lifecycle`: a silent ball
+is retained — its leaf slot stays reserved — **only** while its status is
+``BallStatus.ANNOUNCED``, i.e. only if the ball itself broadcast the leaf
+position it occupies.  A ball this view merely *simulated* onto a leaf
+from a candidate path is still ``ACTIVE`` and its silence still means a
+crash; retaining such path-simulated ghosts is the unsound
+silence-at-leaf inference that deadlocked survivors (see lifecycle
+module docstring).
+
 Both functions are pure tree transformations shared by the faithful and
 shared-view stores, so the two execution modes cannot diverge.
 """
 
 from __future__ import annotations
 
-from typing import Any, Hashable, Mapping
+from typing import Any, Dict, Hashable, Mapping
 
 from repro.errors import SimulationError
 from repro.tree import node as nd
 from repro.tree.local_view import LocalTreeView
 from repro.tree.priority import ordered_balls
+from repro.core.lifecycle import BallStatus
 from repro.core.messages import parse_path, parse_position
 
 BallId = Hashable
@@ -46,36 +57,34 @@ def apply_path_round(
     *,
     check_invariants: bool = False,
     order: str = "priority",
-    retain_silent_leaf_balls: bool = False,
+    lifecycle: bool = False,
 ) -> None:
     """Apply one round-1 exchange of candidate paths to ``view`` in place.
 
-    ``retain_silent_leaf_balls`` is the "additional check" of the
-    halt-on-name extension: a silent ball positioned at a leaf is a
-    terminated (or crashed) name holder, so its slot stays reserved
-    instead of being freed for reuse.
+    ``lifecycle`` enables the announced-termination rule of the
+    halt-on-name extension: silence from a ball whose status is
+    ``ANNOUNCED`` (it broadcast its leaf position and halted) keeps the
+    ball — and its name slot — in place; silence from any other ball
+    still means a crash.
     """
     for ball in _movement_sequence(view, order):
         payload = inbox.get(ball)
         path = parse_path(payload) if payload is not None else None
         if path is None:
-            # Line 20: no path received -> the ball crashed mid-phase
-            # (or, with the halt-on-name extension, terminated at a leaf).
-            if retain_silent_leaf_balls and nd.is_leaf(view.position(ball)):
+            # Line 20: no path received.  An announced terminator is the
+            # only ball whose silence is expected; anything else crashed.
+            if lifecycle and view.status(ball) == BallStatus.ANNOUNCED:
                 continue
             view.remove(ball)
             continue
+        # A path broadcast proves the sender is still active (an
+        # ANNOUNCED ball has halted and can never broadcast again).
         position = view.position(ball)
         destination = _descend(view, position, path)
         if destination != position:
             view.place(ball, destination)
     if check_invariants:
-        # Retained silent leaf-holders behave like ghosts: a crashed
-        # holder's leaf may legitimately be reused by a view that never
-        # saw it, so the strict per-leaf check only applies without them.
-        assert_capacity_invariant(
-            view, allow_ghost_overflow=retain_silent_leaf_balls
-        )
+        assert_capacity_invariant(view)
 
 
 def _descend(view: LocalTreeView, position, path) -> Any:
@@ -106,21 +115,33 @@ def apply_position_round(
     inbox: Mapping[BallId, Any],
     *,
     check_invariants: bool = False,
-    retain_silent_leaf_balls: bool = False,
+    lifecycle: bool = False,
 ) -> None:
-    """Apply one round-2 position synchronization to ``view`` in place."""
+    """Apply one round-2 position synchronization to ``view`` in place.
+
+    With ``lifecycle=True``, adopting a position also advances the
+    sender's status machine: a *leaf* announcement marks the ball
+    ``ANNOUNCED`` (under halt-on-name it terminates in this very round,
+    so all future silence is benign), any other announcement keeps it
+    ``ACTIVE``.  Silent balls are retained only while ``ANNOUNCED``.
+    """
     for ball in ordered_balls(view):
         payload = inbox.get(ball)
         announced = parse_position(payload) if payload is not None else None
         if announced is None:
-            # Line 27: silence in round 2 also means a crash (or, with
-            # the halt-on-name extension, termination at a leaf).
-            if retain_silent_leaf_balls and nd.is_leaf(view.position(ball)):
+            # Line 27: silence in round 2 also means a crash — unless the
+            # ball already announced its leaf (a terminated name holder).
+            if lifecycle and view.status(ball) == BallStatus.ANNOUNCED:
                 continue
             view.remove(ball)
             continue
         if view.position(ball) != announced:
             view.place(ball, announced)
+        if lifecycle:
+            view.set_status(
+                ball,
+                BallStatus.ANNOUNCED if nd.is_leaf(announced) else BallStatus.ACTIVE,
+            )
     if check_invariants:
         assert_capacity_invariant(view, allow_ghost_overflow=True)
 
@@ -131,8 +152,17 @@ def assert_capacity_invariant(
     """Check Lemma 1 on ``view``: no subtree holds more balls than leaves.
 
     After a path round this must hold for the view's own ball population
-    (the movement rule enforces it).  After a position round, adopted
-    ghost positions may transiently overflow; callers pass
+    (the movement rule enforces it), with one precisely-accounted
+    exception: *announced terminators*.  A holder that crashed while
+    broadcasting its leaf announcement is retained only by the views
+    that received it; every other view may legitimately re-use the leaf,
+    and the announcement's adoption then over-fills it here.  The
+    headroom granted is therefore exactly the number of ``ANNOUNCED``
+    balls in each subtree — never a blanket waiver, so path-simulated
+    ghosts (which stay ``ACTIVE``) get no allowance at all.
+
+    After a position round, adopted ghost positions of still-active
+    balls may transiently overflow too; callers pass
     ``allow_ghost_overflow=True`` and only the root total is checked.
     """
     total = len(view)
@@ -142,16 +172,33 @@ def assert_capacity_invariant(
         )
     if allow_ghost_overflow:
         return
+    # Announced-terminator headroom, aggregated over ancestor chains.
+    announced_below: Dict[Any, int] = {}
+    announced_at: Dict[Any, int] = {}
+    topology = view.topology
+    for ball in view.tagged_balls(BallStatus.ANNOUNCED):
+        node = view.position(ball)
+        announced_at[node] = announced_at.get(node, 0) + 1
+        current = node
+        while True:
+            announced_below[current] = announced_below.get(current, 0) + 1
+            if current == topology.root:
+                break
+            current = topology.parent(current)
     for node, _occupancy in view.occupied_inner_nodes():
-        if view.subtree_balls(node) > nd.span(node):
+        if view.subtree_balls(node) > nd.span(node) + announced_below.get(node, 0):
             raise SimulationError(
                 f"capacity invariant violated at {node}: "
-                f"{view.subtree_balls(node)} balls in a {nd.span(node)}-leaf subtree"
+                f"{view.subtree_balls(node)} balls in a {nd.span(node)}-leaf "
+                f"subtree ({announced_below.get(node, 0)} announced)"
             )
-    # Leaves can hold at most one ball each in a consistent view.
+    # A leaf holds at most one ball beyond its announced terminators.
     for ball in view.balls():
         position = view.position(ball)
-        if nd.is_leaf(position) and view.occupancy(position) > 1:
+        if nd.is_leaf(position) and view.occupancy(position) > 1 + announced_at.get(
+            position, 0
+        ):
             raise SimulationError(
-                f"leaf {position} holds {view.occupancy(position)} balls"
+                f"leaf {position} holds {view.occupancy(position)} balls "
+                f"({announced_at.get(position, 0)} announced)"
             )

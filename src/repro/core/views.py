@@ -14,6 +14,13 @@ when the adversary delivers a crashing ball's broadcast to some receivers
 and not others; failure-free runs keep a single class and large-``n``
 experiments become tractable in pure Python.  The two modes are verified
 bit-for-bit equal in ``tests/core/test_view_equivalence.py``.
+
+Both stores thread the ``lifecycle`` flag (the halt-on-name extension)
+into the movement rules: each view then carries the per-ball
+:class:`~repro.core.lifecycle.BallStatus` machine, and the shared
+store's class identity includes those statuses — two views with equal
+positions but different announced-termination knowledge must not merge,
+because they treat future silence differently.
 """
 
 from __future__ import annotations
@@ -49,12 +56,12 @@ class ViewStore(ABC):
         *,
         check_invariants: bool = False,
         movement_order: str = "priority",
-        retain_silent_leaf_balls: bool = False,
+        lifecycle: bool = False,
     ) -> None:
         self._topo = topology
         self._check = check_invariants
         self._order = movement_order
-        self._retain = retain_silent_leaf_balls
+        self._lifecycle = lifecycle
 
     @property
     def topology(self) -> Topology:
@@ -87,13 +94,13 @@ class PrivateViewStore(ViewStore):
         *,
         check_invariants: bool = False,
         movement_order: str = "priority",
-        retain_silent_leaf_balls: bool = False,
+        lifecycle: bool = False,
     ) -> None:
         super().__init__(
             topology,
             check_invariants=check_invariants,
             movement_order=movement_order,
-            retain_silent_leaf_balls=retain_silent_leaf_balls,
+            lifecycle=lifecycle,
         )
         self._trees: Dict[BallId, LocalTreeView] = {}
 
@@ -112,7 +119,7 @@ class PrivateViewStore(ViewStore):
             inbox,
             check_invariants=self._check,
             order=self._order,
-            retain_silent_leaf_balls=self._retain,
+            lifecycle=self._lifecycle,
         )
 
     def apply_positions(self, pid: BallId, round_no: int, inbox: Mapping[BallId, Any]) -> None:
@@ -120,7 +127,7 @@ class PrivateViewStore(ViewStore):
             self.view_of(pid),
             inbox,
             check_invariants=self._check,
-            retain_silent_leaf_balls=self._retain,
+            lifecycle=self._lifecycle,
         )
 
 
@@ -144,13 +151,13 @@ class SharedViewStore(ViewStore):
         *,
         check_invariants: bool = False,
         movement_order: str = "priority",
-        retain_silent_leaf_balls: bool = False,
+        lifecycle: bool = False,
     ) -> None:
         super().__init__(
             topology,
             check_invariants=check_invariants,
             movement_order=movement_order,
-            retain_silent_leaf_balls=retain_silent_leaf_balls,
+            lifecycle=lifecycle,
         )
         self._class_of: Dict[BallId, _ViewClass] = {}
         self._serial = 0
@@ -160,12 +167,16 @@ class SharedViewStore(ViewStore):
         # of a class reuse one tree update.  Values keep the inbox alive
         # so id()-based fingerprints cannot collide within the round.
         self._memo: Dict[Tuple[int, str, int], Tuple[_ViewClass, Any]] = {}
-        # Position-snapshot -> post class, also per round.  Divergent
+        # State-snapshot -> post class, also per round.  Divergent
         # classes whose trees re-converge (the common case after a
         # position round) are merged here, keeping the class count small
         # instead of doubling every crash round.  Keyed by the exact
-        # frozenset of positions: no hash-collision risk.
-        self._merge_index: Dict[Tuple[str, frozenset], _ViewClass] = {}
+        # (positions, lifecycle tags) sets: no hash-collision risk, and
+        # views that differ only in announced-termination knowledge are
+        # correctly kept apart (their future silence handling differs).
+        self._merge_index: Dict[
+            Tuple[str, Tuple[frozenset, frozenset]], _ViewClass
+        ] = {}
 
     # ----------------------------------------------------------------- public
     def initialize(self, pid: BallId, round_no: int, inbox: Mapping[BallId, Any]) -> None:
@@ -214,16 +225,16 @@ class SharedViewStore(ViewStore):
                     inbox,
                     check_invariants=self._check,
                     order=self._order,
-                    retain_silent_leaf_balls=self._retain,
+                    lifecycle=self._lifecycle,
                 )
             else:
                 apply_position_round(
                     tree,
                     inbox,
                     check_invariants=self._check,
-                    retain_silent_leaf_balls=self._retain,
+                    lifecycle=self._lifecycle,
                 )
-            merge_key = (kind, tree.position_set())
+            merge_key = (kind, tree.state_set())
             post = self._merge_index.get(merge_key)
             if post is None:
                 post = self._new_class(tree)
@@ -252,7 +263,7 @@ def make_store(
     *,
     check_invariants: bool = False,
     movement_order: str = "priority",
-    retain_silent_leaf_balls: bool = False,
+    lifecycle: bool = False,
 ) -> ViewStore:
     """Instantiate a view store by config name (``faithful``/``shared``)."""
     if mode == "faithful":
@@ -260,13 +271,13 @@ def make_store(
             topology,
             check_invariants=check_invariants,
             movement_order=movement_order,
-            retain_silent_leaf_balls=retain_silent_leaf_balls,
+            lifecycle=lifecycle,
         )
     if mode == "shared":
         return SharedViewStore(
             topology,
             check_invariants=check_invariants,
             movement_order=movement_order,
-            retain_silent_leaf_balls=retain_silent_leaf_balls,
+            lifecycle=lifecycle,
         )
     raise ConfigurationError(f"unknown view mode {mode!r}")

@@ -1,22 +1,31 @@
-"""The columnar kernel: failure-free BiL-family runs as array passes.
+"""The columnar kernel: BiL-family runs as flat-array passes.
 
-Wraps :class:`repro.core.columnar.ColumnarBallsEngine` in the
+Wraps the engines of :mod:`repro.core.columnar` in the
 :class:`~repro.sim.kernel.SimulationKernel` interface: sequences the
 lock-step rounds, produces the same per-round
 :class:`~repro.sim.metrics.RoundMetrics` the reference engine records,
 and assembles an identical :class:`~repro.sim.simulator.SimulationResult`
 — bit-for-bit, as asserted by the differential suite.
 
-Scope (everything else is rejected so ``auto`` selection falls back):
+Two array engines split the work:
 
-* BiL-family algorithms only (``flood`` has no shared-view structure);
-* no crashing adversary — a single shared view exists only while every
-  broadcast reaches everyone, and adversaries may also inspect payloads
-  the fast path never materializes;
-* no trace, phase statistics, or invariant checking — those observe the
-  reference engine's internals;
-* the default ``shared`` view mode only — asking for the paper-verbatim
-  ``faithful`` per-ball store is asking for the reference engine itself.
+* failure-free runs (no adversary, or ``NoFailures``) execute on
+  :class:`~repro.core.columnar.ColumnarBallsEngine`, the single-shared-
+  view fast path that never materializes a message;
+* runs under a *certified* crashing adversary execute on
+  :class:`~repro.core.columnar.ColumnarCrashEngine`, which reproduces
+  partial deliveries, receiver equivalence classes, and the
+  announced-termination lifecycle (halt-on-name) as per-ball status
+  columns and per-round crash masks.
+
+Certified adversaries are the bundled strategies whose plans are a pure
+function of the public :class:`~repro.adversary.base.AdversaryContext`
+fields (round, running/alive sets, outbox payloads, own RNG).  Custom
+adversary types may introspect process objects the fast path never
+materializes, so they are rejected and ``auto`` selection falls back to
+the reference kernel.  Also rejected (they observe reference-engine
+internals): traces, phase statistics, invariant checking, the
+paper-verbatim ``faithful`` view store, and non-BiL algorithms.
 """
 
 from __future__ import annotations
@@ -24,14 +33,32 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.adversary.none import NoFailures
+from repro.adversary.random_crash import RandomCrashAdversary
+from repro.adversary.sandwich import SandwichAdversary
+from repro.adversary.scheduled import ScheduledAdversary
+from repro.adversary.splitter import HalfSplitAdversary
+from repro.adversary.targeted import TargetedPriorityAdversary
 from repro.errors import ConfigurationError, RoundLimitExceeded
 from repro.sim.kernel import KernelRequest, KernelRun, SimulationKernel
 from repro.sim.metrics import RoundMetrics, SimulationMetrics
 from repro.sim.simulator import SimulationResult
 
+#: Adversary types certified for the columnar crash engine: their plans
+#: read only the public AdversaryContext fields, which the engine
+#: reproduces bit-for-bit.  Exact types — a subclass may override
+#: ``plan`` with logic the certification does not cover.
+CERTIFIED_ADVERSARIES = (
+    NoFailures,
+    RandomCrashAdversary,
+    ScheduledAdversary,
+    SandwichAdversary,
+    HalfSplitAdversary,
+    TargetedPriorityAdversary,
+)
+
 
 class ColumnarKernel(SimulationKernel):
-    """Flat-array fast path for failure-free Balls-into-Leaves sweeps."""
+    """Flat-array fast path for Balls-into-Leaves sweeps."""
 
     name = "columnar"
 
@@ -42,13 +69,13 @@ class ColumnarKernel(SimulationKernel):
                 "based; its broadcasts are not position announcements over "
                 "a shared view"
             )
-        if request.adversary is not None and not isinstance(
-            request.adversary, NoFailures
-        ):
+        adversary = request.adversary
+        if adversary is not None and type(adversary) not in CERTIFIED_ADVERSARIES:
             return (
-                f"adversary {type(request.adversary).__name__} may crash "
-                "processes or inspect payloads; the columnar layout models "
-                "only the failure-free shared view"
+                f"adversary type {type(adversary).__name__} is not columnar-"
+                "certified (its plan may inspect process internals the fast "
+                "path never materializes); certified types: "
+                + ", ".join(cls.__name__ for cls in CERTIFIED_ADVERSARIES)
             )
         if request.trace is not None:
             return "trace recording observes the reference engine's events"
@@ -71,8 +98,6 @@ class ColumnarKernel(SimulationKernel):
         return None
 
     def run(self, request: KernelRequest) -> KernelRun:
-        from repro.core.columnar import ColumnarBallsEngine
-
         n = request.n
         # Same validation the reference Simulation constructor applies, so
         # pinning the kernel never relaxes it (view-mode and policy names
@@ -82,6 +107,16 @@ class ColumnarKernel(SimulationKernel):
                 f"crash budget must satisfy 0 <= t < n; "
                 f"got t={request.crash_budget}, n={n}"
             )
+        adversary = request.adversary
+        if adversary is None or type(adversary) is NoFailures:
+            return self._run_failure_free(request)
+        return self._run_with_adversary(request)
+
+    # ------------------------------------------------------------ failure-free
+    def _run_failure_free(self, request: KernelRequest) -> KernelRun:
+        from repro.core.columnar import ColumnarBallsEngine
+
+        n = request.n
         engine = ColumnarBallsEngine(
             request.ids,
             seed=request.seed,
@@ -117,6 +152,61 @@ class ColumnarKernel(SimulationKernel):
             decisions=decisions,
             crashed=frozenset(),
             halted=frozenset(labels),
+            metrics=metrics,
+            trace=None,
+            participants=frozenset(labels),
+        )
+        return KernelRun(
+            result=result,
+            last_round_named=engine.last_round_named(),
+            phase_stats=[],
+            kernel=self.name,
+        )
+
+    # ---------------------------------------------------------- with crashes
+    def _run_with_adversary(self, request: KernelRequest) -> KernelRun:
+        from repro.core.columnar import ColumnarCrashEngine
+
+        engine = ColumnarCrashEngine(
+            request.ids,
+            seed=request.seed,
+            policy=request.policy,
+            halt_on_name=request.halt_on_name,
+            adversary=request.adversary,
+            crash_budget=request.crash_budget,
+        )
+        metrics = SimulationMetrics()
+        round_no = 0
+        while engine.running_count:
+            if round_no >= request.max_rounds:
+                raise RoundLimitExceeded(request.max_rounds, engine.running_count)
+            round_no += 1
+            engine.step(round_no)
+            metrics.record(
+                RoundMetrics(
+                    round_no=round_no,
+                    messages_sent=engine.last_sent,
+                    messages_delivered=engine.last_delivered,
+                    crashes=engine.last_crashes,
+                    alive_after=engine.last_alive,
+                    running_after=engine.last_running,
+                )
+            )
+        labels = engine.labels
+        decisions = {
+            pid: engine.decision[j] for j, pid in enumerate(labels)
+        }
+        crashed = frozenset(
+            pid for j, pid in enumerate(labels) if engine.crashed[j]
+        )
+        halted = frozenset(
+            pid for j, pid in enumerate(labels) if engine.halted[j]
+        )
+        result = SimulationResult(
+            rounds=round_no,
+            decisions=decisions,
+            crashed=crashed,
+            halted=halted,
             metrics=metrics,
             trace=None,
             participants=frozenset(labels),

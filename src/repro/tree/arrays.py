@@ -108,3 +108,38 @@ class TopologyArrays:
             node = self.left[node] if rank < self.mid[node] else self.right[node]
             path.append(node)
         return path
+
+    def path_to_kth_free_leaf(
+        self, start: int, k: int, leaf_occ: List[int]
+    ) -> List[int]:
+        """Path from ``start`` to its ``k``-th free leaf (left to right).
+
+        ``leaf_occ`` is a caller-owned column of subtree leaf-occupancy
+        counts indexed like :attr:`nodes` (the engines' per-view state).
+        The array twin of :meth:`LocalTreeView.kth_free_leaf` — per-child
+        free counts clamp at zero so ghost-overflowed views stay safe —
+        plus the leftmost policy's fallback: with no free leaf below,
+        aim at the subtree's leftmost leaf and let the movement rule
+        park the ball.
+        """
+        span = self.span
+        left = self.left
+        right = self.right
+        free = span[start] - leaf_occ[start]
+        if free <= 0:
+            return self.path_to_rank(start, self.nodes[start][0])
+        node = start
+        path = [node]
+        remaining = k
+        while left[node] != -1:
+            lft = left[node]
+            free_left = span[lft] - leaf_occ[lft]
+            if free_left < 0:
+                free_left = 0
+            if remaining < free_left:
+                node = lft
+            else:
+                remaining -= free_left
+                node = right[node]
+            path.append(node)
+        return path

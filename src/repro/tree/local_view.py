@@ -44,6 +44,10 @@ class LocalTreeView:
         self._count: Dict[Node, int] = {}
         self._leaf_occ: Dict[Node, int] = {}
         self._at: Dict[Node, Set[BallId]] = {}
+        # Per-ball lifecycle tag (repro.core.lifecycle.BallStatus values,
+        # stored as plain ints to keep tree -> core import-free).  Sparse:
+        # only non-default (non-ACTIVE) tags are kept.
+        self._status: Dict[BallId, int] = {}
         self._n_at_leaf = 0
         self._sorted_cache: Optional[List[BallId]] = None
         for ball in balls:
@@ -98,6 +102,26 @@ class LocalTreeView:
         """Number of balls positioned exactly at ``node``."""
         return len(self._at.get(node, ()))
 
+    # -------------------------------------------------------------- lifecycle
+    def status(self, ball: BallId) -> int:
+        """``ball``'s lifecycle tag (a ``BallStatus`` value; 0 = ACTIVE)."""
+        if ball not in self._pos:
+            raise UnknownBallError(f"ball {ball!r} is not in this view")
+        return self._status.get(ball, 0)
+
+    def set_status(self, ball: BallId, status: int) -> None:
+        """Set ``ball``'s lifecycle tag (kept sparse: 0 clears the entry)."""
+        if ball not in self._pos:
+            raise UnknownBallError(f"ball {ball!r} is not in this view")
+        if status:
+            self._status[ball] = int(status)
+        else:
+            self._status.pop(ball, None)
+
+    def tagged_balls(self, status: int) -> List[BallId]:
+        """All balls currently carrying the (non-zero) tag ``status``."""
+        return [ball for ball, tag in self._status.items() if tag == status]
+
     # ------------------------------------------------------------- mutations
     def insert(self, ball: BallId, node: Optional[Node] = None) -> None:
         """Add a new ball at ``node`` (default: the root)."""
@@ -116,6 +140,7 @@ class LocalTreeView:
         """Drop ``ball`` from the view (Algorithm 1's ``Remove``)."""
         node = self.position(ball)
         del self._pos[ball]
+        self._status.pop(ball, None)
         self._sorted_cache = None
         holders = self._at[node]
         holders.discard(ball)
@@ -134,8 +159,11 @@ class LocalTreeView:
         """
         if self.position(ball) == node:
             return
+        status = self._status.get(ball, 0)
         self.remove(ball)
         self.insert(ball, node)
+        if status:
+            self._status[ball] = status
 
     def _adjust(self, node: Node, delta: int) -> None:
         """Add ``delta`` to the subtree counts of ``node`` and its ancestors."""
@@ -257,6 +285,7 @@ class LocalTreeView:
         clone._count = dict(self._count)
         clone._leaf_occ = dict(self._leaf_occ)
         clone._at = {node: set(holders) for node, holders in self._at.items()}
+        clone._status = dict(self._status)
         clone._n_at_leaf = self._n_at_leaf
         return clone
 
@@ -264,14 +293,24 @@ class LocalTreeView:
         """Canonical immutable snapshot of all positions (sorted by ball)."""
         return tuple(sorted(self._pos.items(), key=lambda item: repr(item[0])))
 
-    def position_set(self) -> frozenset:
-        """The exact (ball, node) set — O(n), used to detect equal views."""
-        return frozenset(self._pos.items())
+    def state_set(self) -> Tuple[frozenset, frozenset]:
+        """Positions *and* lifecycle tags — the view's full identity.
+
+        Two views with identical positions but different lifecycle
+        knowledge (one heard a termination announcement, the other only
+        simulated the ball there) behave differently on future silence,
+        so equivalence-class merging must key on both.
+        """
+        return (frozenset(self._pos.items()), frozenset(self._status.items()))
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, LocalTreeView):
             return NotImplemented
-        return self._topo.n == other._topo.n and self._pos == other._pos
+        return (
+            self._topo.n == other._topo.n
+            and self._pos == other._pos
+            and self._status == other._status
+        )
 
     def __repr__(self) -> str:
         return (

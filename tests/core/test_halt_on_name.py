@@ -2,9 +2,14 @@
 
 The paper: "It is easy to change the algorithm to allow a ball to
 terminate as soon as it reaches a leaf.  Such modification requires
-additional checks."  The additional check implemented here: silent balls
-positioned at leaves are retained (their slot stays reserved); silent
-balls at inner nodes are still purged as crashed.
+additional checks."  The additional check implemented here is the
+*announced-termination* lifecycle rule (``repro.core.lifecycle``): a
+silent ball is retained — its name slot stays reserved — only while its
+status is ``ANNOUNCED``, i.e. only if the ball itself broadcast the leaf
+position it occupies.  Balls a view merely *simulated* onto a leaf from a
+candidate path stay ``ACTIVE`` and are purged on silence like any other
+crash; retaining them (the old silence-at-leaf inference) deadlocked the
+survivor whose free leaf the ghost reserved.
 """
 
 from __future__ import annotations
@@ -15,30 +20,70 @@ from repro.adversary.random_crash import RandomCrashAdversary
 from repro.adversary.scheduled import ScheduledAdversary, ScheduledCrash
 from repro.adversary.splitter import HalfSplitAdversary
 from repro.core.config import BallsIntoLeavesConfig
-from repro.core.messages import path_message
-from repro.core.movement import apply_path_round
-from repro.errors import ConfigurationError, RoundLimitExceeded
+from repro.core.lifecycle import BallStatus
+from repro.core.messages import hello_message, path_message, position_message
+from repro.core.movement import (
+    apply_path_round,
+    apply_position_round,
+    assert_capacity_invariant,
+)
+from repro.core.views import SharedViewStore, make_store
+from repro.errors import ConfigurationError, SimulationError
 from repro.ids import sparse_ids
 from repro.sim.runner import run_renaming
 from repro.tree.local_view import LocalTreeView
 
+PATH_TO_LEAF0 = ((0, 8), (0, 4), (0, 2), (0, 1))
+
 
 class TestRetentionRule:
-    def test_silent_leaf_ball_is_retained(self, topo8):
+    """Unit semantics of announced-only retention on a single view."""
+
+    def test_announced_leaf_ball_is_retained(self, topo8):
         view = LocalTreeView(topo8)
         view.insert("done", (0, 1))
+        view.set_status("done", BallStatus.ANNOUNCED)
         view.insert("live", (0, 8))
-        inbox = {"live": path_message(((0, 8), (0, 4), (0, 2), (0, 1)))}
-        apply_path_round(view, inbox, retain_silent_leaf_balls=True)
+        inbox = {"live": path_message(PATH_TO_LEAF0)}
+        apply_path_round(view, inbox, lifecycle=True)
         assert "done" in view  # retained: its name slot stays reserved
         assert view.position("live") != (0, 1)
+
+    def test_path_simulated_leaf_ball_is_purged(self, topo8):
+        """The ghost fix: a leaf position this view only *simulated* from
+        a candidate path is not retention-eligible — silence means crash."""
+        view = LocalTreeView(topo8)
+        view.insert("ghost", (0, 8))
+        view.insert("live", (0, 8))
+        # Path round: the ghost's path is delivered, it descends to the
+        # leaf — but crashes before ever announcing the position.
+        inbox = {
+            "ghost": path_message(PATH_TO_LEAF0),
+            "live": path_message(((0, 8), (4, 8), (4, 6), (4, 5))),
+        }
+        apply_path_round(view, inbox, lifecycle=True)
+        assert view.position("ghost") == (0, 1)
+        assert view.status("ghost") == BallStatus.ACTIVE
+        # Position round: the ghost is silent.  It must be purged, not
+        # retained as a terminated holder.
+        apply_position_round(
+            view, {"live": position_message((4, 5))}, lifecycle=True
+        )
+        assert "ghost" not in view
+
+    def test_leaf_announcement_marks_ball_announced(self, topo8):
+        view = LocalTreeView(topo8, ["a", "b"])
+        inbox = {"a": position_message((0, 1)), "b": position_message((0, 8))}
+        apply_position_round(view, inbox, lifecycle=True)
+        assert view.status("a") == BallStatus.ANNOUNCED  # leaf announced
+        assert view.status("b") == BallStatus.ACTIVE  # inner position
 
     def test_silent_inner_ball_is_still_purged(self, topo8):
         view = LocalTreeView(topo8)
         view.insert("crashed", (0, 2))
         view.insert("live", (0, 8))
-        inbox = {"live": path_message(((0, 8), (0, 4), (0, 2), (0, 1)))}
-        apply_path_round(view, inbox, retain_silent_leaf_balls=True)
+        inbox = {"live": path_message(PATH_TO_LEAF0)}
+        apply_path_round(view, inbox, lifecycle=True)
         assert "crashed" not in view
         assert view.position("live") == (0, 1)
 
@@ -46,10 +91,214 @@ class TestRetentionRule:
         view = LocalTreeView(topo8)
         view.insert("crashed-at-leaf", (0, 1))
         view.insert("live", (0, 8))
-        inbox = {"live": path_message(((0, 8), (0, 4), (0, 2), (0, 1)))}
+        inbox = {"live": path_message(PATH_TO_LEAF0)}
         apply_path_round(view, inbox)
         assert "crashed-at-leaf" not in view
         assert view.position("live") == (0, 1)
+
+    def test_retention_survives_repeated_silence(self, topo8):
+        """An announced terminator stays through every later round."""
+        view = LocalTreeView(topo8, ["t", "live"])
+        apply_position_round(
+            view,
+            {"t": position_message((0, 1)), "live": position_message((0, 8))},
+            lifecycle=True,
+        )
+        for round_kind in ("path", "pos", "path", "pos"):
+            if round_kind == "path":
+                apply_path_round(
+                    view, {"live": path_message(((0, 8), (4, 8)))}, lifecycle=True
+                )
+            else:
+                apply_position_round(
+                    view, {"live": position_message((4, 8))}, lifecycle=True
+                )
+            assert "t" in view
+            assert view.status("t") == BallStatus.ANNOUNCED
+
+
+@pytest.fixture(params=["faithful", "shared"])
+def lifecycle_stores(request, topo8):
+    """One lifecycle-enabled view store per mode (satellite: the two
+    stores must agree on lifecycle semantics, including partial
+    delivery)."""
+    return request.param, make_store(request.param, topo8, lifecycle=True)
+
+
+class TestRetentionAcrossStores:
+    """The same lifecycle scenario driven through both view stores.
+
+    Receivers ``a`` and ``b`` watch ball ``c`` terminate; ``c``'s leaf
+    announcement is delivered only to ``a`` (a crash mid-broadcast).
+    Both stores must retain the announced holder in ``a``'s view and
+    purge the never-announced ball from ``b``'s view.
+    """
+
+    IDS = ("a", "b", "c")
+
+    def _drive_partial_announcement(self, store):
+        hello = {pid: hello_message() for pid in self.IDS}
+        for pid in ("a", "b"):
+            store.initialize(pid, 1, hello)
+        paths = {
+            "a": path_message(((0, 8), (4, 8), (4, 6), (4, 5))),
+            "b": path_message(((0, 8), (4, 8), (6, 8), (6, 7))),
+            "c": path_message(PATH_TO_LEAF0),
+        }
+        for pid in ("a", "b"):
+            store.apply_paths(pid, 2, paths)
+        # Position round: c announces its leaf but the broadcast reaches
+        # only a (crash mid-broadcast).
+        base = {"a": position_message((4, 5)), "b": position_message((6, 7))}
+        inbox_a = dict(base)
+        inbox_a["c"] = position_message((0, 1))
+        store.apply_positions("a", 3, inbox_a)
+        store.apply_positions("b", 3, dict(base))
+
+    def test_partial_announcement_retains_only_where_heard(self, lifecycle_stores):
+        _, store = lifecycle_stores
+        self._drive_partial_announcement(store)
+        view_a = store.view_of("a")
+        view_b = store.view_of("b")
+        assert "c" in view_a and view_a.status("c") == BallStatus.ANNOUNCED
+        assert "c" not in view_b
+
+    def test_retained_holder_survives_later_rounds(self, lifecycle_stores):
+        _, store = lifecycle_stores
+        self._drive_partial_announcement(store)
+        paths4 = {
+            "a": path_message(((4, 5),)),
+            "b": path_message(((6, 7),)),
+        }
+        for pid in ("a", "b"):
+            store.apply_paths(pid, 4, paths4)
+        view_a = store.view_of("a")
+        assert "c" in view_a  # ANNOUNCED: silence is expected, slot reserved
+        assert view_a.position("c") == (0, 1)
+        assert "c" not in store.view_of("b")
+
+    def test_mid_path_crash_ghost_purged_in_both_stores(self, lifecycle_stores):
+        """The deadlock scenario at store level: c's *path* reaches only
+        a; the simulated leaf position must not be retained anywhere."""
+        _, store = lifecycle_stores
+        hello = {pid: hello_message() for pid in self.IDS}
+        for pid in ("a", "b"):
+            store.initialize(pid, 1, hello)
+        paths = {
+            "a": path_message(((0, 8), (4, 8), (4, 6), (4, 5))),
+            "b": path_message(((0, 8), (4, 8), (6, 8), (6, 7))),
+        }
+        inbox_a = dict(paths)
+        inbox_a["c"] = path_message(PATH_TO_LEAF0)  # partial: only a hears
+        store.apply_paths("a", 2, inbox_a)
+        store.apply_paths("b", 2, paths)
+        assert store.view_of("a").position("c") == (0, 1)  # simulated ghost
+        positions = {"a": position_message((4, 5)), "b": position_message((6, 7))}
+        for pid in ("a", "b"):
+            store.apply_positions(pid, 3, positions)
+        assert "c" not in store.view_of("a")  # ACTIVE + silent -> purged
+        assert "c" not in store.view_of("b")
+
+    def test_shared_store_splits_classes_on_partial_announcement(self, topo8):
+        store = make_store("shared", topo8, lifecycle=True)
+        self_driver = TestRetentionAcrossStores()
+        self_driver._drive_partial_announcement(store)
+        assert isinstance(store, SharedViewStore)
+        assert store.class_count() == 2  # a's view retains c, b's does not
+
+
+class TestGhostOverflowAccounting:
+    """Satellite: ghost-overflow headroom applies to announced
+    terminators only — never to path-simulated (ACTIVE) ghosts."""
+
+    def test_announced_holder_plus_owner_is_tolerated(self, topo8):
+        view = LocalTreeView(topo8)
+        view.insert("ghost", (0, 1))
+        view.set_status("ghost", BallStatus.ANNOUNCED)
+        view.insert("owner", (0, 1))  # the leaf's legitimate claimant
+        assert_capacity_invariant(view)  # headroom: exactly one announced
+
+    def test_two_active_balls_on_a_leaf_still_raise(self, topo8):
+        view = LocalTreeView(topo8)
+        view.insert("a", (0, 1))
+        view.insert("b", (0, 1))
+        with pytest.raises(SimulationError):
+            assert_capacity_invariant(view)
+
+    def test_active_ghost_grants_no_subtree_headroom(self, topo8):
+        view = LocalTreeView(topo8)
+        for i, node in enumerate([(0, 1), (1, 2), (0, 2)]):
+            view.insert(f"b{i}", node)  # 3 balls in a 2-leaf subtree
+        with pytest.raises(SimulationError):
+            assert_capacity_invariant(view)
+
+    def test_announced_ghost_grants_exactly_its_own_headroom(self, topo8):
+        view = LocalTreeView(topo8)
+        view.insert("t", (0, 1))
+        view.set_status("t", BallStatus.ANNOUNCED)
+        view.insert("x", (1, 2))
+        view.insert("y", (0, 2))  # 3 balls, 2 leaves, 1 announced: ok
+        assert_capacity_invariant(view)
+        view.insert("z", (0, 2))  # 4 balls, 2 leaves, 1 announced: overflow
+        with pytest.raises(SimulationError):
+            assert_capacity_invariant(view)
+
+    def test_path_round_check_is_no_longer_a_blanket_waiver(self, topo8):
+        """With lifecycle on, check_invariants after a path round must
+        still catch overfilled subtrees of ACTIVE balls."""
+        view = LocalTreeView(topo8)
+        view.insert("a", (0, 1))
+        view.insert("b", (1, 2))
+        view.insert("c", (0, 2))  # over-filled 2-leaf subtree, all ACTIVE
+        inbox = {
+            "a": path_message(((0, 1),)),
+            "b": path_message(((1, 2),)),
+            "c": path_message(((0, 2),)),
+        }
+        with pytest.raises(SimulationError):
+            apply_path_round(view, inbox, lifecycle=True, check_invariants=True)
+
+
+class TestGhostDeadlockRegression:
+    """Pinned repros of the mid-path-crash ghost deadlock.
+
+    Each case deadlocked (``RoundLimitExceeded``) under the old
+    silence-at-leaf rule: the victim crashes while broadcasting its
+    candidate *path* in round 2, the partial receiver simulates it onto
+    a leaf, and the ghost then reserved the one leaf that receiver
+    needed.  The n=9 case is the original hypothesis find; the others
+    were mined from the same generator's (n, seed, receivers) space.
+    """
+
+    CASES = [
+        # (n, seed, victim index, receiver indices)
+        pytest.param(9, 1, 0, [1], id="n9-original-hypothesis-find"),
+        pytest.param(5, 1, 0, [1], id="n5-smallest"),
+        pytest.param(7, 5, 1, [2, 4], id="n7-two-receivers"),
+        pytest.param(13, 5, 2, [1, 3], id="n13-later-victim"),
+    ]
+
+    @pytest.mark.parametrize("n,seed,victim,receivers", CASES)
+    @pytest.mark.parametrize("mode", ["faithful", "shared"])
+    def test_mid_path_crash_ghost_must_not_reserve_a_survivors_leaf(
+        self, n, seed, victim, receivers, mode
+    ):
+        ids = sparse_ids(n)
+        schedule = [
+            ScheduledCrash(2, ids[victim], receivers=[ids[r] for r in receivers])
+        ]
+        run = run_renaming(
+            "balls-into-leaves",
+            ids,
+            seed=seed,
+            adversary=ScheduledAdversary(schedule),
+            halt_on_name=True,
+            view_mode=mode,
+            check_invariants=True,
+        )
+        names = list(run.names.values())
+        assert len(names) == n - 1
+        assert len(set(names)) == n - 1
 
 
 class TestEndToEnd:
@@ -130,27 +379,3 @@ class TestEndToEnd:
         )
         assert run.rounds == 3
         assert sorted(run.names.values()) == list(range(64))
-
-    @pytest.mark.xfail(
-        reason="known latent liveness bug (pre-dates the kernel refactor): a "
-        "ball that crashes mid-path-broadcast can be simulated onto a leaf in "
-        "a partial receiver's view and then retained as a 'terminated' holder "
-        "by the silent-at-leaf rule, reserving the one leaf that receiver "
-        "needs — it then loops forever with no capacity below its node. "
-        "Discovered by hypothesis (test_spec_under_arbitrary_crashes); the "
-        "retention rule needs to distinguish announced leaf positions from "
-        "path-simulated ghost positions. See ROADMAP open items.",
-        raises=RoundLimitExceeded,
-        strict=True,
-    )
-    def test_mid_path_crash_ghost_must_not_reserve_a_survivors_leaf(self):
-        ids = sparse_ids(9)
-        schedule = [ScheduledCrash(2, ids[0], receivers=[ids[1]])]
-        run = run_renaming(
-            "balls-into-leaves",
-            ids,
-            seed=1,
-            adversary=ScheduledAdversary(schedule),
-            halt_on_name=True,
-        )
-        assert sorted(run.names.values()) == sorted(set(run.names.values()))

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import random
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.adversary.scheduled import ScheduledAdversary, ScheduledCrash
@@ -141,9 +142,17 @@ class TestApproximateAgreementProperties:
 
 
 class TestHaltOnNameProperties:
-    @settings(max_examples=40, deadline=None)
-    @given(raw=st.data(), seed=st.integers(min_value=0, max_value=30))
-    def test_spec_under_arbitrary_crashes(self, raw, seed):
+    """Hypothesis sweeps of the announced-termination lifecycle.
+
+    This generator is the one that originally found the mid-path-crash
+    ghost deadlock (a silent ball retained at a merely *simulated* leaf
+    position reserved a survivor's free leaf forever).  With the
+    lifecycle fix, every schedule must terminate with unique names and
+    pass the tightened capacity invariant.
+    """
+
+    @staticmethod
+    def _check_spec(raw, seed):
         n = 9
         ids = sparse_ids(n)
         adversary = to_adversary(ids, raw.draw(schedule_strategy(n)))
@@ -158,3 +167,15 @@ class TestHaltOnNameProperties:
         names = list(run.names.values())
         assert len(names) == len(set(names))
         assert all(0 <= name < n for name in names)
+
+    @settings(max_examples=60, deadline=None)
+    @given(raw=st.data(), seed=st.integers(min_value=0, max_value=30))
+    def test_spec_under_arbitrary_crashes(self, raw, seed):
+        self._check_spec(raw, seed)
+
+    @pytest.mark.tier2
+    @settings(max_examples=500, deadline=None)
+    @given(raw=st.data(), seed=st.integers(min_value=0, max_value=30))
+    def test_spec_under_arbitrary_crashes_deep(self, raw, seed):
+        """Nightly: the 500-example sweep of the acceptance criterion."""
+        self._check_spec(raw, seed)

@@ -13,8 +13,11 @@ from __future__ import annotations
 
 import pytest
 
+from repro.adversary.base import Adversary
 from repro.adversary.none import NoFailures
 from repro.adversary.random_crash import RandomCrashAdversary
+from repro.adversary.sandwich import SandwichAdversary
+from repro.adversary.scheduled import ScheduledAdversary, ScheduledCrash
 from repro.adversary.splitter import HalfSplitAdversary
 from repro.adversary.targeted import TargetedPriorityAdversary
 from repro.errors import ConfigurationError, KernelUnsupported, RoundLimitExceeded
@@ -30,12 +33,28 @@ ADVERSARY_FACTORIES = {
     "none": lambda seed: None,
     "no-failures": lambda seed: NoFailures(),
     "random": lambda seed: RandomCrashAdversary(0.15, seed=seed),
+    "random-uniform": lambda seed: RandomCrashAdversary(
+        0.2, delivery="uniform", seed=seed
+    ),
     "targeted": lambda seed: TargetedPriorityAdversary(max_crashes=3, seed=seed),
+    "sandwich": lambda seed: SandwichAdversary(seed=seed),
     "half-split": lambda seed: HalfSplitAdversary(seed=seed),
 }
 
-#: Adversaries the columnar layout models (they never crash anyone).
+#: The failure-free cells (single shared view, no crash bookkeeping).
 FAILURE_FREE = ("none", "no-failures")
+
+#: Certified crashing adversaries: partial deliveries, divergent view
+#: classes, and (with halt_on_name) the announced-termination lifecycle
+#: all run on the columnar crash engine.
+CRASHING = ("random", "random-uniform", "targeted", "sandwich", "half-split")
+
+
+class UncertifiedAdversary(Adversary):
+    """A custom strategy the columnar kernel cannot certify."""
+
+    def plan(self, ctx):
+        return {}
 
 
 def _run(algorithm, n, seed, kernel, adversary_key="none", **kwargs):
@@ -82,6 +101,50 @@ class TestSupportedCells:
             columnar = _run(algorithm, 24, seed, "columnar", halt_on_name=True)
             assert_bit_identical(reference, columnar)
 
+    @pytest.mark.parametrize("adversary_key", CRASHING)
+    @pytest.mark.parametrize("halt", [False, True])
+    def test_crash_grid_bit_identical(self, adversary_key, halt):
+        """Certified crashing adversaries run on the columnar crash
+        engine — partial deliveries, view-class splits and all."""
+        for n in (1, 2, 9, 24):
+            for seed in (0, 1):
+                reference = _run(
+                    "balls-into-leaves", n, seed, "reference", adversary_key,
+                    halt_on_name=halt,
+                )
+                columnar = _run(
+                    "balls-into-leaves", n, seed, "columnar", adversary_key,
+                    halt_on_name=halt,
+                )
+                assert_bit_identical(reference, columnar)
+
+    @pytest.mark.parametrize("algorithm", BIL_ALGORITHMS)
+    def test_crash_variants_bit_identical(self, algorithm):
+        reference = _run(algorithm, 16, 2, "reference", "random", halt_on_name=True)
+        columnar = _run(algorithm, 16, 2, "columnar", "random", halt_on_name=True)
+        assert_bit_identical(reference, columnar)
+
+    def test_mid_path_crash_ghost_repro_bit_identical(self):
+        """The lifecycle-bug repro itself runs on both kernels."""
+        ids = sparse_ids(9)
+        schedule = [ScheduledCrash(2, ids[0], receivers=[ids[1]])]
+        runs = {
+            kernel: run_renaming(
+                "balls-into-leaves",
+                ids,
+                seed=1,
+                adversary=ScheduledAdversary(schedule),
+                halt_on_name=True,
+                kernel=kernel,
+            )
+            for kernel in ("reference", "columnar")
+        }
+        assert_bit_identical(runs["reference"], runs["columnar"])
+
+    def test_auto_selects_columnar_for_certified_adversaries(self):
+        run = _run("balls-into-leaves", 16, 0, "auto", "random")
+        assert run.kernel == "columnar"
+
     def test_faithful_view_mode_stays_on_reference(self):
         # Asking for the paper-verbatim per-ball store is asking for the
         # reference engine: auto must not silently swap in the fast path.
@@ -118,14 +181,39 @@ class TestSupportedCells:
 class TestRejectedCells:
     """Unsupported cells: explicit rejection, reference fallback."""
 
-    @pytest.mark.parametrize("adversary_key", ["random", "targeted", "half-split"])
-    def test_crashing_adversaries_rejected_explicitly(self, adversary_key):
+    def test_uncertified_adversary_rejected_explicitly(self):
+        """Custom adversary types may introspect process objects the
+        fast path never materializes: explicit rejection, auto falls
+        back to the reference engine."""
         with pytest.raises(KernelUnsupported) as caught:
-            _run("balls-into-leaves", 16, 0, "columnar", adversary_key)
+            run_renaming(
+                "balls-into-leaves",
+                sparse_ids(16),
+                adversary=UncertifiedAdversary(),
+                kernel="columnar",
+            )
         assert caught.value.kernel == "columnar"
-        assert caught.value.reason
-        fallback = _run("balls-into-leaves", 16, 0, "auto", adversary_key)
+        assert "certified" in caught.value.reason
+        fallback = run_renaming(
+            "balls-into-leaves",
+            sparse_ids(16),
+            adversary=UncertifiedAdversary(),
+            kernel="auto",
+        )
         assert fallback.kernel == "reference"
+
+    def test_no_failures_subclass_is_not_certified(self):
+        class SneakyNoFailures(NoFailures):
+            def plan(self, ctx):
+                return {}
+
+        with pytest.raises(KernelUnsupported):
+            run_renaming(
+                "balls-into-leaves",
+                sparse_ids(8),
+                adversary=SneakyNoFailures(),
+                kernel="columnar",
+            )
 
     def test_flood_rejected_explicitly(self):
         with pytest.raises(KernelUnsupported):
@@ -241,5 +329,23 @@ class TestDeepDifferential:
                     )
                     columnar = _run(
                         algorithm, n, seed, "columnar", halt_on_name=halt
+                    )
+                    assert_bit_identical(reference, columnar)
+
+    @pytest.mark.parametrize("algorithm", BIL_ALGORITHMS)
+    @pytest.mark.parametrize("adversary_key", CRASHING)
+    def test_crash_halt_grid_bit_identical(self, algorithm, adversary_key):
+        """Nightly crash x halt-on-name grid: the full certified
+        adversary suite against every BiL algorithm on both kernels."""
+        for n in (33, 64, 129):
+            for seed in range(3):
+                for halt in (False, True):
+                    reference = _run(
+                        algorithm, n, seed, "reference", adversary_key,
+                        halt_on_name=halt,
+                    )
+                    columnar = _run(
+                        algorithm, n, seed, "columnar", adversary_key,
+                        halt_on_name=halt,
                     )
                     assert_bit_identical(reference, columnar)

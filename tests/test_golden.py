@@ -9,6 +9,9 @@ purpose, update the goldens in the same commit and say so.
 
 from __future__ import annotations
 
+import pytest
+
+from repro.adversary.scheduled import ScheduledAdversary, ScheduledCrash
 from repro.adversary.splitter import HalfSplitAdversary
 from repro.ids import sparse_ids
 from repro.sim.runner import run_renaming
@@ -56,3 +59,34 @@ class TestGoldenRuns:
         run = run_renaming("balls-into-leaves", sparse_ids(8), seed=0, view_mode="faithful")
         assert run.names[10485] == 0
         assert run.rounds == 5
+
+    @pytest.mark.parametrize("kernel", ["reference", "columnar"])
+    def test_halt_on_name_mid_path_crash_golden(self, kernel):
+        """Pinned output of the announced-termination lifecycle under a
+        mid-path-broadcast crash (the scenario that deadlocked under the
+        old silence-at-leaf rule).  Golden regenerated with the PR-3
+        lifecycle fix; any change to the retention semantics shifts it.
+        Both kernels must reproduce it exactly."""
+        ids = sparse_ids(9)
+        schedule = [ScheduledCrash(2, ids[0], receivers=[ids[1]])]
+        run = run_renaming(
+            "balls-into-leaves",
+            ids,
+            seed=1,
+            adversary=ScheduledAdversary(schedule),
+            halt_on_name=True,
+            kernel=kernel,
+        )
+        assert run.kernel == kernel
+        assert run.rounds == 5
+        assert run.crashed == frozenset({ids[0]})
+        assert run.names == {
+            10097: 1,
+            10194: 7,
+            10291: 0,
+            10388: 3,
+            10485: 2,
+            10582: 8,
+            10679: 4,
+            10776: 6,
+        }
