@@ -3,8 +3,14 @@
 The workload is the acceptance sweep — Balls-into-Leaves at n=64 over 100
 seeds — run through both executors.  On a multi-core box the process
 backend must beat serial wall-clock with >= 4 workers; on boxes without 4
-cores the speedup assertion skips (pool overhead cannot win on one core)
-while the determinism assertion still runs everywhere.
+cores the speedup assertions skip (pool overhead cannot win on one core)
+while the determinism assertions still run everywhere.
+
+The chunking benchmark isolates the MultiprocessingExecutor fix: tasks
+ship in per-worker chunks (so a worker's process-local cached_topology
+is built once per size, not once per submission) instead of the
+chunksize=1 degenerate case that pays one IPC round-trip and a fresh
+task pickle per trial.
 """
 
 from __future__ import annotations
@@ -14,7 +20,7 @@ import time
 
 import pytest
 
-from repro.sim.batch import ScenarioMatrix, run_batch
+from repro.sim.batch import MultiprocessingExecutor, ScenarioMatrix, run_batch
 
 
 def _sweep_matrix(trials: int = 100) -> ScenarioMatrix:
@@ -71,4 +77,49 @@ def test_parallel_speedup_on_four_workers():
     assert parallel_s < serial_s, (
         f"process backend ({parallel_s:.2f}s) did not beat serial ({serial_s:.2f}s) "
         "on 4 workers"
+    )
+
+
+def test_chunksize_is_configurable_and_invisible_in_results():
+    """Any chunksize produces byte-identical results (perf knob only)."""
+    matrix = _sweep_matrix(trials=12)
+    default = run_batch(matrix, executor="process", workers=2)
+    per_trial = run_batch(matrix, executor="process", workers=2, chunksize=1)
+    assert default.trials == per_trial.trials
+
+
+@pytest.mark.tier2  # wall-clock comparison: too flaky for the -x tier-1 gate
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason="chunking wins need real parallelism; skip on small boxes",
+)
+def test_worker_chunking_beats_per_trial_submission():
+    """Chunked task shipping must beat chunksize=1 on a multi-size sweep.
+
+    The sweep mixes sizes so per-trial submission also pays repeated
+    process-local topology rebuilds when trials of different n
+    interleave across workers; chunked shipping keeps same-cell runs
+    together.  Reference kernel pins the per-trial path so the columnar/
+    vectorized engines don't mask the executor cost being measured.
+    """
+    matrix = ScenarioMatrix.build(
+        ["balls-into-leaves"], [64, 256], ["none"],
+        trials=40, base_seed=0, kernel="reference",
+    )
+    executor_chunked = MultiprocessingExecutor(4)
+    executor_degenerate = MultiprocessingExecutor(4, chunksize=1)
+    run_batch(_sweep_matrix(trials=4), executor=executor_chunked)  # warm pools
+
+    started = time.perf_counter()
+    chunked = run_batch(matrix, executor=executor_chunked)
+    chunked_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    degenerate = run_batch(matrix, executor=executor_degenerate)
+    degenerate_s = time.perf_counter() - started
+
+    assert chunked.trials == degenerate.trials
+    assert chunked_s < degenerate_s, (
+        f"chunked shipping ({chunked_s:.2f}s) did not beat per-trial "
+        f"submission ({degenerate_s:.2f}s)"
     )

@@ -1,9 +1,19 @@
 """Shim for environments without the ``wheel`` package (offline installs).
 
-All metadata lives in pyproject.toml; this file only enables
-``pip install -e . --no-use-pep517`` / ``python setup.py develop``.
+Core metadata stays minimal here; this file enables
+``pip install -e . --no-use-pep517`` / ``python setup.py develop`` and
+declares the optional extras:
+
+* ``fast`` — NumPy, unlocking the trial-stacked vectorized kernel
+  (``kernel="vectorized"``, plus automatic cell stacking in batch
+  sweeps).  Everything else runs on the pure-Python engines, so the
+  core install has zero third-party runtime dependencies.
 """
 
 from setuptools import setup
 
-setup()
+setup(
+    extras_require={
+        "fast": ["numpy>=1.22"],
+    },
+)

@@ -47,10 +47,11 @@ def _add_executor_options(parser: argparse.ArgumentParser) -> None:
         "--kernel",
         default="auto",
         choices=KERNEL_CHOICES,
-        help="simulation kernel: auto picks the columnar fast path for "
-        "failure-free balls-into-leaves-family runs and falls back to the "
-        "reference lock-step engine otherwise; columnar pins the fast path "
-        "and fails on runs it cannot model",
+        help="simulation kernel: auto picks the fastest exact engine per "
+        "cell (trial-stacked vectorized for failure-free sweeps when numpy "
+        "is installed, columnar otherwise, reference as the final "
+        "fallback); reference/columnar/vectorized pin an engine and fail "
+        "on runs it cannot model",
     )
 
 
@@ -133,6 +134,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "one JSON row per trial instead",
     )
     batch_parser.add_argument("--csv", help="write the per-cell table as CSV here")
+    batch_parser.add_argument(
+        "--chunksize",
+        type=int,
+        default=None,
+        help="tasks shipped per worker round-trip on the process executor "
+        "(default: ~4 chunks per worker); results are identical for any value",
+    )
     _add_executor_options(batch_parser)
     return parser
 
@@ -157,8 +165,14 @@ def _write_jsonl(path: str, rows: Iterable[dict]) -> int:
     return count
 
 
-def _experiment_rows(results) -> Iterable[dict]:
-    """Per-cell rows of every table of every experiment result."""
+def _experiment_rows(results, kernel: str = "auto") -> Iterable[dict]:
+    """Per-cell rows of every table of every experiment result.
+
+    ``kernel`` records the engine-selection mode the sweep ran under, so
+    bench artifacts written via ``--out`` carry their execution
+    provenance (per-trial resolved kernels appear in ``batch`` rows,
+    which are trial-granular).
+    """
     for result in results:
         for table in result.tables:
             for row in table.row_dicts():
@@ -166,6 +180,7 @@ def _experiment_rows(results) -> Iterable[dict]:
                     "experiment": result.experiment_id,
                     "scale": result.scale,
                     "table": table.title,
+                    "kernel": kernel,
                     **row,
                 }
 
@@ -193,7 +208,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         workers=args.workers,
         kernel=args.kernel,
     )
-    _emit(result.render(), args.out, jsonl_rows=_experiment_rows([result]))
+    _emit(result.render(), args.out, jsonl_rows=_experiment_rows([result], args.kernel))
     return 0
 
 
@@ -214,7 +229,7 @@ def _cmd_all(args: argparse.Namespace) -> int:
     _emit(
         "\n\n".join(result.render() for result in results),
         args.out,
-        jsonl_rows=_experiment_rows(results),
+        jsonl_rows=_experiment_rows(results, args.kernel),
     )
     return 0
 
@@ -250,7 +265,12 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         seed_mode=args.seed_mode,
         kernel=args.kernel,
     )
-    batch = run_batch(matrix, executor=args.executor, workers=args.workers)
+    batch = run_batch(
+        matrix,
+        executor=args.executor,
+        workers=args.workers,
+        chunksize=args.chunksize,
+    )
     table = batch.to_table(
         f"scenario matrix: {len(matrix)} trials "
         f"({len(matrix.algorithms)} algorithms x {len(matrix.sizes)} sizes "

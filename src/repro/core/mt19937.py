@@ -1,0 +1,261 @@
+"""Vectorized, bit-exact Mersenne-Twister streams for the stacked kernel.
+
+The reference and columnar engines give every ball its own
+:class:`random.Random` (CPython's C MT19937), seeded through
+:func:`repro.sim.rng.derive_seed`.  A trial-stacked kernel needs the
+*same* draws for tens of thousands of (trial, ball) streams at once —
+one Python object and one ``random()`` call per draw is exactly the
+interpreter cost it exists to amortize.
+
+:class:`MTStreamBank` therefore reimplements the generator as NumPy
+array passes over a ``(624, S)`` stacked state, one column per stream:
+
+* seeding is CPython's ``init_by_array`` (the key is the seed's
+  little-endian 32-bit words) advanced for all streams per step;
+* output words come from *partial* twists — a run consumes a dozen or
+  two doubles per stream, so only the needed rows of the next
+  generation are ever computed;
+* doubles are assembled exactly as CPython's ``random()`` does
+  (``(a >> 5) * 2**26 + (b >> 6)`` over two consecutive words, divided
+  by ``2**53``).
+
+Bit-identity with ``random.Random(seed).random()`` is asserted for
+every stream shape in ``tests/sim/test_mt19937_streams.py``; the
+vectorized kernel's differential suite then rests on it.
+
+NumPy is an optional extra (``pip install .[fast]``): this module
+imports with :data:`HAVE_NUMPY` False when it is missing, and the
+kernel layer degrades to the columnar engine.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+try:  # pragma: no cover - exercised via the no-numpy CI leg
+    import numpy as np
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover
+    np = None  # type: ignore[assignment]
+    HAVE_NUMPY = False
+
+try:  # Same C base type the engines seed per ball (see core.columnar).
+    from _random import Random as _MTRandom
+except ImportError:  # pragma: no cover - CPython always has _random
+    from random import Random as _MTRandom  # type: ignore[assignment]
+
+#: MT19937 parameters (Matsumoto & Nishimura), as used by CPython.
+_N = 624
+_M = 397
+_MATRIX_A = 0x9908B0DF
+_UPPER = 0x80000000
+_LOWER = 0x7FFFFFFF
+
+#: Doubles produced per generation (two 32-bit words per double).
+DOUBLES_PER_GENERATION = _N // 2
+
+_base_state_cache = None
+
+
+def _base_state():
+    """``init_genrand(19650218)`` — the key-independent seeding prefix."""
+    global _base_state_cache
+    if _base_state_cache is None:
+        base = np.empty(_N, dtype=np.uint64)
+        base[0] = 19650218
+        for i in range(1, _N):
+            prev = int(base[i - 1])
+            base[i] = (1812433253 * (prev ^ (prev >> 30)) + i) & 0xFFFFFFFF
+        _base_state_cache = base.astype(np.uint32)
+    return _base_state_cache
+
+
+def seed_states(seeds) -> "np.ndarray":
+    """CPython ``Random(seed)`` states for every seed, as ``(624, S)`` u32.
+
+    Vectorizes ``init_by_array`` across streams for the ubiquitous
+    two-word keys (64-bit :func:`~repro.sim.rng.derive_seed` outputs).
+    Seeds outside ``[2**32, 2**64)`` take the exact-but-scalar fallback
+    through ``_random.Random.getstate`` — their key has a different
+    word count, which changes the mixing schedule.
+    """
+    if isinstance(seeds, np.ndarray) and seeds.dtype == np.uint64:
+        # The batched derive_ball_seeds path: uniform 64-bit values, only
+        # the (astronomically rare) sub-2**32 ones need the scalar leg.
+        seeds_arr = seeds
+        small = np.flatnonzero(seeds_arr < np.uint64(2**32)).tolist()
+        originals: Sequence[int] = seeds_arr
+    else:
+        originals = list(seeds)
+        small = [
+            i for i, s in enumerate(originals) if not 2**32 <= s < 2**64
+        ]
+        seeds_arr = np.array(
+            [s if 2**32 <= s < 2**64 else 2**32 for s in originals],
+            dtype=np.uint64,
+        )
+    count = len(seeds_arr)
+    mt = np.empty((_N, count), dtype=np.uint32)
+    mt[:] = _base_state()[:, None]
+    key = (
+        (seeds_arr & np.uint64(0xFFFFFFFF)).astype(np.uint32),
+        # The loop adds ``key[j] + j``; fold the ``+ 1`` in now.
+        (seeds_arr >> np.uint64(32)).astype(np.uint32) + np.uint32(1),
+    )
+    tmp = np.empty(count, dtype=np.uint32)
+    mix1 = np.uint32(1664525)
+    mix2 = np.uint32(1566083941)
+    s30 = np.uint32(30)
+    i = 1
+    parity = 0
+    for _ in range(_N):
+        prev = mt[i - 1]
+        np.right_shift(prev, s30, out=tmp)
+        np.bitwise_xor(tmp, prev, out=tmp)
+        np.multiply(tmp, mix1, out=tmp)
+        row = mt[i]
+        np.bitwise_xor(row, tmp, out=row)
+        np.add(row, key[parity], out=row)
+        parity ^= 1
+        i += 1
+        if i >= _N:
+            mt[0] = mt[_N - 1]
+            i = 1
+    for _ in range(_N - 1):
+        prev = mt[i - 1]
+        np.right_shift(prev, s30, out=tmp)
+        np.bitwise_xor(tmp, prev, out=tmp)
+        np.multiply(tmp, mix2, out=tmp)
+        row = mt[i]
+        np.bitwise_xor(row, tmp, out=row)
+        np.subtract(row, np.uint32(i), out=row)
+        i += 1
+        if i >= _N:
+            mt[0] = mt[_N - 1]
+            i = 1
+    mt[0] = np.uint32(0x80000000)
+    for idx in small:
+        mt[:, idx] = _MTRandom(int(originals[idx])).getstate()[:-1]
+    return mt
+
+
+def _temper(words: "np.ndarray") -> None:
+    """MT19937 output tempering, in place."""
+    words ^= words >> np.uint32(11)
+    words ^= (words << np.uint32(7)) & np.uint32(0x9D2C5680)
+    words ^= (words << np.uint32(15)) & np.uint32(0xEFC60000)
+    words ^= words >> np.uint32(18)
+
+
+class MTStreamBank:
+    """Lazily generated doubles from S independent CPython-MT streams.
+
+    ``draws(idx)`` returns the *next* ``random()`` value of each selected
+    stream, advancing only those cursors — exactly the consumption
+    pattern of the per-ball walks.  Output is produced for all streams
+    in lock-step blocks (a partial twist per block), amortizing the
+    generation cost the same way the engine amortizes the round logic.
+    """
+
+    def __init__(self, seeds: Sequence[int], *, block: int = 4) -> None:
+        if not HAVE_NUMPY:
+            raise RuntimeError("MTStreamBank requires numpy (pip install .[fast])")
+        self._mt = seed_states(seeds)
+        self._count = self._mt.shape[1]
+        self._block = max(1, int(block))
+        self._words_done = 0  # words of the current generation produced
+        self._new_words: List["np.ndarray"] = []  # untempered rows, in order
+        # Doubles buffer: (capacity, S) — row d is every stream's d-th
+        # draw, so generation appends rows without transposing; capacity
+        # doubles on demand so extends never re-copy.
+        self._buf = np.empty((0, self._count), dtype=np.float64)
+        self._produced = 0
+        self.cursor = np.zeros(self._count, dtype=np.int64)
+
+    # ------------------------------------------------------------- generation
+    def _twist_rows(self, start: int, stop: int) -> "np.ndarray":
+        """Untempered next-generation words ``start..stop`` (exclusive).
+
+        Generated strictly in order: rows below ``N - M`` read only the
+        old state, higher rows also read freshly twisted words (already
+        produced), and the final row pairs old word 623 with *new* word
+        0 — the wrap-around of the in-place reference loop.
+        """
+        mt = self._mt
+        rows: List["np.ndarray"] = []
+        lo = start
+        while lo < stop:
+            if lo < _N - 1:
+                hi = min(stop, _N - _M) if lo < _N - _M else min(stop, _N - 1)
+                y = (mt[lo:hi] & np.uint32(_UPPER)) | (
+                    mt[lo + 1 : hi + 1] & np.uint32(_LOWER)
+                )
+                if hi <= _N - _M:
+                    mixed = mt[lo + _M : hi + _M]
+                else:
+                    mixed = self._stacked_new(lo - (_N - _M), hi - (_N - _M))
+            else:
+                hi = _N
+                y = (mt[_N - 1 :] & np.uint32(_UPPER)) | (
+                    self._stacked_new(0, 1) & np.uint32(_LOWER)
+                )
+                mixed = self._stacked_new(_M - 1, _M)
+            out = mixed ^ (y >> np.uint32(1)) ^ ((y & np.uint32(1)) * np.uint32(_MATRIX_A))
+            rows.append(out)
+            self._new_words.append(out)
+            lo = hi
+        return np.concatenate(rows, axis=0) if len(rows) > 1 else rows[0]
+
+    def _stacked_new(self, start: int, stop: int) -> "np.ndarray":
+        """View of already-twisted new words ``start..stop``."""
+        stacked = (
+            self._new_words[0]
+            if len(self._new_words) == 1
+            else np.concatenate(self._new_words, axis=0)
+        )
+        self._new_words = [stacked]
+        return stacked[start:stop]
+
+    def _extend(self, doubles: int) -> None:
+        """Produce ``doubles`` more values for every stream."""
+        while doubles > 0:
+            take = min(doubles, DOUBLES_PER_GENERATION - self._words_done // 2)
+            if take == 0:
+                # Current generation exhausted: finish the twist (its tail
+                # rows were never needed as output) and roll the state.
+                if self._words_done < _N:
+                    self._twist_rows(self._words_done, _N)
+                self._mt = self._stacked_new(0, _N).copy()
+                self._new_words = []
+                self._words_done = 0
+                continue
+            words = self._twist_rows(self._words_done, self._words_done + 2 * take).copy()
+            self._words_done += 2 * take
+            _temper(words)
+            # CPython's random(): a = word0 >> 5, b = word1 >> 6,
+            # (a * 2**26 + b) / 2**53 — correctly rounded by construction.
+            a = (words[0::2] >> np.uint32(5)).astype(np.float64)
+            b = (words[1::2] >> np.uint32(6)).astype(np.float64)
+            if self._produced + take > self._buf.shape[0]:
+                capacity = max(8, self._buf.shape[0] * 2, self._produced + take)
+                grown = np.empty((capacity, self._count), dtype=np.float64)
+                grown[: self._produced] = self._buf[: self._produced]
+                self._buf = grown
+            out = self._buf[self._produced : self._produced + take]
+            np.multiply(a, 67108864.0, out=a)
+            np.add(a, b, out=a)
+            np.multiply(a, 1.0 / 9007199254740992.0, out=out)
+            self._produced += take
+            doubles -= take
+
+    # ------------------------------------------------------------ consumption
+    def draws(self, idx: "np.ndarray") -> "np.ndarray":
+        """The next double of each stream in ``idx`` (cursors advance)."""
+        cur = self.cursor[idx]
+        needed = int(cur.max(initial=-1)) + 1 if len(cur) else 0
+        if needed > self._produced:
+            self._extend(max(self._block, needed - self._produced))
+        out = self._buf[cur, idx]
+        self.cursor[idx] = cur + 1
+        return out

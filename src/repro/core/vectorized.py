@@ -1,0 +1,566 @@
+"""Trial-stacked Balls-into-Leaves: a whole scenario cell as array passes.
+
+The columnar engine (:mod:`repro.core.columnar`) removed the per-ball
+object machinery but still advances *one trial at a time* with
+Python-level loops over balls.  A scenario-matrix cell re-runs those
+loops once per seed — for the paper's experiment shape (many independent
+trials of one ``(algorithm, n, adversary)`` cell) the interpreter cost
+dominates.  This module stacks an entire cell of ``T`` failure-free
+trials into ``(T * n,)`` NumPy columns over the shared array-indexed
+topology and advances *all trials one lock-step round per ufunc pass*.
+
+Exactness is the design constraint, not a best effort: every trial's
+:class:`~repro.sim.simulator.SimulationResult` is bit-for-bit the
+columnar/reference kernels' (asserted by
+``tests/sim/test_vectorized_equivalence.py``).  Three ideas make the
+stacking exact:
+
+* **RNG** — per-ball Mersenne-Twister streams are reproduced by
+  :class:`repro.core.mt19937.MTStreamBank` (vectorized CPython-MT), so a
+  ball draws the same doubles at the same walk steps as under the
+  scalar engines.
+* **Movement** — the reference moves balls in ``<R`` order, each walking
+  its candidate path while child capacity remains.  Because balls only
+  ever *enter* subtrees during a round, a ball reaches node ``v`` iff
+  its ``<R`` rank among the round's arrivals at ``v`` is below ``v``'s
+  round-start free capacity.  That reformulation runs level by level as
+  grouped admission quotas — no per-trial sequential loop — and only
+  over-subscribed nodes (rare) need an actual within-group ranking.
+* **Thresholds** — path-choice probabilities are pure functions of the
+  frozen pre-round counts; recomputing them per ball vectorized yields
+  the identical IEEE-754 doubles the scalar memo produced.
+
+Supported grid: failure-free runs of the BiL-family policies on the
+shared view store, matching :func:`vectorized_rejections`.  Everything
+else (crashes, faithful views, traces, ...) stays on the columnar or
+reference engines via kernel fallback.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from functools import lru_cache
+from typing import Hashable, List, Optional, Sequence
+
+from repro.errors import ConfigurationError, RoundLimitExceeded
+from repro.ids import require_distinct
+from repro.tree.topology import cached_topology
+from repro.core.columnar import SUPPORTED_POLICIES
+from repro.core.config import BallsIntoLeavesConfig
+from repro.core.mt19937 import HAVE_NUMPY, MTStreamBank
+
+if HAVE_NUMPY:
+    import numpy as np
+
+BallId = Hashable
+
+
+def vectorized_rejections(config: BallsIntoLeavesConfig) -> List[str]:
+    """Why this config cannot run trial-stacked (empty = it can).
+
+    The stacked layout models exactly the columnar failure-free grid;
+    the adversary/trace/phase-stat gates live in the kernel layer, which
+    also knows about the run request.
+    """
+    reasons = []
+    if not HAVE_NUMPY:
+        reasons.append(
+            "numpy is not installed (the vectorized kernel is the "
+            "`pip install .[fast]` extra)"
+        )
+    if config.path_policy not in SUPPORTED_POLICIES:
+        reasons.append(
+            f"path policy {config.path_policy!r} is not columnar-modeled "
+            f"(supported: {SUPPORTED_POLICIES})"
+        )
+    if config.view_mode != "shared":
+        reasons.append(
+            f"view mode {config.view_mode!r} asks for the reference "
+            "engine's store (faithful = the paper-verbatim per-ball trees)"
+        )
+    if config.check_invariants:
+        reasons.append("check_invariants instruments the reference movement code")
+    if config.movement_order != "priority":
+        reasons.append(
+            f"movement order {config.movement_order!r} is an ablation of the "
+            "reference engine"
+        )
+    if not config.sync_positions:
+        reasons.append("one-round phases (sync_positions=False) are an ablation")
+    return reasons
+
+
+def derive_ball_seeds(trial_seeds: Sequence[int], labels: Sequence[BallId]):
+    """``derive_seed(seed, "ball", label)`` for a whole cell, batched.
+
+    Bit-identical to :func:`repro.sim.rng.derive_seed` (asserted in the
+    stream tests): the SHA-256 material of a ball stream is
+    ``repr((int(seed), repr("ball"), repr(label)))``, whose per-trial
+    head and per-ball tail are each built once instead of ``T * n``
+    times.  Returns a ``(T * n,)`` uint64 array, trial-major.
+    """
+    sha = hashlib.sha256
+    tails = [(repr(repr(label)) + ")").encode("utf-8") for label in labels]
+    digests = bytearray()
+    for seed in trial_seeds:
+        head = ("(%r, \"'ball'\", " % int(seed)).encode("utf-8")
+        for tail in tails:
+            digests += sha(head + tail).digest()[:8]
+    return np.frombuffer(bytes(digests), dtype=">u8").astype(np.uint64)
+
+
+class _VecTopology:
+    """The :class:`~repro.tree.arrays.TopologyArrays` lists as ndarrays."""
+
+    __slots__ = (
+        "n", "node_count", "height", "root",
+        "left", "right", "parent", "span", "depth", "leaf_rank",
+        "mid", "lo", "hi", "is_leaf",
+    )
+
+    def __init__(self, n: int) -> None:
+        arr = cached_topology(n).arrays()
+        i32 = np.int32
+        self.n = n
+        self.node_count = len(arr.nodes)
+        self.height = arr.topology.height
+        self.root = arr.root
+        self.left = np.array(arr.left, dtype=i32)
+        self.right = np.array(arr.right, dtype=i32)
+        self.parent = np.array(arr.parent, dtype=i32)
+        self.span = np.array(arr.span, dtype=i32)
+        self.depth = np.array(arr.depth, dtype=i32)
+        self.leaf_rank = np.array(arr.leaf_rank, dtype=i32)
+        self.mid = np.array(arr.mid, dtype=i32)
+        self.lo = np.array([node[0] for node in arr.nodes], dtype=i32)
+        self.hi = np.array([node[1] for node in arr.nodes], dtype=i32)
+        self.is_leaf = self.left == -1
+
+
+def _grouped_ranks(keys: "np.ndarray") -> "np.ndarray":
+    """Rank of each element within its key group, input order preserved.
+
+    The segmented-cumcount kernel shared by label ranking (rank policy)
+    and over-subscribed admission: a stable sort groups equal keys while
+    keeping the caller's order — which *is* the tie-break order (label
+    rank, ``<R``) at every call site — so the in-group offset is the rank.
+    """
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    new_group = np.empty(sorted_keys.size, dtype=bool)
+    new_group[0] = True
+    np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=new_group[1:])
+    starts = np.flatnonzero(new_group)
+    offsets = np.arange(sorted_keys.size, dtype=np.int64)
+    offsets -= np.repeat(starts, np.diff(np.append(starts, sorted_keys.size)))
+    ranks = np.empty(keys.size, dtype=np.int64)
+    ranks[order] = offsets
+    return ranks
+
+
+@lru_cache(maxsize=16)
+def vectorized_topology(n: int) -> "_VecTopology":
+    """Shared ndarray topology per ``n``.
+
+    Bounded like ``cached_topology`` (same 16: the eight EXP-T2
+    ``--scale deep`` sizes plus interleaved smoke sizes must not
+    thrash), and strictly smaller per entry — flat ndarrays, no node
+    dictionaries.
+    """
+    return _VecTopology(n)
+
+
+class VectorizedCellEngine:
+    """``T`` stacked failure-free runs of one cell, lock-step by rounds.
+
+    Drive with :meth:`run`; afterwards the per-ball outcome arrays
+    (``decision``, ``round_named``, ``round_halted``) and the per-trial
+    ``rounds`` / message counters hold every trial's result, in the
+    exact values the scalar engines produce trial by trial.
+
+    Balls are indexed trial-major: stream/ball ``s`` is trial ``s // n``,
+    label rank ``s % n``; tree state is a ``(T * node_count,)`` flat
+    column indexed by ``t * node_count + node``.
+    """
+
+    def __init__(
+        self,
+        ids: Sequence[BallId],
+        trial_seeds: Sequence[int],
+        *,
+        policy: str = "random",
+        halt_on_name: bool = False,
+        max_rounds: int = 10_000,
+    ) -> None:
+        if not HAVE_NUMPY:
+            raise ConfigurationError(
+                "the vectorized engine requires numpy (pip install .[fast])"
+            )
+        require_distinct(ids)
+        if not ids:
+            raise ConfigurationError("renaming needs at least one participant")
+        if policy not in SUPPORTED_POLICIES:
+            raise ConfigurationError(
+                f"policy {policy!r} is not columnar-modeled; "
+                f"choose from {SUPPORTED_POLICIES}"
+            )
+        if not trial_seeds:
+            raise ConfigurationError("a stacked cell needs at least one trial")
+        self.labels: List[BallId] = sorted(ids)
+        self.n = n = len(self.labels)
+        self.trials = T = len(trial_seeds)
+        self._policy = policy
+        self._halt_on_name = halt_on_name
+        self._max_rounds = max_rounds
+        self._topo = topo = vectorized_topology(n)
+        M = topo.node_count
+        S = T * n
+        self._S = S
+        # Stream bank built on first draw, like the scalar engines' lazy
+        # per-ball RNGs: deterministic policies never pay for seeding.
+        self._trial_seeds = list(trial_seeds)
+        self._bank: Optional[MTStreamBank] = None
+        # Ball columns (trial-major).
+        self._trial = np.repeat(np.arange(T, dtype=np.int64), n)
+        self._jcol = np.tile(np.arange(n, dtype=np.int32), T)
+        self._tbase = self._trial * M
+        self.pos = np.full(S, topo.root, dtype=np.int32)
+        self.halted = np.zeros(S, dtype=bool)
+        self.decision = np.full(S, -1, dtype=np.int32)
+        self.round_named = np.full(S, -1, dtype=np.int32)
+        self.round_halted = np.full(S, -1, dtype=np.int32)
+        # Shared-view columns.
+        self._count = np.zeros(T * M, dtype=np.int32)
+        self._span_tiled = np.tile(topo.span, T)
+        self._track_leaf_occ = policy in ("rank", "leftmost")
+        self._leaf_occ = (
+            np.zeros(T * M, dtype=np.int32) if self._track_leaf_occ else None
+        )
+        self._n_at_leaf = np.zeros(T, dtype=np.int32)
+        self.running = np.full(T, n, dtype=np.int32)
+        # Per-round candidate paths, rows indexed by absolute node depth.
+        self._path = np.zeros((S, topo.height + 1), dtype=np.int32)
+        self._end_depth = np.zeros(S, dtype=np.int32)
+        # Per-trial metrics trail: (senders, running_after) per round, for
+        # trials active that round.
+        self.rounds = np.zeros(T, dtype=np.int32)
+        self.round_senders: List["np.ndarray"] = []
+        self.round_running_after: List["np.ndarray"] = []
+
+    # ------------------------------------------------------------------ driving
+    def run(self) -> None:
+        """All trials to completion, mirroring the kernel driving loop."""
+        round_no = 0
+        while True:
+            active = self.running > 0
+            if not active.any():
+                break
+            if round_no >= self._max_rounds:
+                raise RoundLimitExceeded(
+                    self._max_rounds, int(self.running[active][0])
+                )
+            round_no += 1
+            senders = np.where(active, self.running, 0)
+            if round_no == 1:
+                self._init_round()
+            elif round_no % 2 == 0:
+                self._path_round(round_no, active)
+            else:
+                self._position_round(round_no, active)
+            self.rounds[active] = round_no
+            self.round_senders.append(senders)
+            self.round_running_after.append(np.where(active, self.running, 0))
+
+    # ------------------------------------------------------------------- rounds
+    def _init_round(self) -> None:
+        """Line 1: every ball announces its label; all start at the root."""
+        topo = self._topo
+        root_idx = np.arange(self.trials, dtype=np.int64) * topo.node_count + topo.root
+        self._count[root_idx] = self.n
+        if topo.span[topo.root] == 1:  # n == 1: the root already is a leaf
+            if self._leaf_occ is not None:
+                self._leaf_occ[root_idx] = self.n
+            self._n_at_leaf[:] = self.n
+
+    def _path_round(self, round_no: int, active: "np.ndarray") -> None:
+        """Phase round 1: exchange candidate paths, move under ``<R``."""
+        topo = self._topo
+        ball_active = np.repeat(active, self.n) & ~self.halted
+        # A leaf reached before this round's broadcast fixes the name now
+        # (the columnar length-1 branch; in practice the n == 1 root-leaf).
+        at_leaf = topo.is_leaf[self.pos]
+        naming = ball_active & at_leaf & (self.round_named < 0)
+        if naming.any():
+            idx = np.flatnonzero(naming)
+            self.round_named[idx] = round_no
+            self.decision[idx] = topo.leaf_rank[self.pos[idx]]
+        movers = self._choose_paths(round_no, ball_active, at_leaf)
+        if movers.size:
+            self._move(round_no, movers)
+
+    def _position_round(self, round_no: int, active: "np.ndarray") -> None:
+        """Phase round 2: re-synchronize positions, terminate."""
+        topo = self._topo
+        all_at_leaves = self._n_at_leaf == self.n
+        ball_active = np.repeat(active, self.n) & ~self.halted
+        halting = ball_active & np.repeat(all_at_leaves, self.n)
+        if self._halt_on_name:
+            halting |= ball_active & topo.is_leaf[self.pos]
+        if halting.any():
+            idx = np.flatnonzero(halting)
+            self.round_halted[idx] = round_no
+            self.decision[idx] = topo.leaf_rank[self.pos[idx]]
+            self.halted[idx] = True
+            self.running -= np.bincount(
+                self._trial[idx], minlength=self.trials
+            ).astype(np.int32)
+
+    # ------------------------------------------------------------- path choice
+    def _choose_paths(
+        self, round_no: int, ball_active: "np.ndarray", at_leaf: "np.ndarray"
+    ) -> "np.ndarray":
+        """Fill the path rows of every mover; returns mover indices.
+
+        All choices read the same frozen pre-round view, exactly like the
+        scalar engines (broadcasts compose before any delivery).
+        """
+        policy = self._policy
+        phase = round_no // 2
+        candidates = np.flatnonzero(ball_active & ~at_leaf)
+        if candidates.size == 0:
+            return candidates
+        self._path[candidates, self._topo.depth[self.pos[candidates]]] = self.pos[
+            candidates
+        ]
+        if policy == "random" or (policy == "hybrid" and phase > 1):
+            self._walk_random(candidates)
+            return candidates
+        if policy == "hybrid":
+            # Section 6, phase 1: ball bi aims at the leaf indexed by its
+            # label rank (clamped inside its subtree, as in the scalar
+            # policy; failure-free everyone is still at the root).
+            topo = self._topo
+            start = self.pos[candidates]
+            target = np.minimum(
+                topo.lo[start] + self._jcol[candidates], topo.hi[start] - 1
+            )
+            self._walk_to_rank(candidates, target)
+            return candidates
+        if policy == "rank":
+            return self._rank_paths(candidates)
+        if policy == "leftmost":
+            return self._leftmost_paths(candidates)
+        raise ConfigurationError(f"policy {policy!r} is not columnar-modeled")
+
+    def _walk_random(self, idx: "np.ndarray") -> None:
+        """Algorithm 1 lines 5-10 for every walker, one level per pass.
+
+        Each ball consumes its private stream exactly where the scalar
+        walk does: one draw per non-forced inner node, none when both
+        children appear full (the larger raw residual wins, ties left).
+        """
+        topo = self._topo
+        span = topo.span
+        count = self._count
+        cur = self.pos[idx]
+        dcur = topo.depth[cur]
+        while idx.size:
+            left = topo.left[cur]
+            right = topo.right[cur]
+            base = self._tbase[idx]
+            raw_l = span[left] - count[base + left]
+            raw_r = span[right] - count[base + right]
+            cap_l = np.maximum(raw_l, 0)
+            total = cap_l + np.maximum(raw_r, 0)
+            forced = total <= 0
+            go_left = np.empty(idx.size, dtype=bool)
+            if forced.any():
+                go_left[forced] = raw_l[forced] >= raw_r[forced]
+            free = ~forced
+            if free.any():
+                bank = self._bank
+                if bank is None:
+                    # Block = tree height: a full root-to-leaf walk (the
+                    # first round's exact consumption) per extension.
+                    bank = self._bank = MTStreamBank(
+                        derive_ball_seeds(self._trial_seeds, self.labels),
+                        block=max(4, self._topo.height),
+                    )
+                draws = bank.draws(idx[free])
+                go_left[free] = draws < cap_l[free] / total[free]
+            cur = np.where(go_left, left, right)
+            dcur = dcur + 1
+            self._path[idx, dcur] = cur
+            done = topo.is_leaf[cur]
+            if done.any():
+                self._end_depth[idx[done]] = dcur[done]
+                keep = ~done
+                idx = idx[keep]
+                cur = cur[keep]
+                dcur = dcur[keep]
+
+    def _walk_to_rank(self, idx: "np.ndarray", target: "np.ndarray") -> None:
+        """Deterministic descent toward a leaf rank (``path_to_rank``)."""
+        topo = self._topo
+        cur = self.pos[idx]
+        dcur = topo.depth[cur]
+        while idx.size:
+            cur = np.where(target < topo.mid[cur], topo.left[cur], topo.right[cur])
+            dcur = dcur + 1
+            self._path[idx, dcur] = cur
+            done = topo.is_leaf[cur]
+            if done.any():
+                self._end_depth[idx[done]] = dcur[done]
+                keep = ~done
+                idx, cur, dcur, target = (
+                    idx[keep], cur[keep], dcur[keep], target[keep],
+                )
+
+    def _walk_to_kth_free(self, idx: "np.ndarray", k: "np.ndarray") -> None:
+        """``path_to_kth_free_leaf`` descent (callers ensure free > 0)."""
+        topo = self._topo
+        span = topo.span
+        occ = self._leaf_occ
+        cur = self.pos[idx]
+        dcur = topo.depth[cur]
+        remaining = k
+        while idx.size:
+            left = topo.left[cur]
+            free_left = np.maximum(span[left] - occ[self._tbase[idx] + left], 0)
+            go_left = remaining < free_left
+            cur = np.where(go_left, left, topo.right[cur])
+            remaining = np.where(go_left, remaining, remaining - free_left)
+            dcur = dcur + 1
+            self._path[idx, dcur] = cur
+            done = topo.is_leaf[cur]
+            if done.any():
+                self._end_depth[idx[done]] = dcur[done]
+                keep = ~done
+                idx, cur, dcur, remaining = (
+                    idx[keep], cur[keep], dcur[keep], remaining[keep],
+                )
+
+    def _rank_paths(self, candidates: "np.ndarray") -> "np.ndarray":
+        """Rank-descent: the k-th free leaf by label rank at the node."""
+        topo = self._topo
+        start = self.pos[candidates]
+        free = topo.span[start] - self._leaf_occ[self._tbase[candidates] + start]
+        go = free > 0  # full subtree (or leaf): the ball stays put
+        walkers = candidates[go]
+        if walkers.size:
+            rank = self._rank_at_node(candidates)[go]
+            self._walk_to_kth_free(
+                walkers, np.minimum(rank, free[go] - 1)
+            )
+        return walkers
+
+    def _leftmost_paths(self, candidates: "np.ndarray") -> "np.ndarray":
+        """Leftmost-free descent, with the full-subtree leftmost fallback."""
+        topo = self._topo
+        start = self.pos[candidates]
+        free = topo.span[start] - self._leaf_occ[self._tbase[candidates] + start]
+        go = free > 0
+        walkers = candidates[go]
+        if walkers.size:
+            self._walk_to_kth_free(walkers, np.zeros(walkers.size, dtype=np.int32))
+        fallback = candidates[~go]
+        if fallback.size:
+            # No free leaf below: aim at the subtree's leftmost leaf and
+            # let the movement rule park the ball.
+            self._walk_to_rank(fallback, topo.lo[self.pos[fallback]])
+        return candidates
+
+    def _rank_at_node(self, candidates: "np.ndarray") -> "np.ndarray":
+        """Label rank of each candidate among candidates at its node."""
+        return _grouped_ranks(self._tbase[candidates] + self.pos[candidates])
+
+    # -------------------------------------------------------------- movement
+    def _move(self, round_no: int, movers: "np.ndarray") -> None:
+        """Lines 12-21 for all trials at once, level by level.
+
+        ``<R`` says deeper balls move first, ties by label.  Since balls
+        only enter subtrees, node ``v`` admits the round's arrivals in
+        ``<R`` order up to its round-start free capacity — so each tree
+        level is one grouped-quota pass, and only over-subscribed nodes
+        need an explicit within-group ranking.
+        """
+        topo = self._topo
+        M = topo.node_count
+        start_depth = topo.depth[self.pos[movers]]
+        end_depth = self._end_depth[movers]
+        # Movers in <R order (trial-major so groups stay contiguous in
+        # meaning): stable sort by shallow-last start depth keeps label
+        # order inside each depth bucket.
+        height = topo.height
+        key = self._trial[movers] * np.int64(height + 1) + (height - start_depth)
+        order = np.argsort(key, kind="stable")
+        P = movers[order]
+        p_start = start_depth[order]
+        p_end = end_depth[order]
+        advancing = np.ones(P.size, dtype=bool)
+        quota = self._span_tiled - self._count  # frozen round-start capacity
+        count = self._count
+        trial = self._trial
+        path = self._path
+        for level in range(1, height + 1):
+            eligible = advancing & (p_start < level) & (level <= p_end)
+            sel_pos = np.flatnonzero(eligible)
+            if sel_pos.size == 0:
+                continue
+            sel = P[sel_pos]
+            child = path[sel, level]
+            gid = self._tbase[sel] + child
+            arrivals = np.bincount(gid, minlength=count.size)
+            crowded = arrivals[gid] > quota[gid]
+            admitted = np.ones(sel.size, dtype=bool)
+            if crowded.any():
+                # Rank the contested arrivals: sel is already in <R
+                # order, so within-node arrival rank is the grouped rank
+                # and the first quota[node] arrivals win.
+                cpos = np.flatnonzero(crowded)
+                cgid = gid[cpos]
+                admitted[cpos] = _grouped_ranks(cgid) < quota[cgid]
+                advancing[sel_pos[~admitted]] = False
+            moved = sel[admitted]
+            if moved.size == 0:
+                continue
+            moved_gid = gid[admitted]
+            if admitted.all():
+                # No over-subscription: the arrivals histogram *is* the
+                # per-node entry count.
+                np.add(count, arrivals, out=count, casting="unsafe")
+            else:
+                np.add(
+                    count,
+                    np.bincount(moved_gid, minlength=count.size),
+                    out=count,
+                    casting="unsafe",
+                )
+            moved_child = child[admitted]
+            self.pos[moved] = moved_child
+            leaf_hit = topo.is_leaf[moved_child]
+            if leaf_hit.any():
+                landed = moved[leaf_hit]
+                leaves = moved_child[leaf_hit]
+                self._n_at_leaf += np.bincount(
+                    trial[landed], minlength=self.trials
+                ).astype(np.int32)
+                self.round_named[landed] = round_no
+                self.decision[landed] = topo.leaf_rank[leaves]
+                if self._leaf_occ is not None:
+                    base = self._tbase[landed]
+                    walk = leaves
+                    while walk.size:
+                        np.add.at(self._leaf_occ, base + walk, 1)
+                        walk = topo.parent[walk]
+                        keep = walk != -1
+                        if not keep.all():
+                            walk = walk[keep]
+                            base = base[keep]
+
+    # ---------------------------------------------------------------- results
+    def last_round_named(self, t: int) -> Optional[int]:
+        """Latest round at which any ball of trial ``t`` fixed its name."""
+        named = self.round_named[t * self.n : (t + 1) * self.n]
+        top = int(named.max()) if named.size else -1
+        return top if top >= 0 else None

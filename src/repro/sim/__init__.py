@@ -35,8 +35,15 @@ from repro.sim.batch import (
     SerialExecutor,
     TrialResult,
     TrialSpec,
+    plan_tasks,
     run_batch,
+    run_cell,
     run_trial,
+)
+from repro.sim.vectorized import (
+    StackedCellRun,
+    run_stacked_cell,
+    vectorized_available,
 )
 
 __all__ = [
@@ -68,6 +75,11 @@ __all__ = [
     "SerialExecutor",
     "TrialResult",
     "TrialSpec",
+    "plan_tasks",
     "run_batch",
+    "run_cell",
     "run_trial",
+    "StackedCellRun",
+    "run_stacked_cell",
+    "vectorized_available",
 ]

@@ -20,6 +20,16 @@ on every platform, each trial's randomness is derived only from its spec
 historical ``base_seed * 100_003 + trial`` schedule in ``"legacy"`` mode),
 and executors preserve order — so serial and multiprocessing backends
 produce identical :class:`BatchResult` cells, byte for byte.
+
+Execution is *cell-granular* where it pays: consecutive trials of one
+failure-free cell are stacked into a single
+:func:`repro.sim.vectorized.run_stacked_cell` pass (NumPy installed,
+``kernel`` in ``{"auto", "vectorized"}``), so a sweep dispatches whole
+cells — chunked across workers — instead of pickling every
+:class:`TrialSpec` individually.  The stacked engine is bit-identical to
+the per-trial kernels, so the upgrade changes wall-clock only; cells the
+vectorized engine rejects (crashes, non-BiL algorithms, missing NumPy)
+keep the per-trial path and its ``auto`` kernel selection.
 """
 
 from __future__ import annotations
@@ -240,9 +250,10 @@ class TrialSpec:
     halt_on_name: bool = False
     crash_budget: Optional[int] = None
     check: bool = True
-    #: Kernel selection: "auto" (columnar fast path when it models the
-    #: run, reference otherwise), "reference", or "columnar" (raises
-    #: KernelUnsupported on cells the fast path rejects).
+    #: Kernel selection: "auto" (stacked vectorized cells for eligible
+    #: failure-free batches, columnar when it models the run, reference
+    #: otherwise), or a pinned "reference" / "columnar" / "vectorized"
+    #: (pinned fast paths raise KernelUnsupported on rejected cells).
     kernel: str = "auto"
 
     @property
@@ -311,6 +322,155 @@ def run_trial(spec: TrialSpec) -> TrialResult:
     )
 
 
+# --------------------------------------------------------- stacked cell tasks
+
+#: One executor work item: a lone spec (per-trial path) or a tuple of
+#: same-cell specs executed as one vectorized stack.
+Task = Union[TrialSpec, Tuple[TrialSpec, ...]]
+
+#: Stream budget (trials x n) of one stacked call; bounds the resident
+#: MT state (~2.5 KB per stream) while leaving whole cells intact at
+#: sweep sizes.  Override with the REPRO_VEC_MAX_STREAMS environment
+#: variable.
+DEFAULT_MAX_STREAMS = 1 << 17
+
+
+def _max_streams() -> int:
+    raw = os.environ.get("REPRO_VEC_MAX_STREAMS")
+    return max(1, int(raw)) if raw else DEFAULT_MAX_STREAMS
+
+
+def _cell_config(spec: TrialSpec) -> Tuple[Any, ...]:
+    """Everything but the seed: trials agreeing here can stack."""
+    return (
+        spec.algorithm,
+        spec.n,
+        spec.adversary,
+        spec.halt_on_name,
+        spec.crash_budget,
+        spec.check,
+        spec.kernel,
+    )
+
+
+def _stackable(spec: TrialSpec) -> bool:
+    """Can trials shaped like ``spec`` run as one vectorized cell?
+
+    Delegates the supported-grid decision to the kernel's own rejection
+    logic so the batch upgrade and an explicitly pinned
+    ``kernel="vectorized"`` accept exactly the same cells.
+    """
+    if spec.kernel not in ("auto", "vectorized"):
+        return False
+    from repro.sim.kernel import KernelRequest
+    from repro.sim.vectorized import cell_rejection
+
+    policy = ALGORITHMS.get(spec.algorithm)
+    budget = spec.n - 1 if spec.crash_budget is None else spec.crash_budget
+    request = KernelRequest(
+        algorithm=spec.algorithm,
+        ids=tuple(sparse_ids(spec.n)),
+        seed=spec.seed,
+        policy=policy,
+        adversary=spec.adversary.build(spec.seed),
+        crash_budget=budget,
+        halt_on_name=spec.halt_on_name,
+    )
+    return cell_rejection(request) is None
+
+
+def plan_tasks(specs: Sequence[TrialSpec], *, parts: int = 1) -> List[Task]:
+    """Fold runs of same-cell specs into stacked tasks, order-preserving.
+
+    ``parts`` splits large stacks (one per worker, roughly) so a single
+    big cell still spreads across a pool; every stack additionally
+    respects the :data:`DEFAULT_MAX_STREAMS` memory budget.  Specs the
+    vectorized engine cannot stack stay individual trials.
+    """
+    tasks: List[Task] = []
+    specs = list(specs)
+    max_streams = _max_streams()
+    i = 0
+    while i < len(specs):
+        spec = specs[i]
+        j = i + 1
+        config = _cell_config(spec)
+        while j < len(specs) and _cell_config(specs[j]) == config:
+            j += 1
+        group = specs[i:j]
+        if len(group) >= 2 and _stackable(spec):
+            chunk = max(1, max_streams // max(1, spec.n))
+            if parts > 1:
+                chunk = max(1, min(chunk, -(-len(group) // parts)))
+            # Split pieces stay stacked even when a remainder has one
+            # trial: chunking must never change the executing kernel.
+            for k in range(0, len(group), chunk):
+                tasks.append(tuple(group[k : k + chunk]))
+        else:
+            tasks.extend(group)
+        i = j
+    return tasks
+
+
+def run_cell(specs: Sequence[TrialSpec]) -> List[TrialResult]:
+    """Execute one stacked failure-free cell (module-level: picklable).
+
+    All specs must share a cell configuration (:func:`plan_tasks`
+    guarantees it; direct callers are checked); the stacked engine is
+    bit-identical to the scalar kernels, so each returned
+    :class:`TrialResult` equals the :func:`run_trial` outcome of its
+    spec except for the ``kernel`` label.
+    """
+    from repro.sim.vectorized import run_stacked_cell
+
+    spec = specs[0]
+    for other in specs[1:]:
+        if _cell_config(other) != _cell_config(spec):
+            raise ConfigurationError(
+                "run_cell needs same-cell specs (only seeds may differ); "
+                f"got {_cell_config(spec)} and {_cell_config(other)}"
+            )
+    cell = run_stacked_cell(
+        sparse_ids(spec.n),
+        [s.seed for s in specs],
+        policy=ALGORITHMS[spec.algorithm],
+        halt_on_name=spec.halt_on_name,
+        crash_budget=spec.crash_budget,
+    )
+    if spec.check:
+        cell.check()
+    labels = cell.labels
+    # repr-sort of the (shared) labels once per cell, not once per trial.
+    order = sorted(range(len(labels)), key=lambda i: repr(labels[i]))
+    rounds = cell.rounds.tolist()
+    sent = cell.messages_sent.tolist()
+    delivered = cell.messages_delivered.tolist()
+    decisions = cell.decisions.tolist()
+    results = []
+    for t, trial_spec in enumerate(specs):
+        row = decisions[t]
+        results.append(
+            TrialResult(
+                spec=trial_spec,
+                rounds=rounds[t],
+                failures=0,
+                messages_sent=sent[t],
+                messages_delivered=delivered[t],
+                last_round_named=cell.last_round_named(t),
+                names=tuple((labels[i], row[i]) for i in order),
+                kernel="vectorized",
+            )
+        )
+    return results
+
+
+def _run_task(task: Task) -> List[TrialResult]:
+    """One executor work item (module-level so pools can pickle it)."""
+    if isinstance(task, TrialSpec):
+        return [run_trial(task)]
+    return run_cell(task)
+
+
 # -------------------------------------------------------------------- executors
 
 
@@ -323,14 +483,25 @@ class SerialExecutor:
         """Map :func:`run_trial` over ``specs`` in order."""
         return [run_trial(spec) for spec in specs]
 
+    def run_tasks(self, tasks: Sequence[Task]) -> List[TrialResult]:
+        """Execute planned tasks in order (stacked cells inline)."""
+        results: List[TrialResult] = []
+        for task in tasks:
+            results.extend(_run_task(task))
+        return results
+
 
 class MultiprocessingExecutor:
     """Run trials across a :mod:`multiprocessing` pool, chunked.
 
     ``Pool.map`` preserves input order, so cells come back in exactly the
     order the serial executor would produce — determinism under
-    parallelism.  Falls back to in-process execution for tiny batches
-    where pool startup would dominate.
+    parallelism.  Work ships as *chunks* of tasks per worker (``~4`` per
+    worker by default, tunable via ``chunksize``), so a worker executes a
+    run of same-``n`` trials back to back and its process-local
+    :func:`~repro.tree.topology.cached_topology` is built once per size
+    instead of once per submission.  Falls back to in-process execution
+    for tiny batches where pool startup would dominate.
     """
 
     name = "process"
@@ -344,22 +515,36 @@ class MultiprocessingExecutor:
     ) -> None:
         if workers is not None and workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        if chunksize is not None and chunksize < 1:
+            raise ConfigurationError(f"chunksize must be >= 1, got {chunksize}")
         self.workers = workers if workers is not None else (os.cpu_count() or 1)
         self.chunksize = chunksize
         self.start_method = start_method
+
+    def _resolved_chunksize(self, items: int) -> int:
+        if self.chunksize is not None:
+            return self.chunksize
+        # ~4 chunks per worker balances load without drowning in IPC.
+        return max(1, items // (self.workers * 4))
 
     def run(self, specs: Sequence[TrialSpec]) -> List[TrialResult]:
         """Map :func:`run_trial` over ``specs``, preserving order."""
         specs = list(specs)
         if self.workers == 1 or len(specs) <= 1:
             return SerialExecutor().run(specs)
-        chunksize = self.chunksize
-        if chunksize is None:
-            # ~4 chunks per worker balances load without drowning in IPC.
-            chunksize = max(1, len(specs) // (self.workers * 4))
         context = multiprocessing.get_context(self.start_method)
         with context.Pool(processes=self.workers) as pool:
-            return pool.map(run_trial, specs, chunksize)
+            return pool.map(run_trial, specs, self._resolved_chunksize(len(specs)))
+
+    def run_tasks(self, tasks: Sequence[Task]) -> List[TrialResult]:
+        """Execute planned tasks across the pool, preserving order."""
+        tasks = list(tasks)
+        if self.workers == 1 or len(tasks) <= 1:
+            return SerialExecutor().run_tasks(tasks)
+        context = multiprocessing.get_context(self.start_method)
+        with context.Pool(processes=self.workers) as pool:
+            nested = pool.map(_run_task, tasks, self._resolved_chunksize(len(tasks)))
+        return [result for chunk in nested for result in chunk]
 
 
 #: Executor names accepted by :func:`as_executor` and the CLI.
@@ -598,10 +783,17 @@ def run_batch(
 
     ``executor`` may be an executor object, a name from
     :data:`EXECUTORS`, or None (serial; or process when ``workers > 1``).
+    Eligible failure-free cells run trial-stacked on the vectorized
+    engine (one call per cell, split across workers); results are
+    bit-identical either way, so backends and kernels interchange freely.
     """
     specs = source.expand() if isinstance(source, ScenarioMatrix) else list(source)
     backend = as_executor(executor, workers=workers, chunksize=chunksize)
+    parts = getattr(backend, "workers", 1)
     started = time.perf_counter()
-    results = backend.run(specs)
+    if hasattr(backend, "run_tasks"):
+        results = backend.run_tasks(plan_tasks(specs, parts=parts))
+    else:  # a caller-supplied executor object predating task planning
+        results = backend.run(specs)
     elapsed = time.perf_counter() - started
     return BatchResult(trials=results, executor=backend.name, elapsed=elapsed)

@@ -15,11 +15,22 @@ spirit of spec-vs-implementation runtime checking: the reference engine
 stays the ground truth, the columnar engine earns its speed by agreeing
 with it.
 
+The **vectorized** kernel (:mod:`repro.sim.vectorized`) is the
+trial-stacked NumPy engine: it executes a whole cell of failure-free
+trials as one array program and is what scenario-matrix sweeps dispatch
+to cell-granularly.  As a per-run kernel it is a one-trial stack —
+available so ``kernel="vectorized"`` composes with every entry point,
+but ``auto`` keeps single runs on the columnar engine (stacking pays
+off across trials, not within one).
+
 Selection: callers say ``kernel="auto"`` (the default everywhere) to get
 the columnar engine whenever it models the run and the reference engine
-otherwise; ``"reference"`` pins the spec; ``"columnar"`` pins the fast
-path and raises :class:`~repro.errors.KernelUnsupported` with the
-rejection reason when the run is out of scope.
+otherwise (batch sweeps additionally upgrade whole eligible cells to the
+vectorized engine — bit-identical, so invisible); ``"reference"`` pins
+the spec; ``"columnar"`` / ``"vectorized"`` pin a fast path and raise
+:class:`~repro.errors.KernelUnsupported` with the rejection reason when
+the run is out of scope (for the vectorized kernel that includes a
+missing NumPy install — it is the ``pip install .[fast]`` extra).
 """
 
 from __future__ import annotations
@@ -36,7 +47,7 @@ from repro.sim.trace import Trace
 
 #: Kernel names accepted by :func:`select_kernel`, the runner, the batch
 #: engine, and the CLI.
-KERNEL_CHOICES = ("auto", "reference", "columnar")
+KERNEL_CHOICES = ("auto", "reference", "columnar", "vectorized")
 
 
 @dataclass(frozen=True)
@@ -94,19 +105,27 @@ class SimulationKernel(ABC):
 
 def _kernels():
     # Imported lazily: the concrete kernels pull in the process machinery
-    # and the columnar engine, which themselves import from repro.sim.
+    # and the array engines, which themselves import from repro.sim.
     from repro.sim.columnar import ColumnarKernel
     from repro.sim.reference import ReferenceKernel
+    from repro.sim.vectorized import VectorizedKernel
 
-    return {"reference": ReferenceKernel(), "columnar": ColumnarKernel()}
+    return {
+        "reference": ReferenceKernel(),
+        "columnar": ColumnarKernel(),
+        "vectorized": VectorizedKernel(),
+    }
 
 
 def select_kernel(name: str, request: KernelRequest) -> SimulationKernel:
     """Resolve a kernel name against one request.
 
     ``"auto"`` prefers the columnar fast path and falls back to the
-    reference engine for runs it rejects; pinning ``"columnar"`` turns
-    the rejection into an explicit :class:`KernelUnsupported`.
+    reference engine for runs it rejects; pinning ``"columnar"`` or
+    ``"vectorized"`` turns the rejection into an explicit
+    :class:`KernelUnsupported`.  (Cell-level ``auto`` upgrades to the
+    vectorized engine happen in :mod:`repro.sim.batch`, which sees whole
+    cells; a single request has no trials to stack.)
     """
     if name not in KERNEL_CHOICES:
         raise ConfigurationError(
@@ -115,6 +134,12 @@ def select_kernel(name: str, request: KernelRequest) -> SimulationKernel:
     kernels = _kernels()
     if name == "reference":
         return kernels["reference"]
+    if name == "vectorized":
+        vectorized = kernels["vectorized"]
+        reason = vectorized.rejects(request)
+        if reason is not None:
+            raise KernelUnsupported("vectorized", reason)
+        return vectorized
     columnar = kernels["columnar"]
     reason = columnar.rejects(request)
     if reason is None:

@@ -33,6 +33,16 @@ ALGORITHMS: Dict[str, Optional[str]] = {
 }
 
 
+def default_round_limit(n: int, crash_budget: Optional[int]) -> int:
+    """The BiL round budget (Lemma 11: <= n fault-free phases, plus one
+    phase per crash, plus slack).  One definition shared by every kernel
+    path — per-trial and stacked cells must agree on the limit or a
+    near-limit run could terminate on one engine and raise on the other.
+    """
+    budget = n - 1 if crash_budget is None else crash_budget
+    return 4 * n + 2 * budget + 16
+
+
 @dataclass
 class RenamingRun:
     """Everything measured about one renaming execution."""
@@ -117,8 +127,7 @@ def run_renaming(
     if max_rounds is not None:
         limit = max_rounds
     elif policy is not None:
-        # Lemma 11: at most n fault-free phases, plus one phase per crash.
-        limit = 4 * n + 2 * budget + 16
+        limit = default_round_limit(n, budget)
     else:
         limit = budget + 8
 

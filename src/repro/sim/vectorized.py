@@ -1,0 +1,242 @@
+"""The vectorized kernel: a stacked cell of trials as one array program.
+
+Wraps :class:`repro.core.vectorized.VectorizedCellEngine` in two shapes:
+
+* :class:`VectorizedKernel` — the :class:`~repro.sim.kernel.SimulationKernel`
+  face, so ``kernel="vectorized"`` works anywhere a kernel name does
+  (``run_renaming``, trial specs, the CLI).  A single run is just a
+  one-trial stack; the payoff comes from the second shape.
+* :func:`run_stacked_cell` — the cell-granular entry point used by
+  :mod:`repro.sim.batch`: all ``T`` failure-free trials of one
+  scenario-matrix cell execute as one vectorized pass, amortizing the
+  interpreter, the topology, and the RNG machinery across the whole
+  cell instead of paying them per trial.
+
+Everything the stack produces is bit-for-bit what the columnar (and
+hence reference) kernel produces trial by trial — same
+:class:`~repro.sim.simulator.SimulationResult`, same metrics rows, same
+tables — which is what lets ``auto`` batches upgrade cells to this path
+without observable change (asserted by the differential suite).
+
+NumPy is optional: without it :func:`vectorized_available` is False,
+``auto`` keeps using the columnar engine, and pinning
+``kernel="vectorized"`` raises :class:`~repro.errors.KernelUnsupported`
+with an install hint.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional, Sequence
+
+from repro.adversary.none import NoFailures
+from repro.core.config import BallsIntoLeavesConfig
+from repro.core.mt19937 import HAVE_NUMPY
+from repro.errors import ConfigurationError
+from repro.sim.checker import RenamingSpec, check_renaming
+from repro.sim.kernel import KernelRequest, KernelRun, SimulationKernel
+from repro.sim.metrics import RoundMetrics, SimulationMetrics
+from repro.sim.runner import default_round_limit
+from repro.sim.simulator import SimulationResult
+
+if HAVE_NUMPY:
+    import numpy as np
+
+
+def vectorized_available() -> bool:
+    """True when the optional NumPy extra is importable."""
+    return HAVE_NUMPY
+
+
+class StackedCellRun:
+    """Outcome of one stacked cell: per-trial results, columnar layout.
+
+    Scalar accessors (:meth:`result`, :meth:`metrics`) materialize the
+    exact per-trial objects of the scalar kernels; the batch layer reads
+    the flat arrays directly so a 100-trial cell never builds what it
+    does not need.
+    """
+
+    def __init__(self, engine, seeds: Sequence[int]) -> None:
+        self._engine = engine
+        self.seeds = list(seeds)
+        self.labels = engine.labels
+        self.n = engine.n
+        self.trials = engine.trials
+        self.rounds = engine.rounds
+        #: (T, n) decided names, label-rank order.
+        self.decisions = engine.decision.reshape(engine.trials, engine.n)
+        self.round_named = engine.round_named.reshape(engine.trials, engine.n)
+        senders = np.stack(engine.round_senders) if engine.round_senders else (
+            np.zeros((0, engine.trials), dtype=np.int64)
+        )
+        #: (T,) total broadcasts / deliveries, matching the failure-free
+        #: metrics rule (every running sender reaches every running
+        #: process, itself included).
+        self.messages_sent = senders.sum(axis=0, dtype=np.int64)
+        self.messages_delivered = (
+            (senders.astype(np.int64) ** 2).sum(axis=0, dtype=np.int64)
+        )
+        self._senders = senders
+        self._running_after = (
+            np.stack(engine.round_running_after)
+            if engine.round_running_after
+            else np.zeros((0, engine.trials), dtype=np.int64)
+        )
+        self._participants = frozenset(self.labels)
+
+    def last_round_named(self, t: int) -> Optional[int]:
+        """Latest naming round of trial ``t``."""
+        return self._engine.last_round_named(t)
+
+    def metrics(self, t: int) -> SimulationMetrics:
+        """Trial ``t``'s per-round metrics, as the scalar kernels record them."""
+        metrics = SimulationMetrics()
+        n = self.n
+        for r in range(int(self.rounds[t])):
+            sent = int(self._senders[r, t])
+            metrics.record(
+                RoundMetrics(
+                    round_no=r + 1,
+                    messages_sent=sent,
+                    messages_delivered=sent * sent,
+                    crashes=0,
+                    alive_after=n,
+                    running_after=int(self._running_after[r, t]),
+                )
+            )
+        return metrics
+
+    def result(self, t: int) -> SimulationResult:
+        """Trial ``t``'s full :class:`SimulationResult` (bit-identical)."""
+        decisions = dict(zip(self.labels, self.decisions[t].tolist()))
+        return SimulationResult(
+            rounds=int(self.rounds[t]),
+            decisions=decisions,
+            crashed=frozenset(),
+            halted=self._participants,
+            metrics=self.metrics(t),
+            trace=None,
+            participants=self._participants,
+        )
+
+    def check(self) -> None:
+        """Renaming-spec check for every trial, vectorized.
+
+        Termination is structural (the stack only returns when every
+        ball halted), so validity + uniqueness reduce to: each trial's
+        decisions are a permutation of ``0..n-1``.  A violating trial is
+        re-checked through :func:`check_renaming` so the raised
+        :class:`~repro.errors.SpecViolation` carries the exact scalar
+        wording.
+        """
+        dec = self.decisions
+        expected = np.arange(self.n, dtype=dec.dtype)
+        ok = (np.sort(dec, axis=1) == expected).all(axis=1)
+        if bool(ok.all()):
+            return
+        bad = int(np.flatnonzero(~ok)[0])
+        check_renaming(self.result(bad), RenamingSpec(n=self.n))
+        raise AssertionError(  # pragma: no cover - checker always raises
+            f"vectorized checker flagged trial {bad} but check_renaming passed"
+        )
+
+
+def run_stacked_cell(
+    ids: Sequence[Hashable],
+    seeds: Sequence[int],
+    *,
+    policy: str,
+    halt_on_name: bool = False,
+    crash_budget: Optional[int] = None,
+    max_rounds: Optional[int] = None,
+) -> StackedCellRun:
+    """Execute ``len(seeds)`` failure-free trials as one stacked pass."""
+    from repro.core.vectorized import VectorizedCellEngine
+
+    n = len(ids)
+    if crash_budget is not None and not 0 <= crash_budget < n:
+        raise ConfigurationError(
+            f"crash budget must satisfy 0 <= t < n; got t={crash_budget}, n={n}"
+        )
+    limit = max_rounds if max_rounds is not None else default_round_limit(n, crash_budget)
+    engine = VectorizedCellEngine(
+        ids,
+        list(seeds),
+        policy=policy,
+        halt_on_name=halt_on_name,
+        max_rounds=limit,
+    )
+    engine.run()
+    return StackedCellRun(engine, seeds)
+
+
+class VectorizedKernel(SimulationKernel):
+    """Trial-stacked NumPy fast path (single runs are a 1-trial stack)."""
+
+    name = "vectorized"
+
+    def rejects(self, request: KernelRequest) -> Optional[str]:
+        if request.policy is None:
+            return (
+                f"algorithm {request.algorithm!r} is not Balls-into-Leaves-"
+                "based; its broadcasts are not position announcements over "
+                "a shared view"
+            )
+        adversary = request.adversary
+        if adversary is not None and type(adversary) is not NoFailures:
+            return (
+                f"adversary type {type(adversary).__name__} crashes "
+                "processes; the trial-stacked layout models failure-free "
+                "cells only (the columnar crash engine covers certified "
+                "adversaries)"
+            )
+        if request.trace is not None:
+            return "trace recording observes the reference engine's events"
+        if request.collect_phase_stats:
+            return "phase statistics observe the reference view store"
+        from repro.core.vectorized import vectorized_rejections
+
+        config = BallsIntoLeavesConfig(
+            path_policy=request.policy,
+            view_mode=request.view_mode,
+            check_invariants=request.check_invariants,
+            halt_on_name=request.halt_on_name,
+        )
+        reasons = vectorized_rejections(config)
+        if reasons:
+            return "; ".join(reasons)
+        return None
+
+    def run(self, request: KernelRequest) -> KernelRun:
+        n = request.n
+        # Same validation the scalar kernels apply, so pinning the kernel
+        # never relaxes it.
+        if not 0 <= request.crash_budget < n:
+            raise ConfigurationError(
+                f"crash budget must satisfy 0 <= t < n; "
+                f"got t={request.crash_budget}, n={n}"
+            )
+        cell = run_stacked_cell(
+            request.ids,
+            [request.seed],
+            policy=request.policy,
+            halt_on_name=request.halt_on_name,
+            crash_budget=request.crash_budget,
+            max_rounds=request.max_rounds,
+        )
+        return KernelRun(
+            result=cell.result(0),
+            last_round_named=cell.last_round_named(0),
+            phase_stats=[],
+            kernel=self.name,
+        )
+
+
+def cell_rejection(request: KernelRequest) -> Optional[str]:
+    """Why a whole cell shaped like ``request`` cannot stack (None = it can).
+
+    One shared gate for the batch dispatcher and the kernel selector, so
+    an ``auto`` batch upgrades exactly the cells a pinned
+    ``kernel="vectorized"`` would accept.
+    """
+    return VectorizedKernel().rejects(request)

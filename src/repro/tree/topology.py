@@ -16,15 +16,20 @@ from repro.tree import node as nd
 from repro.tree.node import Node
 
 
-@lru_cache(maxsize=8)
+@lru_cache(maxsize=16)
 def cached_topology(n: int) -> "Topology":
     """A process-wide shared :class:`Topology` for ``n`` leaves.
 
     Topologies are immutable after construction, so every run of the same
     size can share one instance; building the node dictionaries is a
     measurable per-trial cost at sweep sizes (tens of milliseconds at
-    n=2^12, ~1s at 2^17).  The small cache bounds memory across a
-    multi-size sweep.
+    n=2^12, ~1s at 2^17).  The LRU bound keeps deep sweeps from holding
+    every size alive (n=2^17 is ~100 MB of node dictionaries): 16 entries
+    cover the eight EXP-T2 ``--scale deep`` sizes (2^10..2^17) *plus* the
+    small sizes interleaved by smoke tables without thrashing, which a
+    bound of 8 did not.  Batch trials of one size always hit the same
+    entry — executors chunk same-cell trials per worker precisely so this
+    cache (per process) is built once per size, not once per trial.
     """
     return Topology(n)
 

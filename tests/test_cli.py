@@ -143,6 +143,40 @@ class TestKernelCli:
         columnar_out = capsys.readouterr().out
         assert columnar_out == reference_out
 
+    def test_batch_vectorized_kernel_matches_reference_output(self, capsys):
+        from repro.sim.vectorized import vectorized_available
+
+        if not vectorized_available():
+            pytest.skip("numpy not installed (the .[fast] extra)")
+        argv = ["batch", "--algorithms", "balls-into-leaves", "--sizes", "16",
+                "--trials", "3"]
+        assert main(argv + ["--kernel", "reference"]) == 0
+        reference_out = capsys.readouterr().out
+        assert main(argv + ["--kernel", "vectorized"]) == 0
+        vectorized_out = capsys.readouterr().out
+        assert vectorized_out == reference_out
+
+    def test_demo_vectorized_kernel_or_clean_install_hint(self, capsys):
+        from repro.sim.vectorized import vectorized_available
+
+        code = main(["demo", "--n", "8", "--kernel", "vectorized"])
+        captured = capsys.readouterr()
+        if vectorized_available():
+            assert code == 0
+            assert "(vectorized kernel)" in captured.out
+        else:
+            assert code == 2
+            assert "numpy" in captured.err
+
+    def test_batch_chunksize_flag_changes_nothing_but_wallclock(self, capsys):
+        argv = ["batch", "--algorithms", "balls-into-leaves", "--sizes", "8",
+                "--trials", "4", "--executor", "process", "--workers", "2"]
+        assert main(argv) == 0
+        default_out = capsys.readouterr().out
+        assert main(argv + ["--chunksize", "1"]) == 0
+        chunked_out = capsys.readouterr().out
+        assert chunked_out == default_out
+
     def test_run_threads_kernel_through_experiments(self, capsys):
         assert main(["run", "EXP-T2", "--scale", "smoke",
                      "--kernel", "reference"]) == 0
@@ -161,7 +195,10 @@ class TestJsonlOut:
         assert rows[0]["algorithm"] == "balls-into-leaves"
         assert rows[0]["n"] == 8
         assert rows[0]["adversary"] == "none"
-        assert rows[0]["kernel"] == "columnar"
+        from repro.sim.vectorized import vectorized_available
+
+        expected_kernel = "vectorized" if vectorized_available() else "columnar"
+        assert rows[0]["kernel"] == expected_kernel
         assert {row["seed"] for row in rows} == {0, 1, 2}
         assert all(row["rounds"] >= 3 for row in rows)
 
@@ -172,6 +209,8 @@ class TestJsonlOut:
         rows = [json.loads(line) for line in out.read_text().splitlines()]
         assert rows
         assert all(row["experiment"] == "EXP-T2" for row in rows)
+        # Every run/all row records the kernel-selection mode it ran under.
+        assert all(row["kernel"] == "auto" for row in rows)
         tables = {row["table"] for row in rows}
         assert any("Rounds to rename" in title for title in tables)
         first = rows[0]

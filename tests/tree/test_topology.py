@@ -98,3 +98,47 @@ class TestPaths:
         for rank in range(n):
             path = topo.path_to_leaf(topo.root, rank)
             assert path[-1] == (rank, rank + 1)
+
+
+class TestCachedTopologyReuse:
+    """The process-wide cache: batch trials share, deep sweeps stay bounded."""
+
+    def test_same_n_returns_the_same_instance(self):
+        from repro.tree.topology import cached_topology
+
+        assert cached_topology(37) is cached_topology(37)
+
+    def test_batch_trials_of_one_size_build_one_topology(self, monkeypatch):
+        """A seed sweep must never rebuild the topology per trial."""
+        from repro.sim.batch import ScenarioMatrix, run_batch
+        from repro.tree import topology as topo_module
+
+        built = []
+        original = topo_module.Topology.__init__
+
+        def counting(self, n):
+            built.append(n)
+            original(self, n)
+
+        monkeypatch.setattr(topo_module.Topology, "__init__", counting)
+        topo_module.cached_topology.cache_clear()
+        from repro.core.vectorized import HAVE_NUMPY, vectorized_topology
+
+        if HAVE_NUMPY:
+            # The stacked engine's ndarray cache wraps cached_topology;
+            # a pre-warmed entry would hide the rebuild being counted.
+            vectorized_topology.cache_clear()
+        run_batch(
+            ScenarioMatrix.build(["balls-into-leaves"], [23], trials=6),
+            executor="serial",
+        )
+        assert built == [23]
+
+    def test_cache_is_lru_bounded(self):
+        from repro.tree.topology import cached_topology
+
+        cached_topology.cache_clear()
+        for n in range(1, 41):
+            cached_topology(n)
+        info = cached_topology.cache_info()
+        assert info.currsize <= info.maxsize <= 16
