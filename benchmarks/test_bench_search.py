@@ -1,0 +1,94 @@
+"""Search throughput: schedules evaluated per second, per strategy.
+
+Times each search strategy spending a fixed trial budget on the
+``balls-into-leaves n=32`` cell (every compiled schedule runs on the
+columnar crash engine), serial vs the process executor, and writes
+``BENCH_search.json`` at the repository root — the artifact the CI
+benchmark job uploads next to ``BENCH_kernel.json``.
+
+Throughput here is dominated by trial wall-clock, so the interesting
+ratios are (a) strategy overhead above raw trial cost (genotype ops are
+supposed to be noise) and (b) how well generation-sized batches feed the
+worker pool.  The determinism contract is asserted inside the timing
+loop: both executors must produce byte-identical evaluation histories.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro._version import __version__
+from repro.search.strategies import STRATEGIES, HuntConfig, run_hunt
+
+OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_search.json"
+
+N = 32
+BUDGET = 150
+WORKERS = min(4, os.cpu_count() or 1)
+
+
+def _config(seed: int = 1) -> HuntConfig:
+    return HuntConfig(n=N, objective="rounds", budget=BUDGET, seed=seed)
+
+
+def _timed_hunt(strategy: str, **kwargs):
+    started = time.perf_counter()
+    result = run_hunt(_config(), strategy, **kwargs)
+    elapsed = time.perf_counter() - started
+    return result, elapsed
+
+
+# One artifact-writing pass, nightly/bench-job scoped like bench-kernel.
+@pytest.mark.tier2
+def test_bench_search_writes_artifact():
+    cells = []
+    for strategy in sorted(STRATEGIES):
+        serial, serial_s = _timed_hunt(strategy)
+        process, process_s = _timed_hunt(
+            strategy, executor="process", workers=WORKERS
+        )
+        assert json.dumps(serial.rows()) == json.dumps(process.rows()), (
+            f"{strategy}: executor changed the evaluation history"
+        )
+        cells.append(
+            {
+                "strategy": strategy,
+                "n": N,
+                "budget": BUDGET,
+                "best_score": serial.best.score,
+                "serial_s": round(serial_s, 4),
+                "serial_schedules_per_s": round(BUDGET / serial_s, 2),
+                f"process{WORKERS}_s": round(process_s, 4),
+                f"process{WORKERS}_schedules_per_s": round(
+                    BUDGET / process_s, 2
+                ),
+            }
+        )
+        assert BUDGET / serial_s > 5, (
+            f"{strategy}: below 5 schedules/s serially — strategy overhead "
+            "is no longer noise next to trial cost"
+        )
+    payload = {
+        "version": __version__,
+        "workload": f"balls-into-leaves n={N}, {BUDGET}-trial hunts, "
+        "rounds objective",
+        "workers": WORKERS,
+        "cells": cells,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def test_hunt_smoke_for_tier1(benchmark):
+    """Tier-1 guard: a tiny hunt stays interactive (and correct)."""
+    result = benchmark.pedantic(
+        run_hunt,
+        args=(HuntConfig(n=8, objective="rounds", budget=10, seed=1), "random"),
+        iterations=1,
+        rounds=3,
+    )
+    assert len(result.evaluations) == 10

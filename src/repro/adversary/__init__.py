@@ -20,6 +20,11 @@ Strategies provided:
 """
 
 from repro.adversary.base import Adversary, AdversaryContext, CrashPlan
+from repro.adversary.certification import (
+    certification_failure,
+    certified,
+    is_certified,
+)
 from repro.adversary.none import NoFailures
 from repro.adversary.random_crash import RandomCrashAdversary
 from repro.adversary.scheduled import ScheduledAdversary, ScheduledCrash
@@ -31,6 +36,9 @@ __all__ = [
     "Adversary",
     "AdversaryContext",
     "CrashPlan",
+    "certification_failure",
+    "certified",
+    "is_certified",
     "NoFailures",
     "RandomCrashAdversary",
     "ScheduledAdversary",

@@ -3,8 +3,10 @@
 from __future__ import annotations
 
 from repro.adversary.base import Adversary, AdversaryContext, CrashPlan
+from repro.adversary.certification import certified
 
 
+@certified
 class NoFailures(Adversary):
     """Never crashes anyone — the failure-free executions of Theorem 3."""
 

@@ -12,8 +12,10 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.adversary.base import Adversary, AdversaryContext, CrashPlan
+from repro.adversary.certification import certified
 
 
+@certified
 class RandomCrashAdversary(Adversary):
     """Crash each running process with probability ``rate`` per round.
 

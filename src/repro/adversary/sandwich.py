@@ -13,8 +13,10 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.adversary.base import Adversary, AdversaryContext, CrashPlan
+from repro.adversary.certification import certified
 
 
+@certified
 class SandwichAdversary(Adversary):
     """Crash the median running process each striking round.
 

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence, Union
 
 from repro.adversary.base import Adversary, AdversaryContext, CrashPlan
+from repro.adversary.certification import certified
 from repro.ids import ProcessId
 
 #: Receiver spec: "all", "none", or an explicit pid list.
@@ -27,6 +28,7 @@ class ScheduledCrash:
     receivers: Receivers = "none"
 
 
+@certified
 class ScheduledAdversary(Adversary):
     """Replays a fixed list of :class:`ScheduledCrash` entries."""
 

@@ -13,8 +13,10 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.adversary.base import Adversary, AdversaryContext, CrashPlan
+from repro.adversary.certification import certified
 
 
+@certified
 class HalfSplitAdversary(Adversary):
     """Crash the lowest-labelled sender, delivering to every second process.
 

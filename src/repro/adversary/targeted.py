@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.adversary.base import Adversary, AdversaryContext, CrashPlan
+from repro.adversary.certification import certified
 
 # Wire tag of Algorithm 1's candidate-path broadcasts.  Kept as a literal
 # (matching repro.core.messages.PATH) to avoid an adversary -> core import
@@ -19,6 +20,7 @@ from repro.adversary.base import Adversary, AdversaryContext, CrashPlan
 _PATH_TAG = "path"
 
 
+@certified
 class TargetedPriorityAdversary(Adversary):
     """Crash the lowest-labelled running ball each path round.
 

@@ -1,0 +1,71 @@
+"""Worst-case comparison tables: mined schedules vs bundled adversaries.
+
+The hunt's headline question is comparative: did the search synthesize
+an adversary *worse* than every hand-written strategy on the same
+(algorithm, n) cell?  This module renders that comparison as one ranked
+:class:`~repro.analysis.tables.Table` shared by the ``hunt`` CLI verb
+and the ``EXP-HUNT`` experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.analysis.tables import Table
+
+
+@dataclass(frozen=True)
+class WorstCaseEntry:
+    """One adversary's worst observed trial on a cell."""
+
+    label: str
+    source: str  # "hunt" or "bundled"
+    score: float
+    rounds: int
+    failures: int
+    messages_sent: int
+    trials: int
+    error: Optional[str] = None
+
+
+def beats_every_bundled(entries: Sequence[WorstCaseEntry]) -> bool:
+    """True when some hunted entry strictly out-scores all bundled ones."""
+    hunted = [e.score for e in entries if e.source == "hunt"]
+    bundled = [e.score for e in entries if e.source == "bundled"]
+    if not hunted or not bundled:
+        return False
+    return max(hunted) > max(bundled)
+
+
+def worst_case_table(
+    cell: str, objective: str, entries: Sequence[WorstCaseEntry]
+) -> Table:
+    """Rank adversaries by objective score, worst first.
+
+    The winner gets a ``<- worst`` marker; the notes record whether the
+    synthesized schedules beat the whole bundled gauntlet.
+    """
+    ranked = sorted(entries, key=lambda e: (-e.score, e.label))
+    verdict = (
+        "synthesized schedule beats every bundled adversary"
+        if beats_every_bundled(entries)
+        else "no synthesized schedule beats the bundled gauntlet"
+    )
+    table = Table(
+        f"worst cases on {cell} (objective: {objective})",
+        ["adversary", "source", "score", "rounds", "failures", "messages", "trials", ""],
+        notes=verdict,
+    )
+    for i, entry in enumerate(ranked):
+        table.add_row(
+            entry.label,
+            entry.source,
+            entry.score,
+            entry.rounds if entry.error is None else f"{entry.rounds} (aborted)",
+            entry.failures,
+            entry.messages_sent,
+            entry.trials,
+            "<- worst" if i == 0 else "",
+        )
+    return table

@@ -7,6 +7,7 @@ Subcommands::
     repro all [--scale smoke]      # run the whole suite
     repro demo [--n 32]            # one quick renaming run, human-readable
     repro batch --algorithms ...   # run a raw scenario matrix
+    repro hunt --objective rounds  # synthesize worst-case crash schedules
 
 Every experiment prints the exact command reproducing it, and all
 randomness flows from ``--seed``.  ``--executor process --workers K``
@@ -25,9 +26,11 @@ from repro._version import __version__
 from repro.errors import ReproError
 from repro.experiments.registry import all_experiments, run_experiment
 from repro.ids import sparse_ids
+from repro.search.objectives import OBJECTIVES
+from repro.search.strategies import STRATEGIES
 from repro.sim.batch import EXECUTORS, ScenarioMatrix, run_batch
 from repro.sim.kernel import KERNEL_CHOICES
-from repro.sim.runner import run_renaming
+from repro.sim.runner import ALGORITHMS, run_renaming
 
 
 def _add_executor_options(parser: argparse.ArgumentParser) -> None:
@@ -142,6 +145,75 @@ def _build_parser() -> argparse.ArgumentParser:
         "(default: ~4 chunks per worker); results are identical for any value",
     )
     _add_executor_options(batch_parser)
+
+    hunt_parser = sub.add_parser(
+        "hunt",
+        help="search crash-schedule space for worst-case executions "
+        "(adversary synthesis / counterexample mining)",
+    )
+    hunt_parser.add_argument(
+        "--objective",
+        default="rounds",
+        choices=sorted(OBJECTIVES),
+        help="what the search maximizes (higher = worse for the algorithm)",
+    )
+    hunt_parser.add_argument(
+        "--strategy",
+        default="hillclimb",
+        choices=sorted(STRATEGIES),
+        help="search strategy over the schedule genotype",
+    )
+    hunt_parser.add_argument(
+        "--budget", type=int, default=200, help="trial evaluations to spend"
+    )
+    hunt_parser.add_argument("--seed", type=int, default=0)
+    hunt_parser.add_argument(
+        "--algorithm",
+        default="balls-into-leaves",
+        choices=sorted(ALGORITHMS),
+    )
+    hunt_parser.add_argument("--n", type=int, default=16, help="cell size")
+    hunt_parser.add_argument(
+        "--halt-on-name",
+        action="store_true",
+        help="hunt under the per-ball termination extension",
+    )
+    hunt_parser.add_argument(
+        "--crash-budget", type=int, default=None, help="the model's t (default n-1)"
+    )
+    hunt_parser.add_argument(
+        "--seeds-per-schedule",
+        type=int,
+        default=1,
+        help="trials per candidate; its score is the max over them",
+    )
+    hunt_parser.add_argument(
+        "--max-crashes", type=int, default=None, help="genotype crash-count cap"
+    )
+    hunt_parser.add_argument(
+        "--max-round", type=int, default=None, help="genotype round horizon"
+    )
+    hunt_parser.add_argument(
+        "--baseline-trials",
+        type=int,
+        default=5,
+        help="seeds per bundled adversary in the comparison baseline",
+    )
+    hunt_parser.add_argument(
+        "--top", type=int, default=3, help="distinct hunted schedules to report"
+    )
+    hunt_parser.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="skip delta-debugging minimization of the best schedule",
+    )
+    hunt_parser.add_argument(
+        "--out",
+        help="also write the report to this file; a .jsonl path persists "
+        "one JSON row per evaluated schedule instead (byte-identical on "
+        "every executor)",
+    )
+    _add_executor_options(hunt_parser)
     return parser
 
 
@@ -293,6 +365,103 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_hunt(args: argparse.Namespace) -> int:
+    from repro.analysis.worst_case import beats_every_bundled, worst_case_table
+    from repro.errors import KernelUnsupported
+    from repro.search.baseline import evaluate_bundled, hunt_entry
+    from repro.search.shrink import replay_identical, shrink, to_pytest
+    from repro.search.strategies import HuntConfig, run_hunt
+
+    if args.baseline_trials < 1:
+        raise ReproError(
+            f"--baseline-trials must be >= 1, got {args.baseline_trials}"
+        )
+    config = HuntConfig(
+        algorithm=args.algorithm,
+        n=args.n,
+        objective=args.objective,
+        budget=args.budget,
+        seed=args.seed,
+        seeds_per_schedule=args.seeds_per_schedule,
+        halt_on_name=args.halt_on_name,
+        crash_budget=args.crash_budget,
+        max_crashes=args.max_crashes,
+        max_round=args.max_round,
+        kernel=args.kernel,
+    )
+    result = run_hunt(
+        config, args.strategy, executor=args.executor, workers=args.workers
+    )
+    baseline = evaluate_bundled(
+        config,
+        trials=args.baseline_trials,
+        executor=args.executor,
+        workers=args.workers,
+    )
+    entries = [hunt_entry(e) for e in result.top(max(1, args.top))] + baseline
+    cell = f"{config.algorithm} n={config.n}"
+    report = [
+        f"hunt: {args.strategy} strategy, {len(result.evaluations)} schedules "
+        f"evaluated (budget {config.budget}, seed {config.seed})",
+        "",
+        worst_case_table(cell, config.objective, entries).render(),
+    ]
+
+    best = result.best
+    report.append("")
+    report.append(
+        f"worst schedule {best.schedule.digest}: score {best.score:g}, "
+        f"{best.schedule.crashes} crash(es), trial seed {best.best_result.spec.seed}"
+    )
+    report.append(f"  genotype: {best.schedule.to_json()}")
+    if not args.no_shrink:
+        shrunk = shrink(best.schedule, config, best.best_result.spec.seed)
+        report.append(
+            f"shrunk to {shrunk.schedule.crashes} crash(es) "
+            f"(score {shrunk.score:g}, {shrunk.trials_used} replays): "
+            f"{shrunk.schedule.to_json()}"
+        )
+        try:
+            reference, _ = replay_identical(shrunk.schedule, config, shrunk.seed)
+            report.append(
+                "replay: bit-identical on the reference and columnar kernels"
+            )
+            report.append("")
+            report.append("ready-to-paste regression:")
+            report.append(
+                to_pytest(shrunk.schedule, config, shrunk.seed, reference)
+            )
+        except KernelUnsupported as error:
+            report.append(f"replay: columnar kernel not applicable ({error.reason})")
+    repro_cmd = (
+        "python -m repro hunt"
+        f" --objective {config.objective} --strategy {args.strategy}"
+        f" --seed {config.seed} --budget {config.budget}"
+        f" --algorithm {config.algorithm} --n {config.n}"
+        f" --baseline-trials {args.baseline_trials}"
+    )
+    if config.halt_on_name:
+        repro_cmd += " --halt-on-name"
+    if config.crash_budget is not None:
+        repro_cmd += f" --crash-budget {config.crash_budget}"
+    if config.seeds_per_schedule != 1:
+        repro_cmd += f" --seeds-per-schedule {config.seeds_per_schedule}"
+    if config.max_crashes is not None:
+        repro_cmd += f" --max-crashes {config.max_crashes}"
+    if config.max_round is not None:
+        repro_cmd += f" --max-round {config.max_round}"
+    if args.no_shrink:
+        repro_cmd += " --no-shrink"
+    report.append(f"reproduce with: {repro_cmd}")
+    _emit("\n".join(report), args.out, jsonl_rows=result.rows())
+    if beats_every_bundled(entries):
+        print(
+            "the synthesized schedule beats every bundled adversary",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = _build_parser().parse_args(argv)
@@ -307,6 +476,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_demo(args.n, args.seed, args.algorithm, args.kernel)
         if args.command == "batch":
             return _cmd_batch(args)
+        if args.command == "hunt":
+            return _cmd_hunt(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

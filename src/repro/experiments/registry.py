@@ -21,6 +21,7 @@ from repro.experiments import (
     det_termination,
     fig_path_view,
     fig_phase_snapshots,
+    hunt,
     l6_node_occupancy,
     l10_path_drain,
     loadbalance_motivation,
@@ -69,6 +70,7 @@ _MODULES: List[ModuleType] = [
     message_complexity,
     approx_agreement,
     nonpow2,
+    hunt,
 ]
 
 _REGISTRY: Dict[str, ExperimentEntry] = {

@@ -1,0 +1,100 @@
+"""The bundled-adversary baseline a hunt must beat.
+
+A mined schedule is only interesting relative to the hand-written
+gauntlet: this module scores every bundled adversary on the hunt's cell,
+under the hunt's objective and an equivalent derived-seed protocol, and
+adapts both sides to :class:`~repro.analysis.worst_case.WorstCaseEntry`
+rows for the shared comparison table.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.analysis.worst_case import WorstCaseEntry
+from repro.errors import ConfigurationError
+from repro.search.objectives import as_objective
+from repro.search.strategies import Evaluation, HuntConfig
+from repro.sim.batch import AdversarySpec, TrialSpec, run_batch
+from repro.sim.rng import derive_seed
+
+#: The hand-written strategies every synthesis run is measured against —
+#: the EXP-ADV gauntlet lineup.
+BUNDLED_GAUNTLET: Tuple[AdversarySpec, ...] = (
+    AdversarySpec.of("none", label="none"),
+    AdversarySpec.of("random", rate=0.05, label="random 5%"),
+    AdversarySpec.of("random", rate=0.20, label="random 20%"),
+    AdversarySpec.of("targeted", label="targeted-priority"),
+    AdversarySpec.of("sandwich", label="sandwich"),
+    AdversarySpec.of("half-split", label="half-split r1"),
+    AdversarySpec.of("half-split", last_round=200, label="half-split all"),
+)
+
+
+def evaluate_bundled(
+    config: HuntConfig,
+    *,
+    trials: int = 5,
+    executor=None,
+    workers: Optional[int] = None,
+) -> List[WorstCaseEntry]:
+    """Score each bundled adversary's worst trial on the hunt's cell.
+
+    Each adversary runs ``trials`` seeds derived from the hunt's base
+    seed (independent of the search's own streams), through the same
+    batch engine and with the same capture semantics the hunt uses.
+    """
+    if trials < 1:
+        raise ConfigurationError(f"the baseline needs >= 1 trial, got {trials}")
+    objective = as_objective(config.objective)
+    # One dispatch for the whole gauntlet: all specs are independent, and
+    # a single run_batch call costs one worker-pool spin-up, not seven.
+    specs = [
+        TrialSpec(
+            algorithm=config.algorithm,
+            n=config.n,
+            seed=derive_seed(config.seed, "hunt-baseline", adversary.key, t),
+            adversary=adversary,
+            halt_on_name=config.halt_on_name,
+            crash_budget=config.crash_budget,
+            check=False,
+            kernel=config.kernel,
+            capture_errors=True,
+        )
+        for adversary in BUNDLED_GAUNTLET
+        for t in range(trials)
+    ]
+    all_results = run_batch(specs, executor=executor, workers=workers).trials
+    entries = []
+    for i, adversary in enumerate(BUNDLED_GAUNTLET):
+        results = all_results[i * trials : (i + 1) * trials]
+        scores = [objective.score(result) for result in results]
+        worst = results[scores.index(max(scores))]
+        entries.append(
+            WorstCaseEntry(
+                label=adversary.key,
+                source="bundled",
+                score=max(scores),
+                rounds=worst.rounds,
+                failures=worst.failures,
+                messages_sent=worst.messages_sent,
+                trials=trials,
+                error=worst.error,
+            )
+        )
+    return entries
+
+
+def hunt_entry(evaluation: Evaluation, label: Optional[str] = None) -> WorstCaseEntry:
+    """A hunted candidate as a comparison-table row."""
+    best = evaluation.best_result
+    return WorstCaseEntry(
+        label=label or f"schedule:{evaluation.schedule.digest}",
+        source="hunt",
+        score=evaluation.score,
+        rounds=best.rounds,
+        failures=best.failures,
+        messages_sent=best.messages_sent,
+        trials=len(evaluation.results),
+        error=best.error,
+    )

@@ -1,0 +1,205 @@
+"""The search genotype: a serializable, index-based crash schedule.
+
+A :class:`Schedule` is the unit the search strategies mutate, serialize,
+and replay: a population size ``n`` plus a tuple of :class:`CrashEvent`
+entries, each naming a round, a victim, and the subset of receivers that
+still get the victim's broadcast.  Victims and receivers are *positional
+indices* into the participant list rather than concrete process ids, so a
+schedule is a pure value — JSON-serializable, hashable, independent of
+the id scheme — and one genotype describes the same adversary behavior
+on every replay.
+
+Compilation targets the existing scripted adversary:
+:meth:`Schedule.compile` maps indices to ids and returns a
+:class:`~repro.adversary.scheduled.ScheduledAdversary`, which is
+columnar-certified (one shared predicate,
+:mod:`repro.adversary.certification`), so searched schedules run on the
+fast crash engine without the search layer re-declaring eligibility.
+:meth:`Schedule.spec` wraps the same value as a picklable
+:class:`~repro.sim.batch.AdversarySpec` (builder name ``"schedule"``),
+which is how schedules ride :class:`~repro.sim.batch.TrialSpec` through
+the batch executors.
+
+Robustness is inherited from the simulator: events naming dead victims
+or rounds past termination are clamped/ignored by the engine's own plan
+validation, so *every* genotype is viable and mutation operators never
+need repair logic beyond :meth:`canonical` normalization.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.adversary.certification import certification_failure
+from repro.adversary.scheduled import ScheduledAdversary, ScheduledCrash
+from repro.errors import ConfigurationError
+from repro.ids import ProcessId
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """Crash participant ``victim`` in ``round_no``; ``receivers`` still
+    hear its final broadcast (empty tuple = silent crash)."""
+
+    round_no: int
+    victim: int
+    receivers: Tuple[int, ...] = ()
+
+    def canonical(self, n: int) -> "CrashEvent":
+        """Sorted, deduplicated, in-range receivers excluding the victim."""
+        receivers = tuple(
+            sorted({r for r in self.receivers if 0 <= r < n and r != self.victim})
+        )
+        return replace(self, receivers=receivers)
+
+    def validate(self, n: int) -> None:
+        if self.round_no < 1:
+            raise ConfigurationError(
+                f"crash rounds start at 1, got {self.round_no}"
+            )
+        if not 0 <= self.victim < n:
+            raise ConfigurationError(
+                f"victim index {self.victim} out of range for n={n}"
+            )
+
+    def to_tuple(self) -> Tuple[int, int, Tuple[int, ...]]:
+        return (self.round_no, self.victim, tuple(self.receivers))
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """An adversary genotype: ``n`` participants, crash events by index."""
+
+    n: int
+    events: Tuple[CrashEvent, ...] = ()
+
+    # ------------------------------------------------------------ construction
+    @classmethod
+    def of(cls, n: int, events: Sequence[CrashEvent] = ()) -> "Schedule":
+        """Validate, canonicalize, and order a genotype.
+
+        Events are sorted by (round, victim); a victim appearing more
+        than once keeps only its earliest event (a process crashes once —
+        later entries could never fire).
+        """
+        if n < 1:
+            raise ConfigurationError(f"a schedule needs n >= 1, got {n}")
+        seen: Dict[int, CrashEvent] = {}
+        for event in sorted(events, key=lambda e: (e.round_no, e.victim)):
+            event.validate(n)
+            seen.setdefault(event.victim, event.canonical(n))
+        ordered = tuple(
+            sorted(seen.values(), key=lambda e: (e.round_no, e.victim))
+        )
+        return cls(n=n, events=ordered)
+
+    def canonical(self) -> "Schedule":
+        """The normalized form of this genotype (idempotent)."""
+        return Schedule.of(self.n, self.events)
+
+    # -------------------------------------------------------------- mutation ops
+    def with_event(self, event: CrashEvent) -> "Schedule":
+        """This schedule plus one event (canonicalized)."""
+        return Schedule.of(self.n, self.events + (event,))
+
+    def without_event(self, index: int) -> "Schedule":
+        """This schedule minus the event at ``index``."""
+        kept = self.events[:index] + self.events[index + 1 :]
+        return Schedule.of(self.n, kept)
+
+    def replace_event(self, index: int, event: CrashEvent) -> "Schedule":
+        """This schedule with the event at ``index`` swapped out."""
+        kept = self.events[:index] + (event,) + self.events[index + 1 :]
+        return Schedule.of(self.n, kept)
+
+    # ---------------------------------------------------------- identity / io
+    @property
+    def crashes(self) -> int:
+        """Number of scheduled crash events."""
+        return len(self.events)
+
+    @property
+    def digest(self) -> str:
+        """A short stable content hash (dedup keys, labels, filenames)."""
+        material = repr((self.n, tuple(e.to_tuple() for e in self.events)))
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()[:10]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready encoding (inverse of :meth:`from_dict`)."""
+        return {
+            "n": self.n,
+            "events": [
+                [e.round_no, e.victim, list(e.receivers)] for e in self.events
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Schedule":
+        events = [
+            CrashEvent(int(r), int(v), tuple(int(x) for x in receivers))
+            for r, v, receivers in data.get("events", [])
+        ]
+        return cls.of(int(data["n"]), events)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "Schedule":
+        return cls.from_dict(json.loads(text))
+
+    # ------------------------------------------------------------- compilation
+    def compile(self, ids: Sequence[ProcessId]) -> ScheduledAdversary:
+        """Bind indices to ``ids`` (positionally) and return the scripted
+        adversary.
+
+        The result is columnar-certified — asserted here against the one
+        shared predicate so a regression in the certification plumbing
+        fails loudly at compile time, not as a silent fast-path fallback.
+        """
+        if len(ids) != self.n:
+            raise ConfigurationError(
+                f"schedule is for n={self.n}, got {len(ids)} ids"
+            )
+        ordered = list(ids)
+        adversary = ScheduledAdversary(
+            [
+                ScheduledCrash(
+                    e.round_no,
+                    ordered[e.victim],
+                    receivers=[ordered[r] for r in e.receivers],
+                )
+                for e in self.events
+            ]
+        )
+        failure = certification_failure(adversary)
+        if failure is not None:  # pragma: no cover - plumbing regression
+            raise ConfigurationError(
+                f"schedule compiled to an uncertified adversary: {failure}"
+            )
+        return adversary
+
+    def spec(self, label: str = None):
+        """This schedule as a picklable batch :class:`AdversarySpec`."""
+        from repro.sim.batch import AdversarySpec
+
+        return AdversarySpec.of(
+            "schedule",
+            label=label or f"schedule:{self.digest}",
+            n=self.n,
+            events=tuple(e.to_tuple() for e in self.events),
+        )
+
+    @classmethod
+    def from_params(cls, *, n: int, events: Sequence = ()) -> "Schedule":
+        """Decode the ``spec()`` parameter encoding (builder side)."""
+        return cls.of(
+            int(n),
+            [
+                CrashEvent(int(r), int(v), tuple(int(x) for x in receivers))
+                for r, v, receivers in events
+            ],
+        )

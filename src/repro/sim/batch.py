@@ -59,10 +59,15 @@ from repro.adversary.splitter import HalfSplitAdversary
 from repro.adversary.targeted import TargetedPriorityAdversary
 from repro.analysis.stats import TrialStats, summarize
 from repro.analysis.tables import Table
-from repro.errors import ConfigurationError
+from repro.errors import (
+    ConfigurationError,
+    RoundLimitExceeded,
+    SimulationError,
+    SpecViolation,
+)
 from repro.ids import Name, ProcessId, sparse_ids
 from repro.sim.rng import derive_seed
-from repro.sim.runner import ALGORITHMS, run_renaming
+from repro.sim.runner import ALGORITHMS, default_round_limit, run_renaming
 
 # --------------------------------------------------------------- seed schedules
 
@@ -137,12 +142,22 @@ def _build_half_split(
     )
 
 
+def _build_schedule(seed: int, n: int = 0, events: Tuple = ()) -> Adversary:
+    """A searched crash schedule (:mod:`repro.search.schedule`), bound to
+    the trial's ``sparse_ids(n)`` population — the builder lives here so
+    worker processes resolve it when unpickling a spec."""
+    from repro.search.schedule import Schedule
+
+    return Schedule.from_params(n=n, events=events).compile(sparse_ids(n))
+
+
 ADVERSARY_BUILDERS: Dict[str, AdversaryBuilder] = {
     "none": _build_none,
     "random": _build_random,
     "targeted": _build_targeted,
     "sandwich": _build_sandwich,
     "half-split": _build_half_split,
+    "schedule": _build_schedule,
 }
 
 
@@ -255,6 +270,11 @@ class TrialSpec:
     #: otherwise), or a pinned "reference" / "columnar" / "vectorized"
     #: (pinned fast paths raise KernelUnsupported on rejected cells).
     kernel: str = "auto"
+    #: Counterexample-mining mode: capture simulation/spec failures as
+    #: data (:attr:`TrialResult.error`) instead of letting one poisoned
+    #: trial abort a whole batch.  A deadlocked run (the round limit) is
+    #: exactly what an adversary search hopes to find.
+    capture_errors: bool = False
 
     @property
     def cell(self) -> CellKey:
@@ -276,6 +296,10 @@ class TrialResult:
     #: Which kernel actually executed the trial (resolved from the spec's
     #: "auto" where applicable).
     kernel: str = "reference"
+    #: ``"ErrorType: message"`` when the spec ran with
+    #: ``capture_errors=True`` and the execution failed (deadlock, spec
+    #: violation); None for a clean run.
+    error: Optional[str] = None
 
     @property
     def cell(self) -> CellKey:
@@ -295,21 +319,45 @@ class TrialResult:
             "messages_sent": self.messages_sent,
             "messages_delivered": self.messages_delivered,
             "last_round_named": self.last_round_named,
+            "error": self.error,
         }
 
 
 def run_trial(spec: TrialSpec) -> TrialResult:
     """Execute one spec end to end (module-level so executors can pickle it)."""
-    run = run_renaming(
-        spec.algorithm,
-        sparse_ids(spec.n),
-        seed=spec.seed,
-        adversary=spec.adversary.build(spec.seed),
-        crash_budget=spec.crash_budget,
-        halt_on_name=spec.halt_on_name,
-        check=spec.check,
-        kernel=spec.kernel,
-    )
+    try:
+        run = run_renaming(
+            spec.algorithm,
+            sparse_ids(spec.n),
+            seed=spec.seed,
+            adversary=spec.adversary.build(spec.seed),
+            crash_budget=spec.crash_budget,
+            halt_on_name=spec.halt_on_name,
+            check=spec.check,
+            kernel=spec.kernel,
+        )
+    except (SimulationError, SpecViolation) as error:
+        if not spec.capture_errors:
+            raise
+        # The round budget a deadlocked run exhausted: the worst legal
+        # round count, so rounds-style objectives rank it above any
+        # terminating execution.
+        limit = (
+            error.limit
+            if isinstance(error, RoundLimitExceeded)
+            else default_round_limit(spec.n, spec.crash_budget)
+        )
+        return TrialResult(
+            spec=spec,
+            rounds=limit,
+            failures=0,
+            messages_sent=0,
+            messages_delivered=0,
+            last_round_named=None,
+            names=(),
+            kernel=spec.kernel,
+            error=f"{type(error).__name__}: {error}",
+        )
     return TrialResult(
         spec=spec,
         rounds=run.rounds,
@@ -350,6 +398,7 @@ def _cell_config(spec: TrialSpec) -> Tuple[Any, ...]:
         spec.crash_budget,
         spec.check,
         spec.kernel,
+        spec.capture_errors,
     )
 
 
@@ -468,7 +517,15 @@ def _run_task(task: Task) -> List[TrialResult]:
     """One executor work item (module-level so pools can pickle it)."""
     if isinstance(task, TrialSpec):
         return [run_trial(task)]
-    return run_cell(task)
+    try:
+        return run_cell(task)
+    except (SimulationError, SpecViolation):
+        if not task[0].capture_errors:
+            raise
+        # The stacked engine fails the whole cell at once; re-run its
+        # trials individually so only the poisoned ones become error
+        # rows (run_trial captures per spec, bit-identical otherwise).
+        return [run_trial(spec) for spec in task]
 
 
 # -------------------------------------------------------------------- executors

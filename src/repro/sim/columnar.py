@@ -18,12 +18,15 @@ Two array engines split the work:
   announced-termination lifecycle (halt-on-name) as per-ball status
   columns and per-round crash masks.
 
-Certified adversaries are the bundled strategies whose plans are a pure
-function of the public :class:`~repro.adversary.base.AdversaryContext`
-fields (round, running/alive sets, outbox payloads, own RNG).  Custom
-adversary types may introspect process objects the fast path never
-materializes, so they are rejected and ``auto`` selection falls back to
-the reference kernel.  Also rejected (they observe reference-engine
+Certified adversaries are the strategies whose plans are a pure function
+of the public :class:`~repro.adversary.base.AdversaryContext` fields
+(round, running/alive sets, outbox payloads, own RNG), declared where the
+strategy is written via the
+:func:`~repro.adversary.certification.certified` decorator — one
+registry shared with :mod:`repro.search.schedule`, so searched schedules
+are eligible without re-declaration.  Custom adversary types may
+introspect process objects the fast path never materializes, so they are
+rejected and ``auto`` selection falls back to the reference kernel.  Also rejected (they observe reference-engine
 internals): traces, phase statistics, invariant checking, the
 paper-verbatim ``faithful`` view store, and non-BiL algorithms.
 """
@@ -32,29 +35,12 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.adversary.certification import certification_failure
 from repro.adversary.none import NoFailures
-from repro.adversary.random_crash import RandomCrashAdversary
-from repro.adversary.sandwich import SandwichAdversary
-from repro.adversary.scheduled import ScheduledAdversary
-from repro.adversary.splitter import HalfSplitAdversary
-from repro.adversary.targeted import TargetedPriorityAdversary
 from repro.errors import ConfigurationError, RoundLimitExceeded
 from repro.sim.kernel import KernelRequest, KernelRun, SimulationKernel
 from repro.sim.metrics import RoundMetrics, SimulationMetrics
 from repro.sim.simulator import SimulationResult
-
-#: Adversary types certified for the columnar crash engine: their plans
-#: read only the public AdversaryContext fields, which the engine
-#: reproduces bit-for-bit.  Exact types — a subclass may override
-#: ``plan`` with logic the certification does not cover.
-CERTIFIED_ADVERSARIES = (
-    NoFailures,
-    RandomCrashAdversary,
-    ScheduledAdversary,
-    SandwichAdversary,
-    HalfSplitAdversary,
-    TargetedPriorityAdversary,
-)
 
 
 class ColumnarKernel(SimulationKernel):
@@ -69,14 +55,9 @@ class ColumnarKernel(SimulationKernel):
                 "based; its broadcasts are not position announcements over "
                 "a shared view"
             )
-        adversary = request.adversary
-        if adversary is not None and type(adversary) not in CERTIFIED_ADVERSARIES:
-            return (
-                f"adversary type {type(adversary).__name__} is not columnar-"
-                "certified (its plan may inspect process internals the fast "
-                "path never materializes); certified types: "
-                + ", ".join(cls.__name__ for cls in CERTIFIED_ADVERSARIES)
-            )
+        failure = certification_failure(request.adversary)
+        if failure is not None:
+            return failure
         if request.trace is not None:
             return "trace recording observes the reference engine's events"
         if request.collect_phase_stats:

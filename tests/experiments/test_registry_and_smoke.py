@@ -24,6 +24,7 @@ EXPECTED_IDS = [
     "EXP-MSG",
     "EXP-AA",
     "EXP-NP2",
+    "EXP-HUNT",
 ]
 
 

@@ -1,0 +1,82 @@
+"""CLI tests for the ``hunt`` verb."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestHuntCli:
+    def test_hunt_smoke_reports_comparison_and_best(self, capsys):
+        assert main(
+            ["hunt", "--n", "8", "--budget", "10", "--seed", "2",
+             "--baseline-trials", "2", "--no-shrink"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "worst cases on balls-into-leaves n=8" in out
+        assert "worst schedule" in out
+        assert "genotype" in out
+        assert "reproduce with: python -m repro hunt" in out
+
+    def test_hunt_shrink_emits_regression_snippet(self, capsys):
+        assert main(
+            ["hunt", "--n", "8", "--budget", "8", "--seed", "2",
+             "--baseline-trials", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "shrunk to" in out
+        assert "bit-identical on the reference and columnar kernels" in out
+        assert "def test_hunt_regression_" in out
+
+    def test_hunt_out_jsonl_rows_are_the_history(self, tmp_path, capsys):
+        out = tmp_path / "hunt.jsonl"
+        assert main(
+            ["hunt", "--n", "8", "--budget", "6", "--seed", "3",
+             "--baseline-trials", "1", "--no-shrink", "--out", str(out)]
+        ) == 0
+        assert "6 JSONL rows written" in capsys.readouterr().err
+        rows = [json.loads(line) for line in out.read_text().splitlines()]
+        assert len(rows) == 6
+        assert [row["index"] for row in rows] == list(range(6))
+        assert all(row["strategy"] == "hillclimb" for row in rows)
+        assert all("schedule" in row and "score" in row for row in rows)
+
+    def test_hunt_jsonl_identical_across_executors(self, tmp_path, capsys):
+        """The determinism satellite, via the CLI surface."""
+        paths = []
+        for name, extra in (
+            ("serial.jsonl", ["--executor", "serial"]),
+            ("process.jsonl", ["--executor", "process", "--workers", "2"]),
+        ):
+            path = tmp_path / name
+            assert main(
+                ["hunt", "--n", "8", "--budget", "8", "--seed", "5",
+                 "--baseline-trials", "1", "--no-shrink", "--out", str(path)]
+                + extra
+            ) == 0
+            paths.append(path)
+        capsys.readouterr()
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    def test_hunt_rejects_unknown_objective(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["hunt", "--objective", "nope"])
+
+    def test_hunt_rejects_bad_sizes_cleanly(self, capsys):
+        assert main(["hunt", "--budget", "0"]) == 2
+        assert main(["hunt", "--baseline-trials", "0"]) == 2
+        assert main(["hunt", "--budget", "1", "--seeds-per-schedule", "2"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "Traceback" not in err
+
+    def test_hunt_flood_skips_columnar_replay_cleanly(self, capsys):
+        assert main(
+            ["hunt", "--algorithm", "flood", "--n", "8", "--budget", "4",
+             "--seed", "1", "--baseline-trials", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "columnar kernel not applicable" in out

@@ -1,0 +1,89 @@
+"""Nightly (tier-2) end-to-end hunts.
+
+Two claims are re-verified with real search budgets:
+
+* the acceptance hunt — hill-climbing with the documented command-line
+  budget synthesizes a schedule strictly worse than every bundled
+  adversary on its cell, and the shrunk repro replays bit-identically on
+  both kernels;
+* the PR 3 ghost-leaf class — under halt-on-name, the hill-climb hunt
+  densely covers the schedule class that deadlocked before the
+  announced-termination fix (mid-path crashes delivered to a proper
+  subset of peers).  Pre-fix, any such candidate would have scored the
+  liveness :data:`~repro.search.objectives.ERROR_SCORE`; asserting that
+  the class is explored *and* that no candidate reaches that score is
+  the automated re-run of the bug hunt against the fixed engine.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.search.baseline import evaluate_bundled
+from repro.search.objectives import ERROR_SCORE, as_objective
+from repro.search.schedule import CrashEvent, Schedule
+from repro.search.shrink import replay, replay_identical, shrink
+from repro.search.strategies import HuntConfig, run_hunt
+
+pytestmark = pytest.mark.tier2
+
+
+def ghost_leaf_class(schedule: Schedule) -> bool:
+    """The pre-fix deadlock predicate (structural): some crash lands in
+    a path round (even) and reaches a proper non-empty receiver subset,
+    so a partial receiver simulates the victim onto a leaf it never
+    announced."""
+    return any(
+        event.round_no % 2 == 0 and 0 < len(event.receivers) < schedule.n - 1
+        for event in schedule.events
+    )
+
+
+class TestAcceptanceHunt:
+    """`repro hunt --objective rounds --strategy hillclimb --seed 1
+    --budget 200`, as a pinned assertion."""
+
+    def test_hillclimb_beats_every_bundled_adversary_and_shrinks(self):
+        config = HuntConfig(n=16, objective="rounds", budget=200, seed=1)
+        result = run_hunt(config, "hillclimb")
+        baseline = evaluate_bundled(config, trials=5)
+        bundled_worst = max(entry.score for entry in baseline)
+        best = result.best
+        assert best.score > bundled_worst
+
+        seed = best.best_result.spec.seed
+        shrunk = shrink(best.schedule, config, seed)
+        assert shrunk.score >= best.score
+        assert shrunk.schedule.crashes <= best.schedule.crashes
+        reference, columnar = replay_identical(shrunk.schedule, config, seed)
+        assert reference.rounds == columnar.rounds
+        assert reference.rounds > bundled_worst
+
+
+class TestGhostLeafClassHunt:
+    CONFIG = HuntConfig(
+        n=9, objective="liveness", budget=400, seed=1, halt_on_name=True
+    )
+
+    def test_hillclimb_covers_the_class_and_finds_no_deadlock(self):
+        result = run_hunt(self.CONFIG, "hillclimb")
+        matches = [
+            e for e in result.evaluations if ghost_leaf_class(e.schedule)
+        ]
+        # The search must actually exercise the once-deadlocking class...
+        assert len(matches) >= 20
+        # ...the objective must score those candidates (a pre-fix engine
+        # deadlocks here, scoring >= ERROR_SCORE and failing this)...
+        assert all(0 < e.score < ERROR_SCORE for e in matches)
+        # ...and nothing anywhere may reach the liveness penalty.
+        assert result.best.score < ERROR_SCORE
+
+    def test_the_original_pr3_genotype_is_scored_finite(self):
+        """The exact mined repro (n=9, round-2 crash of ball 0 heard only
+        by ball 1) runs to completion post-fix under its original seed."""
+        genotype = Schedule.of(9, [CrashEvent(2, 0, (1,))])
+        assert ghost_leaf_class(genotype)
+        result = replay(genotype, self.CONFIG, 1)
+        assert result.error is None
+        score = as_objective("liveness").score(result)
+        assert 0 < score < ERROR_SCORE

@@ -1,0 +1,106 @@
+"""Tests for delta-debugging minimization and kernel-identical replay."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import KernelUnsupported
+from repro.search.objectives import as_objective
+from repro.search.schedule import CrashEvent, Schedule
+from repro.search.shrink import replay, replay_identical, shrink, to_pytest
+from repro.search.strategies import HuntConfig
+from repro.sim.rng import derive_rng
+
+CONFIG = HuntConfig(algorithm="balls-into-leaves", n=8, objective="rounds")
+
+
+def padded_schedule(core: Schedule, seed: int = 0) -> Schedule:
+    """The core event plus deterministic no-op-ish noise events."""
+    rng = derive_rng(seed, "padding")
+    events = list(core.events)
+    for victim in (1, 3, 5):
+        events.append(
+            CrashEvent(rng.randint(8, 12), victim, (rng.randrange(8),))
+        )
+    return Schedule.of(core.n, events)
+
+
+class TestShrink:
+    def test_result_is_one_minimal_for_the_target(self):
+        objective = as_objective(CONFIG.objective)
+        seed = 11
+        core = Schedule.of(8, [CrashEvent(2, 0, (1,))])
+        start = padded_schedule(core)
+        target = objective.score(replay(start, CONFIG, seed))
+        shrunk = shrink(start, CONFIG, seed)
+        assert shrunk.target == target
+        assert shrunk.score >= target
+        assert shrunk.schedule.crashes <= start.crashes
+        # 1-minimality: dropping any remaining event loses the behavior
+        # (unless the schedule is already a single event).
+        if shrunk.schedule.crashes > 1:
+            for index in range(shrunk.schedule.crashes):
+                candidate = shrunk.schedule.without_event(index)
+                score = objective.score(replay(candidate, CONFIG, seed))
+                assert score < target
+
+    def test_prefers_silent_crashes_and_early_rounds(self):
+        seed = 3
+        noisy = Schedule.of(
+            8, [CrashEvent(6, 2, (0, 1, 3, 4, 5, 6, 7))]
+        )
+        shrunk = shrink(noisy, CONFIG, seed)
+        event = shrunk.schedule.events[0]
+        # Receivers only survive when they matter for the score; rounds
+        # only stay late when earliness changes the outcome.
+        rescored = replay(shrunk.schedule, CONFIG, seed)
+        assert as_objective("rounds").score(rescored) == shrunk.score
+        assert event.round_no <= 6
+
+    def test_budget_caps_replays(self):
+        start = padded_schedule(Schedule.of(8, [CrashEvent(2, 0, (1,))]))
+        shrunk = shrink(start, CONFIG, 11, budget=5)
+        assert shrunk.trials_used <= 5 + 2  # initial score + final rescore
+
+
+class TestReplay:
+    def test_identical_on_reference_and_columnar(self):
+        schedule = Schedule.of(8, [CrashEvent(2, 0, (1, 2)), CrashEvent(4, 5)])
+        reference, columnar = replay_identical(schedule, CONFIG, 7)
+        assert reference.kernel == "reference"
+        assert columnar.kernel == "columnar"
+        assert reference.names == columnar.names
+
+    def test_columnar_rejection_propagates(self):
+        config = HuntConfig(algorithm="flood", n=8, objective="rounds")
+        schedule = Schedule.of(8, [CrashEvent(1, 0)])
+        with pytest.raises(KernelUnsupported):
+            replay_identical(schedule, config, 0)
+
+
+class TestToPytest:
+    def test_renders_a_complete_regression(self):
+        schedule = Schedule.of(8, [CrashEvent(2, 0, (1, 2))])
+        result = replay(schedule, CONFIG, 5)
+        text = to_pytest(schedule, CONFIG, 5, result)
+        assert f"def test_hunt_regression_{schedule.digest}(" in text
+        assert "ScheduledCrash(2, ids[0], receivers=[ids[1], ids[2]])" in text
+        assert f"assert run.rounds == {result.rounds}" in text
+        assert "seed=5" in text
+        # check=False so a pinned *violation* would assert, not raise
+        assert "check=False" in text
+        assert f"len(names) == {len(result.names)}" in text
+
+    def test_renders_halt_and_budget_kwargs(self):
+        config = HuntConfig(
+            algorithm="balls-into-leaves",
+            n=8,
+            objective="liveness",
+            halt_on_name=True,
+            crash_budget=3,
+        )
+        schedule = Schedule.of(8, [CrashEvent(2, 0)])
+        result = replay(schedule, config, 5)
+        text = to_pytest(schedule, config, 5, result)
+        assert "halt_on_name=True" in text
+        assert "crash_budget=3" in text
