@@ -8,6 +8,7 @@ Subcommands::
     repro demo [--n 32]            # one quick renaming run, human-readable
     repro batch --algorithms ...   # run a raw scenario matrix
     repro hunt --objective rounds  # synthesize worst-case crash schedules
+    repro tail --n 1024            # importance-splitting round-tail estimate
 
 Every experiment prints the exact command reproducing it, and all
 randomness flows from ``--seed``.  ``--executor process --workers K``
@@ -55,6 +56,20 @@ def _add_executor_options(parser: argparse.ArgumentParser) -> None:
         "is installed, columnar otherwise, reference as the final "
         "fallback); reference/columnar/vectorized pin an engine and fail "
         "on runs it cannot model",
+    )
+
+
+def _add_monitor_option(parser: argparse.ArgumentParser) -> None:
+    from repro.monitor.invariants import MONITOR_MODES
+
+    parser.add_argument(
+        "--monitor",
+        default="off",
+        choices=MONITOR_MODES,
+        help="runtime invariant monitoring: cheap = per-round flat-array "
+        "predicates on any kernel (violations land in the jsonl rows), "
+        "full = cheap plus the instrumented reference movement audit "
+        "(pins the reference engine)",
     )
 
 
@@ -145,6 +160,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "(default: ~4 chunks per worker); results are identical for any value",
     )
     _add_executor_options(batch_parser)
+    _add_monitor_option(batch_parser)
 
     hunt_parser = sub.add_parser(
         "hunt",
@@ -214,6 +230,67 @@ def _build_parser() -> argparse.ArgumentParser:
         "every executor)",
     )
     _add_executor_options(hunt_parser)
+    _add_monitor_option(hunt_parser)
+
+    tail_parser = sub.add_parser(
+        "tail",
+        help="estimate the round-count tail P(rounds > k*ceil(loglog n)) "
+        "by multilevel importance splitting",
+    )
+    tail_parser.add_argument("--n", type=int, default=1024, help="cell size")
+    tail_parser.add_argument(
+        "--algorithm",
+        default="balls-into-leaves",
+        choices=sorted(name for name, p in ALGORITHMS.items() if p is not None),
+    )
+    tail_parser.add_argument("--seed", type=int, default=0)
+    tail_parser.add_argument(
+        "--trials", type=int, default=256, help="trials per splitting stage"
+    )
+    tail_parser.add_argument(
+        "--k-min", type=int, default=2, help="first level, in loglog units"
+    )
+    tail_parser.add_argument(
+        "--k-max", type=int, default=5, help="last level, in loglog units"
+    )
+    tail_parser.add_argument(
+        "--levels",
+        default=None,
+        help="explicit comma-separated absolute round levels "
+        "(overrides --k-min/--k-max)",
+    )
+    tail_parser.add_argument(
+        "--halt-on-name",
+        action="store_true",
+        help="estimate under the per-ball termination extension",
+    )
+    tail_parser.add_argument(
+        "--chunk",
+        type=int,
+        default=64,
+        help="trials per work unit (fixed regardless of executor, so "
+        "parallel runs replay the serial schedule)",
+    )
+    tail_parser.add_argument(
+        "--growth",
+        type=float,
+        default=1.0,
+        help="per-stage population growth factor; the conditional factors "
+        "decay with depth, so growth > 1 keeps deep (cheap, two-round) "
+        "stages from going extinct",
+    )
+    tail_parser.add_argument(
+        "--max-trials",
+        type=int,
+        default=65536,
+        help="hard cap on any single stage's population",
+    )
+    tail_parser.add_argument(
+        "--out",
+        help="also write the report to this file; a .jsonl path persists "
+        "one JSON row per stage plus the final estimate instead",
+    )
+    _add_executor_options(tail_parser)
     return parser
 
 
@@ -336,6 +413,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         base_seed=args.seed,
         seed_mode=args.seed_mode,
         kernel=args.kernel,
+        monitor=args.monitor,
     )
     batch = run_batch(
         matrix,
@@ -388,6 +466,7 @@ def _cmd_hunt(args: argparse.Namespace) -> int:
         max_crashes=args.max_crashes,
         max_round=args.max_round,
         kernel=args.kernel,
+        monitor=args.monitor,
     )
     result = run_hunt(
         config, args.strategy, executor=args.executor, workers=args.workers
@@ -462,6 +541,51 @@ def _cmd_hunt(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_tail(args: argparse.Namespace) -> int:
+    from repro.monitor.splitting import TailConfig, default_levels, run_tail
+
+    if args.levels:
+        try:
+            levels = tuple(
+                int(level) for level in args.levels.split(",") if level.strip()
+            )
+        except ValueError:
+            raise ReproError(
+                f"--levels must be comma-separated integers, got {args.levels!r}"
+            ) from None
+    else:
+        levels = default_levels(args.n, args.k_min, args.k_max)
+    config = TailConfig(
+        n=args.n,
+        algorithm=args.algorithm,
+        seed=args.seed,
+        trials=args.trials,
+        levels=levels,
+        halt_on_name=args.halt_on_name,
+        kernel=args.kernel,
+        chunk=args.chunk,
+        growth=args.growth,
+        max_trials=args.max_trials,
+    )
+    result = run_tail(config, executor=args.executor, workers=args.workers)
+    repro_cmd = (
+        "python -m repro tail"
+        f" --n {config.n} --algorithm {config.algorithm}"
+        f" --seed {config.seed} --trials {config.trials}"
+        f" --levels {','.join(str(level) for level in config.levels)}"
+        f" --chunk {config.chunk}"
+        f" --growth {config.growth} --max-trials {config.max_trials}"
+    )
+    if config.halt_on_name:
+        repro_cmd += " --halt-on-name"
+    _emit(
+        result.render() + f"\nreproduce with: {repro_cmd}",
+        args.out,
+        jsonl_rows=result.rows(),
+    )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = _build_parser().parse_args(argv)
@@ -478,6 +602,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_batch(args)
         if args.command == "hunt":
             return _cmd_hunt(args)
+        if args.command == "tail":
+            return _cmd_tail(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

@@ -185,6 +185,63 @@ class ColumnarBallsEngine:
         else:
             self._position_round(round_no)
 
+    # -------------------------------------------------------- state interchange
+    def export_state(self) -> Dict[str, Any]:
+        """The protocol state as engine-independent plain lists.
+
+        The same shape ``VectorizedCellEngine.export_trial_state`` emits
+        (``-1`` sentinels for undecided/unnamed), so the splitting
+        estimator can checkpoint on one engine and resume on the other.
+        """
+        return {
+            "pos": list(self.pos),
+            "halted": list(self.halted),
+            "decision": [-1 if d is None else d for d in self.decision],
+            "round_named": [-1 if r is None else r for r in self.round_named],
+            "round_halted": [-1 if r is None else r for r in self.round_halted],
+            "count": list(self._count),
+            "leaf_occ": None if self._leaf_occ is None else list(self._leaf_occ),
+            "n_at_leaf": self._n_at_leaf,
+            "running": self.running_count,
+        }
+
+    def restore_state(self, state: Dict[str, Any], round_no: int) -> None:
+        """Load an exported state as of completed round ``round_no`` ≥ 1.
+
+        Per-ball RNG streams restart fresh from this engine's seed (pass
+        the clone's derived seed at construction) — valid because the
+        protocol is Markov given the exported state.
+        """
+        if round_no < 1:
+            raise ConfigurationError(
+                "restore_state resumes after a completed round (round_no >= 1)"
+            )
+        n = self.n
+        self.pos = [int(p) for p in state["pos"]]
+        self.halted = [bool(h) for h in state["halted"]]
+        self.decision = [None if d < 0 else int(d) for d in state["decision"]]
+        self.round_named = [
+            None if r < 0 else int(r) for r in state["round_named"]
+        ]
+        self.round_halted = [
+            None if r < 0 else int(r) for r in state["round_halted"]
+        ]
+        self._count = [int(c) for c in state["count"]]
+        if self._track_leaf_occ:
+            self._leaf_occ = [int(c) for c in state["leaf_occ"]]
+        self._n_at_leaf = int(state["n_at_leaf"])
+        self.running_count = int(state["running"])
+        self._rngs = [None] * n
+        # Round parity fixes the stage: after an odd round (init or
+        # position) the next round is a path round, after an even one a
+        # position round; phases count completed path/position pairs.
+        if round_no % 2 == 1:
+            self.phase = (round_no + 1) // 2
+            self._stage = _STAGE_PATH
+        else:
+            self.phase = round_no // 2
+            self._stage = _STAGE_POSITION
+
     # ------------------------------------------------------------------- rounds
     def _init_round(self) -> None:
         """Line 1: every ball announces its label; all start at the root."""
@@ -1108,3 +1165,22 @@ class ColumnarCrashEngine:
             if named is not None and (last is None or named > last):
                 last = named
         return last
+
+    def monitor_views(self) -> List[Tuple[List[int], bytes]]:
+        """The distinct live local views in monitor form.
+
+        One ``(pos, status)`` pair per equivalence class that still has a
+        running member — the flat-array twin of iterating the running
+        reference processes' ``LocalTreeView`` objects.
+        """
+        seen: Set[int] = set()
+        views: List[Tuple[List[int], bytes]] = []
+        for j in range(self.n):
+            if self.crashed[j] or self.halted[j]:
+                continue
+            cv = self._class_of[j]
+            if cv is None or id(cv) in seen:
+                continue
+            seen.add(id(cv))
+            views.append((list(cv.pos), bytes(cv.status)))
+        return views

@@ -40,7 +40,7 @@ from __future__ import annotations
 
 import hashlib
 from functools import lru_cache
-from typing import Hashable, List, Optional, Sequence
+from typing import Any, Dict, Hashable, List, Optional, Sequence
 
 from repro.errors import ConfigurationError, RoundLimitExceeded
 from repro.ids import require_distinct
@@ -246,20 +246,33 @@ class VectorizedCellEngine:
         self.rounds = np.zeros(T, dtype=np.int32)
         self.round_senders: List["np.ndarray"] = []
         self.round_running_after: List["np.ndarray"] = []
+        # Persistent round cursor: run() resumes here, so the engine can
+        # be driven in segments (the importance-splitting estimator stops
+        # at each level, clones survivors, and resumes the clones).
+        self._round = 0
 
     # ------------------------------------------------------------------ driving
-    def run(self) -> None:
-        """All trials to completion, mirroring the kernel driving loop."""
-        round_no = 0
+    def run(self, stop_after: Optional[int] = None, observer=None) -> None:
+        """All trials to completion, mirroring the kernel driving loop.
+
+        ``stop_after`` pauses the stack once that round number has been
+        completed (trials stay resumable); ``observer(engine, round_no,
+        active)`` is called after every completed round — the hook the
+        stacked invariant monitor attaches to.
+        """
+        round_no = self._round
         while True:
             active = self.running > 0
             if not active.any():
+                break
+            if stop_after is not None and round_no >= stop_after:
                 break
             if round_no >= self._max_rounds:
                 raise RoundLimitExceeded(
                     self._max_rounds, int(self.running[active][0])
                 )
             round_no += 1
+            self._round = round_no
             senders = np.where(active, self.running, 0)
             if round_no == 1:
                 self._init_round()
@@ -270,6 +283,63 @@ class VectorizedCellEngine:
             self.rounds[active] = round_no
             self.round_senders.append(senders)
             self.round_running_after.append(np.where(active, self.running, 0))
+            if observer is not None:
+                observer(self, round_no, active)
+
+    # -------------------------------------------------------- state interchange
+    def export_trial_state(self, t: int) -> Dict[str, Any]:
+        """Trial ``t``'s protocol state in the engine-independent form
+        shared with ``ColumnarBallsEngine.export_state`` (plain lists,
+        ``-1`` sentinels for undecided/unnamed)."""
+        n = self.n
+        M = self._topo.node_count
+        balls = slice(t * n, (t + 1) * n)
+        nodes = slice(t * M, (t + 1) * M)
+        return {
+            "pos": self.pos[balls].tolist(),
+            "halted": self.halted[balls].tolist(),
+            "decision": self.decision[balls].tolist(),
+            "round_named": self.round_named[balls].tolist(),
+            "round_halted": self.round_halted[balls].tolist(),
+            "count": self._count[nodes].tolist(),
+            "leaf_occ": (
+                self._leaf_occ[nodes].tolist() if self._track_leaf_occ else None
+            ),
+            "n_at_leaf": int(self._n_at_leaf[t]),
+            "running": int(self.running[t]),
+        }
+
+    def inject_trial_states(
+        self, states: Sequence[Dict[str, Any]], round_no: int
+    ) -> None:
+        """Load one exported state per trial, as of completed ``round_no``.
+
+        The engine must be freshly constructed with one trial seed per
+        state (the clones' derived seeds); the next :meth:`run` resumes
+        at round ``round_no + 1`` with fresh per-ball streams — valid
+        because the protocol is Markov given the exported state.
+        """
+        if len(states) != self.trials:
+            raise ConfigurationError(
+                f"{len(states)} state(s) for {self.trials} stacked trial(s)"
+            )
+        n = self.n
+        M = self._topo.node_count
+        for t, state in enumerate(states):
+            balls = slice(t * n, (t + 1) * n)
+            nodes = slice(t * M, (t + 1) * M)
+            self.pos[balls] = state["pos"]
+            self.halted[balls] = state["halted"]
+            self.decision[balls] = state["decision"]
+            self.round_named[balls] = state["round_named"]
+            self.round_halted[balls] = state["round_halted"]
+            self._count[nodes] = state["count"]
+            if self._track_leaf_occ:
+                self._leaf_occ[nodes] = state["leaf_occ"]
+            self._n_at_leaf[t] = state["n_at_leaf"]
+            self.running[t] = state["running"]
+        self.rounds[:] = round_no
+        self._round = round_no
 
     # ------------------------------------------------------------------- rounds
     def _init_round(self) -> None:

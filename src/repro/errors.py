@@ -51,6 +51,29 @@ class RoundLimitExceeded(SimulationError):
         self.alive = alive
 
 
+class MonitorViolation(SimulationError):
+    """A runtime invariant monitor caught a violated predicate.
+
+    Raised by the monitored kernels (``monitor="cheap"``/``"full"``)
+    when a per-round invariant fails — either immediately on a detected
+    deadlock (the run can never progress, so spinning to the round limit
+    only wastes time) or at the end of the run when the caller asked for
+    ``check_invariants=True``.  ``violations`` carries the structured
+    :class:`repro.monitor.invariants.Violation` records with round/ball
+    attribution.
+    """
+
+    def __init__(self, violations) -> None:
+        self.violations = list(violations)
+        rendered = "; ".join(v.render() for v in self.violations[:4])
+        extra = len(self.violations) - 4
+        if extra > 0:
+            rendered += f"; ... and {extra} more"
+        super().__init__(
+            f"{len(self.violations)} invariant violation(s): {rendered}"
+        )
+
+
 class SpecViolation(ReproError):
     """A renaming correctness property (validity/uniqueness/termination) failed.
 

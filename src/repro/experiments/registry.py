@@ -31,6 +31,7 @@ from repro.experiments import (
     t2_scaling,
     t3_failure_free,
     t4_early_termination,
+    tail,
 )
 from repro.experiments.common import ExperimentResult
 
@@ -71,6 +72,7 @@ _MODULES: List[ModuleType] = [
     approx_agreement,
     nonpow2,
     hunt,
+    tail,
 ]
 
 _REGISTRY: Dict[str, ExperimentEntry] = {

@@ -1,0 +1,30 @@
+"""Always-on runtime monitoring: columnar invariant predicates and the
+importance-splitting rare-event estimator.
+
+* :mod:`repro.monitor.invariants` — the paper's safety/liveness
+  invariants as flat-array predicates cheap enough to leave enabled in
+  columnar/vectorized sweeps (``monitor="cheap"``), plus the stateful
+  per-run monitor with progress/deadlock detection.
+* :mod:`repro.monitor.splitting` — fixed-effort multilevel importance
+  splitting over round-count level sets, estimating tail probabilities
+  P(rounds > k·log log n) far below what direct Monte Carlo can reach.
+"""
+
+from repro.monitor.invariants import (
+    MONITOR_MODES,
+    RunMonitor,
+    Violation,
+    evaluate_round,
+)
+from repro.monitor.splitting import TailConfig, TailResult, loglog_unit, run_tail
+
+__all__ = [
+    "MONITOR_MODES",
+    "RunMonitor",
+    "Violation",
+    "evaluate_round",
+    "TailConfig",
+    "TailResult",
+    "loglog_unit",
+    "run_tail",
+]

@@ -148,6 +148,28 @@ class LivenessObjective(Objective):
         return MISSING_WEIGHT * missing + latency
 
 
+class TailObjective(Objective):
+    """Round-tail mass proxy: rounds in ⌈log log n⌉ units, the level
+    coordinate of the importance-splitting estimator.
+
+    Hunting under this objective finds the schedules that push a run
+    deepest into the round-count tail — i.e. the adversarial analogue of
+    the rare events :func:`repro.monitor.splitting.run_tail` estimates
+    for failure-free runs.  A deadlock (captured error) dominates: it is
+    infinite tail mass.
+    """
+
+    name = "tail"
+
+    def score(self, result: TrialResult) -> float:
+        from repro.monitor.splitting import loglog_unit
+
+        unit = loglog_unit(result.spec.n)
+        if result.error is not None:
+            return ERROR_SCORE + float(result.rounds)
+        return result.rounds / unit
+
+
 #: The built-in objectives by CLI name.
 OBJECTIVES: Dict[str, Objective] = {
     objective.name: objective
@@ -157,6 +179,7 @@ OBJECTIVES: Dict[str, Objective] = {
         NamespaceObjective(),
         InvariantObjective(),
         LivenessObjective(),
+        TailObjective(),
     )
 }
 

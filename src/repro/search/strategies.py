@@ -57,8 +57,14 @@ class HuntConfig:
     max_crashes: Optional[int] = None
     max_round: Optional[int] = None
     kernel: str = "auto"
+    #: Runtime invariant monitoring during evaluations ("off"/"cheap"/
+    #: "full"); monitor findings ride along in the evaluation rows.
+    monitor: str = "off"
 
     def __post_init__(self) -> None:
+        from repro.monitor.invariants import check_monitor_mode
+
+        check_monitor_mode(self.monitor)
         if self.algorithm not in ALGORITHMS:
             raise ConfigurationError(
                 f"unknown algorithm {self.algorithm!r}; "
@@ -188,6 +194,7 @@ class Evaluator:
             check=False,  # violations are scored, not raised
             kernel=config.kernel,
             capture_errors=True,
+            monitor=config.monitor,
         )
 
     def evaluate(self, schedules: Sequence[Schedule]) -> List[Evaluation]:

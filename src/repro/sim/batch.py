@@ -275,6 +275,9 @@ class TrialSpec:
     #: trial abort a whole batch.  A deadlocked run (the round limit) is
     #: exactly what an adversary search hopes to find.
     capture_errors: bool = False
+    #: Runtime invariant monitoring ("off"/"cheap"/"full"); findings land
+    #: in :attr:`TrialResult.violations` and the jsonl rows.
+    monitor: str = "off"
 
     @property
     def cell(self) -> CellKey:
@@ -300,6 +303,11 @@ class TrialResult:
     #: ``capture_errors=True`` and the execution failed (deadlock, spec
     #: violation); None for a clean run.
     error: Optional[str] = None
+    #: The monitor mode the trial ran under.
+    monitor: str = "off"
+    #: Rendered invariant-monitor findings ("round R [invariant] ...");
+    #: always empty when monitoring was off or every invariant held.
+    violations: Tuple[str, ...] = ()
 
     @property
     def cell(self) -> CellKey:
@@ -320,6 +328,8 @@ class TrialResult:
             "messages_delivered": self.messages_delivered,
             "last_round_named": self.last_round_named,
             "error": self.error,
+            "monitor": self.monitor,
+            "violations": list(self.violations),
         }
 
 
@@ -335,6 +345,7 @@ def run_trial(spec: TrialSpec) -> TrialResult:
             halt_on_name=spec.halt_on_name,
             check=spec.check,
             kernel=spec.kernel,
+            monitor=spec.monitor,
         )
     except (SimulationError, SpecViolation) as error:
         if not spec.capture_errors:
@@ -357,6 +368,10 @@ def run_trial(spec: TrialSpec) -> TrialResult:
             names=(),
             kernel=spec.kernel,
             error=f"{type(error).__name__}: {error}",
+            monitor=spec.monitor,
+            violations=tuple(
+                v.render() for v in getattr(error, "violations", ())
+            ),
         )
     return TrialResult(
         spec=spec,
@@ -367,6 +382,8 @@ def run_trial(spec: TrialSpec) -> TrialResult:
         last_round_named=run.last_round_named,
         names=tuple(sorted(run.names.items(), key=lambda item: repr(item[0]))),
         kernel=run.kernel,
+        monitor=run.monitor,
+        violations=tuple(v.render() for v in run.violations),
     )
 
 
@@ -399,6 +416,7 @@ def _cell_config(spec: TrialSpec) -> Tuple[Any, ...]:
         spec.check,
         spec.kernel,
         spec.capture_errors,
+        spec.monitor,
     )
 
 
@@ -424,6 +442,7 @@ def _stackable(spec: TrialSpec) -> bool:
         adversary=spec.adversary.build(spec.seed),
         crash_budget=budget,
         halt_on_name=spec.halt_on_name,
+        monitor=spec.monitor,
     )
     return cell_rejection(request) is None
 
@@ -485,6 +504,7 @@ def run_cell(specs: Sequence[TrialSpec]) -> List[TrialResult]:
         policy=ALGORITHMS[spec.algorithm],
         halt_on_name=spec.halt_on_name,
         crash_budget=spec.crash_budget,
+        monitor=spec.monitor,
     )
     if spec.check:
         cell.check()
@@ -508,6 +528,10 @@ def run_cell(specs: Sequence[TrialSpec]) -> List[TrialResult]:
                 last_round_named=cell.last_round_named(t),
                 names=tuple((labels[i], row[i]) for i in order),
                 kernel="vectorized",
+                monitor=spec.monitor,
+                violations=tuple(
+                    v.render() for v in cell.violations(t)
+                ),
             )
         )
     return results
@@ -649,6 +673,7 @@ class ScenarioMatrix:
     crash_budget: Optional[int] = None
     check: bool = True
     kernel: str = "auto"
+    monitor: str = "off"
 
     @classmethod
     def build(
@@ -664,6 +689,7 @@ class ScenarioMatrix:
         crash_budget: Optional[int] = None,
         check: bool = True,
         kernel: str = "auto",
+        monitor: str = "off",
     ) -> "ScenarioMatrix":
         """Validate and normalize a grid definition."""
         algorithms = tuple(algorithms)
@@ -691,6 +717,9 @@ class ScenarioMatrix:
             raise ConfigurationError(
                 f"unknown kernel {kernel!r}; choose from {KERNEL_CHOICES}"
             )
+        from repro.monitor.invariants import check_monitor_mode
+
+        check_monitor_mode(monitor)
         return cls(
             algorithms=algorithms,
             sizes=sizes,
@@ -702,6 +731,7 @@ class ScenarioMatrix:
             crash_budget=crash_budget,
             check=check,
             kernel=kernel,
+            monitor=monitor,
         )
 
     def __len__(self) -> int:
@@ -730,6 +760,7 @@ class ScenarioMatrix:
                                 crash_budget=self.crash_budget,
                                 check=self.check,
                                 kernel=self.kernel,
+                                monitor=self.monitor,
                             )
                         )
         return specs

@@ -62,15 +62,24 @@ class ColumnarKernel(SimulationKernel):
             return "trace recording observes the reference engine's events"
         if request.collect_phase_stats:
             return "phase statistics observe the reference view store"
+        if request.monitor == "full":
+            return (
+                "monitor='full' audits the reference engine's instrumented "
+                "movement; cheap monitoring runs columnar"
+            )
         # Config-level knobs (policy, view mode, invariant checking) share
-        # one gatekeeper with the engine itself.
+        # one gatekeeper with the engine itself.  Under cheap monitoring
+        # the flat-array monitors take over invariant checking, so the
+        # engine-level check_invariants rejection does not apply.
         from repro.core.columnar import columnar_rejections
         from repro.core.config import BallsIntoLeavesConfig
 
         config = BallsIntoLeavesConfig(
             path_policy=request.policy,
             view_mode=request.view_mode,
-            check_invariants=request.check_invariants,
+            check_invariants=(
+                request.check_invariants and request.monitor == "off"
+            ),
             halt_on_name=request.halt_on_name,
         )
         reasons = columnar_rejections(config)
@@ -104,6 +113,7 @@ class ColumnarKernel(SimulationKernel):
             policy=request.policy,
             halt_on_name=request.halt_on_name,
         )
+        monitor = _build_monitor(request)
         metrics = SimulationMetrics()
         round_no = 0
         while engine.running_count:
@@ -112,6 +122,11 @@ class ColumnarKernel(SimulationKernel):
             round_no += 1
             senders = engine.running_count
             engine.step(round_no)
+            if monitor is not None:
+                from repro.monitor.invariants import observe_balls_engine
+
+                observe_balls_engine(monitor, engine, round_no)
+                _abort_on_deadlock(monitor)
             # Failure-free: every running process broadcasts, every
             # running process receives every broadcast (self included).
             metrics.record(
@@ -142,6 +157,7 @@ class ColumnarKernel(SimulationKernel):
             last_round_named=engine.last_round_named(),
             phase_stats=[],
             kernel=self.name,
+            violations=[] if monitor is None else monitor.violations,
         )
 
     # ---------------------------------------------------------- with crashes
@@ -156,6 +172,7 @@ class ColumnarKernel(SimulationKernel):
             adversary=request.adversary,
             crash_budget=request.crash_budget,
         )
+        monitor = _build_monitor(request)
         metrics = SimulationMetrics()
         round_no = 0
         while engine.running_count:
@@ -163,6 +180,11 @@ class ColumnarKernel(SimulationKernel):
                 raise RoundLimitExceeded(request.max_rounds, engine.running_count)
             round_no += 1
             engine.step(round_no)
+            if monitor is not None:
+                from repro.monitor.invariants import observe_crash_engine
+
+                observe_crash_engine(monitor, engine, round_no)
+                _abort_on_deadlock(monitor)
             metrics.record(
                 RoundMetrics(
                     round_no=round_no,
@@ -197,4 +219,27 @@ class ColumnarKernel(SimulationKernel):
             last_round_named=engine.last_round_named(),
             phase_stats=[],
             kernel=self.name,
+            violations=[] if monitor is None else monitor.violations,
         )
+
+
+def _build_monitor(request: KernelRequest):
+    """A fresh :class:`~repro.monitor.invariants.RunMonitor`, or None."""
+    if request.monitor == "off":
+        return None
+    from repro.monitor.invariants import RunMonitor
+    from repro.tree.topology import cached_topology
+
+    return RunMonitor(
+        sorted(request.ids),
+        cached_topology(request.n).arrays(),
+        halt_on_name=request.halt_on_name,
+    )
+
+
+def _abort_on_deadlock(monitor) -> None:
+    """Stop a provably wedged run now instead of spinning to the limit."""
+    if monitor.deadlocked:
+        from repro.errors import MonitorViolation
+
+        raise MonitorViolation(monitor.violations)

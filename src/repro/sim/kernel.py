@@ -72,6 +72,11 @@ class KernelRequest:
     check_invariants: bool = False
     collect_phase_stats: bool = False
     trace: Optional[Trace] = None
+    #: Runtime invariant monitoring mode ("off"/"cheap"/"full"); "cheap"
+    #: runs the flat-array predicates of :mod:`repro.monitor.invariants`
+    #: on any kernel, "full" pins the reference engine's instrumented
+    #: movement audit on top of them.
+    monitor: str = "off"
 
     @property
     def n(self) -> int:
@@ -87,6 +92,10 @@ class KernelRun:
     last_round_named: Optional[int] = None
     phase_stats: List[Any] = field(default_factory=list)
     kernel: str = "reference"
+    #: Structured :class:`repro.monitor.invariants.Violation` records
+    #: collected by the run's monitors (empty when monitoring is off or
+    #: every invariant held).
+    violations: List[Any] = field(default_factory=list)
 
 
 class SimulationKernel(ABC):

@@ -27,6 +27,7 @@ class ReferenceKernel(SimulationKernel):
     def run(self, request: KernelRequest) -> KernelRun:
         observers = []
         stats_observer = None
+        monitor = None
         if request.policy is not None:
             from repro.core.balls_into_leaves import build_balls_into_leaves
             from repro.core.config import BallsIntoLeavesConfig
@@ -35,7 +36,11 @@ class ReferenceKernel(SimulationKernel):
             config = BallsIntoLeavesConfig(
                 path_policy=request.policy,
                 view_mode=request.view_mode,
-                check_invariants=request.check_invariants,
+                # "full" monitoring is exactly the instrumented reference
+                # movement audit, whatever the caller's check_invariants.
+                check_invariants=(
+                    request.check_invariants or request.monitor == "full"
+                ),
                 halt_on_name=request.halt_on_name,
             )
             processes, store = build_balls_into_leaves(
@@ -44,6 +49,19 @@ class ReferenceKernel(SimulationKernel):
             if request.collect_phase_stats:
                 stats_observer = TreeStatsObserver(store)
                 observers.append(stats_observer)
+            if request.monitor != "off":
+                from repro.monitor.invariants import (
+                    ReferenceMonitorAdapter,
+                    RunMonitor,
+                )
+                from repro.tree.topology import cached_topology
+
+                monitor = RunMonitor(
+                    sorted(request.ids),
+                    cached_topology(request.n).arrays(),
+                    halt_on_name=request.halt_on_name,
+                )
+                observers.append(ReferenceMonitorAdapter(monitor))
         else:
             from repro.baselines.flood_consensus import build_flood_renaming
 
@@ -65,6 +83,7 @@ class ReferenceKernel(SimulationKernel):
             last_round_named=_last_round_named(simulation, result),
             phase_stats=list(stats_observer.phases) if stats_observer else [],
             kernel=self.name,
+            violations=[] if monitor is None else monitor.violations,
         )
 
 

@@ -61,6 +61,11 @@ class RenamingRun:
     result: Optional[SimulationResult] = None
     #: Which kernel actually executed the run ("reference"/"columnar").
     kernel: str = "reference"
+    #: The monitor mode the run executed under, after resolution.
+    monitor: str = "off"
+    #: Structured :class:`repro.monitor.invariants.Violation` records the
+    #: run's monitors collected (always empty on a correct run).
+    violations: List[Any] = field(default_factory=list)
 
     @property
     def phases(self) -> int:
@@ -83,6 +88,7 @@ def run_renaming(
     trace: Optional[Trace] = None,
     max_rounds: Optional[int] = None,
     kernel: str = "auto",
+    monitor: str = "off",
 ) -> RenamingRun:
     """Run one tight-renaming execution and verify its output.
 
@@ -114,6 +120,17 @@ def run_renaming(
         ``"reference"`` pins the lock-step engine; ``"columnar"`` pins
         the fast path and raises
         :class:`~repro.errors.KernelUnsupported` for runs it rejects.
+    monitor:
+        Runtime invariant monitoring: ``"off"`` (default), ``"cheap"``
+        (the flat-array per-round predicates of
+        :mod:`repro.monitor.invariants`, available on every kernel), or
+        ``"full"`` (cheap predicates plus the instrumented reference
+        movement audit; keeps the run on the reference kernel).
+        ``check_invariants=True`` upgrades ``"off"`` to ``"cheap"`` —
+        invariant checking no longer forces the reference engine — and
+        makes the runner raise
+        :class:`~repro.errors.MonitorViolation` on any finding;
+        otherwise findings are reported in ``RenamingRun.violations``.
     """
     if algorithm not in ALGORITHMS:
         raise ConfigurationError(
@@ -122,6 +139,14 @@ def run_renaming(
     n = len(ids)
     if n == 0:
         raise ConfigurationError("renaming needs at least one participant")
+    from repro.monitor.invariants import check_monitor_mode
+
+    check_monitor_mode(monitor)
+    if check_invariants and monitor == "off":
+        # The satellite fix: invariant checking used to force the
+        # reference engine; now it routes to the cheap columnar monitors
+        # (pin monitor="full" to keep the faithful reference audit).
+        monitor = "cheap"
     budget = n - 1 if crash_budget is None else crash_budget
     policy = ALGORITHMS[algorithm]
     if max_rounds is not None:
@@ -144,10 +169,15 @@ def run_renaming(
         check_invariants=check_invariants,
         collect_phase_stats=collect_phase_stats,
         trace=trace,
+        monitor=monitor,
     )
     engine = select_kernel(kernel, request)
     run = engine.run(request)
     result = run.result
+    if check_invariants and run.violations:
+        from repro.errors import MonitorViolation
+
+        raise MonitorViolation(run.violations)
     if check:
         check_renaming(result, RenamingSpec(n=n))
 
@@ -170,4 +200,6 @@ def run_renaming(
         trace=trace,
         result=result,
         kernel=run.kernel,
+        monitor=monitor,
+        violations=run.violations,
     )

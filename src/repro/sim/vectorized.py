@@ -56,8 +56,9 @@ class StackedCellRun:
     does not need.
     """
 
-    def __init__(self, engine, seeds: Sequence[int]) -> None:
+    def __init__(self, engine, seeds: Sequence[int], monitor=None) -> None:
         self._engine = engine
+        self._monitor = monitor
         self.seeds = list(seeds)
         self.labels = engine.labels
         self.n = engine.n
@@ -87,6 +88,12 @@ class StackedCellRun:
     def last_round_named(self, t: int) -> Optional[int]:
         """Latest naming round of trial ``t``."""
         return self._engine.last_round_named(t)
+
+    def violations(self, t: int) -> list:
+        """Trial ``t``'s monitor findings ([] when monitoring was off)."""
+        if self._monitor is None:
+            return []
+        return self._monitor.violations(t)
 
     def metrics(self, t: int) -> SimulationMetrics:
         """Trial ``t``'s per-round metrics, as the scalar kernels record them."""
@@ -149,6 +156,7 @@ def run_stacked_cell(
     halt_on_name: bool = False,
     crash_budget: Optional[int] = None,
     max_rounds: Optional[int] = None,
+    monitor: str = "off",
 ) -> StackedCellRun:
     """Execute ``len(seeds)`` failure-free trials as one stacked pass."""
     from repro.core.vectorized import VectorizedCellEngine
@@ -166,8 +174,13 @@ def run_stacked_cell(
         halt_on_name=halt_on_name,
         max_rounds=limit,
     )
-    engine.run()
-    return StackedCellRun(engine, seeds)
+    observer = None
+    if monitor != "off":
+        from repro.monitor.invariants import StackedMonitor
+
+        observer = StackedMonitor(engine)
+    engine.run(observer=observer)
+    return StackedCellRun(engine, seeds, monitor=observer)
 
 
 class VectorizedKernel(SimulationKernel):
@@ -194,12 +207,21 @@ class VectorizedKernel(SimulationKernel):
             return "trace recording observes the reference engine's events"
         if request.collect_phase_stats:
             return "phase statistics observe the reference view store"
+        if request.monitor == "full":
+            return (
+                "monitor='full' audits the reference engine's instrumented "
+                "movement; cheap monitoring runs stacked"
+            )
         from repro.core.vectorized import vectorized_rejections
 
+        # Under cheap monitoring the stacked monitor takes over invariant
+        # checking, so the engine-level rejection does not apply.
         config = BallsIntoLeavesConfig(
             path_policy=request.policy,
             view_mode=request.view_mode,
-            check_invariants=request.check_invariants,
+            check_invariants=(
+                request.check_invariants and request.monitor == "off"
+            ),
             halt_on_name=request.halt_on_name,
         )
         reasons = vectorized_rejections(config)
@@ -223,12 +245,14 @@ class VectorizedKernel(SimulationKernel):
             halt_on_name=request.halt_on_name,
             crash_budget=request.crash_budget,
             max_rounds=request.max_rounds,
+            monitor=request.monitor,
         )
         return KernelRun(
             result=cell.result(0),
             last_round_named=cell.last_round_named(0),
             phase_stats=[],
             kernel=self.name,
+            violations=cell.violations(0),
         )
 
 

@@ -25,6 +25,7 @@ EXPECTED_IDS = [
     "EXP-AA",
     "EXP-NP2",
     "EXP-HUNT",
+    "EXP-TAIL",
 ]
 
 

@@ -1,0 +1,219 @@
+"""Mutation suite: every monitor fires on its seeded violation.
+
+A monitor that never fires is indistinguishable from no monitor.  Each
+test here corrupts a *real* engine state into one specific known-bad
+shape (duplicate name, over-capacity leaf, announced ball off its leaf,
+crashed-ball retention, frozen progress) and asserts the corresponding
+invariant — and only it — fires, with correct round/ball/node
+attribution.  The wedged-engine tests drive the corruption through the
+full ``run_renaming`` / batch stack to pin the abort and capture paths.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.columnar import ColumnarBallsEngine, ColumnarCrashEngine
+from repro.adversary import RandomCrashAdversary
+from repro.errors import MonitorViolation
+from repro.ids import sparse_ids
+from repro.monitor.invariants import (
+    STALL_WINDOW,
+    RunMonitor,
+    observe_balls_engine,
+    observe_crash_engine,
+)
+from repro.sim.batch import AdversarySpec, TrialSpec, run_trial
+from repro.sim.runner import run_renaming
+from repro.tree.topology import cached_topology
+
+N = 16
+
+
+def fresh_engine(halt_on_name=False, seed=3):
+    ids = sparse_ids(N)
+    engine = ColumnarBallsEngine(
+        ids, seed=seed, policy="random", halt_on_name=halt_on_name
+    )
+    return ids, engine
+
+
+def fresh_monitor(ids, halt_on_name=False):
+    return RunMonitor(
+        sorted(ids), cached_topology(N).arrays(), halt_on_name=halt_on_name
+    )
+
+
+def run_to_completion(engine):
+    round_no = 0
+    while engine.running_count:
+        round_no += 1
+        engine.step(round_no)
+    return round_no
+
+
+def leaf_and_inner(n=N):
+    arrays = cached_topology(n).arrays()
+    leaves = [i for i, span in enumerate(arrays.span) if span == 1]
+    inner = [i for i, span in enumerate(arrays.span) if span > 1]
+    return leaves, inner
+
+
+class TestSeededColumnarMutations:
+    def test_duplicate_name_fires_uniqueness(self):
+        ids, engine = fresh_engine()
+        last = run_to_completion(engine)
+        engine.decision[4] = engine.decision[2]
+        monitor = fresh_monitor(ids)
+        observe_balls_engine(monitor, engine, last)
+        assert [v.invariant for v in monitor.violations] == ["uniqueness"]
+        violation = monitor.violations[0]
+        assert violation.round_no == last and violation.ball == 4
+        labels = sorted(ids)
+        assert repr(labels[2]) in violation.detail
+        assert repr(labels[4]) in violation.detail
+
+    def test_out_of_range_name_fires_namespace(self):
+        ids, engine = fresh_engine()
+        last = run_to_completion(engine)
+        engine.decision[0] = N + 7
+        monitor = fresh_monitor(ids)
+        observe_balls_engine(monitor, engine, last)
+        assert [v.invariant for v in monitor.violations] == ["namespace"]
+        assert monitor.violations[0].ball == 0
+        assert f"outside 0..{N - 1}" in monitor.violations[0].detail
+
+    def test_over_capacity_leaf_fires_leaf_capacity(self):
+        ids, engine = fresh_engine()
+        engine.step(1)
+        engine.step(2)
+        leaves, _ = leaf_and_inner()
+        engine.pos[0] = leaves[0]
+        engine.pos[1] = leaves[0]
+        monitor = fresh_monitor(ids)
+        observe_balls_engine(monitor, engine, 2)
+        found = [v for v in monitor.violations if v.invariant == "leaf-capacity"]
+        assert len(found) == 1
+        assert found[0].node == leaves[0] and found[0].round_no == 2
+        # At least the two teleported balls (plus any legitimate tenant).
+        assert f"leaf {leaves[0]} holds" in found[0].detail
+        assert "(0 announced)" in found[0].detail
+
+    def test_announced_ball_off_its_leaf_fires_retention(self):
+        ids, engine = fresh_engine(halt_on_name=True)
+        engine.step(1)
+        engine.step(2)
+        _, inner = leaf_and_inner()
+        engine.halted[3] = True
+        engine.pos[3] = inner[0]
+        monitor = fresh_monitor(ids, halt_on_name=True)
+        observe_balls_engine(monitor, engine, 2)
+        found = [v for v in monitor.violations if v.invariant == "retention"]
+        assert len(found) == 1
+        assert found[0].ball == 3 and found[0].node == inner[0]
+
+    def test_crashed_ball_retention_fires_after_deadline(self):
+        ids = sparse_ids(N)
+        engine = ColumnarCrashEngine(
+            ids,
+            seed=5,
+            policy="random",
+            adversary=RandomCrashAdversary(0.0, seed=1),
+        )
+        engine.step(1)
+        engine.step(2)
+        # Forge a crash the views never processed: the ball stays ACTIVE
+        # in every survivor's view past the purge deadline.
+        victim = 2
+        engine.crashed[victim] = True
+        monitor = fresh_monitor(ids)
+        observe_crash_engine(monitor, engine, 2)  # deadline round: silent
+        assert monitor.violations == []
+        observe_crash_engine(monitor, engine, 3)
+        found = [
+            v for v in monitor.violations if v.invariant == "crash-retention"
+        ]
+        assert found, monitor.report()
+        assert all(v.ball == victim for v in found)
+        assert "crashed in round 2" in found[0].detail
+
+    def test_frozen_engine_fires_progress(self):
+        ids, engine = fresh_engine()
+        engine.step(1)
+        engine.step(2)
+        assert engine.running_count > 0
+        monitor = fresh_monitor(ids)
+        # The engine stops being stepped: its observable state freezes
+        # with balls still running — the monitor must call the deadlock
+        # instead of spinning to the round limit.
+        for round_no in range(2, 2 + STALL_WINDOW + 2):
+            observe_balls_engine(monitor, engine, round_no)
+        assert monitor.deadlocked
+        stalls = [v for v in monitor.violations if v.invariant == "progress"]
+        assert len(stalls) == 1
+        assert f"no state change for {STALL_WINDOW} rounds" in stalls[0].detail
+
+
+class _WedgedBallsEngine(ColumnarBallsEngine):
+    """A columnar engine whose balls stop moving after ``WEDGE_ROUND``."""
+
+    WEDGE_ROUND = 2
+
+    def step(self, round_no):
+        if round_no > self.WEDGE_ROUND:
+            return
+        super().step(round_no)
+
+
+class TestEndToEndAbort:
+    """Corruption surfaces through the full runner/batch stack."""
+
+    def _wedge(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.core.columnar.ColumnarBallsEngine", _WedgedBallsEngine
+        )
+
+    def test_wedged_run_raises_monitor_violation(self, monkeypatch):
+        self._wedge(monkeypatch)
+        with pytest.raises(MonitorViolation) as caught:
+            run_renaming(
+                "balls-into-leaves",
+                sparse_ids(N),
+                seed=3,
+                kernel="columnar",
+                monitor="cheap",
+            )
+        assert any(
+            v.invariant == "progress" for v in caught.value.violations
+        )
+        assert "[progress]" in str(caught.value)
+
+    def test_unmonitored_wedged_run_spins_to_the_round_limit(self, monkeypatch):
+        # Without the monitor the same wedge burns the whole round
+        # budget — the "silent spin" the progress monitor exists to end.
+        from repro.errors import RoundLimitExceeded
+
+        self._wedge(monkeypatch)
+        with pytest.raises(RoundLimitExceeded):
+            run_renaming(
+                "balls-into-leaves", sparse_ids(N), seed=3, kernel="columnar"
+            )
+
+    def test_batch_captures_violations_as_data(self, monkeypatch):
+        self._wedge(monkeypatch)
+        spec = TrialSpec(
+            algorithm="balls-into-leaves",
+            n=N,
+            seed=3,
+            adversary=AdversarySpec(),
+            kernel="columnar",
+            capture_errors=True,
+            monitor="cheap",
+        )
+        result = run_trial(spec)
+        assert result.error is not None
+        assert result.monitor == "cheap"
+        assert any("[progress]" in line for line in result.violations)
+        row = result.to_row()
+        assert row["monitor"] == "cheap"
+        assert row["violations"] == list(result.violations)

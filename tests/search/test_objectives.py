@@ -46,6 +46,7 @@ class TestRegistry:
             "namespace",
             "invariant",
             "liveness",
+            "tail",
         }
 
     def test_as_objective_coerces_and_validates(self):

@@ -244,14 +244,38 @@ class TestRejectedCells:
         assert run.kernel == "reference"
         assert run.phase_stats  # the fallback still collects them
 
-    def test_check_invariants_rejected_explicitly(self):
+    def test_check_invariants_runs_columnar_with_cheap_monitors(self):
+        # check_invariants used to force the reference engine; it now
+        # routes to the columnar invariant monitors instead.
+        run = run_renaming(
+            "balls-into-leaves",
+            sparse_ids(8),
+            check_invariants=True,
+            kernel="columnar",
+        )
+        assert run.monitor == "cheap"
+        assert run.violations == []
+        auto = run_renaming(
+            "balls-into-leaves", sparse_ids(8), check_invariants=True, kernel="auto"
+        )
+        assert auto.kernel != "reference"
+
+    def test_full_monitor_rejected_explicitly(self):
+        # monitor="full" audits the reference engine's instrumented
+        # movement and stays reference-only.
         with pytest.raises(KernelUnsupported):
             run_renaming(
                 "balls-into-leaves",
                 sparse_ids(8),
-                check_invariants=True,
+                monitor="full",
                 kernel="columnar",
             )
+        run = run_renaming(
+            "balls-into-leaves", sparse_ids(8), monitor="full", kernel="auto"
+        )
+        assert run.kernel == "reference"
+        assert run.monitor == "full"
+        assert run.violations == []
 
     def test_unknown_kernel_name(self):
         with pytest.raises(ConfigurationError):
