@@ -8,9 +8,16 @@ benchmark job uploads next to ``BENCH_kernel.json``.
 
 Throughput here is dominated by trial wall-clock, so the interesting
 ratios are (a) strategy overhead above raw trial cost (genotype ops are
-supposed to be noise) and (b) how well generation-sized batches feed the
-worker pool.  The determinism contract is asserted inside the timing
-loop: both executors must produce byte-identical evaluation histories.
+supposed to be noise), (b) how well generation-sized batches feed the
+worker pool, and (c) the *stacked multiplier*: every built-in strategy
+emits same-cell generations, so the evaluator can stack a whole
+generation onto the vectorized crash engine as one pass.  The stacked
+and forced-per-trial variants are timed explicitly by pinning
+``REPRO_VEC_CRASH_MIN_STREAMS`` to 0 and to an unreachable floor; the
+default run sits between them (small generations stay per-trial, big
+ones stack).  The determinism contract is asserted inside the timing
+loop: every executor and stacking mode must produce byte-identical
+evaluation histories.
 """
 
 from __future__ import annotations
@@ -30,16 +37,32 @@ OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_search.json"
 N = 32
 BUDGET = 150
 WORKERS = min(4, os.cpu_count() or 1)
+#: The large hunt cell: generations clear the 1024-stream crash floor,
+#: so the stacked crash engine carries whole generations.  Hillclimb is
+#: deliberately absent — its few-neighbor generations are faster
+#: per-trial at any n measured, which is exactly what the floor encodes.
+BIG_N = 128
+BIG_STRATEGIES = ("evolve", "random")
 
 
-def _config(seed: int = 1) -> HuntConfig:
-    return HuntConfig(n=N, objective="rounds", budget=BUDGET, seed=seed)
+def _config(seed: int = 1, n: int = N) -> HuntConfig:
+    return HuntConfig(n=n, objective="rounds", budget=BUDGET, seed=seed)
 
 
-def _timed_hunt(strategy: str, **kwargs):
-    started = time.perf_counter()
-    result = run_hunt(_config(), strategy, **kwargs)
-    elapsed = time.perf_counter() - started
+def _timed_hunt(strategy: str, *, n: int = N, min_streams=None, **kwargs):
+    saved = os.environ.get("REPRO_VEC_CRASH_MIN_STREAMS")
+    if min_streams is not None:
+        os.environ["REPRO_VEC_CRASH_MIN_STREAMS"] = str(min_streams)
+    try:
+        started = time.perf_counter()
+        result = run_hunt(_config(n=n), strategy, **kwargs)
+        elapsed = time.perf_counter() - started
+    finally:
+        if min_streams is not None:
+            if saved is None:
+                del os.environ["REPRO_VEC_CRASH_MIN_STREAMS"]
+            else:
+                os.environ["REPRO_VEC_CRASH_MIN_STREAMS"] = saved
     return result, elapsed
 
 
@@ -52,8 +75,20 @@ def test_bench_search_writes_artifact():
         process, process_s = _timed_hunt(
             strategy, executor="process", workers=WORKERS
         )
+        # The stacked multiplier: whole generations on the vectorized
+        # crash engine (floor 0) vs forced per-trial columnar (floor
+        # out of reach) — byte-identical histories either way.
+        per_trial, per_trial_s = _timed_hunt(strategy, min_streams=10**9)
+        stacked, stacked_s = _timed_hunt(strategy, min_streams=0)
         assert json.dumps(serial.rows()) == json.dumps(process.rows()), (
             f"{strategy}: executor changed the evaluation history"
+        )
+        assert json.dumps(per_trial.rows()) == json.dumps(stacked.rows()), (
+            f"{strategy}: generation stacking changed the evaluation history"
+        )
+        assert json.dumps(serial.rows()) == json.dumps(stacked.rows()), (
+            f"{strategy}: the crash-stream floor changed the evaluation "
+            "history"
         )
         cells.append(
             {
@@ -67,20 +102,69 @@ def test_bench_search_writes_artifact():
                 f"process{WORKERS}_schedules_per_s": round(
                     BUDGET / process_s, 2
                 ),
+                "per_trial_s": round(per_trial_s, 4),
+                "stacked_s": round(stacked_s, 4),
+                "stacked_schedules_per_s": round(BUDGET / stacked_s, 2),
+                "stacked_multiplier": round(per_trial_s / stacked_s, 2),
             }
         )
         assert BUDGET / serial_s > 5, (
             f"{strategy}: below 5 schedules/s serially — strategy overhead "
             "is no longer noise next to trial cost"
         )
+    # The large hunt cell: stacking engages by default (generations
+    # clear the stream floor), so this is the regime the stacked crash
+    # engine was built for.  Best-of-2 because each hunt is ~1s.
+    big_cells = []
+    for strategy in BIG_STRATEGIES:
+        per_trial_s = stacked_s = None
+        per_trial = stacked = None
+        for _ in range(2):
+            result, elapsed = _timed_hunt(strategy, n=BIG_N, min_streams=10**9)
+            if per_trial_s is None or elapsed < per_trial_s:
+                per_trial_s, per_trial = elapsed, result
+            result, elapsed = _timed_hunt(strategy, n=BIG_N, min_streams=0)
+            if stacked_s is None or elapsed < stacked_s:
+                stacked_s, stacked = elapsed, result
+        assert json.dumps(per_trial.rows()) == json.dumps(stacked.rows()), (
+            f"{strategy} n={BIG_N}: generation stacking changed the "
+            "evaluation history"
+        )
+        big_cells.append(
+            {
+                "strategy": strategy,
+                "n": BIG_N,
+                "budget": BUDGET,
+                "best_score": stacked.best.score,
+                "per_trial_s": round(per_trial_s, 4),
+                "stacked_s": round(stacked_s, 4),
+                "stacked_schedules_per_s": round(BUDGET / stacked_s, 2),
+                "stacked_multiplier": round(per_trial_s / stacked_s, 2),
+            }
+        )
+
     payload = {
         "version": __version__,
         "workload": f"balls-into-leaves n={N}, {BUDGET}-trial hunts, "
         "rounds objective",
         "workers": WORKERS,
+        "notes": (
+            "stacked_multiplier = forced per-trial columnar vs whole "
+            "generations stacked on the vectorized crash engine "
+            "(REPRO_VEC_CRASH_MIN_STREAMS pinned to 10**9 vs 0); the "
+            "default serial run sits between them — generations below "
+            "the 1024-stream floor stay per-trial because small cells "
+            "are faster that way.  Histories are asserted byte-identical "
+            "across every executor and stacking mode."
+        ),
         "cells": cells,
+        "big_cells": big_cells,
     }
     OUTPUT.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    # At the large cell the stacked crash engine must not lose to the
+    # per-trial path (locally ~1.3x; the floor is noise-conservative).
+    for cell in big_cells:
+        assert cell["stacked_multiplier"] >= 1.0, cell
 
 
 def test_hunt_smoke_for_tier1(benchmark):

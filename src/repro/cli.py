@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Iterable, List, Optional
 
@@ -56,6 +57,15 @@ def _add_executor_options(parser: argparse.ArgumentParser) -> None:
         "is installed, columnar otherwise, reference as the final "
         "fallback); reference/columnar/vectorized pin an engine and fail "
         "on runs it cannot model",
+    )
+    parser.add_argument(
+        "--threads",
+        type=int,
+        default=None,
+        metavar="K",
+        help="threads for the vectorized kernel's seeding/twist passes "
+        "(sets REPRO_VEC_THREADS; default: CPU count, 1 = the exact "
+        "serial pass — any value is byte-identical)",
     )
 
 
@@ -589,6 +599,13 @@ def _cmd_tail(args: argparse.Namespace) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = _build_parser().parse_args(argv)
+    if getattr(args, "threads", None) is not None:
+        if args.threads < 1:
+            print("error: --threads must be >= 1", file=sys.stderr)
+            return 2
+        # The knob is just the env var: the stream-bank fanout reads it
+        # per pass, and every thread count is byte-identical.
+        os.environ["REPRO_VEC_THREADS"] = str(args.threads)
     try:
         if args.command == "list":
             return _cmd_list()

@@ -11,13 +11,24 @@ interpreter cost it exists to amortize.
 array passes over a ``(624, S)`` stacked state, one column per stream:
 
 * seeding is CPython's ``init_by_array`` (the key is the seed's
-  little-endian 32-bit words) advanced for all streams per step;
+  little-endian 32-bit words) advanced for all streams per step, with
+  seeds batched *by key width* so unusual widths (sub-32-bit seeds,
+  giant integers) still seed vectorized instead of one stream at a
+  time;
 * output words come from *partial* twists — a run consumes a dozen or
   two doubles per stream, so only the needed rows of the next
   generation are ever computed;
 * doubles are assembled exactly as CPython's ``random()`` does
   (``(a >> 5) * 2**26 + (b >> 6)`` over two consecutive words, divided
   by ``2**53``).
+
+The seeding and twist passes are uint32 streams over independent
+columns, and NumPy releases the GIL, so both fan out across a thread
+pool when ``REPRO_VEC_THREADS`` (default: the CPU count; the CLI's
+``--threads`` sets it) resolves above 1 and the bank is wide enough to
+amortize the dispatch.  Columns are partitioned, never shared, so any
+thread count produces byte-identical streams; ``REPRO_VEC_THREADS=1``
+is exactly the serial pass.
 
 Bit-identity with ``random.Random(seed).random()`` is asserted for
 every stream shape in ``tests/sim/test_mt19937_streams.py``; the
@@ -30,7 +41,9 @@ kernel layer degrades to the columnar engine.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+import os
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
 
 try:  # pragma: no cover - exercised via the no-numpy CI leg
     import numpy as np
@@ -55,7 +68,89 @@ _LOWER = 0x7FFFFFFF
 #: Doubles produced per generation (two 32-bit words per double).
 DOUBLES_PER_GENERATION = _N // 2
 
+#: Below this many columns per worker a thread dispatch costs more than
+#: the pass it would split; narrower banks stay serial whatever the
+#: configured thread count.
+MIN_STREAMS_PER_THREAD = 8192
+
 _base_state_cache = None
+
+_pool = None
+_pool_workers = 0
+
+#: Scratch ``(624, S)`` state buffers, recycled across banks.  A sweep
+#: or hunt seeds thousands of equally-shaped banks back to back, and on
+#: this allocation pattern the kernel page-fault cost of a fresh 1/4 GB
+#: ``np.empty`` dwarfs the actual fill pass (~4x at S ~ 100k).  A buffer
+#: is handed out only while nothing but the pool references it, so a
+#: live bank (or any view into its state) can never be aliased.
+_state_pool: List["np.ndarray"] = []
+_STATE_POOL_MAX = 3
+
+
+def _acquire_state(count: int) -> "np.ndarray":
+    """An uninitialized ``(624, count)`` u32 buffer, pooled when free.
+
+    CPython refcounting makes "free" exact: a pooled buffer with no
+    outside holder is referenced by the pool list, the loop variable,
+    and ``getrefcount``'s argument — three.  Any bank state, temporary
+    view, or caller reference raises it, and the pool then allocates a
+    fresh buffer instead (false "in use" only ever costs speed).
+    """
+    for buf in _state_pool:
+        if buf.shape[1] == count and sys.getrefcount(buf) == 3:
+            return buf
+    buf = np.empty((_N, count), dtype=np.uint32)
+    if len(_state_pool) >= _STATE_POOL_MAX:
+        _state_pool.pop(0)
+    _state_pool.append(buf)
+    return buf
+
+
+def thread_count() -> int:
+    """The resolved ``REPRO_VEC_THREADS`` (default: CPU count, >= 1).
+
+    Read per pass rather than cached so the CLI knob and tests can set
+    the environment variable at any point.
+    """
+    raw = os.environ.get("REPRO_VEC_THREADS", "").strip()
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            return 1
+    return max(1, os.cpu_count() or 1)
+
+
+def _executor(workers: int):
+    """The shared column-fanout pool, grown on demand."""
+    global _pool, _pool_workers
+    if _pool is None or _pool_workers < workers:
+        from concurrent.futures import ThreadPoolExecutor
+
+        if _pool is not None:
+            _pool.shutdown(wait=False)
+        _pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-vec"
+        )
+        _pool_workers = workers
+    return _pool
+
+
+def _fanout(work: Callable[[slice], None], count: int) -> None:
+    """Run ``work`` over the column axis, split across threads when the
+    bank is wide enough; partitioning is by contiguous column slices, so
+    results are byte-identical at every thread count."""
+    workers = min(thread_count(), count // MIN_STREAMS_PER_THREAD)
+    if workers <= 1:
+        work(slice(0, count))
+        return
+    step = -(-count // workers)
+    slices = [
+        slice(start, min(count, start + step))
+        for start in range(0, count, step)
+    ]
+    list(_executor(len(slices)).map(work, slices))
 
 
 def _base_state():
@@ -71,72 +166,139 @@ def _base_state():
     return _base_state_cache
 
 
+def _key_words(seed: int) -> List[int]:
+    """CPython ``random_seed``'s init key: ``abs(seed)`` as little-endian
+    32-bit words (zero is the single word ``[0]``)."""
+    value = abs(int(seed))
+    words = [value & 0xFFFFFFFF]
+    value >>= 32
+    while value:
+        words.append(value & 0xFFFFFFFF)
+        value >>= 32
+    return words
+
+
+def _mix_group(mt: "np.ndarray", keys: "np.ndarray") -> None:
+    """``init_by_array`` over one same-width group, all columns per step.
+
+    ``mt`` is an *uninitialized* ``(624, G)`` buffer (written in place);
+    ``keys`` the ``(W, G)`` key matrix with ``key[j] + j`` pre-folded
+    (the reference loop adds both).  Runs ``max(624, W)`` mixing steps
+    then the 623 decay steps, exactly CPython's schedule for a
+    ``W``-word key.
+
+    The reference seeds ``init_genrand(19650218)`` first and xors each
+    key-mixing step into that base state.  The base state is
+    key-independent, and the first 623 steps each touch their row for
+    the first time — so instead of broadcasting a quarter-gigabyte base
+    matrix up front, those steps fold ``base[i]`` in as a scalar and
+    write the row fresh; only revisits (step >= 623) read the row back.
+    """
+    width = keys.shape[0]
+    count = mt.shape[1]
+    base = _base_state()
+    mix1 = np.uint32(1664525)
+    mix2 = np.uint32(1566083941)
+    s30 = np.uint32(30)
+
+    def work(cols: slice) -> None:
+        sub = mt[:, cols]
+        sub_keys = keys[:, cols]
+        tmp = np.empty(cols.stop - cols.start, dtype=np.uint32)
+        i = 1
+        j = 0
+        for step in range(max(_N, width)):
+            row = sub[i]
+            if step == 0:
+                # Row 0 is never materialized before its first wrap
+                # copy; the whole first step is scalar arithmetic on
+                # base[0] folded into the key add.
+                b0 = int(base[0])
+                head = (int(base[1]) ^ ((1664525 * (b0 ^ (b0 >> 30))) & 0xFFFFFFFF)) & 0xFFFFFFFF
+                np.add(sub_keys[0], np.uint32(head), out=row)
+            else:
+                prev = sub[i - 1]
+                np.right_shift(prev, s30, out=tmp)
+                np.bitwise_xor(tmp, prev, out=tmp)
+                np.multiply(tmp, mix1, out=tmp)
+                if step < _N - 1:  # first visit: fold base[i] as a scalar
+                    np.bitwise_xor(tmp, base[i], out=row)
+                else:
+                    np.bitwise_xor(row, tmp, out=row)
+                np.add(row, sub_keys[j], out=row)
+            i += 1
+            j += 1
+            if i >= _N:
+                sub[0] = sub[_N - 1]
+                i = 1
+            if j >= width:
+                j = 0
+        for _ in range(_N - 1):
+            prev = sub[i - 1]
+            np.right_shift(prev, s30, out=tmp)
+            np.bitwise_xor(tmp, prev, out=tmp)
+            np.multiply(tmp, mix2, out=tmp)
+            row = sub[i]
+            np.bitwise_xor(row, tmp, out=row)
+            np.subtract(row, np.uint32(i), out=row)
+            i += 1
+            if i >= _N:
+                sub[0] = sub[_N - 1]
+                i = 1
+        sub[0] = np.uint32(0x80000000)
+
+    _fanout(work, count)
+
+
 def seed_states(seeds) -> "np.ndarray":
     """CPython ``Random(seed)`` states for every seed, as ``(624, S)`` u32.
 
-    Vectorizes ``init_by_array`` across streams for the ubiquitous
-    two-word keys (64-bit :func:`~repro.sim.rng.derive_seed` outputs).
-    Seeds outside ``[2**32, 2**64)`` take the exact-but-scalar fallback
-    through ``_random.Random.getstate`` — their key has a different
-    word count, which changes the mixing schedule.
+    Vectorizes ``init_by_array`` across streams.  The ubiquitous
+    two-word keys (64-bit :func:`~repro.sim.rng.derive_seed` outputs)
+    run as one full-matrix pass; any other key width — sub-32-bit
+    seeds, >=2**64 integers — is batched per width and seeded through
+    the same vectorized mixing loops on its column group, so a bank is
+    never reduced to stream-at-a-time scalar reproduction.
     """
-    if isinstance(seeds, np.ndarray) and seeds.dtype == np.uint64:
-        # The batched derive_ball_seeds path: uniform 64-bit values, only
-        # the (astronomically rare) sub-2**32 ones need the scalar leg.
+    uniform64 = isinstance(seeds, np.ndarray) and seeds.dtype == np.uint64
+    if uniform64:
         seeds_arr = seeds
-        small = np.flatnonzero(seeds_arr < np.uint64(2**32)).tolist()
+        # The batched derive_ball_seeds path: uniform 64-bit values; the
+        # (astronomically rare) sub-2**32 ones form a one-word group.
+        odd: Dict[int, List[int]] = {}
+        for i in np.flatnonzero(seeds_arr < np.uint64(2**32)).tolist():
+            odd.setdefault(1, []).append(i)
         originals: Sequence[int] = seeds_arr
     else:
         originals = list(seeds)
-        small = [
-            i for i, s in enumerate(originals) if not 2**32 <= s < 2**64
-        ]
+        odd = {}
+        for i, s in enumerate(originals):
+            if not 2**32 <= s < 2**64:
+                odd.setdefault(len(_key_words(s)), []).append(i)
         seeds_arr = np.array(
             [s if 2**32 <= s < 2**64 else 2**32 for s in originals],
             dtype=np.uint64,
         )
     count = len(seeds_arr)
-    mt = np.empty((_N, count), dtype=np.uint32)
-    mt[:] = _base_state()[:, None]
-    key = (
-        (seeds_arr & np.uint64(0xFFFFFFFF)).astype(np.uint32),
+    mt = _acquire_state(count)
+    odd_count = sum(len(idx) for idx in odd.values())
+    if odd_count < count:
+        # Two-word common case over the whole matrix; odd-width columns
+        # are recomputed by their group below (the wasted mixing is
+        # cheaper than excising scattered columns first).
+        keys = np.empty((2, count), dtype=np.uint32)
+        keys[0] = (seeds_arr & np.uint64(0xFFFFFFFF)).astype(np.uint32)
         # The loop adds ``key[j] + j``; fold the ``+ 1`` in now.
-        (seeds_arr >> np.uint64(32)).astype(np.uint32) + np.uint32(1),
-    )
-    tmp = np.empty(count, dtype=np.uint32)
-    mix1 = np.uint32(1664525)
-    mix2 = np.uint32(1566083941)
-    s30 = np.uint32(30)
-    i = 1
-    parity = 0
-    for _ in range(_N):
-        prev = mt[i - 1]
-        np.right_shift(prev, s30, out=tmp)
-        np.bitwise_xor(tmp, prev, out=tmp)
-        np.multiply(tmp, mix1, out=tmp)
-        row = mt[i]
-        np.bitwise_xor(row, tmp, out=row)
-        np.add(row, key[parity], out=row)
-        parity ^= 1
-        i += 1
-        if i >= _N:
-            mt[0] = mt[_N - 1]
-            i = 1
-    for _ in range(_N - 1):
-        prev = mt[i - 1]
-        np.right_shift(prev, s30, out=tmp)
-        np.bitwise_xor(tmp, prev, out=tmp)
-        np.multiply(tmp, mix2, out=tmp)
-        row = mt[i]
-        np.bitwise_xor(row, tmp, out=row)
-        np.subtract(row, np.uint32(i), out=row)
-        i += 1
-        if i >= _N:
-            mt[0] = mt[_N - 1]
-            i = 1
-    mt[0] = np.uint32(0x80000000)
-    for idx in small:
-        mt[:, idx] = _MTRandom(int(originals[idx])).getstate()[:-1]
+        keys[1] = (seeds_arr >> np.uint64(32)).astype(np.uint32) + np.uint32(1)
+        _mix_group(mt, keys)
+    for width, idx in sorted(odd.items()):
+        group = _acquire_state(len(idx))
+        keys = np.zeros((width, len(idx)), dtype=np.uint32)
+        for col, i in enumerate(idx):
+            for j, word in enumerate(_key_words(int(originals[i]))):
+                keys[j, col] = np.uint32((word + j) & 0xFFFFFFFF)
+        _mix_group(group, keys)
+        mt[:, idx] = group
     return mt
 
 
@@ -165,7 +327,7 @@ class MTStreamBank:
         self._count = self._mt.shape[1]
         self._block = max(1, int(block))
         self._words_done = 0  # words of the current generation produced
-        self._new_words: List["np.ndarray"] = []  # untempered rows, in order
+        self._new: Optional["np.ndarray"] = None  # untempered next gen
         # Doubles buffer: (capacity, S) — row d is every stream's d-th
         # draw, so generation appends rows without transposing; capacity
         # doubles on demand so extends never re-copy.
@@ -177,45 +339,50 @@ class MTStreamBank:
     def _twist_rows(self, start: int, stop: int) -> "np.ndarray":
         """Untempered next-generation words ``start..stop`` (exclusive).
 
-        Generated strictly in order: rows below ``N - M`` read only the
-        old state, higher rows also read freshly twisted words (already
-        produced), and the final row pairs old word 623 with *new* word
-        0 — the wrap-around of the in-place reference loop.
+        Generated strictly in order into the preallocated generation
+        buffer: rows below ``N - M`` read only the old state, higher
+        rows also read freshly twisted words (already produced), and the
+        final row pairs old word 623 with *new* word 0 — the wrap-around
+        of the in-place reference loop.  Columns are independent, so the
+        pass fans out across the thread pool.
         """
-        mt = self._mt
-        rows: List["np.ndarray"] = []
-        lo = start
-        while lo < stop:
-            if lo < _N - 1:
-                hi = min(stop, _N - _M) if lo < _N - _M else min(stop, _N - 1)
-                y = (mt[lo:hi] & np.uint32(_UPPER)) | (
-                    mt[lo + 1 : hi + 1] & np.uint32(_LOWER)
-                )
-                if hi <= _N - _M:
-                    mixed = mt[lo + _M : hi + _M]
-                else:
-                    mixed = self._stacked_new(lo - (_N - _M), hi - (_N - _M))
-            else:
-                hi = _N
-                y = (mt[_N - 1 :] & np.uint32(_UPPER)) | (
-                    self._stacked_new(0, 1) & np.uint32(_LOWER)
-                )
-                mixed = self._stacked_new(_M - 1, _M)
-            out = mixed ^ (y >> np.uint32(1)) ^ ((y & np.uint32(1)) * np.uint32(_MATRIX_A))
-            rows.append(out)
-            self._new_words.append(out)
-            lo = hi
-        return np.concatenate(rows, axis=0) if len(rows) > 1 else rows[0]
+        if self._new is None:
+            self._new = _acquire_state(self._count)
 
-    def _stacked_new(self, start: int, stop: int) -> "np.ndarray":
-        """View of already-twisted new words ``start..stop``."""
-        stacked = (
-            self._new_words[0]
-            if len(self._new_words) == 1
-            else np.concatenate(self._new_words, axis=0)
-        )
-        self._new_words = [stacked]
-        return stacked[start:stop]
+        def work(cols: slice) -> None:
+            mt = self._mt[:, cols]
+            new = self._new[:, cols]
+            upper = np.uint32(_UPPER)
+            lower = np.uint32(_LOWER)
+            one = np.uint32(1)
+            matrix_a = np.uint32(_MATRIX_A)
+            lo = start
+            while lo < stop:
+                if lo < _N - 1:
+                    hi = (
+                        min(stop, _N - _M)
+                        if lo < _N - _M
+                        else min(stop, _N - 1)
+                    )
+                    y = (mt[lo:hi] & upper) | (mt[lo + 1 : hi + 1] & lower)
+                    if hi <= _N - _M:
+                        mixed = mt[lo + _M : hi + _M]
+                    else:
+                        mixed = new[lo - (_N - _M) : hi - (_N - _M)]
+                else:
+                    hi = _N
+                    y = (mt[_N - 1 :] & upper) | (new[0:1] & lower)
+                    mixed = new[_M - 1 : _M]
+                out = new[lo:hi]
+                np.right_shift(y, one, out=out)
+                np.bitwise_xor(out, mixed, out=out)
+                np.bitwise_and(y, one, out=y)
+                np.multiply(y, matrix_a, out=y)
+                np.bitwise_xor(out, y, out=out)
+                lo = hi
+
+        _fanout(work, self._count)
+        return self._new[start:stop]
 
     def _extend(self, doubles: int) -> None:
         """Produce ``doubles`` more values for every stream."""
@@ -226,8 +393,8 @@ class MTStreamBank:
                 # rows were never needed as output) and roll the state.
                 if self._words_done < _N:
                     self._twist_rows(self._words_done, _N)
-                self._mt = self._stacked_new(0, _N).copy()
-                self._new_words = []
+                self._mt = self._new
+                self._new = None
                 self._words_done = 0
                 continue
             words = self._twist_rows(self._words_done, self._words_done + 2 * take).copy()

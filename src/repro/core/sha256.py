@@ -1,0 +1,232 @@
+"""Pure-NumPy single-block SHA-256 over stacked uint32 lanes.
+
+Every ball-stream seed in :func:`repro.core.vectorized.derive_ball_seeds`
+hashes one short ``repr`` tuple — at most 55 bytes of message, i.e. a
+*single* padded SHA-256 block.  The scalar path pays one ``hashlib``
+object construction plus Python call overhead per (trial, ball) stream;
+for a stacked cell that is ``T * n`` hash calls before the first round
+runs, and BENCH_kernel.json shows it as the dominant share of the
+RNG-seeding floor.
+
+This module runs the whole batch as one compression pass: the ``(B, 64)``
+padded block matrix is viewed as big-endian words, and the 64-round
+schedule + state update execute as ufunc passes over ``(B,)`` uint32
+lanes (NumPy's modular uint32 arithmetic is exactly the spec's mod-2**32
+arithmetic).  Word-exactness against ``hashlib.sha256`` for every
+message shape is asserted by ``tests/core/test_sha256.py``; the stream
+and differential suites then rest on it.
+
+Messages longer than :data:`MAX_SINGLE_BLOCK` bytes (not produced by any
+current seed scope, but reachable through exotic labels) and builds
+without NumPy take the byte-identical ``hashlib`` fallback.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from typing import List, Optional, Sequence
+
+try:  # pragma: no cover - exercised via the no-numpy CI leg
+    import numpy as np
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover
+    np = None  # type: ignore[assignment]
+    HAVE_NUMPY = False
+
+#: Longest message that fits one padded block: 64 bytes minus the 0x80
+#: terminator and the 8-byte big-endian bit length.
+MAX_SINGLE_BLOCK = 55
+
+#: Below this many lanes the ufunc overhead of the ~2800-pass compression
+#: cannot amortize regardless of the backend, so the lane path never
+#: engages there even when forced on.
+MIN_LANES = 192
+
+
+def use_lanes(count: int) -> bool:
+    """Whether a ``count``-message batch should take the lane path.
+
+    ``REPRO_SHA256_LANES=on`` forces the NumPy lanes (bit-identical by
+    the word-exactness suite), ``off`` pins the scalar path, and the
+    default ``auto`` currently resolves to the scalar path: OpenSSL's
+    SIMD/SHA-NI C implementation behind ``hashlib`` outruns ~2800
+    interpreted ufunc passes at every batch size measured (see the
+    ``rng_share`` microbenchmark in BENCH_kernel.json) — the lane
+    backend exists for builds where that C path is slow, and as the
+    measured baseline that redirected this optimisation at the seeding
+    loops instead.
+    """
+    if not HAVE_NUMPY or count < MIN_LANES:
+        return False
+    mode = os.environ.get("REPRO_SHA256_LANES", "auto").strip().lower()
+    if mode in ("1", "on", "force"):
+        return True
+    return False
+
+#: FIPS 180-4 round constants (fractional cube roots of the first 64
+#: primes) and initial state (fractional square roots of the first 8).
+_K = (
+    0x428A2F98, 0x71374491, 0xB5C0FBCF, 0xE9B5DBA5,
+    0x3956C25B, 0x59F111F1, 0x923F82A4, 0xAB1C5ED5,
+    0xD807AA98, 0x12835B01, 0x243185BE, 0x550C7DC3,
+    0x72BE5D74, 0x80DEB1FE, 0x9BDC06A7, 0xC19BF174,
+    0xE49B69C1, 0xEFBE4786, 0x0FC19DC6, 0x240CA1CC,
+    0x2DE92C6F, 0x4A7484AA, 0x5CB0A9DC, 0x76F988DA,
+    0x983E5152, 0xA831C66D, 0xB00327C8, 0xBF597FC7,
+    0xC6E00BF3, 0xD5A79147, 0x06CA6351, 0x14292967,
+    0x27B70A85, 0x2E1B2138, 0x4D2C6DFC, 0x53380D13,
+    0x650A7354, 0x766A0ABB, 0x81C2C92E, 0x92722C85,
+    0xA2BFE8A1, 0xA81A664B, 0xC24B8B70, 0xC76C51A3,
+    0xD192E819, 0xD6990624, 0xF40E3585, 0x106AA070,
+    0x19A4C116, 0x1E376C08, 0x2748774C, 0x34B0BCB5,
+    0x391C0CB3, 0x4ED8AA4A, 0x5B9CCA4F, 0x682E6FF3,
+    0x748F82EE, 0x78A5636F, 0x84C87814, 0x8CC70208,
+    0x90BEFFFA, 0xA4506CEB, 0xBEF9A3F7, 0xC67178F2,
+)
+
+_H0 = (
+    0x6A09E667, 0xBB67AE85, 0x3C6EF372, 0xA54FF53A,
+    0x510E527F, 0x9B05688C, 0x1F83D9AB, 0x5BE0CD19,
+)
+
+
+#: Lanes per compression chunk.  All working arrays of a chunk are a few
+#: tens of KB — small enough for the allocator's cached bins and the L2
+#: working set, which is where the ~2800 ufunc passes spend their time.
+_CHUNK = 8192
+
+
+def _rotr_into(x, r, out, scratch) -> "np.ndarray":
+    """``out = rotr(x, r)`` without allocating (scratch is clobbered)."""
+    np.right_shift(x, np.uint32(r), out=out)
+    np.left_shift(x, np.uint32(32 - r), out=scratch)
+    np.bitwise_or(out, scratch, out=out)
+    return out
+
+
+def _sigma_into(x, r1, r2, shift, out, t1, t2) -> "np.ndarray":
+    """``out = rotr(x,r1) ^ rotr(x,r2) ^ (x >> shift)`` allocation-free."""
+    _rotr_into(x, r1, out, t1)
+    _rotr_into(x, r2, t1, t2)
+    np.bitwise_xor(out, t1, out=out)
+    np.right_shift(x, np.uint32(shift), out=t1)
+    np.bitwise_xor(out, t1, out=out)
+    return out
+
+
+def _big_sigma_into(x, r1, r2, r3, out, t1, t2) -> "np.ndarray":
+    """``out = rotr(x,r1) ^ rotr(x,r2) ^ rotr(x,r3)`` allocation-free."""
+    _rotr_into(x, r1, out, t1)
+    _rotr_into(x, r2, t1, t2)
+    np.bitwise_xor(out, t1, out=out)
+    _rotr_into(x, r3, t1, t2)
+    np.bitwise_xor(out, t1, out=out)
+    return out
+
+
+def _compress_chunk(words: "np.ndarray", state: "np.ndarray") -> None:
+    """Compress one chunk: ``words`` is ``(B, 16)`` native uint32 message
+    words, ``state`` the ``(B, 8)`` output rows."""
+    lanes = words.shape[0]
+    # Schedule ring: 16 live words, each slot overwritten in place when
+    # the round index laps it; K[t] is folded in at production time so
+    # the round update adds one array instead of two.
+    w = [np.ascontiguousarray(words[:, i]) for i in range(16)]
+    wk = [w[i] + np.uint32(_K[i]) for i in range(16)]
+    t1 = np.empty(lanes, dtype=np.uint32)
+    t2 = np.empty(lanes, dtype=np.uint32)
+    t3 = np.empty(lanes, dtype=np.uint32)
+    t4 = np.empty(lanes, dtype=np.uint32)
+    regs = [np.full(lanes, np.uint32(word)) for word in _H0]
+    for t in range(64):
+        if t >= 16:
+            slot = t & 15
+            # w[t] = w[t-16] + s0(w[t-15]) + w[t-7] + s1(w[t-2])
+            target = w[slot]  # holds w[t-16]; becomes w[t] in place
+            _sigma_into(w[(t - 15) & 15], 7, 18, 3, t1, t3, t4)
+            np.add(target, t1, out=target)
+            np.add(target, w[(t - 7) & 15], out=target)
+            _sigma_into(w[(t - 2) & 15], 17, 19, 10, t1, t3, t4)
+            np.add(target, t1, out=target)
+            np.add(target, np.uint32(_K[t]), out=wk[slot])
+        a, b, c, d, e, f, g, h = regs
+        # temp1 accumulates into h (retired this round): h += S1(e) +
+        # ch(e,f,g) + (K[t] + w[t]).
+        _big_sigma_into(e, 6, 11, 25, t1, t3, t4)
+        np.add(h, t1, out=h)
+        np.bitwise_xor(f, g, out=t2)
+        np.bitwise_and(t2, e, out=t2)
+        np.bitwise_xor(t2, g, out=t2)
+        np.add(h, t2, out=h)
+        np.add(h, wk[t & 15], out=h)
+        # temp2 = S0(a) + maj(a,b,c), into t1.
+        _big_sigma_into(a, 2, 13, 22, t1, t3, t4)
+        np.bitwise_xor(b, c, out=t2)
+        np.bitwise_and(t2, a, out=t2)
+        np.bitwise_and(b, c, out=t3)
+        np.bitwise_xor(t2, t3, out=t2)
+        np.add(t1, t2, out=t1)
+        np.add(d, h, out=d)  # e' = d + temp1
+        np.add(h, t1, out=h)  # a' = temp1 + temp2
+        regs = [h, a, b, c, d, e, f, g]
+    for i, v in enumerate(regs):
+        np.add(v, np.uint32(_H0[i]), out=v)
+        state[:, i] = v
+
+
+def compress_blocks(blocks: "np.ndarray") -> "np.ndarray":
+    """One SHA-256 compression of ``(B, 64)`` padded blocks, per lane.
+
+    ``blocks`` is the already-padded 64-byte block of each message
+    (terminator and bit length included).  Returns the ``(B, 8)`` uint32
+    state words — the big-endian digest, word for word.
+    """
+    blocks = np.ascontiguousarray(blocks, dtype=np.uint8)
+    words = blocks.view(">u4").astype(np.uint32)
+    lanes = blocks.shape[0]
+    state = np.empty((lanes, 8), dtype=np.uint32)
+    for start in range(0, lanes, _CHUNK):
+        stop = min(lanes, start + _CHUNK)
+        _compress_chunk(words[start:stop], state[start:stop])
+    return state
+
+
+def pack_messages(messages: Sequence[bytes]) -> Optional["np.ndarray"]:
+    """The ``(B, 64)`` padded block matrix, or None if any message is
+    longer than :data:`MAX_SINGLE_BLOCK` bytes."""
+    blocks = np.zeros((len(messages), 64), dtype=np.uint8)
+    for row, message in enumerate(messages):
+        length = len(message)
+        if length > MAX_SINGLE_BLOCK:
+            return None
+        blocks[row, :length] = np.frombuffer(message, dtype=np.uint8)
+        blocks[row, length] = 0x80
+        bits = length * 8
+        blocks[row, 62] = bits >> 8
+        blocks[row, 63] = bits & 0xFF
+    return blocks
+
+
+def digest_first8(messages: Sequence[bytes]) -> List[int]:
+    """The first 8 digest bytes of every message as big-endian integers.
+
+    Exactly ``int.from_bytes(hashlib.sha256(m).digest()[:8], "big")`` per
+    message (the :func:`repro.sim.rng.derive_seed` truncation), batched
+    through the lane compression when NumPy is present and every message
+    fits a single block.
+    """
+    if use_lanes(len(messages)):
+        blocks = pack_messages(messages)
+        if blocks is not None:
+            state = compress_blocks(blocks)
+            first8 = (state[:, 0].astype(np.uint64) << np.uint64(32)) | (
+                state[:, 1].astype(np.uint64)
+            )
+            return [int(v) for v in first8]
+    sha = hashlib.sha256
+    return [
+        int.from_bytes(sha(message).digest()[:8], "big")
+        for message in messages
+    ]

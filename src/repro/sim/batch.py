@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import ast
 import multiprocessing
+import operator
 import os
 import time
 from dataclasses import dataclass, field
@@ -405,12 +406,47 @@ def _max_streams() -> int:
     return max(1, int(raw)) if raw else DEFAULT_MAX_STREAMS
 
 
+#: Minimum stream count (trials x n) below which a *crash* cell stays on
+#: the per-trial columnar path.  The crash stack pays fixed per-round
+#: costs (adversary planning, class-matrix bookkeeping) that only
+#: amortize across enough streams; measured crossover on one core sits
+#: between 512 and 1024 streams, above which stacking wins 1.3-2.8x.
+#: Failure-free stacks amortize from far smaller cells and take no
+#: floor.  Override with REPRO_VEC_CRASH_MIN_STREAMS (0 = always stack).
+DEFAULT_CRASH_MIN_STREAMS = 1 << 10
+
+
+def _crash_min_streams() -> int:
+    raw = os.environ.get("REPRO_VEC_CRASH_MIN_STREAMS")
+    return max(0, int(raw)) if raw else DEFAULT_CRASH_MIN_STREAMS
+
+
 def _cell_config(spec: TrialSpec) -> Tuple[Any, ...]:
     """Everything but the seed: trials agreeing here can stack."""
     return (
         spec.algorithm,
         spec.n,
         spec.adversary,
+        spec.halt_on_name,
+        spec.crash_budget,
+        spec.check,
+        spec.kernel,
+        spec.capture_errors,
+        spec.monitor,
+    )
+
+
+def _mixed_cell_config(spec: TrialSpec) -> Tuple[Any, ...]:
+    """The cell configuration up to the adversary.
+
+    Hunt generations evaluate many one-of-a-kind crash schedules against
+    one cell shape; grouping on this key (``mixed`` task planning) lets
+    those stack with per-trial adversaries where :func:`_cell_config`
+    grouping would leave every candidate on the per-trial path.
+    """
+    return (
+        spec.algorithm,
+        spec.n,
         spec.halt_on_name,
         spec.crash_budget,
         spec.check,
@@ -447,26 +483,48 @@ def _stackable(spec: TrialSpec) -> bool:
     return cell_rejection(request) is None
 
 
-def plan_tasks(specs: Sequence[TrialSpec], *, parts: int = 1) -> List[Task]:
+def plan_tasks(
+    specs: Sequence[TrialSpec], *, parts: int = 1, mixed: bool = False
+) -> List[Task]:
     """Fold runs of same-cell specs into stacked tasks, order-preserving.
 
     ``parts`` splits large stacks (one per worker, roughly) so a single
     big cell still spreads across a pool; every stack additionally
     respects the :data:`DEFAULT_MAX_STREAMS` memory budget.  Specs the
     vectorized engine cannot stack stay individual trials.
+
+    ``mixed`` groups on :func:`_mixed_cell_config` instead — trials of
+    one cell shape stack even when each carries its own adversary spec
+    (the hunt batching hint), provided every adversary in the run shares
+    a name (so one certification answer covers the group).
+
+    Crash groups additionally respect the
+    :data:`DEFAULT_CRASH_MIN_STREAMS` floor: below it the stacked crash
+    engine's fixed per-round costs outweigh the amortization, so small
+    crash cells keep the per-trial columnar path (a pure scheduling
+    choice — the engines are bit-identical).
     """
     tasks: List[Task] = []
     specs = list(specs)
     max_streams = _max_streams()
+    config_of = _mixed_cell_config if mixed else _cell_config
     i = 0
     while i < len(specs):
         spec = specs[i]
         j = i + 1
-        config = _cell_config(spec)
-        while j < len(specs) and _cell_config(specs[j]) == config:
+        config = config_of(spec)
+        while j < len(specs) and config_of(specs[j]) == config:
+            if mixed and specs[j].adversary.name != spec.adversary.name:
+                break
             j += 1
         group = specs[i:j]
-        if len(group) >= 2 and _stackable(spec):
+        stacks = len(group) >= 2 and _stackable(spec)
+        if stacks and spec.adversary.name != "none":
+            # Crash stacks only pay above the stream floor; smaller
+            # crash cells keep per-trial columnar speed (bit-identical
+            # either way — the floor is purely a scheduling choice).
+            stacks = len(group) * spec.n >= _crash_min_streams()
+        if stacks:
             chunk = max(1, max_streams // max(1, spec.n))
             if parts > 1:
                 chunk = max(1, min(chunk, -(-len(group) // parts)))
@@ -481,23 +539,33 @@ def plan_tasks(specs: Sequence[TrialSpec], *, parts: int = 1) -> List[Task]:
 
 
 def run_cell(specs: Sequence[TrialSpec]) -> List[TrialResult]:
-    """Execute one stacked failure-free cell (module-level: picklable).
+    """Execute one stacked cell (module-level: picklable).
 
-    All specs must share a cell configuration (:func:`plan_tasks`
-    guarantees it; direct callers are checked); the stacked engine is
-    bit-identical to the scalar kernels, so each returned
-    :class:`TrialResult` equals the :func:`run_trial` outcome of its
-    spec except for the ``kernel`` label.
+    All specs must share a cell configuration up to the adversary
+    (:func:`plan_tasks` guarantees it; direct callers are checked); the
+    stacked engines are bit-identical to the scalar kernels, so each
+    returned :class:`TrialResult` equals the :func:`run_trial` outcome
+    of its spec except for the ``kernel`` label.  Crash cells build one
+    adversary per trial from that trial's seed — exactly the instance
+    :func:`run_trial` would hand its kernel.
     """
+    from repro.adversary.none import NoFailures
     from repro.sim.vectorized import run_stacked_cell
 
     spec = specs[0]
     for other in specs[1:]:
-        if _cell_config(other) != _cell_config(spec):
+        if _mixed_cell_config(other) != _mixed_cell_config(spec):
             raise ConfigurationError(
-                "run_cell needs same-cell specs (only seeds may differ); "
-                f"got {_cell_config(spec)} and {_cell_config(other)}"
+                "run_cell needs same-cell specs (only seeds and certified "
+                f"adversaries may differ); got {_cell_config(spec)} and "
+                f"{_cell_config(other)}"
             )
+    adversaries = [s.adversary.build(s.seed) for s in specs]
+    crashy = any(
+        adv is not None and type(adv) is not NoFailures for adv in adversaries
+    )
+    if crashy:
+        return _run_crash_cell(specs, adversaries)
     cell = run_stacked_cell(
         sparse_ids(spec.n),
         [s.seed for s in specs],
@@ -509,8 +577,11 @@ def run_cell(specs: Sequence[TrialSpec]) -> List[TrialResult]:
     if spec.check:
         cell.check()
     labels = cell.labels
-    # repr-sort of the (shared) labels once per cell, not once per trial.
+    # repr-sort of the (shared) labels once per cell, not once per trial;
+    # itemgetter picks each trial's decisions in that order at C speed.
     order = sorted(range(len(labels)), key=lambda i: repr(labels[i]))
+    ordered_labels = tuple(labels[i] for i in order)
+    pick = operator.itemgetter(*order) if len(order) > 1 else None
     rounds = cell.rounds.tolist()
     sent = cell.messages_sent.tolist()
     delivered = cell.messages_delivered.tolist()
@@ -518,6 +589,7 @@ def run_cell(specs: Sequence[TrialSpec]) -> List[TrialResult]:
     results = []
     for t, trial_spec in enumerate(specs):
         row = decisions[t]
+        picked = pick(row) if pick is not None else (row[order[0]],)
         results.append(
             TrialResult(
                 spec=trial_spec,
@@ -526,12 +598,106 @@ def run_cell(specs: Sequence[TrialSpec]) -> List[TrialResult]:
                 messages_sent=sent[t],
                 messages_delivered=delivered[t],
                 last_round_named=cell.last_round_named(t),
-                names=tuple((labels[i], row[i]) for i in order),
+                names=tuple(zip(ordered_labels, picked)),
                 kernel="vectorized",
                 monitor=spec.monitor,
                 violations=tuple(
                     v.render() for v in cell.violations(t)
                 ),
+            )
+        )
+    return results
+
+
+def _run_crash_cell(
+    specs: Sequence[TrialSpec], adversaries: Sequence[Any]
+) -> List[TrialResult]:
+    """One stacked crash cell, trial faults resolved in serial order.
+
+    The stacked engine flags an overrun trial instead of raising, so the
+    per-trial semantics of the serial loop are reproduced here: ascending
+    trial order, a trial's :class:`RoundLimitExceeded` before its spec
+    check, and — under ``capture_errors`` — the exact error rows
+    :func:`run_trial` would have produced, without re-running anything.
+    """
+    from repro.sim.vectorized import run_stacked_cell
+
+    spec = specs[0]
+    cell = run_stacked_cell(
+        sparse_ids(spec.n),
+        [s.seed for s in specs],
+        policy=ALGORITHMS[spec.algorithm],
+        halt_on_name=spec.halt_on_name,
+        crash_budget=spec.crash_budget,
+        monitor=spec.monitor,
+        adversaries=adversaries,
+    )
+    labels = cell.labels
+    order = sorted(range(len(labels)), key=lambda i: repr(labels[i]))
+    rounds = cell.rounds.tolist()
+    failures = cell.failures.tolist()
+    sent = cell.messages_sent.tolist()
+    delivered = cell.messages_delivered.tolist()
+    decisions = cell.decisions.tolist()
+    crashed = cell.crashed.tolist()
+    overrun = cell.overrun.tolist()
+    spec_ok = cell.spec_ok() if spec.check else None
+    results = []
+    for t, trial_spec in enumerate(specs):
+        error: Optional[Exception] = None
+        if overrun[t]:
+            error = RoundLimitExceeded(
+                cell.limit, int(cell.running_at_limit[t])
+            )
+        elif spec_ok is not None and not bool(spec_ok[t]):
+            try:
+                cell.check_trial(t)
+            except SpecViolation as violation:
+                error = violation
+        if error is not None:
+            if not trial_spec.capture_errors:
+                raise error
+            limit = (
+                error.limit
+                if isinstance(error, RoundLimitExceeded)
+                else default_round_limit(trial_spec.n, trial_spec.crash_budget)
+            )
+            results.append(
+                TrialResult(
+                    spec=trial_spec,
+                    rounds=limit,
+                    failures=0,
+                    messages_sent=0,
+                    messages_delivered=0,
+                    last_round_named=None,
+                    names=(),
+                    kernel=trial_spec.kernel,
+                    error=f"{type(error).__name__}: {error}",
+                    monitor=trial_spec.monitor,
+                    violations=tuple(
+                        v.render() for v in getattr(error, "violations", ())
+                    ),
+                )
+            )
+            continue
+        row = decisions[t]
+        crashed_row = crashed[t]
+        results.append(
+            TrialResult(
+                spec=trial_spec,
+                rounds=rounds[t],
+                failures=failures[t],
+                messages_sent=sent[t],
+                messages_delivered=delivered[t],
+                last_round_named=cell.last_round_named(t),
+                names=tuple(
+                    (labels[i], row[i])
+                    for i in order
+                    if not crashed_row[i] and row[i] >= 0
+                ),
+                kernel="vectorized",
+                monitor=trial_spec.monitor,
+                violations=(),
             )
         )
     return results
@@ -866,21 +1032,26 @@ def run_batch(
     executor: Union[None, str, SerialExecutor, MultiprocessingExecutor] = None,
     workers: Optional[int] = None,
     chunksize: Optional[int] = None,
+    mixed_cells: bool = False,
 ) -> BatchResult:
     """Expand (if needed) and execute a batch of trials.
 
     ``executor`` may be an executor object, a name from
     :data:`EXECUTORS`, or None (serial; or process when ``workers > 1``).
-    Eligible failure-free cells run trial-stacked on the vectorized
-    engine (one call per cell, split across workers); results are
-    bit-identical either way, so backends and kernels interchange freely.
+    Eligible cells — failure-free and certified-crash alike — run
+    trial-stacked on the vectorized engine (one call per cell, split
+    across workers); results are bit-identical either way, so backends
+    and kernels interchange freely.  ``mixed_cells`` extends stacking to
+    groups whose trials carry per-trial adversary specs (hunt batches).
     """
     specs = source.expand() if isinstance(source, ScenarioMatrix) else list(source)
     backend = as_executor(executor, workers=workers, chunksize=chunksize)
     parts = getattr(backend, "workers", 1)
     started = time.perf_counter()
     if hasattr(backend, "run_tasks"):
-        results = backend.run_tasks(plan_tasks(specs, parts=parts))
+        results = backend.run_tasks(
+            plan_tasks(specs, parts=parts, mixed=mixed_cells)
+        )
     else:  # a caller-supplied executor object predating task planning
         results = backend.run(specs)
     elapsed = time.perf_counter() - started

@@ -28,10 +28,11 @@ from __future__ import annotations
 
 from typing import Hashable, Optional, Sequence
 
+from repro.adversary.certification import certification_failure
 from repro.adversary.none import NoFailures
 from repro.core.config import BallsIntoLeavesConfig
 from repro.core.mt19937 import HAVE_NUMPY
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, RoundLimitExceeded
 from repro.sim.checker import RenamingSpec, check_renaming
 from repro.sim.kernel import KernelRequest, KernelRun, SimulationKernel
 from repro.sim.metrics import RoundMetrics, SimulationMetrics
@@ -148,6 +149,137 @@ class StackedCellRun:
         )
 
 
+class StackedCrashCellRun:
+    """Outcome of one stacked *crash* cell: per-trial crash results.
+
+    Same accessor contract as :class:`StackedCellRun`, plus the crash
+    surfaces: per-trial crash/halt sets, real per-round metrics, and the
+    :attr:`overrun` flags a caller turns back into the per-trial
+    :class:`~repro.errors.RoundLimitExceeded` the scalar loop raises.
+    """
+
+    def __init__(self, engine, seeds: Sequence[int]) -> None:
+        self._engine = engine
+        self.seeds = list(seeds)
+        self.labels = engine.labels
+        self.n = n = engine.n
+        self.trials = T = engine.trials
+        self.rounds = engine.rounds
+        self.limit = engine.max_rounds
+        self.overrun = engine.overrun
+        self.running_at_limit = engine.running_at_limit
+        self.decisions = engine.decision.reshape(T, n)
+        self.round_named = engine.round_named.reshape(T, n)
+        self.crashed = engine.crashed.reshape(T, n)
+        self.halted = engine.halted.reshape(T, n)
+        #: (T,) crash counts — the batch layer's ``failures`` column.
+        self.failures = self.crashed.sum(axis=1)
+
+        def stack(rows):
+            return (
+                np.stack(rows)
+                if rows
+                else np.zeros((0, T), dtype=np.int64)
+            )
+
+        self._sent = stack(engine.round_sent)
+        self._delivered = stack(engine.round_delivered)
+        self._crashes = stack(engine.round_crashes)
+        self._alive = stack(engine.round_alive)
+        self._running = stack(engine.round_running)
+        # Inactive trials contribute zero rows, so whole-column sums are
+        # per-trial totals directly.
+        self.messages_sent = self._sent.sum(axis=0, dtype=np.int64)
+        self.messages_delivered = self._delivered.sum(axis=0, dtype=np.int64)
+        self._participants = frozenset(self.labels)
+
+    def last_round_named(self, t: int) -> Optional[int]:
+        """Latest naming round of a correct process of trial ``t``."""
+        return self._engine.last_round_named(t)
+
+    def violations(self, t: int) -> list:
+        """Stacked crash cells run unmonitored (gated by the kernel)."""
+        return []
+
+    def metrics(self, t: int) -> SimulationMetrics:
+        """Trial ``t``'s per-round metrics, as the columnar loop records."""
+        metrics = SimulationMetrics()
+        for r in range(int(self.rounds[t])):
+            metrics.record(
+                RoundMetrics(
+                    round_no=r + 1,
+                    messages_sent=int(self._sent[r, t]),
+                    messages_delivered=int(self._delivered[r, t]),
+                    crashes=int(self._crashes[r, t]),
+                    alive_after=int(self._alive[r, t]),
+                    running_after=int(self._running[r, t]),
+                )
+            )
+        return metrics
+
+    def result(self, t: int) -> SimulationResult:
+        """Trial ``t``'s :class:`SimulationResult`, columnar-identical."""
+        row = self.decisions[t].tolist()
+        decisions = {
+            pid: (name if name >= 0 else None)
+            for pid, name in zip(self.labels, row)
+        }
+        crashed_row = self.crashed[t]
+        halted_row = self.halted[t]
+        return SimulationResult(
+            rounds=int(self.rounds[t]),
+            decisions=decisions,
+            crashed=frozenset(
+                pid for j, pid in enumerate(self.labels) if crashed_row[j]
+            ),
+            halted=frozenset(
+                pid for j, pid in enumerate(self.labels) if halted_row[j]
+            ),
+            metrics=self.metrics(t),
+            trace=None,
+            participants=self._participants,
+        )
+
+    def check_trial(self, t: int) -> None:
+        """Renaming-spec check of one trial with the scalar wording."""
+        check_renaming(self.result(t), RenamingSpec(n=self.n))
+
+    def spec_ok(self) -> "np.ndarray":
+        """(T,) vectorized spec screen; flagged trials re-check scalar.
+
+        A trial passes iff every correct (non-crashed) process decided a
+        distinct name in ``0..n-1`` and halted — the four
+        :func:`check_renaming` conditions over correct processes.
+        """
+        correct = ~self.crashed
+        dec = self.decisions
+        decided = dec >= 0
+        ok = (decided | ~correct).all(axis=1)
+        ok &= (~(correct & decided) | self.halted).all(axis=1)
+        ok &= (~(correct & decided) | (dec < self.n)).all(axis=1)
+        live = correct & decided
+        tg, ti = np.nonzero(live)
+        if tg.size:
+            names = np.clip(dec[tg, ti], 0, self.n - 1)
+            counts = np.bincount(
+                tg * self.n + names, minlength=self.trials * self.n
+            ).reshape(self.trials, self.n)
+            ok &= (counts <= 1).all(axis=1)
+        return ok
+
+    def check(self) -> None:
+        """Spec check for every trial; first violation raises scalar-worded."""
+        ok = self.spec_ok()
+        if bool(ok.all()):
+            return
+        bad = int(np.flatnonzero(~ok)[0])
+        self.check_trial(bad)
+        raise AssertionError(  # pragma: no cover - checker always raises
+            f"vectorized crash screen flagged trial {bad} but "
+            "check_renaming passed"
+        )
+
+
 def run_stacked_cell(
     ids: Sequence[Hashable],
     seeds: Sequence[int],
@@ -157,16 +289,48 @@ def run_stacked_cell(
     crash_budget: Optional[int] = None,
     max_rounds: Optional[int] = None,
     monitor: str = "off",
-) -> StackedCellRun:
-    """Execute ``len(seeds)`` failure-free trials as one stacked pass."""
-    from repro.core.vectorized import VectorizedCellEngine
+    adversaries: Optional[Sequence] = None,
+):
+    """Execute ``len(seeds)`` trials of one cell as one stacked pass.
 
+    Without ``adversaries`` (or with every entry None/:class:`NoFailures`)
+    this is the failure-free stack returning :class:`StackedCellRun`.
+    With any crashing adversary it builds the crash engine instead and
+    returns :class:`StackedCrashCellRun`; entry ``t`` of ``adversaries``
+    is the already-built instance driving trial ``t`` (the caller owns
+    seed-faithful construction, exactly like the scalar kernels).
+    """
     n = len(ids)
     if crash_budget is not None and not 0 <= crash_budget < n:
         raise ConfigurationError(
             f"crash budget must satisfy 0 <= t < n; got t={crash_budget}, n={n}"
         )
     limit = max_rounds if max_rounds is not None else default_round_limit(n, crash_budget)
+    crashy = adversaries is not None and any(
+        adv is not None and type(adv) is not NoFailures for adv in adversaries
+    )
+    if crashy:
+        from repro.core.vectorized import VectorizedCrashEngine
+
+        if monitor != "off":
+            raise ConfigurationError(
+                "stacked crash cells run unmonitored; per-trial kernels "
+                "cover monitored crash runs"
+            )
+        budget = crash_budget if crash_budget is not None else n - 1
+        engine = VectorizedCrashEngine(
+            ids,
+            list(seeds),
+            policy=policy,
+            halt_on_name=halt_on_name,
+            adversaries=list(adversaries),
+            crash_budget=budget,
+            max_rounds=limit,
+        )
+        engine.run()
+        return StackedCrashCellRun(engine, seeds)
+    from repro.core.vectorized import VectorizedCellEngine
+
     engine = VectorizedCellEngine(
         ids,
         list(seeds),
@@ -196,12 +360,14 @@ class VectorizedKernel(SimulationKernel):
                 "a shared view"
             )
         adversary = request.adversary
-        if adversary is not None and type(adversary) is not NoFailures:
+        failure = certification_failure(adversary)
+        if failure is not None:
+            return failure
+        crashy = adversary is not None and type(adversary) is not NoFailures
+        if crashy and request.monitor != "off":
             return (
-                f"adversary type {type(adversary).__name__} crashes "
-                "processes; the trial-stacked layout models failure-free "
-                "cells only (the columnar crash engine covers certified "
-                "adversaries)"
+                "monitors observe per-trial crash engines; stacked crash "
+                "cells run unmonitored"
             )
         if request.trace is not None:
             return "trace recording observes the reference engine's events"
@@ -238,6 +404,8 @@ class VectorizedKernel(SimulationKernel):
                 f"crash budget must satisfy 0 <= t < n; "
                 f"got t={request.crash_budget}, n={n}"
             )
+        adversary = request.adversary
+        crashy = adversary is not None and type(adversary) is not NoFailures
         cell = run_stacked_cell(
             request.ids,
             [request.seed],
@@ -246,7 +414,12 @@ class VectorizedKernel(SimulationKernel):
             crash_budget=request.crash_budget,
             max_rounds=request.max_rounds,
             monitor=request.monitor,
+            adversaries=[adversary] if crashy else None,
         )
+        if crashy and bool(cell.overrun[0]):
+            raise RoundLimitExceeded(
+                request.max_rounds, int(cell.running_at_limit[0])
+            )
         return KernelRun(
             result=cell.result(0),
             last_round_named=cell.last_round_named(0),

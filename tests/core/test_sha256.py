@@ -1,0 +1,137 @@
+"""Word-exactness of the lane SHA-256 against ``hashlib``.
+
+The vectorized seed derivation rests on :mod:`repro.core.sha256`
+producing the *identical* digest words ``hashlib.sha256`` does for every
+single-block message — these tests pin that across message lengths
+(empty through the 55-byte maximum), content classes (binary, ASCII,
+non-ASCII UTF-8), and the exact message shapes
+:func:`repro.core.vectorized.derive_ball_seeds` builds (edge seeds,
+max-length labels).
+"""
+
+import hashlib
+
+import pytest
+
+from repro.core import sha256
+from repro.sim.rng import derive_seed
+
+np = pytest.importorskip("numpy")
+
+pytestmark = pytest.mark.skipif(
+    not sha256.HAVE_NUMPY, reason="lane SHA-256 requires numpy"
+)
+
+
+def _reference_words(message: bytes):
+    digest = hashlib.sha256(message).digest()
+    return [
+        int.from_bytes(digest[i : i + 4], "big") for i in range(0, 32, 4)
+    ]
+
+
+def _reference_first8(message: bytes) -> int:
+    return int.from_bytes(hashlib.sha256(message).digest()[:8], "big")
+
+
+class TestCompressBlocks:
+    def test_word_exact_for_every_single_block_length(self):
+        messages = [bytes(range(length)) for length in range(56)]
+        blocks = sha256.pack_messages(messages)
+        state = sha256.compress_blocks(blocks)
+        for row, message in enumerate(messages):
+            assert state[row].tolist() == _reference_words(message), (
+                f"digest mismatch at message length {len(message)}"
+            )
+
+    def test_word_exact_on_content_classes(self):
+        messages = [
+            b"",
+            b"abc",
+            b"a" * 55,
+            bytes([0x80] * 55),
+            bytes([0xFF] * 32),
+            "héllo wörld ⊕".encode("utf-8"),
+            b"\x00" * 55,
+            repr((123456789, "'ball'", "'p31'")).encode("utf-8"),
+        ]
+        state = sha256.compress_blocks(sha256.pack_messages(messages))
+        for row, message in enumerate(messages):
+            assert state[row].tolist() == _reference_words(message)
+
+    def test_pack_rejects_oversize_messages(self):
+        assert sha256.pack_messages([b"x" * 56]) is None
+        assert sha256.pack_messages([b"", b"y" * 200]) is None
+
+
+class TestDigestFirst8:
+    def test_matches_hashlib_above_and_below_the_lane_cutoff(
+        self, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_SHA256_LANES", "on")
+        batch = [b"message %d" % i for i in range(sha256.MIN_LANES + 8)]
+        small = batch[:4]
+        for messages in (batch, small):
+            assert sha256.digest_first8(messages) == [
+                _reference_first8(m) for m in messages
+            ]
+
+    def test_oversize_messages_fall_back_to_hashlib(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHA256_LANES", "on")
+        messages = [b"z" * 80] * (sha256.MIN_LANES + 1)
+        assert sha256.digest_first8(messages) == [
+            _reference_first8(m) for m in messages
+        ]
+
+    def test_lane_gate_modes(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHA256_LANES", "on")
+        assert sha256.use_lanes(sha256.MIN_LANES)
+        assert not sha256.use_lanes(sha256.MIN_LANES - 1)
+        monkeypatch.setenv("REPRO_SHA256_LANES", "off")
+        assert not sha256.use_lanes(1 << 20)
+        monkeypatch.delenv("REPRO_SHA256_LANES", raising=False)
+        assert sha256.use_lanes(1 << 20) in (True, False)  # resolves
+
+
+class TestDeriveBallSeeds:
+    """The derive_ball_seeds lane path against scalar derive_seed."""
+
+    @pytest.fixture(autouse=True)
+    def _force_lanes(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHA256_LANES", "on")
+
+    def _assert_matches(self, trial_seeds, labels):
+        from repro.core.vectorized import derive_ball_seeds
+
+        got = derive_ball_seeds(trial_seeds, labels).tolist()
+        want = [
+            derive_seed(seed, "ball", label)
+            for seed in trial_seeds
+            for label in labels
+        ]
+        assert got == want
+
+    def test_lane_path_matches_scalar_derivation(self):
+        labels = ["p%d" % i for i in range(32)]
+        trial_seeds = [derive_seed(7, "trial", t) for t in range(8)]
+        self._assert_matches(trial_seeds, labels)
+
+    def test_edge_seeds_and_integer_labels(self):
+        labels = list(range(24))
+        trial_seeds = [0, 1, 2**32 - 1, 2**32, 2**64 - 1] * 8
+        self._assert_matches(trial_seeds, labels)
+
+    def test_long_labels_use_the_fallback_path(self):
+        # Labels long enough to overflow a single padded block must give
+        # the same seeds through the hashlib leg.
+        labels = ["participant-%032d" % i for i in range(16)]
+        trial_seeds = [derive_seed(3, "trial", t) for t in range(16)]
+        self._assert_matches(trial_seeds, labels)
+
+    def test_small_cells_below_the_cutoff(self):
+        self._assert_matches([derive_seed(1, "trial", 0)], ["a", "b"])
+
+    def test_gate_off_still_matches(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHA256_LANES", "off")
+        labels = ["p%d" % i for i in range(16)]
+        self._assert_matches([derive_seed(5, "trial", t) for t in range(4)], labels)

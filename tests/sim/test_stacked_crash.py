@@ -1,0 +1,303 @@
+"""Differential suite: the trial-stacked crash engine.
+
+The stacked crash engine extends the PR-4 failure-free stack with
+per-trial status columns, per-round crash masks, and an exact
+reproduction of the columnar engine's AdversaryContext/clamp protocol —
+so whole crash cells (certified adversaries, halt-on-name, schedule
+candidates from the hunt) run as one ``(T*n,)`` pass.  The contract is
+inherited unchanged: every trial of a stacked crash cell must be
+**bit-for-bit identical** to running it alone on the columnar (and
+hence reference) kernel — same rounds, names, failures, message
+counts, error strings, and metrics rows.
+
+Thread-count invariance rides along: the seeding/twist fanout
+partitions stream columns contiguously and never shares one, so any
+``REPRO_VEC_THREADS`` produces byte-identical draws and therefore
+byte-identical trials.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.errors import RoundLimitExceeded
+from repro.ids import sparse_ids
+from repro.search.schedule import CrashEvent, Schedule
+from repro.sim.batch import (
+    AdversarySpec,
+    TrialSpec,
+    plan_tasks,
+    run_batch,
+    run_trial,
+    _run_crash_cell,
+)
+from repro.sim.runner import run_renaming
+from repro.sim.vectorized import run_stacked_cell, vectorized_available
+
+needs_numpy = pytest.mark.skipif(
+    not vectorized_available(), reason="numpy not installed (the .[fast] extra)"
+)
+
+#: Every certified crashing-adversary family, in spec-string form.
+ADVERSARIES = (
+    "random:rate=0.3",
+    "sandwich",
+    "half-split:victims_per_round=2,last_round=9",
+    "targeted:every_k_phases=1",
+)
+ALGORITHMS = ("balls-into-leaves", "rank-descent", "leftmost", "early-terminating")
+
+COMPARED_FIELDS = (
+    "rounds",
+    "failures",
+    "messages_sent",
+    "messages_delivered",
+    "last_round_named",
+    "names",
+    "error",
+    "violations",
+)
+
+
+def _crash_specs(algorithm, n, seeds, adversary, *, halt_on_name=False):
+    return [
+        TrialSpec(
+            algorithm=algorithm,
+            n=n,
+            seed=seed,
+            adversary=(
+                adversary
+                if isinstance(adversary, AdversarySpec)
+                else AdversarySpec.parse(adversary)
+            ),
+            halt_on_name=halt_on_name,
+            check=True,
+            kernel="auto",
+            capture_errors=True,
+        )
+        for seed in seeds
+    ]
+
+
+def assert_stack_matches_per_trial(specs):
+    """The stacked cell's rows == the per-trial columnar/auto rows."""
+    per_trial = [run_trial(spec) for spec in specs]
+    adversaries = [spec.adversary.build(spec.seed) for spec in specs]
+    stacked = _run_crash_cell(specs, adversaries)
+    assert len(stacked) == len(per_trial)
+    for want, got in zip(per_trial, stacked):
+        for field in COMPARED_FIELDS:
+            assert getattr(got, field) == getattr(want, field), (
+                field,
+                want.spec,
+            )
+
+
+@needs_numpy
+class TestStackedCrashDifferential:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    @pytest.mark.parametrize("adversary", ADVERSARIES)
+    def test_grid_bit_identical(self, algorithm, adversary):
+        for n, halt in itertools.product((5, 13), (False, True)):
+            assert_stack_matches_per_trial(
+                _crash_specs(
+                    algorithm, n, [1000 + s for s in range(3)], adversary,
+                    halt_on_name=halt,
+                )
+            )
+
+    def test_mined_schedule_stacks_to_nine_rounds(self):
+        """PR 5's mined counterexample, stacked: same 9-round stall."""
+        mined = Schedule.of(16, [CrashEvent(3, 6, ())]).spec()
+        seeds = [4301463716303469878 + k for k in range(4)]
+        specs = _crash_specs("balls-into-leaves", 16, seeds, mined)
+        assert_stack_matches_per_trial(specs)
+        adversaries = [spec.adversary.build(spec.seed) for spec in specs]
+        rows = _run_crash_cell(specs, adversaries)
+        assert rows[0].rounds == 9
+
+    def test_partial_receiver_schedules_bit_identical(self):
+        schedule = Schedule.of(
+            12,
+            [
+                CrashEvent(2, 3, (0, 1, 5)),
+                CrashEvent(5, 7, (2,)),
+                CrashEvent(4, 1, ()),
+            ],
+        ).spec()
+        for algorithm in ALGORITHMS:
+            assert_stack_matches_per_trial(
+                _crash_specs(algorithm, 12, [77 + k for k in range(4)], schedule)
+            )
+
+    def test_pinned_vectorized_crash_run_matches_columnar(self):
+        schedule = Schedule.of(
+            12, [CrashEvent(2, 3, (0, 1, 5)), CrashEvent(5, 7, (2,))]
+        ).spec()
+        for seed in (11, 13):
+            vectorized = run_renaming(
+                "balls-into-leaves", sparse_ids(12), seed=seed,
+                adversary=schedule.build(seed), kernel="vectorized",
+            )
+            columnar = run_renaming(
+                "balls-into-leaves", sparse_ids(12), seed=seed,
+                adversary=schedule.build(seed), kernel="columnar",
+            )
+            assert vectorized.kernel == "vectorized"
+            assert columnar.kernel == "columnar"
+            assert vectorized.rounds == columnar.rounds
+            assert vectorized.names == columnar.names
+            assert vectorized.crashed == columnar.crashed
+            assert vectorized.last_round_named == columnar.last_round_named
+            assert vectorized.result == columnar.result
+
+    def test_round_limit_message_parity(self):
+        """Overruns raise the same RoundLimitExceeded text as columnar."""
+        schedule = Schedule.of(
+            12, [CrashEvent(2, 3, (0, 1, 5)), CrashEvent(5, 7, (2,))]
+        ).spec()
+        messages = {}
+        for kernel in ("vectorized", "columnar"):
+            with pytest.raises(RoundLimitExceeded) as caught:
+                run_renaming(
+                    "balls-into-leaves", sparse_ids(12), seed=11,
+                    adversary=schedule.build(11), kernel=kernel, max_rounds=3,
+                )
+            messages[kernel] = str(caught.value)
+        assert messages["vectorized"] == messages["columnar"]
+
+    def test_overrun_is_isolated_per_trial(self):
+        """One trial hitting the limit must not distort its stack-mates."""
+        mined = Schedule.of(16, [CrashEvent(3, 6, ())]).spec()
+        seeds = [4301463716303469878, 4301463716303469879]
+        adversaries = [mined.build(seed) for seed in seeds]
+        cell = run_stacked_cell(
+            sparse_ids(16), seeds, policy="random", max_rounds=8,
+            adversaries=adversaries,
+        )
+        expected = []
+        for seed in seeds:
+            try:
+                run = run_renaming(
+                    "balls-into-leaves", sparse_ids(16), seed=seed,
+                    adversary=mined.build(seed), kernel="columnar", max_rounds=8,
+                )
+                expected.append(("done", run.rounds))
+            except RoundLimitExceeded as error:
+                expected.append(("overrun", str(error)))
+        got = [
+            ("overrun", str(RoundLimitExceeded(cell.limit, int(cell.running_at_limit[t]))))
+            if bool(cell.overrun[t])
+            else ("done", int(cell.rounds[t]))
+            for t in range(cell.trials)
+        ]
+        assert got == expected
+        assert any(flag for flag, _ in [(o, None) for o in cell.overrun.tolist()])
+
+
+@needs_numpy
+class TestCrashCellPlanning:
+    def test_small_crash_cells_respect_the_stream_floor(self, monkeypatch):
+        """Below REPRO_VEC_CRASH_MIN_STREAMS the per-trial path stays."""
+        specs = _crash_specs(
+            "balls-into-leaves", 9, [40 + k for k in range(8)],
+            "random:rate=0.25",
+        )
+        assert plan_tasks(specs) == specs  # 72 streams < the default floor
+        monkeypatch.setenv("REPRO_VEC_CRASH_MIN_STREAMS", "72")
+        tasks = plan_tasks(specs)
+        assert len(tasks) == 1 and isinstance(tasks[0], tuple)
+        # Failure-free cells take no floor.
+        free = [
+            TrialSpec(algorithm="balls-into-leaves", n=9, seed=40 + k)
+            for k in range(8)
+        ]
+        monkeypatch.delenv("REPRO_VEC_CRASH_MIN_STREAMS")
+        assert len(plan_tasks(free)) == 1
+
+    def test_run_batch_auto_stacks_crash_cells(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VEC_CRASH_MIN_STREAMS", "0")
+        specs = _crash_specs(
+            "balls-into-leaves", 9, [40 + k for k in range(8)],
+            "random:rate=0.25",
+        )
+        tasks = plan_tasks(specs)
+        assert len(tasks) == 1 and isinstance(tasks[0], tuple)
+        batch = run_batch(specs)
+        per_trial = [run_trial(spec) for spec in specs]
+        assert {trial.kernel for trial in batch.trials} == {"vectorized"}
+        for want, got in zip(per_trial, batch.trials):
+            for field in COMPARED_FIELDS:
+                assert getattr(got, field) == getattr(want, field)
+
+    def test_mixed_cells_stack_distinct_schedules(self, monkeypatch):
+        """The hunt's batching hint: same cell shape, different plans."""
+        monkeypatch.setenv("REPRO_VEC_CRASH_MIN_STREAMS", "0")
+        specs = []
+        for k in range(6):
+            schedule = Schedule.of(10, [CrashEvent(2 + (k % 3), k, ())])
+            specs.append(
+                TrialSpec(
+                    algorithm="balls-into-leaves", n=10, seed=5000 + k,
+                    adversary=schedule.spec(), check=False, kernel="auto",
+                    capture_errors=True,
+                )
+            )
+        assert len(plan_tasks(specs)) == 6  # six one-trial cells...
+        mixed = plan_tasks(specs, mixed=True)
+        assert len(mixed) == 1 and isinstance(mixed[0], tuple)  # ...one stack
+        batch = run_batch(specs, mixed_cells=True)
+        per_trial = [run_trial(spec) for spec in specs]
+        assert {trial.kernel for trial in batch.trials} == {"vectorized"}
+        for want, got in zip(per_trial, batch.trials):
+            for field in COMPARED_FIELDS:
+                assert getattr(got, field) == getattr(want, field)
+
+
+@needs_numpy
+class TestThreadInvariance:
+    def test_thread_count_cannot_change_bits(self, monkeypatch):
+        """REPRO_VEC_THREADS in {1, 2, 8}: byte-identical cells.
+
+        The fanout floor is lowered so a 16-ball cell actually splits
+        across workers; column partitioning is contiguous and disjoint,
+        so every thread count must reproduce the serial stream bank.
+        """
+        import repro.core.mt19937 as mt19937
+
+        monkeypatch.setattr(mt19937, "MIN_STREAMS_PER_THREAD", 4)
+        monkeypatch.setenv("REPRO_VEC_CRASH_MIN_STREAMS", "0")
+        outcomes = []
+        for threads in ("1", "2", "8"):
+            monkeypatch.setenv("REPRO_VEC_THREADS", threads)
+            specs = _crash_specs(
+                "balls-into-leaves", 16, [7 + k for k in range(5)],
+                "random:rate=0.2", halt_on_name=True,
+            )
+            batch = run_batch(specs)
+            assert {trial.kernel for trial in batch.trials} == {"vectorized"}
+            outcomes.append(
+                [
+                    tuple(getattr(trial, field) for field in COMPARED_FIELDS)
+                    for trial in batch.trials
+                ]
+            )
+        assert outcomes[0] == outcomes[1] == outcomes[2]
+
+
+@pytest.mark.tier2
+@needs_numpy
+class TestDeepStackedCrashDifferential:
+    """Nightly: the crash grid at n >= 512."""
+
+    @pytest.mark.parametrize("adversary", ADVERSARIES)
+    def test_deep_crash_grid_bit_identical(self, adversary):
+        for n in (256, 512):
+            assert_stack_matches_per_trial(
+                _crash_specs(
+                    "balls-into-leaves", n, [s * 7 + 1 for s in range(6)],
+                    adversary, halt_on_name=True,
+                )
+            )

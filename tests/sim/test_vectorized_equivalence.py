@@ -182,6 +182,10 @@ class TestStackedCellEquivalence:
             (trial.spec.algorithm, trial.spec.adversary.key): trial.kernel
             for trial in batch.trials
         }
+        # Certified crash cells can stack too (the crash engine), but a
+        # 3-trial n=8 cell sits far below the crash stream floor, so it
+        # keeps the per-trial columnar path; non-BiL algorithms keep the
+        # scalar path outright.
         assert kernels == {
             ("balls-into-leaves", "none"): "vectorized",
             ("balls-into-leaves", "random:rate=0.2"): "columnar",
@@ -233,14 +237,35 @@ class TestRejections:
             run_cell(mixed)
         assert "same-cell" in str(caught.value)
 
-    def test_pinned_vectorized_rejects_crashing_adversaries(self):
+    def test_pinned_vectorized_rejects_uncertified_adversaries(self):
+        class Rogue:
+            name = "rogue"
+
+            def plan_crashes(self, ctx):  # pragma: no cover - never runs
+                return ()
+
         with pytest.raises(KernelUnsupported) as caught:
             run_renaming(
                 "balls-into-leaves", sparse_ids(8), seed=0,
-                adversary=RandomCrashAdversary(0.2, seed=0),
+                adversary=Rogue(),
                 kernel="vectorized",
             )
-        assert "failure-free" in str(caught.value)
+        assert "not columnar-certified" in str(caught.value)
+
+    def test_pinned_vectorized_accepts_certified_crash_adversaries(self):
+        if not vectorized_available():
+            pytest.skip("requires numpy")
+        vectorized = run_renaming(
+            "balls-into-leaves", sparse_ids(8), seed=0,
+            adversary=RandomCrashAdversary(0.2, seed=0),
+            kernel="vectorized",
+        )
+        columnar = run_renaming(
+            "balls-into-leaves", sparse_ids(8), seed=0,
+            adversary=RandomCrashAdversary(0.2, seed=0),
+            kernel="columnar",
+        )
+        assert_single_run_bit_identical(columnar, vectorized)
 
     def test_pinned_vectorized_rejects_non_bil_algorithms(self):
         with pytest.raises(KernelUnsupported):
