@@ -8,6 +8,8 @@ declares the optional extras:
   (``kernel="vectorized"``, plus automatic cell stacking in batch
   sweeps).  Everything else runs on the pure-Python engines, so the
   core install has zero third-party runtime dependencies.
+* ``lint`` — mypy, for the static-typing leg of the CI lint gate
+  (``repro lint`` itself is dependency-free; see LINTING.md).
 """
 
 from setuptools import setup
@@ -15,5 +17,6 @@ from setuptools import setup
 setup(
     extras_require={
         "fast": ["numpy>=1.22"],
+        "lint": ["mypy>=1.0"],
     },
 )

@@ -20,11 +20,11 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
 import sys
 from typing import Iterable, List, Optional
 
 from repro._version import __version__
+from repro.config import set_vec_threads
 from repro.errors import ReproError
 from repro.experiments.registry import all_experiments, run_experiment
 from repro.ids import sparse_ids
@@ -301,6 +301,38 @@ def _build_parser() -> argparse.ArgumentParser:
         "one JSON row per stage plus the final estimate instead",
     )
     _add_executor_options(tail_parser)
+
+    lint_parser = sub.add_parser(
+        "lint",
+        help="run the determinism & kernel-parity static analyzer "
+        "(the tier-1 CI gate; see LINTING.md)",
+    )
+    lint_parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint_parser.add_argument(
+        "--format",
+        dest="fmt",
+        default="text",
+        choices=("text", "json"),
+        help="report format",
+    )
+    lint_parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    lint_parser.add_argument(
+        "--rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    lint_parser.add_argument(
+        "--out", help="also write the report to this file"
+    )
     return parser
 
 
@@ -596,6 +628,36 @@ def _cmd_tail(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    # Imported here so the analyzer costs nothing on simulation verbs.
+    from repro.lint import all_rules, lint_paths, render_report, render_rules
+    from repro.lint.engine import iter_python_files
+    from repro.lint.report import EXIT_CLEAN, EXIT_USAGE, EXIT_VIOLATIONS
+
+    rules = all_rules()
+    if args.rules:
+        print(render_rules(rules))
+        return EXIT_CLEAN
+    if args.select:
+        wanted = {part.strip() for part in args.select.split(",") if part.strip()}
+        known = {rule.rule_id for rule in rules}
+        unknown = sorted(wanted - known)
+        if unknown:
+            print(
+                f"error: unknown rule id(s): {', '.join(unknown)}",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+        rules = tuple(rule for rule in rules if rule.rule_id in wanted)
+    files = list(iter_python_files(args.paths))
+    violations = lint_paths(args.paths, rules=rules)
+    report = render_report(
+        violations, files_checked=len(files), fmt=args.fmt
+    )
+    _emit(report, args.out)
+    return EXIT_VIOLATIONS if violations else EXIT_CLEAN
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = _build_parser().parse_args(argv)
@@ -603,9 +665,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.threads < 1:
             print("error: --threads must be >= 1", file=sys.stderr)
             return 2
-        # The knob is just the env var: the stream-bank fanout reads it
-        # per pass, and every thread count is byte-identical.
-        os.environ["REPRO_VEC_THREADS"] = str(args.threads)
+        # The knob is just the env var, written through the config seam:
+        # the stream-bank fanout reads it per pass, and every thread
+        # count is byte-identical.
+        set_vec_threads(args.threads)
     try:
         if args.command == "list":
             return _cmd_list()
@@ -621,9 +684,19 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_hunt(args)
         if args.command == "tail":
             return _cmd_tail(args)
+        if args.command == "lint":
+            return _cmd_lint(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # A downstream pager closed early (`repro lint --rules | head`).
+        # Point stdout at devnull so the interpreter's flush-at-exit does
+        # not raise the same error again.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -24,6 +24,7 @@ from repro.ids import require_distinct
 from repro.sim.process import SyncProcess
 from repro.sim.rng import derive_rng
 from repro.tree import node as nd
+from repro.tree.local_view import LocalTreeView
 from repro.tree.topology import cached_topology
 from repro.core.config import BallsIntoLeavesConfig
 from repro.core.messages import hello_message, path_message, position_message
@@ -88,7 +89,7 @@ class BallProcess(SyncProcess):
         return self._round_halted
 
     @property
-    def view(self):
+    def view(self) -> LocalTreeView:
         """This ball's current local tree (read-only use)."""
         return self._store.view_of(self.pid)
 

@@ -10,9 +10,10 @@ complexity analysis: ``bmax`` (Lemma 6), the maximum path population
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.core.views import SharedViewStore, ViewStore
+from repro.errors import SimulationError
 
 
 @dataclass(frozen=True)
@@ -40,7 +41,7 @@ class TreeStatsObserver:
         self._store = store
         self.phases: List[PhaseStats] = []
 
-    def __call__(self, simulation, round_no: int) -> None:
+    def __call__(self, simulation: Any, round_no: int) -> None:
         # Rounds: 1 = hello, then (2*phi, 2*phi + 1) = phase phi.  Sample
         # at the end of each position round.
         if round_no < 3 or round_no % 2 == 0:
@@ -50,7 +51,10 @@ class TreeStatsObserver:
             return
         try:
             view = self._store.view_of(reference)
-        except Exception:  # the reference ball may have crashed pre-init
+        except SimulationError:
+            # The reference ball crashed before its view was initialized
+            # ("ball ... has no initialized view"); skip the sample.  Any
+            # other failure is an engine bug and must propagate.
             return
         classes = (
             self._store.class_count()
@@ -79,7 +83,7 @@ class TreeStatsObserver:
         return [stats.max_path_population for stats in self.phases]
 
     @staticmethod
-    def _reference_pid(simulation) -> Optional[object]:
+    def _reference_pid(simulation: Any) -> Optional[object]:
         candidates = simulation.alive()
         if not candidates:
             return None

@@ -25,7 +25,7 @@ shared-view stores, so the two execution modes cannot diverge.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable, Mapping
+from typing import Any, Dict, Hashable, List, Mapping, Sequence
 
 from repro.errors import SimulationError
 from repro.tree import node as nd
@@ -37,7 +37,7 @@ from repro.core.messages import parse_path, parse_position
 BallId = Hashable
 
 
-def _movement_sequence(view: LocalTreeView, order: str):
+def _movement_sequence(view: LocalTreeView, order: str) -> List[Hashable]:
     """Balls in the order they are simulated: ``<R`` or plain label order.
 
     ``"label"`` is the EXP-ABL ablation of Definition 1: capacity checks
@@ -87,7 +87,7 @@ def apply_path_round(
         assert_capacity_invariant(view)
 
 
-def _descend(view: LocalTreeView, position, path) -> Any:
+def _descend(view: LocalTreeView, position: Any, path: Sequence[Any]) -> Any:
     """Follow ``path`` from ``position`` while the next subtree has room.
 
     ``path`` starts at the sender's own notion of its current node; for

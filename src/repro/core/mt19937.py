@@ -41,9 +41,13 @@ kernel layer degrades to the columnar engine.
 
 from __future__ import annotations
 
-import os
 import sys
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from concurrent.futures import ThreadPoolExecutor
+
+from repro import config as repro_config
 
 try:  # pragma: no cover - exercised via the no-numpy CI leg
     import numpy as np
@@ -110,19 +114,14 @@ def _acquire_state(count: int) -> "np.ndarray":
 def thread_count() -> int:
     """The resolved ``REPRO_VEC_THREADS`` (default: CPU count, >= 1).
 
-    Read per pass rather than cached so the CLI knob and tests can set
-    the environment variable at any point.
+    Read per pass (through the :mod:`repro.config` seam) rather than
+    cached so the CLI knob and tests can set the environment variable
+    at any point.
     """
-    raw = os.environ.get("REPRO_VEC_THREADS", "").strip()
-    if raw:
-        try:
-            return max(1, int(raw))
-        except ValueError:
-            return 1
-    return max(1, os.cpu_count() or 1)
+    return repro_config.vec_threads()
 
 
-def _executor(workers: int):
+def _executor(workers: int) -> "ThreadPoolExecutor":
     """The shared column-fanout pool, grown on demand."""
     global _pool, _pool_workers
     if _pool is None or _pool_workers < workers:
@@ -153,7 +152,7 @@ def _fanout(work: Callable[[slice], None], count: int) -> None:
     list(_executor(len(slices)).map(work, slices))
 
 
-def _base_state():
+def _base_state() -> "np.ndarray":
     """``init_genrand(19650218)`` — the key-independent seeding prefix."""
     global _base_state_cache
     if _base_state_cache is None:
@@ -250,7 +249,7 @@ def _mix_group(mt: "np.ndarray", keys: "np.ndarray") -> None:
     _fanout(work, count)
 
 
-def seed_states(seeds) -> "np.ndarray":
+def seed_states(seeds: Sequence[int]) -> "np.ndarray":
     """CPython ``Random(seed)`` states for every seed, as ``(624, S)`` u32.
 
     Vectorizes ``init_by_array`` across streams.  The ubiquitous

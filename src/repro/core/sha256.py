@@ -24,8 +24,9 @@ without NumPy take the byte-identical ``hashlib`` fallback.
 from __future__ import annotations
 
 import hashlib
-import os
 from typing import List, Optional, Sequence
+
+from repro import config as repro_config
 
 try:  # pragma: no cover - exercised via the no-numpy CI leg
     import numpy as np
@@ -60,10 +61,7 @@ def use_lanes(count: int) -> bool:
     """
     if not HAVE_NUMPY or count < MIN_LANES:
         return False
-    mode = os.environ.get("REPRO_SHA256_LANES", "auto").strip().lower()
-    if mode in ("1", "on", "force"):
-        return True
-    return False
+    return repro_config.sha256_lanes() == "on"
 
 #: FIPS 180-4 round constants (fractional cube roots of the first 64
 #: primes) and initial state (fractional square roots of the first 8).
@@ -98,7 +96,9 @@ _H0 = (
 _CHUNK = 8192
 
 
-def _rotr_into(x, r, out, scratch) -> "np.ndarray":
+def _rotr_into(
+    x: "np.ndarray", r: int, out: "np.ndarray", scratch: "np.ndarray"
+) -> "np.ndarray":
     """``out = rotr(x, r)`` without allocating (scratch is clobbered)."""
     np.right_shift(x, np.uint32(r), out=out)
     np.left_shift(x, np.uint32(32 - r), out=scratch)
@@ -106,7 +106,15 @@ def _rotr_into(x, r, out, scratch) -> "np.ndarray":
     return out
 
 
-def _sigma_into(x, r1, r2, shift, out, t1, t2) -> "np.ndarray":
+def _sigma_into(
+    x: "np.ndarray",
+    r1: int,
+    r2: int,
+    shift: int,
+    out: "np.ndarray",
+    t1: "np.ndarray",
+    t2: "np.ndarray",
+) -> "np.ndarray":
     """``out = rotr(x,r1) ^ rotr(x,r2) ^ (x >> shift)`` allocation-free."""
     _rotr_into(x, r1, out, t1)
     _rotr_into(x, r2, t1, t2)
@@ -116,7 +124,15 @@ def _sigma_into(x, r1, r2, shift, out, t1, t2) -> "np.ndarray":
     return out
 
 
-def _big_sigma_into(x, r1, r2, r3, out, t1, t2) -> "np.ndarray":
+def _big_sigma_into(
+    x: "np.ndarray",
+    r1: int,
+    r2: int,
+    r3: int,
+    out: "np.ndarray",
+    t1: "np.ndarray",
+    t2: "np.ndarray",
+) -> "np.ndarray":
     """``out = rotr(x,r1) ^ rotr(x,r2) ^ rotr(x,r3)`` allocation-free."""
     _rotr_into(x, r1, out, t1)
     _rotr_into(x, r2, t1, t2)

@@ -40,7 +40,7 @@ from __future__ import annotations
 
 import hashlib
 from functools import lru_cache
-from typing import Any, Dict, Hashable, List, Optional, Sequence
+from typing import Any, Callable, Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
 
 from collections.abc import Mapping
 
@@ -101,7 +101,9 @@ def vectorized_rejections(config: BallsIntoLeavesConfig) -> List[str]:
     return reasons
 
 
-def derive_ball_seeds(trial_seeds: Sequence[int], labels: Sequence[BallId]):
+def derive_ball_seeds(
+    trial_seeds: Sequence[int], labels: Sequence[BallId]
+) -> "np.ndarray":
     """``derive_seed(seed, "ball", label)`` for a whole cell, batched.
 
     Bit-identical to :func:`repro.sim.rng.derive_seed` (asserted in the
@@ -305,7 +307,11 @@ class VectorizedCellEngine:
         self._round = 0
 
     # ------------------------------------------------------------------ driving
-    def run(self, stop_after: Optional[int] = None, observer=None) -> None:
+    def run(
+        self,
+        stop_after: Optional[int] = None,
+        observer: Optional[Callable[..., None]] = None,
+    ) -> None:
         """All trials to completion, mirroring the kernel driving loop.
 
         ``stop_after`` pauses the stack once that round number has been
@@ -707,13 +713,15 @@ class _LazyOutbox(Mapping):
 
     __slots__ = ("_pids", "_members", "_fetch", "_memo")
 
-    def __init__(self, pids, fetch) -> None:
+    def __init__(
+        self, pids: Sequence[BallId], fetch: Callable[[BallId], Any]
+    ) -> None:
         self._pids = pids
         self._members = frozenset(pids)
         self._fetch = fetch
         self._memo: Dict[BallId, Any] = {}
 
-    def __getitem__(self, key):
+    def __getitem__(self, key: BallId) -> Any:
         memo = self._memo
         if key in memo:
             return memo[key]
@@ -723,7 +731,7 @@ class _LazyOutbox(Mapping):
         memo[key] = value
         return value
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[BallId]:
         return iter(self._pids)
 
     def __len__(self) -> int:
@@ -1102,7 +1110,13 @@ class VectorizedCrashEngine:
         )
 
     # -------------------------------------------------------------- adversary
-    def _plan_and_crash(self, round_no, kind, sent_balls, active):
+    def _plan_and_crash(
+        self,
+        round_no: int,
+        kind: str,
+        sent_balls: "np.ndarray",
+        active: "np.ndarray",
+    ) -> Tuple["np.ndarray", Dict[int, List[Any]]]:
         """Plan, clamp and apply every active trial's crashes.
 
         Returns the per-trial crash counts and the partial victims
@@ -1131,12 +1145,12 @@ class VectorizedCrashEngine:
             if kind == "init":
                 hello = hello_message()
 
-                def fetch(pid, _hello=hello):
+                def fetch(pid: BallId, _hello: Any = hello) -> Any:
                     return _hello
 
             elif kind == "path":
 
-                def fetch(pid, base=base):
+                def fetch(pid: BallId, base: int = base) -> Any:
                     s = base + self._index_of[pid]
                     sd = int(self._start_depth[s])
                     ed = int(self._end_depth[s])
@@ -1148,7 +1162,7 @@ class VectorizedCrashEngine:
 
             else:
 
-                def fetch(pid, base=base):
+                def fetch(pid: BallId, base: int = base) -> Any:
                     return position_message(
                         nodes[int(self._announced[base + self._index_of[pid]])]
                     )
@@ -1190,8 +1204,17 @@ class VectorizedCrashEngine:
 
     # --------------------------------------------------------------- the rounds
     def _apply_path_groups(
-        self, new_pos, new_stat, new_count, new_occ,
-        new_present, new_leaf, g_trial, g_sig, sent_m, victim_m,
+        self,
+        new_pos: "np.ndarray",
+        new_stat: "np.ndarray",
+        new_count: "np.ndarray",
+        new_occ: Optional["np.ndarray"],
+        new_present: "np.ndarray",
+        new_leaf: "np.ndarray",
+        g_trial: "np.ndarray",
+        g_sig: "np.ndarray",
+        sent_m: "np.ndarray",
+        victim_m: "np.ndarray",
     ) -> None:
         """Lines 12-21 on every group row at once, level by level.
 
@@ -1324,7 +1347,14 @@ class VectorizedCrashEngine:
                     )
 
     def _admit_dirty(
-        self, gid, is_dirty, admitted, quota0, purges, dp, mi
+        self,
+        gid: "np.ndarray",
+        is_dirty: "np.ndarray",
+        admitted: "np.ndarray",
+        quota0: "np.ndarray",
+        purges: Any,
+        dp: "np.ndarray",
+        mi: "np.ndarray",
     ) -> None:
         """Replay arrivals against purge-credit events at dirty nodes.
 
@@ -1369,8 +1399,17 @@ class VectorizedCrashEngine:
                     admitted[k] = False
 
     def _apply_pos_groups(
-        self, new_pos, new_stat, new_count, new_occ,
-        new_present, new_leaf, g_trial, g_sig, sent_m, victim_m,
+        self,
+        new_pos: "np.ndarray",
+        new_stat: "np.ndarray",
+        new_count: "np.ndarray",
+        new_occ: Optional["np.ndarray"],
+        new_present: "np.ndarray",
+        new_leaf: "np.ndarray",
+        g_trial: "np.ndarray",
+        g_sig: "np.ndarray",
+        sent_m: "np.ndarray",
+        victim_m: "np.ndarray",
     ) -> None:
         """Lines 22-28 on every group row at once (order-independent)."""
         topo = self._topo
@@ -1433,7 +1472,13 @@ class VectorizedCrashEngine:
                 if focc is not None:
                     self._chain_add(focc, gb[pleaf], ppos[pleaf], -1)
 
-    def _chain_add(self, arr, base, start, delta) -> None:
+    def _chain_add(
+        self,
+        arr: "np.ndarray",
+        base: "np.ndarray",
+        start: "np.ndarray",
+        delta: int,
+    ) -> None:
         """``arr[base + v] += delta`` along every root chain from ``start``."""
         parent = self._topo.parent
         walk = start
@@ -1527,7 +1572,9 @@ class VectorizedCrashEngine:
             )
         return bank.draws(balls)
 
-    def _walk_random(self, idx, cur, base) -> None:
+    def _walk_random(
+        self, idx: "np.ndarray", cur: "np.ndarray", base: "np.ndarray"
+    ) -> None:
         """The failure-free engine's random walk against class rows."""
         topo = self._topo
         span = topo.span
@@ -1560,7 +1607,9 @@ class VectorizedCrashEngine:
                 dcur = dcur[keep]
                 base = base[keep]
 
-    def _walk_to_rank(self, idx, cur, target) -> None:
+    def _walk_to_rank(
+        self, idx: "np.ndarray", cur: "np.ndarray", target: "np.ndarray"
+    ) -> None:
         topo = self._topo
         dcur = topo.depth[cur]
         while idx.size:
@@ -1578,7 +1627,13 @@ class VectorizedCrashEngine:
                 dcur = dcur[keep]
                 target = target[keep]
 
-    def _walk_to_kth_free(self, idx, cur, base, k) -> None:
+    def _walk_to_kth_free(
+        self,
+        idx: "np.ndarray",
+        cur: "np.ndarray",
+        base: "np.ndarray",
+        k: "np.ndarray",
+    ) -> None:
         topo = self._topo
         span = topo.span
         occ = self._cocc.reshape(-1)

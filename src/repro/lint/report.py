@@ -1,0 +1,84 @@
+"""Rendering for ``repro lint``: text/json reports and the rule catalogue."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from typing import Dict, List, Sequence
+
+from repro.lint.engine import LintViolation, Rule
+
+#: Exit codes: clean / findings / bad invocation (argparse uses 2 too).
+EXIT_CLEAN = 0
+EXIT_VIOLATIONS = 1
+EXIT_USAGE = 2
+
+
+def render_report(
+    violations: Sequence[LintViolation],
+    *,
+    files_checked: int,
+    fmt: str = "text",
+) -> str:
+    """The run's report: grouped findings plus a one-line summary."""
+    if fmt == "json":
+        return json.dumps(
+            {
+                "files_checked": files_checked,
+                "violations": [
+                    {
+                        "path": v.path,
+                        "line": v.line,
+                        "rule": v.rule,
+                        "message": v.message,
+                    }
+                    for v in violations
+                ],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+    lines: List[str] = [v.render() for v in violations]
+    by_rule: Dict[str, int] = {}
+    for v in violations:
+        by_rule[v.rule] = by_rule.get(v.rule, 0) + 1
+    if violations:
+        breakdown = ", ".join(
+            f"{rule} x{count}" for rule, count in sorted(by_rule.items())
+        )
+        lines.append("")
+        lines.append(
+            f"{len(violations)} finding(s) in {files_checked} file(s): "
+            f"{breakdown}"
+        )
+        lines.append(
+            "suppress a consciously accepted hazard with "
+            "'# repro: lint-ok[RULE] justification' on (or above) the "
+            "flagged line; see LINTING.md"
+        )
+    else:
+        lines.append(f"{files_checked} file(s) clean")
+    return "\n".join(lines)
+
+
+def render_rules(rules: Sequence[Rule]) -> str:
+    """The rule catalogue (``repro lint --rules``), id-ordered."""
+    blocks: List[str] = []
+    for rule in rules:
+        body = textwrap.fill(
+            rule.rationale,
+            width=72,
+            initial_indent="    ",
+            subsequent_indent="    ",
+        )
+        blocks.append(f"{rule.rule_id}  {rule.title}\n{body}")
+    blocks.append(
+        "S001  suppression without justification\n"
+        "    Every lint-ok waiver must say why the hazard is acceptable;\n"
+        "    the suppression inventory doubles as the audited list of\n"
+        "    consciously accepted exceptions.\n"
+        "S002  unused or unknown suppression\n"
+        "    A waiver that matches no finding (or names a rule that does\n"
+        "    not exist) is stale documentation; delete or fix it."
+    )
+    return "\n\n".join(blocks)

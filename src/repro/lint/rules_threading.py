@@ -1,0 +1,243 @@
+"""T-series rules: thread safety of the ``REPRO_VEC_THREADS`` fanout.
+
+The vectorized kernel's byte-identity-at-any-thread-count guarantee
+rests on one discipline: a worker dispatched by ``_fanout(work, count)``
+owns exactly its contiguous column partition.  It may write shared
+arrays only through views sliced by its partition parameter, and it may
+not mutate shared Python objects at all (list appends from worker
+threads interleave nondeterministically even under the GIL).  These
+rules check that discipline statically for every function passed to a
+``_fanout`` dispatch.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set
+
+from repro.lint.engine import LintViolation, ModuleContext, Rule, register
+
+#: Mutating methods a fanout worker may not call on shared objects.
+_MUTATORS = frozenset(
+    {
+        "append", "extend", "insert", "add", "update", "pop", "popitem",
+        "remove", "discard", "clear", "setdefault", "sort", "reverse",
+        "appendleft", "extendleft",
+    }
+)
+
+
+def _fanout_workers(ctx: ModuleContext) -> List[ast.FunctionDef]:
+    """Every function passed (by name) to a ``_fanout(...)`` call.
+
+    Worker defs are closures, conventionally all named ``work``; each
+    dispatch resolves to the nearest definition above it, so several
+    enclosing functions may each define their own worker.
+    """
+    defs: Dict[str, List[ast.FunctionDef]] = {}
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.FunctionDef):
+            defs.setdefault(node.name, []).append(node)
+    workers: List[ast.FunctionDef] = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None
+        )
+        if name != "_fanout" or not node.args:
+            continue
+        target = node.args[0]
+        if not isinstance(target, ast.Name):
+            continue
+        above = [
+            candidate
+            for candidate in defs.get(target.id, [])
+            if candidate.lineno <= node.lineno
+        ]
+        if above:
+            worker = max(above, key=lambda candidate: candidate.lineno)
+            if worker not in workers:
+                workers.append(worker)
+    return workers
+
+
+def _binding_names(target: ast.expr) -> Iterator[str]:
+    """Names a target *binds*.
+
+    ``sub[0] = ...`` and ``obj.attr = ...`` bind nothing — the base name
+    stays whatever the closure says it is — so only plain names and
+    destructuring structure count.
+    """
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _binding_names(element)
+    elif isinstance(target, ast.Starred):
+        yield from _binding_names(target.value)
+
+
+def _locals_of(worker: ast.FunctionDef) -> Set[str]:
+    """Names bound inside ``worker`` (params + every assignment target)."""
+    bound: Set[str] = {
+        arg.arg
+        for arg in (
+            worker.args.posonlyargs
+            + worker.args.args
+            + worker.args.kwonlyargs
+        )
+    }
+    if worker.args.vararg:
+        bound.add(worker.args.vararg.arg)
+    if worker.args.kwarg:
+        bound.add(worker.args.kwarg.arg)
+    for node in ast.walk(worker):
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            targets = [node.target]
+        elif isinstance(node, (ast.For, ast.comprehension)):
+            targets = [node.target]
+        elif isinstance(node, ast.withitem) and node.optional_vars:
+            targets = [node.optional_vars]
+        for target in targets:
+            bound.update(_binding_names(target))
+    return bound
+
+
+def _mentions(tree: ast.expr, name: str) -> bool:
+    return any(
+        isinstance(node, ast.Name) and node.id == name
+        for node in ast.walk(tree)
+    )
+
+
+def _slice_param(worker: ast.FunctionDef) -> str:
+    """The partition parameter: a fanout worker's first argument."""
+    args = worker.args.posonlyargs + worker.args.args
+    return args[0].arg if args else ""
+
+
+@register
+class PartitionSliceWrites(Rule):
+    """T301: fanout workers write shared arrays only via their partition."""
+
+    rule_id = "T301"
+    title = "fanout worker writes a shared array outside its partition slice"
+    rationale = (
+        "Byte-identity at any REPRO_VEC_THREADS count holds because the "
+        "column partitions are disjoint: each worker derives "
+        "partition-local views (sub = shared[:, cols]) and writes only "
+        "through them.  A subscript store or ufunc out= targeting a "
+        "closure array without the slice parameter in the index races "
+        "other workers on overlapping elements, making results depend "
+        "on thread scheduling."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[LintViolation]:
+        for worker in _fanout_workers(ctx):
+            bound = _locals_of(worker)
+            part = _slice_param(worker)
+            for node in ast.walk(worker):
+                yield from self._check_node(ctx, worker, node, bound, part)
+
+    def _check_node(
+        self,
+        ctx: ModuleContext,
+        worker: ast.FunctionDef,
+        node: ast.AST,
+        bound: Set[str],
+        part: str,
+    ) -> Iterator[LintViolation]:
+        stores: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            stores = list(node.targets)
+        elif isinstance(node, ast.AugAssign):
+            stores = [node.target]
+        for target in stores:
+            if not isinstance(target, ast.Subscript):
+                continue
+            base = target.value
+            if (
+                isinstance(base, ast.Name)
+                and base.id not in bound
+                and not _mentions(target.slice, part)
+            ):
+                yield self.violation(
+                    ctx,
+                    target,
+                    f"fanout worker {worker.name!r} stores into shared "
+                    f"{base.id!r} without the partition parameter "
+                    f"{part!r} in the index; write through a "
+                    "partition-sliced view",
+                )
+        if isinstance(node, ast.Call):
+            for kw in node.keywords:
+                if (
+                    kw.arg == "out"
+                    and isinstance(kw.value, ast.Name)
+                    and kw.value.id not in bound
+                ):
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"fanout worker {worker.name!r} directs ufunc "
+                        f"out= at shared {kw.value.id!r}; target a "
+                        "partition-sliced local view",
+                    )
+
+
+@register
+class SharedObjectMutation(Rule):
+    """T302: fanout workers must not mutate shared Python objects."""
+
+    rule_id = "T302"
+    title = "fanout worker mutates a shared Python object"
+    rationale = (
+        "Workers run concurrently: appending to a shared list, updating "
+        "a shared dict, or rebinding closure state (nonlocal/global) "
+        "interleaves in thread-scheduling order, so the result — or at "
+        "minimum its internal order — varies run to run.  Workers "
+        "communicate only by writing their own array partition; "
+        "aggregate in the dispatching caller after the fanout returns."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[LintViolation]:
+        for worker in _fanout_workers(ctx):
+            bound = _locals_of(worker)
+            for node in ast.walk(worker):
+                if isinstance(node, (ast.Global, ast.Nonlocal)):
+                    kind = (
+                        "global"
+                        if isinstance(node, ast.Global)
+                        else "nonlocal"
+                    )
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"fanout worker {worker.name!r} declares {kind} "
+                        f"{', '.join(node.names)}: workers may not rebind "
+                        "shared state",
+                    )
+                elif (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _MUTATORS
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id not in bound
+                    # Module aliases are not shared containers: np.add is
+                    # a ufunc call, and its out= target is T301's job.
+                    and node.func.value.id not in ctx.import_aliases
+                    and node.func.value.id not in ctx.from_imports
+                ):
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"fanout worker {worker.name!r} calls "
+                        f"{node.func.value.id}.{node.func.attr}() on a "
+                        "shared object; aggregate after the fanout "
+                        "instead",
+                    )

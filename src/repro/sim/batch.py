@@ -53,6 +53,7 @@ from typing import (
     Union,
 )
 
+from repro import config as repro_config
 from repro.adversary.base import Adversary
 from repro.adversary.random_crash import RandomCrashAdversary
 from repro.adversary.sandwich import SandwichAdversary
@@ -290,12 +291,14 @@ class TrialSpec:
 class TrialResult:
     """Scalar outcome of one trial — small enough to ship between processes."""
 
+    # repro: lint-ok[K203] composite, flattened into the row as its own field columns
     spec: TrialSpec
     rounds: int
     failures: int
     messages_sent: int
     messages_delivered: int
     last_round_named: Optional[int]
+    # repro: lint-ok[K203] unbounded (n entries per trial); rows stay scalar by contract
     names: Tuple[Tuple[ProcessId, Name], ...]
     #: Which kernel actually executed the trial (resolved from the spec's
     #: "auto" where applicable).
@@ -316,12 +319,21 @@ class TrialResult:
         return self.spec.cell
 
     def to_row(self) -> Dict[str, Any]:
-        """This trial as a flat JSON-ready dict (one ``--out .jsonl`` line)."""
+        """This trial as a flat JSON-ready dict (one ``--out .jsonl`` line).
+
+        Every :class:`TrialSpec`/:class:`TrialResult` field appears here
+        (the K203 lint rule enforces it), so a row alone replays its
+        trial: the spec columns are the inputs, the rest the outcome.
+        """
         return {
             "algorithm": self.spec.algorithm,
             "n": self.spec.n,
             "adversary": self.spec.adversary.key,
             "seed": self.spec.seed,
+            "halt_on_name": self.spec.halt_on_name,
+            "crash_budget": self.spec.crash_budget,
+            "check": self.spec.check,
+            "capture_errors": self.spec.capture_errors,
             "kernel": self.kernel,
             "rounds": self.rounds,
             "failures": self.failures,
@@ -397,14 +409,10 @@ Task = Union[TrialSpec, Tuple[TrialSpec, ...]]
 #: Stream budget (trials x n) of one stacked call; bounds the resident
 #: MT state (~2.5 KB per stream) while leaving whole cells intact at
 #: sweep sizes.  Override with the REPRO_VEC_MAX_STREAMS environment
-#: variable.
-DEFAULT_MAX_STREAMS = 1 << 17
+#: variable (read through the :mod:`repro.config` seam).
+DEFAULT_MAX_STREAMS = repro_config.DEFAULT_MAX_STREAMS
 
-
-def _max_streams() -> int:
-    raw = os.environ.get("REPRO_VEC_MAX_STREAMS")
-    return max(1, int(raw)) if raw else DEFAULT_MAX_STREAMS
-
+_max_streams = repro_config.vec_max_streams
 
 #: Minimum stream count (trials x n) below which a *crash* cell stays on
 #: the per-trial columnar path.  The crash stack pays fixed per-round
@@ -413,12 +421,9 @@ def _max_streams() -> int:
 #: between 512 and 1024 streams, above which stacking wins 1.3-2.8x.
 #: Failure-free stacks amortize from far smaller cells and take no
 #: floor.  Override with REPRO_VEC_CRASH_MIN_STREAMS (0 = always stack).
-DEFAULT_CRASH_MIN_STREAMS = 1 << 10
+DEFAULT_CRASH_MIN_STREAMS = repro_config.DEFAULT_CRASH_MIN_STREAMS
 
-
-def _crash_min_streams() -> int:
-    raw = os.environ.get("REPRO_VEC_CRASH_MIN_STREAMS")
-    return max(0, int(raw)) if raw else DEFAULT_CRASH_MIN_STREAMS
+_crash_min_streams = repro_config.crash_min_streams
 
 
 def _cell_config(spec: TrialSpec) -> Tuple[Any, ...]:
@@ -1047,6 +1052,7 @@ def run_batch(
     specs = source.expand() if isinstance(source, ScenarioMatrix) else list(source)
     backend = as_executor(executor, workers=workers, chunksize=chunksize)
     parts = getattr(backend, "workers", 1)
+    # repro: lint-ok[D102] wall-clock telemetry (BatchResult.elapsed), never a result row
     started = time.perf_counter()
     if hasattr(backend, "run_tasks"):
         results = backend.run_tasks(
@@ -1054,5 +1060,6 @@ def run_batch(
         )
     else:  # a caller-supplied executor object predating task planning
         results = backend.run(specs)
+    # repro: lint-ok[D102] wall-clock telemetry (BatchResult.elapsed), never a result row
     elapsed = time.perf_counter() - started
     return BatchResult(trials=results, executor=backend.name, elapsed=elapsed)

@@ -10,7 +10,10 @@ from repro.core.messages import (
     path_message,
     position_message,
 )
+import pytest
+
 from repro.core.instrumentation import TreeStatsObserver
+from repro.errors import SimulationError
 from repro.ids import sparse_ids
 from repro.sim.runner import run_renaming
 
@@ -76,3 +79,39 @@ class TestTreeStatsObserver:
             "balls-into-leaves", sparse_ids(256), seed=4, collect_phase_stats=True
         )
         assert run.phase_stats[0].bmax_inner < 256 / 4
+
+
+class TestObserverErrorNarrowing:
+    """Regression: the sampling guard catches SimulationError only.
+
+    It used to be a blanket ``except Exception``, which would have
+    silently swallowed genuine engine bugs (AttributeError on a view,
+    IndexError in an occupancy scan) as if the reference ball had
+    merely crashed pre-initialization.
+    """
+
+    class _Simulation:
+        def alive(self):
+            return [7]
+
+    class _UninitializedStore:
+        def view_of(self, pid):
+            raise SimulationError(f"ball {pid!r} has no initialized view")
+
+    class _BuggyStore:
+        def view_of(self, pid):
+            raise RuntimeError("engine bug")
+
+    def test_uninitialized_view_skips_the_sample(self):
+        observer = TreeStatsObserver.__new__(TreeStatsObserver)
+        observer._store = self._UninitializedStore()
+        observer.phases = []
+        observer(self._Simulation(), round_no=3)
+        assert observer.phases == []
+
+    def test_other_errors_propagate(self):
+        observer = TreeStatsObserver.__new__(TreeStatsObserver)
+        observer._store = self._BuggyStore()
+        observer.phases = []
+        with pytest.raises(RuntimeError, match="engine bug"):
+            observer(self._Simulation(), round_no=3)

@@ -1,0 +1,18 @@
+"""Golden violation: process-global RNG state (D101).
+
+Any of these would make results depend on call order across the whole
+process — the hazard the serial==mp differential suites pin dynamically.
+"""
+
+import random
+
+import numpy as np
+
+
+def jitter(values):
+    random.shuffle(values)  # expect: D101
+    return values[0] + random.random()  # expect: D101
+
+
+def noisy_column(count):
+    return np.random.random(count)  # expect: D101

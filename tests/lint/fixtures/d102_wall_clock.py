@@ -1,0 +1,10 @@
+"""Golden violation: wall-clock reads in a result path (D102)."""
+
+import time
+from datetime import datetime
+
+
+def stamp_row(row):
+    row["at"] = time.time()  # expect: D102
+    row["day"] = datetime.now().isoformat()  # expect: D102
+    return row

@@ -1,0 +1,14 @@
+"""Golden violation: unordered iteration feeding output or RNG (D103)."""
+
+
+def dedup_in_hash_order(xs):
+    return list(set(xs))  # expect: D103
+
+
+def pick_victim(rng, by_pid):
+    return rng.choice(by_pid.keys())  # expect: D103
+
+
+def visit(xs):
+    for x in {value for value in xs}:  # expect: D103
+        yield x

@@ -1,0 +1,9 @@
+"""Golden violation: id()/hash() identity values (D104)."""
+
+
+def fingerprint(view):
+    return id(view)  # expect: D104
+
+
+def bucket(label):
+    return hash(label) % 64  # expect: D104

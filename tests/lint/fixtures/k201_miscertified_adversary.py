@@ -1,0 +1,23 @@
+"""Golden violation: a @certified plan off the columnar surface (K201).
+
+``ctx.processes`` exposes reference-engine process objects the columnar
+crash engine never materializes; a certified plan reading it would
+produce different crash plans on the two kernels.
+"""
+
+
+class Adversary:
+    pass
+
+
+def certified(cls):
+    return cls
+
+
+@certified
+class PeekingAdversary(Adversary):
+    def plan(self, ctx):
+        if ctx.round_no < 2 or not ctx.budget_remaining:
+            return {}
+        victim = min(ctx.processes, key=repr)  # expect: K201
+        return {victim: frozenset(ctx.alive)}

@@ -1,0 +1,14 @@
+"""Golden violation: KernelUnsupported outside the vocabulary (K202)."""
+
+
+class KernelUnsupported(Exception):
+    def __init__(self, kernel, reason=None):
+        super().__init__(kernel)
+
+
+def reject_exotic():
+    raise KernelUnsupported("warp", "too exotic")  # expect: K202, K202
+
+
+def reject_briefly():
+    raise KernelUnsupported("columnar")  # expect: K202

@@ -1,0 +1,24 @@
+"""Golden violation: a spec field that never reaches the jsonl row (K203)."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    algorithm: str
+    n: int
+    flux_capacitance: float  # expect: K203
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    spec: TrialSpec
+    rounds: int
+
+    def to_row(self):
+        return {
+            "algorithm": self.spec.algorithm,
+            "n": self.spec.n,
+            "spec": "flattened",
+            "rounds": self.rounds,
+        }

@@ -1,0 +1,14 @@
+"""Golden violation: suppressions that are themselves defective.
+
+An unjustified waiver (S001) still waives its finding — but must say
+why; a waiver matching no finding is stale documentation (S002).
+"""
+
+
+def cache_key(view):
+    return id(view)  # repro: lint-ok[D104]  # expect: S001
+
+
+# repro: lint-ok[D103] nothing below iterates a set  # expect: S002
+def clean():
+    return 1

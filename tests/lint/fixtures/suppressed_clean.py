@@ -1,0 +1,12 @@
+"""Waived hazards: justified suppressions, so the linter reports nothing."""
+
+import time
+
+
+def elapsed_since(started):
+    # repro: lint-ok[D102] wall-clock telemetry only; never reaches a result row
+    return time.perf_counter() - started
+
+
+def cache_key(view):
+    return id(view)  # repro: lint-ok[D104] within-process cache key; order never reaches output

@@ -1,0 +1,23 @@
+"""Golden violation: fanout worker writing outside its partition (T301)."""
+
+import numpy as np
+
+
+def _fanout(work, count):
+    work(slice(0, count))
+
+
+def seed_all(mt, keys, count):
+    def work(cols):
+        sub = mt[:, cols]
+        sub[0] = keys[0, cols]
+        mt[0] = 1  # expect: T301
+
+    _fanout(work, count)
+
+
+def twist_all(state, shared_out, count):
+    def work(cols):
+        np.add(state[:, cols], 1, out=shared_out)  # expect: T301
+
+    _fanout(work, count)

@@ -1,0 +1,23 @@
+"""Golden violation: fanout worker mutating shared Python state (T302)."""
+
+
+def _fanout(work, count):
+    work(slice(0, count))
+
+
+def collect(results, count):
+    def work(cols):
+        results.append(cols.start)  # expect: T302
+
+    _fanout(work, count)
+
+
+def tally(count):
+    total = 0
+
+    def work(cols):
+        nonlocal total  # expect: T302
+        total += cols.stop - cols.start
+
+    _fanout(work, count)
+    return total

@@ -1,0 +1,67 @@
+"""Golden-violation corpus: every lint rule fires at its marked line.
+
+Each fixture under ``fixtures/`` carries ``# expect: RULE`` markers on the
+lines the linter must flag (comma-separated when one line yields several
+findings).  The markers are stripped before linting so they cannot perturb
+the suppression parser — which is exactly what the S001 fixture needs: its
+waiver must be *unjustified* once the marker is removed.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.lint import all_rules, lint_source
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+_EXPECT_RE = re.compile(r"#\s*expect:\s*(?P<rules>[A-Z]\d{3}(?:\s*,\s*[A-Z]\d{3})*)\s*$")
+_STRIP_RE = re.compile(r"\s*#\s*expect:.*$")
+
+
+def _load(path):
+    """Return (lintable source, expected (line, rule) multiset)."""
+    expected = []
+    stripped = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        match = _EXPECT_RE.search(line)
+        if match:
+            for rule in match.group("rules").split(","):
+                expected.append((lineno, rule.strip()))
+        stripped.append(_STRIP_RE.sub("", line))
+    return "\n".join(stripped) + "\n", sorted(expected)
+
+
+def _fixture_paths():
+    paths = sorted(FIXTURES.glob("*.py"))
+    assert paths, "fixture corpus is missing"
+    return paths
+
+
+@pytest.mark.parametrize("path", _fixture_paths(), ids=lambda p: p.stem)
+def test_fixture_findings_match_markers(path):
+    source, expected = _load(path)
+    violations = lint_source(source, path=str(path))
+    got = sorted((v.line, v.rule) for v in violations)
+    assert got == expected, (
+        f"{path.name}: linter reported {got}, fixture markers expect {expected}"
+    )
+
+
+def test_corpus_exercises_every_registered_rule():
+    fired = set()
+    for path in _fixture_paths():
+        _, expected = _load(path)
+        fired.update(rule for _, rule in expected)
+    registered = {rule.rule_id for rule in all_rules()}
+    missing = registered - fired
+    assert not missing, f"no fixture exercises: {sorted(missing)}"
+    # The suppression meta-rules are not in the registry but must still
+    # have golden coverage.
+    assert {"S001", "S002"} <= fired
+
+
+def test_suppressed_fixture_is_clean():
+    path = FIXTURES / "suppressed_clean.py"
+    assert lint_source(path.read_text(), path=str(path)) == []
