@@ -3,7 +3,10 @@
 Times one failure-free Balls-into-Leaves trial per kernel at
 n in {256, 4096, 65536}, a *crashing-adversary* workload
 (random 10% crash rate, halt-on-name, the columnar crash engine's
-home turf) at n in {256, 1024, 4096}, a *trial-throughput*
+home turf) at n in {256, 1024, 4096}, an *omission-adversary*
+workload (targeted link silencing via the delivery-mask columns —
+the certified fault family must keep the fast path, so the claim is
+measured, not asserted) at n in {256, 1024}, a *trial-throughput*
 workload — whole 100-trial failure-free cells through the batch API,
 columnar per-trial vs one vectorized stack — a *crash trial-throughput*
 workload (whole crash cells on the stacked crash engine vs per-trial
@@ -54,6 +57,7 @@ from pathlib import Path
 import pytest
 
 from repro._version import __version__
+from repro.adversary.omission import TargetedOmissionAdversary
 from repro.adversary.random_crash import RandomCrashAdversary
 from repro.ids import sparse_ids
 from repro.sim.runner import run_renaming
@@ -65,6 +69,14 @@ REPS = {256: 5, 4096: 3, 65536: 1}
 CRASH_SIZES = (256, 1024, 4096)
 CRASH_REPS = {256: 5, 1024: 3, 4096: 2}
 CRASH_RATE = 0.10
+#: Omission-adversary cells: the certified fault family must *keep* the
+#: columnar fast path (the PR's claim), so it is measured like the crash
+#: workload, not asserted.  Targeted silencing is the survivable shape
+#: at these sizes (i.i.d. loss wedges past the round limit).
+OMISSION_SIZES = (256, 1024)
+OMISSION_REPS = {256: 5, 1024: 3}
+OMISSION_COUNT = 8
+OMISSION_WINDOW = (2, 5)
 #: Largest n at which the faithful (spec) configuration is timed by
 #: default; BENCH_KERNEL_FULL=1 extends it to 4096 (~minutes).
 FAITHFUL_DEFAULT_MAX = 256
@@ -127,6 +139,19 @@ def _crash_trial(n, kernel):
     )
 
 
+def _omission_trial(n, kernel):
+    return run_renaming(
+        "balls-into-leaves",
+        sparse_ids(n),
+        seed=SEED,
+        adversary=TargetedOmissionAdversary(
+            count=OMISSION_COUNT, rounds=OMISSION_WINDOW
+        ),
+        check=False,  # silenced balls duplicate names; measured, not raised
+        kernel=kernel,
+    )
+
+
 # Wall-clock comparison: too flaky for the -x tier-1 gate (same policy as
 # test_bench_batch).  The bench-kernel CI job selects it with -m tier2.
 @pytest.mark.tier2
@@ -184,6 +209,42 @@ def test_bench_kernel_writes_json(capsys):
                 "n": n,
                 "algorithm": "balls-into-leaves",
                 "adversary": f"random:rate={CRASH_RATE},halt_on_name",
+                "seed": SEED,
+                "reps": reps,
+                "columnar_s": round(columnar_s, 6),
+                "reference_s": round(reference_s, 6),
+                "reference_faithful_s": None,
+                "speedup_vs_reference": round(reference_s / columnar_s, 2),
+                "speedup_vs_faithful": None,
+            }
+        )
+
+    # Omission-adversary workload: the certified fault family on the
+    # columnar fast path (delivery-mask columns) vs the reference engine.
+    for n in OMISSION_SIZES:
+        reps = OMISSION_REPS[n]
+        columnar_s, columnar_run = _best_of(
+            reps, lambda: _omission_trial(n, "columnar")
+        )
+        reference_s, reference_run = _best_of(
+            reps, lambda: _omission_trial(n, "reference")
+        )
+        assert columnar_run.kernel == "columnar"
+        assert columnar_run.names == reference_run.names
+        assert columnar_run.rounds == reference_run.rounds
+        assert (
+            columnar_run.metrics.total_omissions
+            == reference_run.metrics.total_omissions
+            > 0
+        )
+        cells.append(
+            {
+                "n": n,
+                "algorithm": "balls-into-leaves",
+                "adversary": (
+                    f"omission-targeted:count={OMISSION_COUNT},"
+                    f"rounds={OMISSION_WINDOW[0]}-{OMISSION_WINDOW[1]}"
+                ),
                 "seed": SEED,
                 "reps": reps,
                 "columnar_s": round(columnar_s, 6),
@@ -365,7 +426,9 @@ def test_bench_kernel_writes_json(capsys):
         "workload": (
             "run_renaming, balls-into-leaves, best-of-reps wall clock; "
             "failure-free cells plus a crashing-adversary workload "
-            "(random 10% crash rate, halt-on-name) on the columnar "
+            "(random 10% crash rate, halt-on-name) and an omission-"
+            "adversary workload (targeted link silencing, certified "
+            "fault family) on the columnar "
             "crash engine; trial_cells = 100-trial failure-free cells "
             "via run_batch, columnar per-trial vs one vectorized stack; "
             "crash_trial_cells = whole crash cells on the stacked crash "

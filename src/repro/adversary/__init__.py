@@ -17,15 +17,43 @@ Strategies provided:
   the CHT Omega(log n) lower bound, aimed at deterministic algorithms.
 * :class:`HalfSplitAdversary` — Section 6's example: the lowest-label ball
   delivers to every second process and crashes, forcing ~n/2 collisions.
+
+Beyond crashes, the :class:`FaultPlan` protocol composes three more
+injectable fault families (see :mod:`repro.adversary.base`):
+
+* :class:`IIDOmissionAdversary` / :class:`TargetedOmissionAdversary` /
+  :class:`ScheduledFaultAdversary` — per-link message omission (drop
+  victim -> receiver edges without crashing the sender).
+* :class:`BoundedDelayAdversary` — partial synchrony: messages deferred
+  up to Δ rounds and delivered late (reference engine only).
+* :class:`CorruptingAdversary` — Byzantine-lite value corruption of at
+  most ``b`` senders' payloads, within the message schema (reference
+  engine only).
 """
 
-from repro.adversary.base import Adversary, AdversaryContext, CrashPlan
+from repro.adversary.base import (
+    FAULT_FAMILIES,
+    Adversary,
+    AdversaryContext,
+    CrashPlan,
+    FaultBudget,
+    FaultPlan,
+    clamp_fault_plan,
+)
 from repro.adversary.certification import (
     certification_failure,
     certified,
     is_certified,
 )
+from repro.adversary.corruption import CorruptingAdversary
+from repro.adversary.delay import BoundedDelayAdversary
 from repro.adversary.none import NoFailures
+from repro.adversary.omission import (
+    IIDOmissionAdversary,
+    ScheduledFaultAdversary,
+    ScheduledOmission,
+    TargetedOmissionAdversary,
+)
 from repro.adversary.random_crash import RandomCrashAdversary
 from repro.adversary.scheduled import ScheduledAdversary, ScheduledCrash
 from repro.adversary.targeted import TargetedPriorityAdversary
@@ -36,6 +64,10 @@ __all__ = [
     "Adversary",
     "AdversaryContext",
     "CrashPlan",
+    "FAULT_FAMILIES",
+    "FaultBudget",
+    "FaultPlan",
+    "clamp_fault_plan",
     "certification_failure",
     "certified",
     "is_certified",
@@ -43,6 +75,12 @@ __all__ = [
     "RandomCrashAdversary",
     "ScheduledAdversary",
     "ScheduledCrash",
+    "IIDOmissionAdversary",
+    "TargetedOmissionAdversary",
+    "ScheduledFaultAdversary",
+    "ScheduledOmission",
+    "BoundedDelayAdversary",
+    "CorruptingAdversary",
     "TargetedPriorityAdversary",
     "SandwichAdversary",
     "HalfSplitAdversary",

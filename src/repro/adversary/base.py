@@ -1,17 +1,102 @@
-"""Adversary protocol shared by the simulator and all strategies."""
+"""Adversary protocol shared by the simulator and all strategies.
+
+Two layers of plan:
+
+* :data:`CrashPlan` — the original crash-only protocol: victim pid ->
+  receivers that still get its broadcast.
+* :class:`FaultPlan` — the generalized protocol composing four fault
+  families: ``crash`` (the plan above), ``omission`` (per-link delivery
+  masks: the sender stays alive, some links drop), ``delay`` (a link's
+  message deferred up to Δ rounds and delivered late), and ``corruption``
+  (a bounded set of senders whose payloads the adversary rewrites within
+  the message schema).  Crash-only adversaries keep implementing
+  :meth:`Adversary.plan`; fault adversaries override
+  :meth:`Adversary.plan_faults` and declare their families and budgets.
+
+Both engines clamp through the same :func:`clamp_fault_plan`, so the
+fault semantics — crash wins over omission for the same sender, omission
+wins over delay for the same link, no self-links, no resurrecting a
+crashed sender, deterministic budget truncation — are identical on the
+reference and columnar kernels.
+"""
 
 from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
-from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
 from repro.ids import ProcessId
 
 #: A round's crash plan: victim pid -> receivers that still get its
 #: broadcast.  An empty set means the victim crashed before sending.
 CrashPlan = Dict[ProcessId, FrozenSet[ProcessId]]
+
+#: A round's omission plan: sender pid -> receivers that do NOT hear its
+#: broadcast this round (the sender itself is never maskable).
+OmissionPlan = Dict[ProcessId, FrozenSet[ProcessId]]
+
+#: A round's delay plan: (sender, receiver) link -> rounds of deferral
+#: (clamped to 1..Δ); the message arrives late into the receiver's merge.
+DelayPlan = Dict[Tuple[ProcessId, ProcessId], int]
+
+#: A round's corruption plan: sender pid -> replacement payload (must
+#: stay within the message schema; the sender itself keeps the original).
+CorruptionPlan = Dict[ProcessId, Any]
+
+#: The canonical fault-family vocabulary, in engine-support order.
+FAULT_FAMILIES: Tuple[str, ...] = ("crash", "omission", "delay", "corruption")
+
+
+@dataclass(frozen=True)
+class FaultBudget:
+    """Per-family limits an adversary declares for a whole run.
+
+    ``crashes`` is informational (the model's ``t`` is enforced by the
+    engine's crash budget); ``omissions`` bounds the total dropped links
+    over the run (None = unbounded, 0 = none); ``delay_bound`` is the
+    partial-synchrony Δ (0 = fully synchronous, delays disabled);
+    ``corruptions`` bounds the number of *distinct* corrupted senders.
+    """
+
+    crashes: Optional[int] = None
+    omissions: Optional[int] = None
+    delay_bound: int = 0
+    corruptions: int = 0
+
+    def describe(self) -> str:
+        """Compact ``key=value`` rendering for jsonl rows ("" = default)."""
+        parts = []
+        if self.crashes is not None:
+            parts.append(f"crashes={self.crashes}")
+        if self.omissions is not None:
+            parts.append(f"omissions={self.omissions}")
+        if self.delay_bound:
+            parts.append(f"delay_bound={self.delay_bound}")
+        if self.corruptions:
+            parts.append(f"corruptions={self.corruptions}")
+        return ",".join(parts)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One round's composed fault injection across all four families."""
+
+    crashes: CrashPlan = field(default_factory=dict)
+    omissions: OmissionPlan = field(default_factory=dict)
+    delays: DelayPlan = field(default_factory=dict)
+    corruptions: CorruptionPlan = field(default_factory=dict)
+
+    @property
+    def crash_only(self) -> bool:
+        """True when only the crash family is exercised this round."""
+        return not (self.omissions or self.delays or self.corruptions)
+
+    @classmethod
+    def of_crashes(cls, plan: Optional[CrashPlan]) -> "FaultPlan":
+        """Wrap a legacy crash plan (None tolerated) as a fault plan."""
+        return cls(crashes=dict(plan) if plan else {})
 
 
 @dataclass(frozen=True)
@@ -22,7 +107,9 @@ class AdversaryContext:
     processes' random choices for the round — realizing the "strong"
     adversary of the paper.  ``processes`` gives read access to process
     objects for fully adaptive strategies; adversaries must treat them as
-    read-only.
+    read-only.  The trailing fields carry the fault-family budget state:
+    ``omission_budget_remaining`` (None = unbounded), the partial-synchrony
+    ``delay_bound`` Δ, and the senders corrupted so far.
     """
 
     round_no: int
@@ -32,13 +119,19 @@ class AdversaryContext:
     crashed_so_far: FrozenSet[ProcessId]
     budget_remaining: int
     processes: Mapping[ProcessId, Any]
+    omission_budget_remaining: Optional[int] = None
+    delay_bound: int = 0
+    corrupted_so_far: FrozenSet[ProcessId] = frozenset()
 
 
 class Adversary(ABC):
-    """Base class for crash adversaries.
+    """Base class for fault adversaries.
 
-    Subclasses implement :meth:`plan`; the simulator validates and clamps
-    the returned plan against the crash budget ``t`` and the set of
+    Crash-only subclasses implement :meth:`plan`; fault-injecting
+    subclasses additionally override :meth:`plan_faults` (whose default
+    wraps :meth:`plan`), :meth:`fault_families`, and :meth:`fault_budget`.
+    The engines validate and clamp every returned plan against the crash
+    budget ``t``, the per-family :class:`FaultBudget`, and the set of
     processes still alive, so strategies may be written optimistically.
     """
 
@@ -53,6 +146,30 @@ class Adversary(ABC):
     @abstractmethod
     def plan(self, ctx: AdversaryContext) -> CrashPlan:
         """Return this round's crash plan (possibly empty)."""
+
+    def plan_faults(self, ctx: AdversaryContext) -> FaultPlan:
+        """Return this round's full fault plan.
+
+        The default wraps :meth:`plan`, so crash-only strategies are
+        fault adversaries for free — with bit-identical RNG consumption,
+        which the cross-kernel differential suite relies on.
+        """
+        return FaultPlan.of_crashes(self.plan(ctx))
+
+    def fault_families(self) -> Tuple[str, ...]:
+        """The fault families this adversary may exercise.
+
+        Kernel selection consults this through
+        :func:`repro.adversary.certification.certification_failure`: a
+        kernel that does not support every declared family rejects the
+        run (naming the family), and ``auto`` falls back to the
+        reference engine.
+        """
+        return ("crash",)
+
+    def fault_budget(self) -> FaultBudget:
+        """The per-family budget this adversary declares for a run."""
+        return FaultBudget()
 
     # ------------------------------------------------------------ conveniences
     @staticmethod
@@ -91,3 +208,84 @@ def clamp_plan(
     valid.sort(key=repr)
     kept = valid[: max(0, budget_remaining)]
     return {victim: frozenset(plan[victim]) for victim in kept}
+
+
+def clamp_fault_plan(
+    plan: FaultPlan,
+    *,
+    alive: Sequence[ProcessId],
+    budget_remaining: int,
+    budget: FaultBudget,
+    omissions_used: int = 0,
+    corrupted_so_far: FrozenSet[ProcessId] = frozenset(),
+) -> FaultPlan:
+    """Validate one round's fault plan against budgets and liveness.
+
+    The shared rulebook both engines apply (identically, so fault runs
+    are bit-for-bit comparable across kernels):
+
+    * crashes clamp exactly as :func:`clamp_plan`;
+    * an omitting / delaying / corrupting sender must be alive and not
+      crashing this round (**crash wins** over the other families for
+      the same sender — a dead sender has no links to mask);
+    * self-links are never maskable or delayable (a process always knows
+      its own message), and links to dead receivers are dropped;
+    * a link both omitted and delayed is omitted (**omission wins**);
+    * the omission budget counts dropped links over the whole run, with
+      deterministic repr-sorted truncation when a plan exceeds it;
+    * delays clamp into ``1..delay_bound`` (Δ = 0 disables the family);
+    * the corruption budget bounds *distinct* corrupted senders over the
+      run; already-corrupted senders stay corruptible for free.
+    """
+    crashes = clamp_plan(plan.crashes, alive=alive, budget_remaining=budget_remaining)
+    alive_set = set(alive)
+
+    omissions: OmissionPlan = {}
+    om_remaining = (
+        None if budget.omissions is None else max(0, budget.omissions - omissions_used)
+    )
+    for sender in sorted(plan.omissions, key=repr):
+        if sender not in alive_set or sender in crashes:
+            continue
+        dropped = frozenset(
+            r for r in plan.omissions[sender] if r != sender and r in alive_set
+        )
+        if not dropped:
+            continue
+        if om_remaining is not None:
+            if om_remaining <= 0:
+                break
+            if len(dropped) > om_remaining:
+                dropped = frozenset(sorted(dropped, key=repr)[:om_remaining])
+            om_remaining -= len(dropped)
+        omissions[sender] = dropped
+
+    delays: DelayPlan = {}
+    if budget.delay_bound > 0:
+        for link in sorted(plan.delays, key=repr):
+            sender, receiver = link
+            if sender == receiver:
+                continue
+            if sender not in alive_set or receiver not in alive_set:
+                continue
+            if sender in crashes or receiver in omissions.get(sender, ()):
+                continue
+            deferral = int(plan.delays[link])
+            if deferral < 1:
+                continue
+            delays[link] = min(deferral, budget.delay_bound)
+
+    corruptions: CorruptionPlan = {}
+    distinct = set(corrupted_so_far)
+    for sender in sorted(plan.corruptions, key=repr):
+        if sender not in alive_set or sender in crashes:
+            continue
+        if sender not in distinct:
+            if len(distinct) >= budget.corruptions:
+                continue
+            distinct.add(sender)
+        corruptions[sender] = plan.corruptions[sender]
+
+    return FaultPlan(
+        crashes=crashes, omissions=omissions, delays=delays, corruptions=corruptions
+    )

@@ -18,9 +18,9 @@ itself explicitly.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple, Type
+from typing import Optional, Sequence, Tuple, Type
 
-from repro.adversary.base import Adversary
+from repro.adversary.base import FAULT_FAMILIES, Adversary
 
 _CERTIFIED: set = set()
 
@@ -45,13 +45,40 @@ def is_certified(adversary: Optional[Adversary]) -> bool:
     return adversary is None or type(adversary) in _CERTIFIED
 
 
-def certification_failure(adversary: Optional[Adversary]) -> Optional[str]:
-    """Why ``adversary`` cannot run on the fast path (None = certified)."""
-    if is_certified(adversary):
+def certification_failure(
+    adversary: Optional[Adversary],
+    *,
+    supported: Sequence[str] = ("crash",),
+) -> Optional[str]:
+    """Why ``adversary`` cannot run on a fast path (None = it can).
+
+    Two gates behind one predicate, consulted identically by kernel
+    selection and the schedule compiler:
+
+    * *type certification* — the adversary's plan must read only the
+      public :class:`~repro.adversary.base.AdversaryContext` surface
+      (declared via :func:`certified` where the strategy is written);
+    * *family support* — every fault family the adversary declares
+      (:meth:`~repro.adversary.base.Adversary.fault_families`) must be
+      in the kernel's ``supported`` tuple; a rejection names the first
+      unsupported family, so ``auto`` fallbacks are diagnosable.
+    """
+    if adversary is None:
         return None
-    return (
-        f"adversary type {type(adversary).__name__} is not columnar-"
-        "certified (its plan may inspect process internals the fast "
-        "path never materializes); certified types: "
-        + ", ".join(cls.__name__ for cls in certified_types())
-    )
+    if not is_certified(adversary):
+        return (
+            f"adversary type {type(adversary).__name__} is not columnar-"
+            "certified (its plan may inspect process internals the fast "
+            "path never materializes); certified types: "
+            + ", ".join(cls.__name__ for cls in certified_types())
+        )
+    families = tuple(adversary.fault_families())
+    unsupported = [family for family in families if family not in supported]
+    if unsupported:
+        return (
+            f"adversary type {type(adversary).__name__} plans fault family "
+            f"{unsupported[0]!r}, which this kernel does not apply "
+            f"(supported fault families: {', '.join(supported)}; "
+            f"the full vocabulary is {', '.join(FAULT_FAMILIES)})"
+        )
+    return None

@@ -1,0 +1,123 @@
+"""Value-corruption (Byzantine-lite) adversaries.
+
+A bounded set of at most ``b`` distinct senders have their broadcast
+payloads rewritten by the adversary — *within the message schema* (a path
+message stays a path message, a position message stays a position
+message), so receivers parse and apply the forged value through the
+normal rules.  The sender itself always keeps its original payload: a
+process knows what it sent.
+
+Corruption is a reference-engine family: the columnar and vectorized
+kernels reject it by name (their delivery never materializes rewritable
+payloads), and ``auto`` selection falls back to the lock-step engine.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+from repro.adversary.base import (
+    Adversary,
+    AdversaryContext,
+    CorruptionPlan,
+    CrashPlan,
+    FaultBudget,
+    FaultPlan,
+)
+from repro.adversary.certification import certified
+from repro.core.messages import parse_path, parse_position, path_message, position_message
+
+#: Rewrite modes, all schema-preserving.
+CORRUPTION_MODES = ("stall", "replay")
+
+
+@certified
+class CorruptingAdversary(Adversary):
+    """Rewrite up to ``b`` distinct senders' payloads within the schema.
+
+    Each round, each not-yet-exhausted running sender is picked with
+    probability ``rate``; once ``b`` distinct senders have been
+    corrupted, the set is frozen (the engine's clamp enforces the same
+    bound independently).  Modes:
+
+    * ``"stall"`` — truncate a candidate path to its current node (the
+      ball claims it is not moving) and leave position reports intact:
+      the forged value freezes the sender in every other view.
+    * ``"replay"`` — re-broadcast the sender's previous payload of the
+      same kind (first occurrence falls back to stalling): stale state
+      presented as fresh.
+
+    Note that sustained stalling (``rate=1.0``) can make two *alive*
+    corrupted balls collide on a leaf — each hid the other's descent —
+    after which the broken capacity invariant may wedge a third ball
+    below a full subtree until the round limit.  That is the honest
+    Byzantine-lite degradation EXP-FAULT measures (run with
+    ``capture_errors``), not an engine artifact.
+    """
+
+    def __init__(
+        self,
+        b: int = 1,
+        *,
+        mode: str = "stall",
+        rate: float = 0.25,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(seed=seed)
+        if b < 1:
+            raise ValueError(f"corruption bound b must be >= 1, got {b}")
+        if mode not in CORRUPTION_MODES:
+            raise ValueError(
+                f"mode must be one of {CORRUPTION_MODES}, got {mode!r}"
+            )
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"corruption rate must be in [0, 1], got {rate}")
+        self._b = b
+        self._mode = mode
+        self._rate = rate
+        self._victims: set = set()
+        self._previous: dict = {}
+
+    def plan(self, ctx: AdversaryContext) -> CrashPlan:
+        return {}
+
+    def plan_faults(self, ctx: AdversaryContext) -> FaultPlan:
+        corruptions: CorruptionPlan = {}
+        for sender in sorted(ctx.running, key=repr):
+            payload = ctx.outbox.get(sender)
+            if payload is None:
+                continue
+            eligible = sender in self._victims or len(self._victims) < self._b
+            if not eligible:
+                continue
+            if self.rng.random() < self._rate:
+                forged = self._forge(sender, payload)
+                if forged is not None:
+                    self._victims.add(sender)
+                    corruptions[sender] = forged
+            self._previous[sender] = payload
+        return FaultPlan(corruptions=corruptions)
+
+    def _forge(self, sender: Any, payload: Any) -> Optional[Any]:
+        """A schema-safe rewrite of ``payload``, or None to leave it be."""
+        path = parse_path(payload)
+        if path is not None:
+            if self._mode == "replay":
+                previous = parse_path(self._previous.get(sender))
+                if previous is not None and previous != path:
+                    return path_message(previous)
+            if len(path) > 1:
+                return path_message(path[:1])
+            return None
+        position = parse_position(payload)
+        if position is not None and self._mode == "replay":
+            previous = parse_position(self._previous.get(sender))
+            if previous is not None and previous != position:
+                return position_message(previous)
+        return None
+
+    def fault_families(self) -> Tuple[str, ...]:
+        return ("corruption",)
+
+    def fault_budget(self) -> FaultBudget:
+        return FaultBudget(corruptions=self._b)

@@ -1,0 +1,79 @@
+"""Bounded-delay adversaries: partial synchrony on the lock-step rails.
+
+A delayed link's message is not lost — it is deferred up to Δ rounds and
+delivered *late* into the receiver's view merge (unless a fresher message
+from the same sender arrives in the same round, which then wins).  The
+synchronous algorithm has no way to tell lateness from a crash at the
+moment of silence, so a delayed sender is purged and the late arrival
+usually lands on an already-purged ball — making Δ-bounded delay an
+honest stress of the algorithm's synchrony assumption.
+
+Delay is a reference-engine family: the columnar and vectorized kernels
+reject it by name (no pending-delivery buffer in the array layout), and
+``auto`` selection falls back to the lock-step engine.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.adversary.base import (
+    Adversary,
+    AdversaryContext,
+    CrashPlan,
+    DelayPlan,
+    FaultBudget,
+    FaultPlan,
+)
+from repro.adversary.certification import certified
+
+
+@certified
+class BoundedDelayAdversary(Adversary):
+    """Defer each link i.i.d. with probability ``rate`` by 1..``d`` rounds.
+
+    Parameters
+    ----------
+    d:
+        The delay bound Δ (>= 1); each deferred message arrives within
+        Δ rounds, chosen uniformly by the adversary's private RNG.
+    rate:
+        Per-link, per-round deferral probability.
+    """
+
+    def __init__(
+        self,
+        d: int,
+        *,
+        rate: float = 0.2,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(seed=seed)
+        if d < 1:
+            raise ValueError(f"delay bound d must be >= 1, got {d}")
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"delay rate must be in [0, 1], got {rate}")
+        self._d = d
+        self._rate = rate
+
+    def plan(self, ctx: AdversaryContext) -> CrashPlan:
+        return {}
+
+    def plan_faults(self, ctx: AdversaryContext) -> FaultPlan:
+        if self._rate == 0.0:
+            return FaultPlan()
+        delays: DelayPlan = {}
+        receivers = sorted(ctx.alive, key=repr)
+        for sender in sorted(ctx.running, key=repr):
+            for receiver in receivers:
+                if receiver == sender:
+                    continue
+                if self.rng.random() < self._rate:
+                    delays[(sender, receiver)] = 1 + self.rng.randrange(self._d)
+        return FaultPlan(delays=delays)
+
+    def fault_families(self) -> Tuple[str, ...]:
+        return ("delay",)
+
+    def fault_budget(self) -> FaultBudget:
+        return FaultBudget(delay_bound=self._d)

@@ -102,6 +102,36 @@ def build_approximate_agreement(
     ]
 
 
+def seeded_rounds(n: int, crash_budget: int, *, epsilon: float = 1.0) -> int:
+    """Round count for the seeded workload's ``n^2`` initial range."""
+    return rounds_for(epsilon, float(max(1, n * n)), crash_budget)
+
+
+def build_seeded_approx_agreement(
+    ids: Sequence[ProcessId],
+    *,
+    seed: int = 0,
+    crash_budget: int = 0,
+    epsilon: float = 1.0,
+) -> List[ApproximateAgreementProcess]:
+    """The TrialSpec-rail workload: seed-derived inputs, derived rounds.
+
+    Initial values are drawn uniformly from ``[0, n^2)`` on a stream
+    derived from ``(seed, "approx-agreement")`` — independent of any
+    process or adversary randomness — and the round count is
+    :func:`seeded_rounds` for that range, so epsilon-agreement is
+    guaranteed for up to ``crash_budget`` crashes.
+    """
+    from repro.sim.rng import derive_rng
+
+    n = len(ids)
+    rng = derive_rng(seed, "approx-agreement")
+    initial = [rng.uniform(0.0, float(n * n)) for _ in range(n)]
+    return build_approximate_agreement(
+        ids, initial, rounds=seeded_rounds(n, crash_budget, epsilon=epsilon)
+    )
+
+
 def decision_diameter(decisions: Mapping[ProcessId, Any]) -> float:
     """Max minus min over the decided values (0 for a single value)."""
     values = [v for v in decisions.values() if v is not None]

@@ -29,7 +29,7 @@ from repro.errors import ReproError
 from repro.experiments.registry import all_experiments, run_experiment
 from repro.ids import sparse_ids
 from repro.search.objectives import OBJECTIVES
-from repro.search.strategies import STRATEGIES
+from repro.search.strategies import FAULT_FAMILY_CHOICES, STRATEGIES
 from repro.sim.batch import EXECUTORS, ScenarioMatrix, run_batch
 from repro.sim.kernel import KERNEL_CHOICES
 from repro.sim.runner import ALGORITHMS, run_renaming
@@ -163,6 +163,18 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     batch_parser.add_argument("--csv", help="write the per-cell table as CSV here")
     batch_parser.add_argument(
+        "--no-check",
+        action="store_true",
+        help="skip the renaming spec check per trial (fault-injection "
+        "cells measure violations instead of raising on the first one)",
+    )
+    batch_parser.add_argument(
+        "--capture-errors",
+        action="store_true",
+        help="record simulation/spec failures as per-trial error rows "
+        "instead of aborting the batch",
+    )
+    batch_parser.add_argument(
         "--chunksize",
         type=int,
         default=None,
@@ -206,6 +218,14 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     hunt_parser.add_argument(
         "--crash-budget", type=int, default=None, help="the model's t (default n-1)"
+    )
+    hunt_parser.add_argument(
+        "--fault-family",
+        default="crash",
+        choices=FAULT_FAMILY_CHOICES,
+        help="genotype fault vocabulary: crash events only, omission "
+        "(link-drop) events only, or a mixed schedule of both; the "
+        "baseline gauntlet follows the family",
     )
     hunt_parser.add_argument(
         "--seeds-per-schedule",
@@ -454,6 +474,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         trials=args.trials,
         base_seed=args.seed,
         seed_mode=args.seed_mode,
+        check=not args.no_check,
+        capture_errors=args.capture_errors,
         kernel=args.kernel,
         monitor=args.monitor,
     )
@@ -509,6 +531,7 @@ def _cmd_hunt(args: argparse.Namespace) -> int:
         max_round=args.max_round,
         kernel=args.kernel,
         monitor=args.monitor,
+        fault_family=args.fault_family,
     )
     result = run_hunt(
         config, args.strategy, executor=args.executor, workers=args.workers
@@ -561,6 +584,8 @@ def _cmd_hunt(args: argparse.Namespace) -> int:
         f" --algorithm {config.algorithm} --n {config.n}"
         f" --baseline-trials {args.baseline_trials}"
     )
+    if config.fault_family != "crash":
+        repro_cmd += f" --fault-family {config.fault_family}"
     if config.halt_on_name:
         repro_cmd += " --halt-on-name"
     if config.crash_budget is not None:

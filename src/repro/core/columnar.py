@@ -52,7 +52,12 @@ from __future__ import annotations
 
 from typing import Any, Dict, Hashable, List, Mapping, Optional, Sequence, Set, Tuple
 
-from repro.adversary.base import AdversaryContext, CrashPlan, clamp_plan
+from repro.adversary.base import (
+    AdversaryContext,
+    FaultBudget,
+    FaultPlan,
+    clamp_fault_plan,
+)
 from repro.errors import ConfigurationError, SimulationError
 from repro.ids import require_distinct
 from repro.sim.rng import derive_seed
@@ -650,12 +655,22 @@ class ColumnarCrashEngine:
         self._class_of: List[Optional[_ClassView]] = [None] * n
         self._crashed_count = 0
         self.running_count = n
+        # Fault-plan state beyond crashes (omission is the only extra
+        # family this engine applies; delay/corruption are rejected at
+        # kernel selection and guarded against defensively below).
+        self._fault_budget = (
+            adversary.fault_budget() if adversary is not None else FaultBudget()
+        )
+        self._omissions_used = 0
+        #: First round each sender index was silenced by omission.
+        self.silenced_round: Dict[int, int] = {}
         # Metrics of the most recent round (read by the kernel).
         self.last_sent = 0
         self.last_delivered = 0
         self.last_crashes = 0
         self.last_alive = n
         self.last_running = n
+        self.last_omissions = 0
 
     # ------------------------------------------------------------------ driving
     def step(self, round_no: int) -> None:
@@ -685,7 +700,8 @@ class ColumnarCrashEngine:
             for j in running:
                 announced[j] = self._class_of[j].pos[j]
 
-        plan = self._plan_crashes(round_no, running, kind, paths, announced)
+        fault = self._plan_faults(round_no, running, kind, paths, announced)
+        plan = fault.crashes
         for victim in plan:
             j = self._index_of[victim]
             crashed[j] = True
@@ -701,12 +717,42 @@ class ColumnarCrashEngine:
             for victim, kept in plan.items()
             if self._index_of[victim] in running_set
         ]
+        # Omitting senders join the same partial-delivery machinery —
+        # kept = everyone minus the dropped links — without being marked
+        # crashed: they stay receivers, keep composing, and (clamp
+        # guarantees the sender is never dropped to itself) always keep
+        # their own ball in their own class view.  The purge test below
+        # (``i in victim_idx and i not in sig``) then reproduces the
+        # reference semantics bit-for-bit: masked receivers see silence
+        # and treat the sender exactly like a crash.
+        if fault.omissions:
+            alive_pids = [
+                labels[j] for j in self._input_order if not crashed[j]
+            ]
+            for sender in sorted(fault.omissions, key=repr):
+                j = self._index_of[sender]
+                if j not in running_set:
+                    continue  # no broadcast this round, nothing to drop
+                dropped = fault.omissions[sender]
+                kept = frozenset(p for p in alive_pids if p not in dropped)
+                partial.append((j, kept))
         victim_idx: Set[int] = {vi for vi, _kept in partial}
         base_count = self.last_sent - len(partial)
 
         receivers = [
             j for j in self._input_order if not crashed[j] and not halted[j]
         ]
+        self.last_omissions = 0
+        if fault.omissions:
+            receiver_pids = {labels[j] for j in receivers}
+            for sender in fault.omissions:
+                j = self._index_of[sender]
+                if j not in running_set:
+                    continue
+                drops = len(fault.omissions[sender] & receiver_pids)
+                if drops:
+                    self.last_omissions += drops
+                    self.silenced_round.setdefault(j, round_no)
         # Distinct delivery camps: victims usually share receiver sets
         # (split-mode adversaries build two), so a receiver's signature
         # is a function of its camp-membership pattern, computed with
@@ -796,19 +842,24 @@ class ColumnarCrashEngine:
         self.last_running = self.running_count
 
     # -------------------------------------------------------------- adversary
-    def _plan_crashes(
+    def _plan_faults(
         self,
         round_no: int,
         running: Sequence[int],
         kind: str,
         paths: Optional[List[Optional[List[int]]]],
         announced: Optional[List[Optional[int]]],
-    ) -> CrashPlan:
+    ) -> FaultPlan:
         if self._adversary is None:
-            return {}
+            return FaultPlan()
         remaining = self._budget - self._crashed_count
-        if remaining <= 0:
-            return {}
+        if remaining <= 0 and tuple(self._adversary.fault_families()) == (
+            "crash",
+        ):
+            # Crash-only adversaries are never consulted past the budget
+            # (preserving the original engine's RNG consumption exactly);
+            # fault adversaries still plan their other families.
+            return FaultPlan()
         labels = self.labels
         nodes = self._arr.nodes
         outbox: Dict[BallId, Any] = {}
@@ -830,17 +881,43 @@ class ColumnarCrashEngine:
         crashed_pids = frozenset(
             labels[j] for j in range(self.n) if self.crashed[j]
         )
+        budget = self._fault_budget
         ctx = AdversaryContext(
             round_no=round_no,
             running=tuple(labels[j] for j in running),
             alive=tuple(alive),
             outbox=outbox,
             crashed_so_far=crashed_pids,
-            budget_remaining=remaining,
+            budget_remaining=max(0, remaining),
             processes=_ProcessIntrospectionUnavailable(alive),
+            omission_budget_remaining=(
+                None
+                if budget.omissions is None
+                else max(0, budget.omissions - self._omissions_used)
+            ),
+            delay_bound=budget.delay_bound,
+            corrupted_so_far=frozenset(),
         )
-        plan = self._adversary.plan(ctx) or {}
-        return clamp_plan(plan, alive=alive, budget_remaining=remaining)
+        plan = self._adversary.plan_faults(ctx) or FaultPlan()
+        clamped = clamp_fault_plan(
+            plan,
+            alive=alive,
+            budget_remaining=max(0, remaining),
+            budget=budget,
+            omissions_used=self._omissions_used,
+            corrupted_so_far=frozenset(),
+        )
+        if clamped.delays or clamped.corruptions:
+            family = "delay" if clamped.delays else "corruption"
+            raise SimulationError(
+                f"the columnar engine cannot apply fault family {family!r}; "
+                "kernel selection should have routed this adversary to the "
+                "reference engine"
+            )
+        self._omissions_used += sum(
+            len(dropped) for dropped in clamped.omissions.values()
+        )
+        return clamped
 
     # --------------------------------------------------------------- the rounds
     def _initialize_class(

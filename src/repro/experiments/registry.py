@@ -19,6 +19,7 @@ from repro.experiments import (
     adversary_gauntlet,
     approx_agreement,
     det_termination,
+    fault_injection,
     fig_path_view,
     fig_phase_snapshots,
     hunt,
@@ -73,6 +74,7 @@ _MODULES: List[ModuleType] = [
     nonpow2,
     hunt,
     tail,
+    fault_injection,
 ]
 
 _REGISTRY: Dict[str, ExperimentEntry] = {

@@ -18,18 +18,31 @@ from repro.lint.engine import LintViolation, ModuleContext, Rule, register
 
 #: The ``AdversaryContext`` surface the columnar crash engine
 #: materializes (see ``repro.core.columnar``'s AdversaryContext
-#: reproduction).  ``processes`` is deliberately absent: it exposes
-#: reference-engine process objects that the fast path never builds, so
-#: a certified plan reading it is *mis*certified — it would produce
-#: different plans on the two engines.
+#: reproduction).  Includes the FaultPlan budget fields
+#: (``omission_budget_remaining``, ``delay_bound``,
+#: ``corrupted_so_far``) the fault generalization added — the fast path
+#: materializes them for certified omission plans.  ``processes`` is
+#: deliberately absent: it exposes reference-engine process objects that
+#: the fast path never builds, so a certified plan reading it is
+#: *mis*certified — it would produce different plans on the two engines.
 CERTIFIED_CTX_FIELDS = frozenset(
     {"round_no", "running", "alive", "outbox", "crashed_so_far",
-     "budget_remaining"}
+     "budget_remaining", "omission_budget_remaining", "delay_bound",
+     "corrupted_so_far"}
 )
+
+#: The ``@certified`` methods that plan against an ``AdversaryContext``
+#: and therefore must stay on the materialized surface.
+_PLAN_METHODS = ("plan", "plan_faults")
 
 #: Kernel names that may appear in a ``KernelUnsupported`` raise (the
 #: pinnable engines; ``auto`` never raises, it falls back).
 KERNEL_NAME_VOCAB = ("reference", "columnar", "vectorized")
+
+#: The fault-family vocabulary a kernel's ``supported=`` tuple may draw
+#: from (mirrors ``repro.adversary.base.FAULT_FAMILIES``; kept literal so
+#: the linter needs no runtime import of the adversary layer).
+FAULT_FAMILY_VOCAB = ("crash", "omission", "delay", "corruption")
 
 #: The spec/result dataclasses whose fields must reach the jsonl
 #: serializer, and the method that serializes them.
@@ -57,7 +70,9 @@ class CertifiedContextSurface(Rule):
     rationale = (
         "The columnar crash engine reproduces exactly the public "
         "AdversaryContext fields (round_no, running, alive, outbox, "
-        "crashed_so_far, budget_remaining).  A @certified plan reading "
+        "crashed_so_far, budget_remaining, plus the FaultPlan budget "
+        "state: omission_budget_remaining, delay_bound, "
+        "corrupted_so_far).  A @certified plan or plan_faults reading "
         "anything else — ctx.processes above all — produces different "
         "plans on the reference and fast paths, breaking the bit-for-bit "
         "kernel equivalence the certification asserts.  Either stay on "
@@ -72,7 +87,10 @@ class CertifiedContextSurface(Rule):
             if "certified" not in _decorator_names(node):
                 continue
             for item in node.body:
-                if isinstance(item, ast.FunctionDef) and item.name == "plan":
+                if (
+                    isinstance(item, ast.FunctionDef)
+                    and item.name in _PLAN_METHODS
+                ):
                     yield from self._check_plan(ctx, node, item)
 
     def _check_plan(
@@ -98,7 +116,7 @@ class CertifiedContextSurface(Rule):
                 yield self.violation(
                     ctx,
                     node,
-                    f"@certified {cls.name}.plan reads "
+                    f"@certified {cls.name}.{plan.name} reads "
                     f"{ctx_name}.{node.attr} ({detail}); certified plans "
                     "may only read: "
                     + ", ".join(sorted(CERTIFIED_CTX_FIELDS)),
@@ -118,23 +136,62 @@ class KernelRejectionVocabulary(Rule):
         "the shared rejection predicates (a rejects()/"
         "certification_failure result), not an inline string — inline "
         "messages drift apart from what auto-fallback actually checks, "
-        "and tests matching rejection text silently stop covering them."
+        "and tests matching rejection text silently stop covering them.  "
+        "The same contract covers the fault families a kernel declares: "
+        "a certification_failure(supported=...) tuple outside the "
+        "crash/omission/delay/corruption vocabulary would make the "
+        "rejection name a family no adversary can declare."
     )
 
     def check(self, ctx: ModuleContext) -> Iterator[LintViolation]:
         for node in ast.walk(ctx.tree):
-            if not isinstance(node, ast.Raise) or node.exc is None:
+            if isinstance(node, ast.Raise) and node.exc is not None:
+                call = node.exc
+                if not isinstance(call, ast.Call):
+                    continue
+                if self._call_name(call) != "KernelUnsupported":
+                    continue
+                yield from self._check_raise(ctx, node, call)
+            elif isinstance(node, ast.Call):
+                if self._call_name(node) != "certification_failure":
+                    continue
+                yield from self._check_supported(ctx, node)
+
+    @staticmethod
+    def _call_name(call: ast.Call) -> Optional[str]:
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            return func.attr
+        if isinstance(func, ast.Name):
+            return func.id
+        return None
+
+    def _check_supported(
+        self, ctx: ModuleContext, call: ast.Call
+    ) -> Iterator[LintViolation]:
+        for kw in call.keywords:
+            if kw.arg != "supported":
                 continue
-            call = node.exc
-            if not isinstance(call, ast.Call):
-                continue
-            func = call.func
-            name = func.attr if isinstance(func, ast.Attribute) else (
-                func.id if isinstance(func, ast.Name) else None
-            )
-            if name != "KernelUnsupported":
-                continue
-            yield from self._check_raise(ctx, node, call)
+            value = kw.value
+            if not isinstance(value, (ast.Tuple, ast.List)):
+                # A computed vocabulary (variable, helper) is out of this
+                # rule's static reach; the runtime predicate still names
+                # unsupported families in its rejection text.
+                return
+            for element in value.elts:
+                if (
+                    isinstance(element, ast.Constant)
+                    and isinstance(element.value, str)
+                    and element.value not in FAULT_FAMILY_VOCAB
+                ):
+                    yield self.violation(
+                        ctx,
+                        element,
+                        f"supported fault family {element.value!r} is not "
+                        "in the vocabulary "
+                        f"{FAULT_FAMILY_VOCAB}; rejections must name a "
+                        "declarable family",
+                    )
 
     def _check_raise(
         self, ctx: ModuleContext, node: ast.Raise, call: ast.Call

@@ -1,0 +1,109 @@
+"""The parallel retry scheme as lock-step message-passing processes.
+
+:func:`repro.loadbalance.parallel_retry` models the classic collision/
+retry allocation with a *global* free-bin oracle — the consistency
+assumption the paper's Section 1 calls out as exactly what crash faults
+destroy.  This module re-derives the same scheme on the simulator's
+rails so it can run as a TrialSpec workload against real adversaries:
+each ball only knows what it has *heard*, so crash and omission faults
+produce the divergent bin views (duplicate assignments, wasted bins)
+that the oracle version cannot exhibit.
+
+Protocol, per round: every unplaced ball picks a uniformly random bin it
+believes free and broadcasts the claim; among the claimants of a bin
+*visible in a ball's own inbox*, the smallest pid wins.  A winner
+decides its bin (names are bin indices, so a failure-free run is a
+tight renaming into ``0..n-1``) and halts; everyone else marks the bin
+occupied and retries.  The lowest-pid unplaced ball always wins its own
+claim — its inbox always contains its own message — so some ball places
+every round and the protocol terminates within ``n`` rounds under any
+fault pattern the simulator can apply.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.errors import ConfigurationError
+from repro.ids import ProcessId, require_distinct
+from repro.sim.process import SyncProcess
+from repro.sim.rng import derive_rng
+
+#: Message tag for bin claims.
+CLAIM = "pr-claim"
+
+
+class ParallelRetryProcess(SyncProcess):
+    """One ball of the message-passing parallel retry allocation.
+
+    Parameters
+    ----------
+    pid:
+        Unique identifier (claim ties break toward the smallest pid).
+    n_bins:
+        Size of the shared bin namespace (bins ``0..n_bins-1``).
+    seed:
+        Base seed; each ball derives an independent stream from
+        ``(seed, "parallel-retry", pid)``.
+    """
+
+    def __init__(self, pid: ProcessId, *, n_bins: int, seed: int) -> None:
+        super().__init__(pid)
+        if n_bins < 1:
+            raise ConfigurationError(f"need at least one bin, got {n_bins}")
+        self._n_bins = n_bins
+        self._rng = derive_rng(seed, "parallel-retry", pid)
+        self._occupied: Set[int] = set()
+        self._claim: Optional[int] = None
+        #: Round this ball won its bin (None until placed) — the same
+        #: liveness surface the BiL engines expose.
+        self.round_named: Optional[int] = None
+
+    @property
+    def occupied_view(self) -> Set[int]:
+        """Bins this ball believes taken (its local, possibly stale view)."""
+        return set(self._occupied)
+
+    def compose(self, round_no: int) -> Any:
+        free = [b for b in range(self._n_bins) if b not in self._occupied]
+        if not free:
+            # Only reachable under faults: with diverged views a peer can
+            # be *observed* winning several bins (it saw a smaller
+            # claimant and retried), so every bin may look taken.  Claim
+            # anywhere rather than wedge — the resulting duplicate name
+            # is the honest degradation the fault sweeps measure.
+            free = list(range(self._n_bins))
+        self._claim = free[self._rng.randrange(len(free))]
+        return (CLAIM, self._claim)
+
+    def deliver(self, round_no: int, inbox: Mapping[ProcessId, Any]) -> None:
+        claims: List[Tuple[int, ProcessId]] = [
+            (payload[1], sender)
+            for sender, payload in inbox.items()
+            if isinstance(payload, tuple)
+            and len(payload) == 2
+            and payload[0] == CLAIM
+        ]
+        winners = {}
+        for bin_no, sender in claims:
+            best = winners.get(bin_no)
+            if best is None or sender < best:
+                winners[bin_no] = sender
+        self._occupied.update(winners)
+        if winners.get(self._claim) == self.pid:
+            self.round_named = round_no
+            self.decide(self._claim)
+            self.halt()
+        self._claim = None
+
+
+def build_parallel_retry(
+    ids: Sequence[ProcessId], *, seed: int = 0
+) -> List[ParallelRetryProcess]:
+    """One ball per id, competing for a tight ``n``-bin namespace."""
+    require_distinct(ids)
+    if not ids:
+        raise ConfigurationError("parallel retry needs at least one ball")
+    return [
+        ParallelRetryProcess(pid, n_bins=len(ids), seed=seed) for pid in ids
+    ]

@@ -117,6 +117,7 @@ def evaluate_round(
     decisions: Sequence[Optional[int]],
     crashed: Optional[Sequence[bool]] = None,
     crash_rounds: Optional[Dict[int, int]] = None,
+    silenced_rounds: Optional[Dict[int, int]] = None,
 ) -> List[Violation]:
     """All violated invariants of one observed round, sorted.
 
@@ -126,6 +127,14 @@ def evaluate_round(
     decided names by label rank (None = undecided), ``crashed`` the
     crash flags, and ``crash_rounds`` the first round each crashed rank
     was observed crashed (for the purge-deadline check).
+
+    ``silenced_rounds`` maps each rank silenced by a message-omission
+    adversary to the first silenced round.  Omission is outside the
+    paper's crash-fault model, and a silenced-but-alive ball genuinely
+    can collide on a name (its peers purged it, its own view never
+    learns); the monitor still reports that uniqueness violation — the
+    honest verdict — but annotates it so a fault-injection sweep can
+    tell algorithmic bugs from injected, expected degradation.
     """
     n = len(labels)
     span = arrays.span
@@ -151,14 +160,20 @@ def evaluate_round(
         if owner is None:
             first_owner[name] = j
         else:
+            detail = (
+                f"balls {labels[owner]!r} and {labels[j]!r} both "
+                f"decided name {name}"
+            )
+            if silenced_rounds:
+                for rank in (owner, j):
+                    if rank in silenced_rounds:
+                        detail += (
+                            f" (ball {labels[rank]!r} silenced by omission "
+                            f"since round {silenced_rounds[rank]}, "
+                            f"not crashed)"
+                        )
             violations.append(
-                Violation(
-                    "uniqueness",
-                    round_no,
-                    f"balls {labels[owner]!r} and {labels[j]!r} both "
-                    f"decided name {name}",
-                    ball=j,
-                )
+                Violation("uniqueness", round_no, detail, ball=j)
             )
 
     # Per-view structural checks, deduplicated by view content.
@@ -251,6 +266,7 @@ class RunMonitor:
         self.violations: List[Violation] = []
         self.deadlocked = False
         self._crash_rounds: Dict[int, int] = {}
+        self._silenced_rounds: Dict[int, int] = {}
         self._fingerprint = None
         self._streak = 0
 
@@ -262,13 +278,22 @@ class RunMonitor:
         decisions: Sequence[Optional[int]],
         crashed: Optional[Sequence[bool]] = None,
         running: int = 0,
+        silenced: Optional[Dict[int, int]] = None,
     ) -> List[Violation]:
-        """Record one round's state; returns that round's new findings."""
+        """Record one round's state; returns that round's new findings.
+
+        ``silenced`` maps ranks silenced by omission to their first
+        silenced round (monotone per run; later observations may only
+        add entries), used to annotate uniqueness findings.
+        """
         views = [(_view_key(view)) for view in views]
         if crashed is not None:
             for j in range(self.n):
                 if crashed[j] and j not in self._crash_rounds:
                     self._crash_rounds[j] = round_no
+        if silenced:
+            for j, since in silenced.items():
+                self._silenced_rounds.setdefault(j, since)
         found = evaluate_round(
             round_no,
             self.arrays,
@@ -277,6 +302,7 @@ class RunMonitor:
             decisions=decisions,
             crashed=crashed,
             crash_rounds=self._crash_rounds,
+            silenced_rounds=self._silenced_rounds,
         )
         # Progress: the observable state as an engine-independent
         # fingerprint.  Identical for STALL_WINDOW consecutive rounds
@@ -343,6 +369,7 @@ def observe_crash_engine(monitor: RunMonitor, engine, round_no: int) -> None:
         decisions=engine.decision,
         crashed=engine.crashed,
         running=engine.running_count,
+        silenced=engine.silenced_round,
     )
 
 
@@ -394,12 +421,17 @@ class ReferenceMonitorAdapter:
                 pos[j] = index_of[view.position(ball)]
                 status[j] = view.status(ball)
             views.append((pos, bytes(status)))
+        silenced = {
+            rank[pid]: since
+            for pid, since in simulation.silenced_rounds.items()
+        }
         monitor.observe(
             round_no,
             views=views,
             decisions=decisions,
             crashed=crashed,
             running=running,
+            silenced=silenced,
         )
         if monitor.deadlocked:
             raise MonitorViolation(monitor.violations)

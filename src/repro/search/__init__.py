@@ -8,10 +8,11 @@ of crash schedules for executions that maximize an objective, in the
 spirit of runtime checking of distributed protocol specifications:
 
 * :mod:`repro.search.schedule` — a serializable genotype for adversary
-  behavior (per-round crash events with explicit receiver subsets) that
-  compiles to a columnar-certified
-  :class:`~repro.adversary.scheduled.ScheduledAdversary`, so searched
-  schedules run on the fast crash engine;
+  behavior (per-round crash *and* one-round omission events with
+  explicit receiver subsets) that compiles to a columnar-certified
+  :class:`~repro.adversary.scheduled.ScheduledAdversary` or
+  :class:`~repro.adversary.omission.ScheduledFaultAdversary`, so
+  searched schedules run on the fast crash engine;
 * :mod:`repro.search.objectives` — pluggable objectives over trial
   outcomes (worst-case rounds, message count, namespace width,
   invariant stress, liveness-violation indicators);
@@ -25,10 +26,17 @@ spirit of runtime checking of distributed protocol specifications:
 Entry points: ``python -m repro hunt`` and :func:`run_hunt`.
 """
 
+from repro.search.baseline import (
+    BUNDLED_GAUNTLET,
+    OMISSION_GAUNTLET,
+    evaluate_bundled,
+    gauntlet_for,
+)
 from repro.search.objectives import OBJECTIVES, Objective, as_objective
-from repro.search.schedule import CrashEvent, Schedule
+from repro.search.schedule import EVENT_KINDS, CrashEvent, Schedule
 from repro.search.shrink import replay, replay_identical, shrink, to_pytest
 from repro.search.strategies import (
+    FAULT_FAMILY_CHOICES,
     STRATEGIES,
     Evaluation,
     Evaluator,
@@ -39,6 +47,12 @@ from repro.search.strategies import (
 
 __all__ = [
     "CrashEvent",
+    "EVENT_KINDS",
+    "FAULT_FAMILY_CHOICES",
+    "BUNDLED_GAUNTLET",
+    "OMISSION_GAUNTLET",
+    "evaluate_bundled",
+    "gauntlet_for",
     "Schedule",
     "Objective",
     "OBJECTIVES",

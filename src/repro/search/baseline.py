@@ -30,6 +30,48 @@ BUNDLED_GAUNTLET: Tuple[AdversarySpec, ...] = (
     AdversarySpec.of("half-split", last_round=200, label="half-split all"),
 )
 
+#: The omission-family counterpart: what an ``--fault-family omission``
+#: hunt must beat.  Every entry's loss is capped *and* windowed well past
+#: the hello round, so the bundled runs terminate and the rounds
+#: objective compares finite scores: even post-hello loss can wedge a
+#: silenced ball (its leaf is reused under it while its own view never
+#: learns), so the windows here were tuned to settings that survive.  A
+#: mined schedule is free to discover that a single round-1 hello drop
+#: wedges a ball past the round limit — exactly the kind of find the
+#: gauntlet should lose to.
+OMISSION_GAUNTLET: Tuple[AdversarySpec, ...] = (
+    AdversarySpec.of("none", label="none"),
+    AdversarySpec.of(
+        "omission", p=0.05, max_omissions=4, first=3, last=6,
+        label="omission 5%",
+    ),
+    AdversarySpec.of(
+        "omission", p=0.1, max_omissions=6, first=3, last=6,
+        label="omission 10%",
+    ),
+    AdversarySpec.of(
+        "omission", p=0.2, max_omissions=8, first=3, last=6,
+        label="omission 20%",
+    ),
+    AdversarySpec.of(
+        "omission-targeted", count=1, first=3, last=8,
+        label="omission-targeted 1",
+    ),
+    AdversarySpec.of(
+        "omission-targeted", count=2, first=3, last=8,
+        label="omission-targeted 2",
+    ),
+)
+
+
+def gauntlet_for(config: HuntConfig) -> Tuple[AdversarySpec, ...]:
+    """The bundled lineup matching the hunt's fault family."""
+    if config.fault_family == "omission":
+        return OMISSION_GAUNTLET
+    if config.fault_family == "mixed":
+        return BUNDLED_GAUNTLET + OMISSION_GAUNTLET[1:]
+    return BUNDLED_GAUNTLET
+
 
 def evaluate_bundled(
     config: HuntConfig,
@@ -37,15 +79,19 @@ def evaluate_bundled(
     trials: int = 5,
     executor=None,
     workers: Optional[int] = None,
+    gauntlet: Optional[Tuple[AdversarySpec, ...]] = None,
 ) -> List[WorstCaseEntry]:
     """Score each bundled adversary's worst trial on the hunt's cell.
 
     Each adversary runs ``trials`` seeds derived from the hunt's base
     seed (independent of the search's own streams), through the same
     batch engine and with the same capture semantics the hunt uses.
+    ``gauntlet`` defaults to the lineup matching the hunt's fault family
+    (:func:`gauntlet_for`).
     """
     if trials < 1:
         raise ConfigurationError(f"the baseline needs >= 1 trial, got {trials}")
+    lineup = gauntlet_for(config) if gauntlet is None else gauntlet
     objective = as_objective(config.objective)
     # One dispatch for the whole gauntlet: all specs are independent, and
     # a single run_batch call costs one worker-pool spin-up, not seven.
@@ -61,12 +107,12 @@ def evaluate_bundled(
             kernel=config.kernel,
             capture_errors=True,
         )
-        for adversary in BUNDLED_GAUNTLET
+        for adversary in lineup
         for t in range(trials)
     ]
     all_results = run_batch(specs, executor=executor, workers=workers).trials
     entries = []
-    for i, adversary in enumerate(BUNDLED_GAUNTLET):
+    for i, adversary in enumerate(lineup):
         results = all_results[i * trials : (i + 1) * trials]
         scores = [objective.score(result) for result in results]
         worst = results[scores.index(max(scores))]

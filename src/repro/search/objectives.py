@@ -170,6 +170,34 @@ class TailObjective(Objective):
         return result.rounds / unit
 
 
+class DisruptionObjective(Objective):
+    """Invariant damage per injected fault: rewards schedules that break
+    the most with the least interference.
+
+    The numerator is the :class:`InvariantObjective` score; the
+    denominator counts every fault the run actually absorbed (crashes,
+    dropped links, deferred links, corrupted senders), so a two-link
+    omission forcing a duplicate name outranks a blanket loss pattern
+    achieving the same — the natural fitness for mining *minimal* fault
+    schedules before :func:`repro.search.shrink.shrink` even runs.
+    """
+
+    name = "disruption"
+
+    def __init__(self) -> None:
+        self._invariant = InvariantObjective()
+
+    def score(self, result: TrialResult) -> float:
+        damage = self._invariant.score(result)
+        injected = (
+            result.failures
+            + result.omissions
+            + result.delayed
+            + result.corrupted
+        )
+        return damage / (1.0 + injected)
+
+
 #: The built-in objectives by CLI name.
 OBJECTIVES: Dict[str, Objective] = {
     objective.name: objective
@@ -180,6 +208,7 @@ OBJECTIVES: Dict[str, Objective] = {
         InvariantObjective(),
         LivenessObjective(),
         TailObjective(),
+        DisruptionObjective(),
     )
 }
 

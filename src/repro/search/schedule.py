@@ -1,18 +1,21 @@
-"""The search genotype: a serializable, index-based crash schedule.
+"""The search genotype: a serializable, index-based fault schedule.
 
 A :class:`Schedule` is the unit the search strategies mutate, serialize,
 and replay: a population size ``n`` plus a tuple of :class:`CrashEvent`
-entries, each naming a round, a victim, and the subset of receivers that
-still get the victim's broadcast.  Victims and receivers are *positional
-indices* into the participant list rather than concrete process ids, so a
+entries, each naming a round, a victim, a kind (``"crash"`` or a
+one-round ``"omit"`` mask), and the subset of receivers that still get
+the victim's broadcast.  Victims and receivers are *positional indices*
+into the participant list rather than concrete process ids, so a
 schedule is a pure value — JSON-serializable, hashable, independent of
 the id scheme — and one genotype describes the same adversary behavior
 on every replay.
 
-Compilation targets the existing scripted adversary:
-:meth:`Schedule.compile` maps indices to ids and returns a
-:class:`~repro.adversary.scheduled.ScheduledAdversary`, which is
-columnar-certified (one shared predicate,
+Compilation targets the scripted adversaries: :meth:`Schedule.compile`
+maps indices to ids and returns a
+:class:`~repro.adversary.scheduled.ScheduledAdversary` (crash-only
+genotypes — these keep stacking on the vectorized crash engine) or a
+:class:`~repro.adversary.omission.ScheduledFaultAdversary` (genotypes
+with omit events), both columnar-certified (one shared predicate,
 :mod:`repro.adversary.certification`), so searched schedules run on the
 fast crash engine without the search layer re-declaring eligibility.
 :meth:`Schedule.spec` wraps the same value as a picklable
@@ -34,19 +37,29 @@ from dataclasses import dataclass, replace
 from typing import Any, Dict, List, Sequence, Tuple
 
 from repro.adversary.certification import certification_failure
+from repro.adversary.omission import ScheduledFaultAdversary, ScheduledOmission
 from repro.adversary.scheduled import ScheduledAdversary, ScheduledCrash
 from repro.errors import ConfigurationError
 from repro.ids import ProcessId
 
+#: Event kinds a genotype may carry: ``"crash"`` kills the victim in its
+#: round, ``"omit"`` masks the victim's broadcast for that one round
+#: without killing it.  Both reuse the ``receivers`` field as "who still
+#: hears the broadcast" (empty tuple = fully silent).
+EVENT_KINDS = ("crash", "omit")
+
 
 @dataclass(frozen=True)
 class CrashEvent:
-    """Crash participant ``victim`` in ``round_no``; ``receivers`` still
-    hear its final broadcast (empty tuple = silent crash)."""
+    """Fault ``victim`` in ``round_no``; ``receivers`` still hear its
+    broadcast that round (empty tuple = silent).  ``kind="crash"`` kills
+    the victim permanently; ``kind="omit"`` masks one round's links and
+    leaves the victim alive."""
 
     round_no: int
     victim: int
     receivers: Tuple[int, ...] = ()
+    kind: str = "crash"
 
     def canonical(self, n: int) -> "CrashEvent":
         """Sorted, deduplicated, in-range receivers excluding the victim."""
@@ -56,17 +69,25 @@ class CrashEvent:
         return replace(self, receivers=receivers)
 
     def validate(self, n: int) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ConfigurationError(
+                f"unknown event kind {self.kind!r}; choose from {EVENT_KINDS}"
+            )
         if self.round_no < 1:
             raise ConfigurationError(
-                f"crash rounds start at 1, got {self.round_no}"
+                f"{self.kind} rounds start at 1, got {self.round_no}"
             )
         if not 0 <= self.victim < n:
             raise ConfigurationError(
                 f"victim index {self.victim} out of range for n={n}"
             )
 
-    def to_tuple(self) -> Tuple[int, int, Tuple[int, ...]]:
-        return (self.round_no, self.victim, tuple(self.receivers))
+    def to_tuple(self) -> Tuple:
+        """Crash events keep the historical 3-tuple encoding (stable
+        digests); other kinds append the kind as a 4th element."""
+        if self.kind == "crash":
+            return (self.round_no, self.victim, tuple(self.receivers))
+        return (self.round_no, self.victim, tuple(self.receivers), self.kind)
 
 
 @dataclass(frozen=True)
@@ -87,12 +108,20 @@ class Schedule:
         """
         if n < 1:
             raise ConfigurationError(f"a schedule needs n >= 1, got {n}")
-        seen: Dict[int, CrashEvent] = {}
-        for event in sorted(events, key=lambda e: (e.round_no, e.victim)):
+        # A victim crashes once, so crash events dedup on the victim
+        # alone; omissions are per-round masks, so one victim may carry
+        # one omit event per round.
+        seen: Dict[Any, CrashEvent] = {}
+        for event in sorted(events, key=lambda e: (e.round_no, e.victim, e.kind)):
             event.validate(n)
-            seen.setdefault(event.victim, event.canonical(n))
+            key = (
+                event.victim
+                if event.kind == "crash"
+                else (event.kind, event.victim, event.round_no)
+            )
+            seen.setdefault(key, event.canonical(n))
         ordered = tuple(
-            sorted(seen.values(), key=lambda e: (e.round_no, e.victim))
+            sorted(seen.values(), key=lambda e: (e.round_no, e.victim, e.kind))
         )
         return cls(n=n, events=ordered)
 
@@ -119,7 +148,12 @@ class Schedule:
     @property
     def crashes(self) -> int:
         """Number of scheduled crash events."""
-        return len(self.events)
+        return sum(1 for e in self.events if e.kind == "crash")
+
+    @property
+    def omits(self) -> int:
+        """Number of scheduled one-round omission events."""
+        return sum(1 for e in self.events if e.kind == "omit")
 
     @property
     def digest(self) -> str:
@@ -132,16 +166,16 @@ class Schedule:
         return {
             "n": self.n,
             "events": [
-                [e.round_no, e.victim, list(e.receivers)] for e in self.events
+                [e.round_no, e.victim, list(e.receivers)]
+                if e.kind == "crash"
+                else [e.round_no, e.victim, list(e.receivers), e.kind]
+                for e in self.events
             ],
         }
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "Schedule":
-        events = [
-            CrashEvent(int(r), int(v), tuple(int(x) for x in receivers))
-            for r, v, receivers in data.get("events", [])
-        ]
+        events = [_decode_event(entry) for entry in data.get("events", [])]
         return cls.of(int(data["n"]), events)
 
     def to_json(self) -> str:
@@ -152,30 +186,56 @@ class Schedule:
         return cls.from_dict(json.loads(text))
 
     # ------------------------------------------------------------- compilation
-    def compile(self, ids: Sequence[ProcessId]) -> ScheduledAdversary:
+    def compile(self, ids: Sequence[ProcessId]):
         """Bind indices to ``ids`` (positionally) and return the scripted
         adversary.
 
-        The result is columnar-certified — asserted here against the one
-        shared predicate so a regression in the certification plumbing
-        fails loudly at compile time, not as a silent fast-path fallback.
+        Crash-only genotypes compile to the historical
+        :class:`~repro.adversary.scheduled.ScheduledAdversary` (so crash
+        hunts keep stacking on the vectorized crash engine); genotypes
+        carrying omit events compile to
+        :class:`~repro.adversary.omission.ScheduledFaultAdversary`.
+        Either way the result is columnar-certified — asserted here
+        against the one shared predicate so a regression in the
+        certification plumbing fails loudly at compile time, not as a
+        silent fast-path fallback.
         """
         if len(ids) != self.n:
             raise ConfigurationError(
                 f"schedule is for n={self.n}, got {len(ids)} ids"
             )
         ordered = list(ids)
-        adversary = ScheduledAdversary(
-            [
-                ScheduledCrash(
-                    e.round_no,
-                    ordered[e.victim],
-                    receivers=[ordered[r] for r in e.receivers],
-                )
-                for e in self.events
-            ]
+        crashes = [
+            ScheduledCrash(
+                e.round_no,
+                ordered[e.victim],
+                receivers=[ordered[r] for r in e.receivers],
+            )
+            for e in self.events
+            if e.kind == "crash"
+        ]
+        omit_events = [e for e in self.events if e.kind == "omit"]
+        if not omit_events:
+            adversary = ScheduledAdversary(crashes)
+        else:
+            adversary = ScheduledFaultAdversary(
+                crashes=crashes,
+                omissions=[
+                    ScheduledOmission(
+                        e.round_no,
+                        ordered[e.victim],
+                        dropped=[
+                            ordered[i]
+                            for i in range(self.n)
+                            if i != e.victim and i not in e.receivers
+                        ],
+                    )
+                    for e in omit_events
+                ],
+            )
+        failure = certification_failure(
+            adversary, supported=("crash", "omission")
         )
-        failure = certification_failure(adversary)
         if failure is not None:  # pragma: no cover - plumbing regression
             raise ConfigurationError(
                 f"schedule compiled to an uncertified adversary: {failure}"
@@ -196,10 +256,16 @@ class Schedule:
     @classmethod
     def from_params(cls, *, n: int, events: Sequence = ()) -> "Schedule":
         """Decode the ``spec()`` parameter encoding (builder side)."""
-        return cls.of(
-            int(n),
-            [
-                CrashEvent(int(r), int(v), tuple(int(x) for x in receivers))
-                for r, v, receivers in events
-            ],
-        )
+        return cls.of(int(n), [_decode_event(entry) for entry in events])
+
+
+def _decode_event(entry: Sequence) -> CrashEvent:
+    """Decode a 3-element (crash) or 4-element (kinded) event entry."""
+    if len(entry) == 3:
+        r, v, receivers = entry
+        kind = "crash"
+    else:
+        r, v, receivers, kind = entry
+    return CrashEvent(
+        int(r), int(v), tuple(int(x) for x in receivers), str(kind)
+    )

@@ -147,7 +147,8 @@ def shrink(
         event = current.events[index]
         if event.receivers and used < budget:
             silent = current.replace_event(
-                index, CrashEvent(event.round_no, event.victim, ())
+                index,
+                CrashEvent(event.round_no, event.victim, (), event.kind),
             )
             if interesting(silent):
                 current = silent
@@ -158,7 +159,8 @@ def shrink(
                 break
             trimmed = tuple(r for r in receivers if r != receiver)
             candidate = current.replace_event(
-                index, CrashEvent(event.round_no, event.victim, trimmed)
+                index,
+                CrashEvent(event.round_no, event.victim, trimmed, event.kind),
             )
             if interesting(candidate):
                 current = candidate
@@ -178,7 +180,12 @@ def shrink(
                 continue
             candidate = current.replace_event(
                 index,
-                CrashEvent(event.round_no - 1, event.victim, event.receivers),
+                CrashEvent(
+                    event.round_no - 1,
+                    event.victim,
+                    event.receivers,
+                    event.kind,
+                ),
             )
             if interesting(candidate):
                 current, changed = candidate, True
@@ -190,7 +197,9 @@ def shrink(
         score=final,
         target=goal,
         trials_used=used + 1,
-        removed_events=schedule.canonical().crashes - current.crashes,
+        removed_events=(
+            len(schedule.canonical().events) - len(current.events)
+        ),
         seed=seed,
     )
 
@@ -204,17 +213,37 @@ def to_pytest(
     note: str = "mined by repro.search",
 ) -> str:
     """Render a ready-to-paste regression test for a shrunk schedule."""
+    crash_events = [e for e in schedule.events if e.kind == "crash"]
+    omit_events = [e for e in schedule.events if e.kind == "omit"]
     crashes = ",\n        ".join(
         f"ScheduledCrash({e.round_no}, ids[{e.victim}], "
         f"receivers=[{', '.join(f'ids[{r}]' for r in e.receivers)}])"
-        for e in schedule.events
+        for e in crash_events
     )
     # check=False: the emitted test pins whatever the hunt observed —
     # including a mined invariant violation, which default checking would
     # turn into a SpecViolation raise before the assertions run.
+    if omit_events:
+        omissions = ",\n        ".join(
+            f"ScheduledOmission({e.round_no}, ids[{e.victim}], "
+            "dropped=["
+            + ", ".join(
+                f"ids[{i}]"
+                for i in range(schedule.n)
+                if i != e.victim and i not in e.receivers
+            )
+            + "])"
+            for e in omit_events
+        )
+        adversary = (
+            "ScheduledFaultAdversary(crashes=schedule, omissions=omissions)"
+        )
+    else:
+        omissions = None
+        adversary = "ScheduledAdversary(schedule)"
     kwargs = [
         f"seed={seed}",
-        "adversary=ScheduledAdversary(schedule)",
+        f"adversary={adversary}",
         "check=False",
     ]
     if config.halt_on_name:
@@ -246,11 +275,18 @@ def to_pytest(
             f"    assert len(names) == {len(names)}\n"
             f"    assert len(set(names)) == {len(set(names))}\n"
         )
+    schedule_lines = (
+        f"    schedule = [\n        {crashes},\n    ]\n"
+        if crashes
+        else "    schedule = []\n"
+    )
+    if omissions is not None:
+        schedule_lines += f"    omissions = [\n        {omissions},\n    ]\n"
     return (
         f"def test_hunt_regression_{schedule.digest}():\n"
         f'    """{note}: {config.objective} objective scored '
         f"{result.rounds} rounds at n={config.n}.\"\"\"\n"
         f"    ids = sparse_ids({config.n})\n"
-        f"    schedule = [\n        {crashes},\n    ]\n"
+        f"{schedule_lines}"
         f"{body}"
     )

@@ -43,6 +43,9 @@ from repro.sim.batch import TrialResult, TrialSpec, as_executor, run_batch
 from repro.sim.rng import derive_rng, derive_seed
 from repro.sim.runner import ALGORITHMS
 
+#: Genotype fault families a hunt can mine.
+FAULT_FAMILY_CHOICES = ("crash", "omission", "mixed")
+
 
 @dataclass(frozen=True)
 class HuntConfig:
@@ -65,11 +68,20 @@ class HuntConfig:
     #: Runtime invariant monitoring during evaluations ("off"/"cheap"/
     #: "full"); monitor findings ride along in the evaluation rows.
     monitor: str = "off"
+    #: Which fault family the genotype mines: "crash" (the historical
+    #: hunt — bit-identical histories), "omission" (one-round link masks
+    #: only), or "mixed" (both kinds in one schedule).
+    fault_family: str = "crash"
 
     def __post_init__(self) -> None:
         from repro.monitor.invariants import check_monitor_mode
 
         check_monitor_mode(self.monitor)
+        if self.fault_family not in FAULT_FAMILY_CHOICES:
+            raise ConfigurationError(
+                f"unknown fault family {self.fault_family!r}; "
+                f"choose from {FAULT_FAMILY_CHOICES}"
+            )
         if self.algorithm not in ALGORITHMS:
             raise ConfigurationError(
                 f"unknown algorithm {self.algorithm!r}; "
@@ -139,6 +151,7 @@ class Evaluation:
             "index": self.index,
             "digest": self.schedule.digest,
             "crashes": self.schedule.crashes,
+            "omits": self.schedule.omits,
             "schedule": self.schedule.to_dict(),
             "score": self.score,
             "seed": best.spec.seed,
@@ -248,8 +261,13 @@ class Evaluator:
 
 
 def random_event(rng, config: HuntConfig) -> CrashEvent:
-    """Sample one crash event: round, victim, and a delivery mode drawn
-    from {silent, partial subset, full broadcast}."""
+    """Sample one fault event: round, victim, and a delivery mode drawn
+    from {silent, partial subset, full broadcast}.
+
+    The kind follows :attr:`HuntConfig.fault_family`; the "crash" family
+    decides it without consuming randomness, so historical crash hunts
+    replay bit-identically.
+    """
     n = config.n
     round_no = rng.randint(1, config.effective_max_round)
     victim = rng.randrange(n)
@@ -261,7 +279,14 @@ def random_event(rng, config: HuntConfig) -> CrashEvent:
         receivers = tuple(rng.sample(others, rng.randint(1, len(others))))
     else:
         receivers = tuple(others)
-    return CrashEvent(round_no, victim, receivers)
+    family = config.fault_family
+    if family == "crash":
+        kind = "crash"
+    elif family == "omission":
+        kind = "omit"
+    else:
+        kind = "omit" if rng.random() < 0.5 else "crash"
+    return CrashEvent(round_no, victim, receivers, kind)
 
 
 def random_schedule(rng, config: HuntConfig) -> Schedule:
@@ -279,7 +304,7 @@ def mutate(rng, schedule: Schedule, config: HuntConfig) -> Schedule:
     hill-climbing explores a tight neighborhood and shrinking stays
     aligned with the search moves.
     """
-    ops = ["add"] if schedule.crashes < config.effective_max_crashes else []
+    ops = ["add"] if len(schedule.events) < config.effective_max_crashes else []
     if schedule.events:
         ops += ["remove", "round", "victim", "receiver", "resample"]
     op = ops[rng.randrange(len(ops))]
@@ -299,12 +324,14 @@ def mutate(rng, schedule: Schedule, config: HuntConfig) -> Schedule:
         delta = 1 if rng.random() < 0.5 else -1
         round_no = min(config.effective_max_round, max(1, event.round_no + delta))
         return schedule.replace_event(
-            index, CrashEvent(round_no, event.victim, event.receivers)
+            index,
+            CrashEvent(round_no, event.victim, event.receivers, event.kind),
         )
     if op == "victim":
         victim = rng.randrange(config.n)
         return schedule.replace_event(
-            index, CrashEvent(event.round_no, victim, event.receivers)
+            index,
+            CrashEvent(event.round_no, victim, event.receivers, event.kind),
         )
     if op == "receiver":
         peer = rng.randrange(config.n)
@@ -312,7 +339,12 @@ def mutate(rng, schedule: Schedule, config: HuntConfig) -> Schedule:
         receivers.symmetric_difference_update({peer})
         return schedule.replace_event(
             index,
-            CrashEvent(event.round_no, event.victim, tuple(sorted(receivers))),
+            CrashEvent(
+                event.round_no,
+                event.victim,
+                tuple(sorted(receivers)),
+                event.kind,
+            ),
         )
     return schedule.replace_event(index, random_event(rng, config))
 
@@ -507,6 +539,7 @@ class HuntResult:
             "algorithm": self.config.algorithm,
             "n": self.config.n,
             "base_seed": self.config.seed,
+            "fault_family": self.config.fault_family,
         }
         return [{**base, **evaluation.row()} for evaluation in self.evaluations]
 

@@ -55,6 +55,12 @@ from typing import (
 
 from repro import config as repro_config
 from repro.adversary.base import Adversary
+from repro.adversary.corruption import CorruptingAdversary
+from repro.adversary.delay import BoundedDelayAdversary
+from repro.adversary.omission import (
+    IIDOmissionAdversary,
+    TargetedOmissionAdversary,
+)
 from repro.adversary.random_crash import RandomCrashAdversary
 from repro.adversary.sandwich import SandwichAdversary
 from repro.adversary.splitter import HalfSplitAdversary
@@ -145,12 +151,51 @@ def _build_half_split(
 
 
 def _build_schedule(seed: int, n: int = 0, events: Tuple = ()) -> Adversary:
-    """A searched crash schedule (:mod:`repro.search.schedule`), bound to
+    """A searched fault schedule (:mod:`repro.search.schedule`), bound to
     the trial's ``sparse_ids(n)`` population — the builder lives here so
     worker processes resolve it when unpickling a spec."""
     from repro.search.schedule import Schedule
 
     return Schedule.from_params(n=n, events=events).compile(sparse_ids(n))
+
+
+def _build_omission(
+    seed: int,
+    p: float = 0.1,
+    max_omissions: Optional[int] = None,
+    first: Optional[int] = None,
+    last: Optional[int] = None,
+) -> Adversary:
+    """I.i.d. per-link message loss (``omission:p=0.1,first=2,last=12``)."""
+    rounds = None
+    if first is not None or last is not None:
+        rounds = (1 if first is None else first, 10**9 if last is None else last)
+    return IIDOmissionAdversary(
+        p, max_omissions=max_omissions, rounds=rounds, seed=seed
+    )
+
+
+def _build_omission_targeted(
+    seed: int, count: int = 1, first: Optional[int] = None, last: Optional[int] = None
+) -> Adversary:
+    """Sustained silencing of the lowest-labelled senders
+    (``omission-targeted:count=2,first=2,last=9``)."""
+    rounds = None
+    if first is not None or last is not None:
+        rounds = (1 if first is None else first, 10**9 if last is None else last)
+    return TargetedOmissionAdversary(count=count, rounds=rounds, seed=seed)
+
+
+def _build_delay(seed: int, d: int = 1, rate: float = 0.2) -> Adversary:
+    """Bounded-delay partial synchrony (``delay:d=2,rate=0.3``)."""
+    return BoundedDelayAdversary(d, rate=rate, seed=seed)
+
+
+def _build_corrupt(
+    seed: int, b: int = 1, mode: str = "stall", rate: float = 0.25
+) -> Adversary:
+    """Byzantine-lite value corruption (``corrupt:b=1,mode=replay``)."""
+    return CorruptingAdversary(b, mode=mode, rate=rate, seed=seed)
 
 
 ADVERSARY_BUILDERS: Dict[str, AdversaryBuilder] = {
@@ -160,6 +205,10 @@ ADVERSARY_BUILDERS: Dict[str, AdversaryBuilder] = {
     "sandwich": _build_sandwich,
     "half-split": _build_half_split,
     "schedule": _build_schedule,
+    "omission": _build_omission,
+    "omission-targeted": _build_omission_targeted,
+    "delay": _build_delay,
+    "corrupt": _build_corrupt,
 }
 
 
@@ -230,8 +279,21 @@ class AdversarySpec:
             return builder(seed, **dict(self.params))
         except (TypeError, ValueError) as error:
             raise ConfigurationError(
-                f"bad parameters for adversary {self.name!r}: {error}"
+                f"bad parameters for adversary {self.name!r}: {error} "
+                f"(accepted: {_builder_params(builder)})"
             ) from None
+
+
+def _builder_params(builder: AdversaryBuilder) -> str:
+    """The builder's accepted parameter names, for error messages."""
+    import inspect
+
+    names = [
+        name
+        for name in inspect.signature(builder).parameters
+        if name != "seed"
+    ]
+    return ", ".join(names) if names else "none"
 
 
 #: Anything coercible to an AdversarySpec in matrix/CLI construction.
@@ -312,6 +374,15 @@ class TrialResult:
     #: Rendered invariant-monitor findings ("round R [invariant] ...");
     #: always empty when monitoring was off or every invariant held.
     violations: Tuple[str, ...] = ()
+    #: Fault-family counters, zero on crash-only runs: sender->receiver
+    #: links dropped by omission, links deferred by bounded delay, and
+    #: per-round corrupted-sender events.
+    omissions: int = 0
+    delayed: int = 0
+    corrupted: int = 0
+    #: The adversary's declared :class:`~repro.adversary.base.FaultBudget`
+    #: rendered compactly ("omissions=48,delay_bound=2"; "" = default).
+    fault_budget: str = ""
 
     @property
     def cell(self) -> CellKey:
@@ -343,17 +414,23 @@ class TrialResult:
             "error": self.error,
             "monitor": self.monitor,
             "violations": list(self.violations),
+            "omissions": self.omissions,
+            "delayed": self.delayed,
+            "corrupted": self.corrupted,
+            "fault_budget": self.fault_budget,
         }
 
 
 def run_trial(spec: TrialSpec) -> TrialResult:
     """Execute one spec end to end (module-level so executors can pickle it)."""
+    adversary = spec.adversary.build(spec.seed)
+    fault_budget = "" if adversary is None else adversary.fault_budget().describe()
     try:
         run = run_renaming(
             spec.algorithm,
             sparse_ids(spec.n),
             seed=spec.seed,
-            adversary=spec.adversary.build(spec.seed),
+            adversary=adversary,
             crash_budget=spec.crash_budget,
             halt_on_name=spec.halt_on_name,
             check=spec.check,
@@ -385,6 +462,7 @@ def run_trial(spec: TrialSpec) -> TrialResult:
             violations=tuple(
                 v.render() for v in getattr(error, "violations", ())
             ),
+            fault_budget=fault_budget,
         )
     return TrialResult(
         spec=spec,
@@ -397,6 +475,10 @@ def run_trial(spec: TrialSpec) -> TrialResult:
         kernel=run.kernel,
         monitor=run.monitor,
         violations=tuple(v.render() for v in run.violations),
+        omissions=run.metrics.total_omissions,
+        delayed=run.metrics.total_delayed,
+        corrupted=run.metrics.total_corruptions,
+        fault_budget=fault_budget,
     )
 
 
@@ -843,6 +925,7 @@ class ScenarioMatrix:
     halt_on_name: bool = False
     crash_budget: Optional[int] = None
     check: bool = True
+    capture_errors: bool = False
     kernel: str = "auto"
     monitor: str = "off"
 
@@ -859,6 +942,7 @@ class ScenarioMatrix:
         halt_on_name: bool = False,
         crash_budget: Optional[int] = None,
         check: bool = True,
+        capture_errors: bool = False,
         kernel: str = "auto",
         monitor: str = "off",
     ) -> "ScenarioMatrix":
@@ -901,6 +985,7 @@ class ScenarioMatrix:
             halt_on_name=halt_on_name,
             crash_budget=crash_budget,
             check=check,
+            capture_errors=capture_errors,
             kernel=kernel,
             monitor=monitor,
         )
@@ -930,6 +1015,7 @@ class ScenarioMatrix:
                                 halt_on_name=self.halt_on_name,
                                 crash_budget=self.crash_budget,
                                 check=self.check,
+                                capture_errors=self.capture_errors,
                                 kernel=self.kernel,
                                 monitor=self.monitor,
                             )
@@ -1003,7 +1089,15 @@ class BatchResult:
                 "mean f",
                 "mean deliveries",
             ],
-            notes=f"executor={self.executor}; every trial checked against the renaming spec",
+            notes=(
+                f"executor={self.executor}; "
+                + (
+                    "every trial checked against the renaming spec"
+                    if all(trial.spec.check for trial in self.trials)
+                    else "spec checking disabled for some cells "
+                    "(fault-measurement mode)"
+                )
+            ),
         )
         for stats in self.cell_stats():
             table.add_row(

@@ -18,6 +18,12 @@ Two array engines split the work:
   announced-termination lifecycle (halt-on-name) as per-ball status
   columns and per-round crash masks.
 
+Of the fault families (:data:`~repro.adversary.base.FAULT_FAMILIES`),
+this kernel applies ``crash`` and ``omission`` — an omitting sender folds
+into the same partial-delivery camp machinery as a crash victim, without
+being marked crashed.  ``delay`` and ``corruption`` adversaries are
+rejected by name here and run on the reference engine.
+
 Certified adversaries are the strategies whose plans are a pure function
 of the public :class:`~repro.adversary.base.AdversaryContext` fields
 (round, running/alive sets, outbox payloads, own RNG), declared where the
@@ -55,7 +61,9 @@ class ColumnarKernel(SimulationKernel):
                 "based; its broadcasts are not position announcements over "
                 "a shared view"
             )
-        failure = certification_failure(request.adversary)
+        failure = certification_failure(
+            request.adversary, supported=("crash", "omission")
+        )
         if failure is not None:
             return failure
         if request.trace is not None:
@@ -193,6 +201,7 @@ class ColumnarKernel(SimulationKernel):
                     crashes=engine.last_crashes,
                     alive_after=engine.last_alive,
                     running_after=engine.last_running,
+                    omissions=engine.last_omissions,
                 )
             )
         labels = engine.labels

@@ -23,13 +23,37 @@ from repro.sim.metrics import SimulationMetrics
 from repro.sim.simulator import SimulationResult
 from repro.sim.trace import Trace
 
+@dataclass(frozen=True)
+class Workload:
+    """One registered workload: how it runs and how it is judged.
+
+    ``policy`` selects a Balls-into-Leaves path policy (None = a
+    baseline process builder in the reference kernel's registry);
+    ``renaming`` says whether the output is a tight renaming that
+    :func:`~repro.sim.checker.check_renaming` applies to (approximate
+    agreement decides reals, not names).
+    """
+
+    policy: Optional[str]
+    renaming: bool = True
+
+
+#: Every workload the rails accept (`run_renaming`, TrialSpec,
+#: ScenarioMatrix, hunts): the renaming algorithms plus the related
+#: Section 1-2 workloads they are measured against.
+WORKLOADS: Dict[str, Workload] = {
+    "balls-into-leaves": Workload("random"),
+    "early-terminating": Workload("hybrid"),
+    "rank-descent": Workload("rank"),
+    "leftmost": Workload("leftmost"),
+    "flood": Workload(None),
+    "approx-agreement": Workload(None, renaming=False),
+    "parallel-retry": Workload(None),
+}
+
 #: Algorithm name -> Balls-into-Leaves path policy (None = not BiL-based).
 ALGORITHMS: Dict[str, Optional[str]] = {
-    "balls-into-leaves": "random",
-    "early-terminating": "hybrid",
-    "rank-descent": "rank",
-    "leftmost": "leftmost",
-    "flood": None,
+    name: workload.policy for name, workload in WORKLOADS.items()
 }
 
 
@@ -95,10 +119,13 @@ def run_renaming(
     Parameters
     ----------
     algorithm:
-        One of :data:`ALGORITHMS`: ``"balls-into-leaves"`` (Algorithm 1),
+        One of :data:`WORKLOADS`: ``"balls-into-leaves"`` (Algorithm 1),
         ``"early-terminating"`` (Section 6), ``"rank-descent"`` and
-        ``"flood"`` (deterministic baselines), or ``"leftmost"`` (the
-        degenerate worst case).
+        ``"flood"`` (deterministic baselines), ``"leftmost"`` (the
+        degenerate worst case), ``"approx-agreement"`` (the Section 2
+        substrate; decides reals, so the renaming check is skipped), or
+        ``"parallel-retry"`` (the load-balancing scheme of Section 1 on
+        message-passing rails; names are bin indices).
     ids:
         Distinct, comparable original identifiers; ``n = len(ids)``.
     adversary:
@@ -148,11 +175,20 @@ def run_renaming(
         # (pin monitor="full" to keep the faithful reference audit).
         monitor = "cheap"
     budget = n - 1 if crash_budget is None else crash_budget
-    policy = ALGORITHMS[algorithm]
+    workload = WORKLOADS[algorithm]
+    policy = workload.policy
     if max_rounds is not None:
         limit = max_rounds
     elif policy is not None:
         limit = default_round_limit(n, budget)
+    elif algorithm == "approx-agreement":
+        from repro.baselines.approximate_agreement import seeded_rounds
+
+        limit = seeded_rounds(n, budget) + 4
+    elif algorithm == "parallel-retry":
+        # Some ball places every round (the lowest unplaced pid always
+        # wins its own claim), so n rounds suffice under any faults.
+        limit = n + 8
     else:
         limit = budget + 8
 
@@ -178,7 +214,7 @@ def run_renaming(
         from repro.errors import MonitorViolation
 
         raise MonitorViolation(run.violations)
-    if check:
+    if check and workload.renaming:
         check_renaming(result, RenamingSpec(n=n))
 
     names = {

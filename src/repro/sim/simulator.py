@@ -4,15 +4,20 @@ One :meth:`Simulation.step` executes a full round of the Section 3 model:
 
 1. every *running* process (alive, not halted) composes its broadcast;
 2. the adversary inspects the round (including the outbox) and returns a
-   crash plan, which the engine validates and clamps against the budget;
+   fault plan, which the engine validates and clamps against the crash
+   budget and the per-family fault budgets;
 3. inboxes are built: a healthy sender reaches every alive process, a
    crashing sender reaches only the receivers the adversary chose (crash
-   while broadcasting); senders always know their own message;
+   while broadcasting), an omitted link drops, a delayed link arrives up
+   to Δ rounds late, a corrupted sender's payload is rewritten for every
+   receiver but itself; senders always know their own message;
 4. every surviving, non-halted process consumes its inbox.
 
 Halted processes stay silent but remain "alive" — distinguishing a
 terminated peer from a crashed one is the algorithm's problem, exactly as
-in the paper.
+in the paper.  Crash-only rounds take the original delivery path
+unchanged; the generalized path only runs when a round actually carries
+omission/delay/corruption faults or late arrivals.
 """
 
 from __future__ import annotations
@@ -20,7 +25,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, FrozenSet, List, Mapping, Optional, Sequence, Set
 
-from repro.adversary.base import Adversary, AdversaryContext, CrashPlan, clamp_plan
+from repro.adversary.base import (
+    Adversary,
+    AdversaryContext,
+    FaultBudget,
+    FaultPlan,
+    clamp_fault_plan,
+)
 from repro.errors import ConfigurationError, RoundLimitExceeded
 from repro.ids import ProcessId, require_distinct
 from repro.sim.metrics import RoundMetrics, SimulationMetrics
@@ -87,6 +98,18 @@ class Simulation:
         self._crashed: Set[ProcessId] = set()
         self._round = 0
         self._metrics = SimulationMetrics()
+        # Fault-plan state beyond crashes: the adversary's declared
+        # per-family budget, run totals for clamping, the first round
+        # each sender was silenced by omission (monitor annotation), and
+        # the pending-delivery buffer of delayed messages, keyed by
+        # arrival round -> receiver -> [(sender, payload), ...].
+        self._fault_budget: FaultBudget = (
+            adversary.fault_budget() if adversary is not None else FaultBudget()
+        )
+        self._omissions_used = 0
+        self._corrupted: Set[ProcessId] = set()
+        self._silenced_round: Dict[ProcessId, int] = {}
+        self._pending: Dict[int, Dict[ProcessId, List[Any]]] = {}
 
     # ------------------------------------------------------------- inspection
     @property
@@ -108,6 +131,16 @@ class Simulation:
     def metrics(self) -> SimulationMetrics:
         """Per-round counters collected so far."""
         return self._metrics
+
+    @property
+    def silenced_rounds(self) -> Dict[ProcessId, int]:
+        """First round each sender was silenced by omission (not crashed)."""
+        return dict(self._silenced_round)
+
+    @property
+    def corrupted(self) -> FrozenSet[ProcessId]:
+        """Senders whose payloads the adversary has corrupted so far."""
+        return frozenset(self._corrupted)
 
     def alive(self) -> List[ProcessId]:
         """Pids that have not crashed (halted processes included)."""
@@ -136,7 +169,8 @@ class Simulation:
             if payload is not None:
                 outbox[pid] = payload
 
-        plan = self._plan_crashes(round_no, running, outbox)
+        fault = self._plan_faults(round_no, running, outbox)
+        plan = fault.crashes
         for victim in plan:
             self._crashed.add(victim)
             if self._trace is not None:
@@ -146,36 +180,45 @@ class Simulation:
 
         alive_now = [pid for pid in self._procs if pid not in self._crashed]
         receivers = [pid for pid in alive_now if not self._procs[pid].halted]
+        pending_now = self._pending.pop(round_no, None)
 
-        # Receivers with the same delivery signature (the set of crashing
-        # senders whose broadcast still reaches them) share one inbox dict.
-        # This keeps delivery O(n + crashes * n) per round instead of
-        # O(n^2), and lets the shared-view store key its memo on inbox
-        # object identity.  Inboxes are shared: processes must treat them
-        # as read-only, which SyncProcess implementations do.
-        base_inbox: Dict[ProcessId, Any] = {
-            sender: payload for sender, payload in outbox.items() if sender not in plan
-        }
-        inbox_by_signature: Dict[FrozenSet[ProcessId], Dict[ProcessId, Any]] = {}
-        delivered = 0
-        deliveries: List[Any] = []  # (receiver, inbox) pairs
-        for receiver in receivers:
-            signature = frozenset(
-                victim
-                for victim, kept in plan.items()
-                if receiver in kept and victim in outbox
+        omitted = delayed = corrupted = 0
+        if fault.crash_only and not pending_now:
+            # Crash-only rounds keep the original delivery path verbatim.
+            # Receivers with the same delivery signature (the set of
+            # crashing senders whose broadcast still reaches them) share
+            # one inbox dict.  This keeps delivery O(n + crashes * n) per
+            # round instead of O(n^2), and lets the shared-view store key
+            # its memo on inbox object identity.  Inboxes are shared:
+            # processes must treat them as read-only, which SyncProcess
+            # implementations do.
+            base_inbox: Dict[ProcessId, Any] = {
+                sender: payload for sender, payload in outbox.items() if sender not in plan
+            }
+            inbox_by_signature: Dict[FrozenSet[ProcessId], Dict[ProcessId, Any]] = {}
+            delivered = 0
+            deliveries: List[Any] = []  # (receiver, inbox) pairs
+            for receiver in receivers:
+                signature = frozenset(
+                    victim
+                    for victim, kept in plan.items()
+                    if receiver in kept and victim in outbox
+                )
+                inbox = inbox_by_signature.get(signature)
+                if inbox is None:
+                    if signature:
+                        inbox = dict(base_inbox)
+                        for victim in signature:
+                            inbox[victim] = outbox[victim]
+                    else:
+                        inbox = base_inbox
+                    inbox_by_signature[signature] = inbox
+                deliveries.append((receiver, inbox))
+                delivered += len(inbox)
+        else:
+            deliveries, delivered, omitted, delayed, corrupted = self._deliver_faulty(
+                round_no, outbox, receivers, fault, pending_now
             )
-            inbox = inbox_by_signature.get(signature)
-            if inbox is None:
-                if signature:
-                    inbox = dict(base_inbox)
-                    for victim in signature:
-                        inbox[victim] = outbox[victim]
-                else:
-                    inbox = base_inbox
-                inbox_by_signature[signature] = inbox
-            deliveries.append((receiver, inbox))
-            delivered += len(inbox)
 
         for receiver, inbox in deliveries:
             proc = self._procs[receiver]
@@ -195,6 +238,9 @@ class Simulation:
                 crashes=len(plan),
                 alive_after=len(alive_now),
                 running_after=running_after,
+                omissions=omitted,
+                delayed=delayed,
+                corruptions=corrupted,
             )
         )
         if self._trace is not None:
@@ -229,25 +275,184 @@ class Simulation:
         )
 
     # ---------------------------------------------------------------- private
-    def _plan_crashes(
+    def _plan_faults(
         self,
         round_no: int,
         running: Sequence[ProcessId],
         outbox: Mapping[ProcessId, Any],
-    ) -> CrashPlan:
+    ) -> FaultPlan:
         if self._adversary is None:
-            return {}
+            return FaultPlan()
         remaining = self._budget - len(self._crashed)
-        if remaining <= 0:
-            return {}
+        if remaining <= 0 and tuple(self._adversary.fault_families()) == ("crash",):
+            # Crash-only adversaries are never consulted past the budget
+            # (preserving the original engine's RNG consumption exactly);
+            # fault adversaries still plan their other families.
+            return FaultPlan()
+        budget = self._fault_budget
         ctx = AdversaryContext(
             round_no=round_no,
             running=tuple(running),
             alive=tuple(self.alive()),
             outbox=dict(outbox),
             crashed_so_far=frozenset(self._crashed),
-            budget_remaining=remaining,
+            budget_remaining=max(0, remaining),
             processes=self._procs,
+            omission_budget_remaining=(
+                None
+                if budget.omissions is None
+                else max(0, budget.omissions - self._omissions_used)
+            ),
+            delay_bound=budget.delay_bound,
+            corrupted_so_far=frozenset(self._corrupted),
         )
-        plan = self._adversary.plan(ctx) or {}
-        return clamp_plan(plan, alive=self.alive(), budget_remaining=remaining)
+        plan = self._adversary.plan_faults(ctx) or FaultPlan()
+        clamped = clamp_fault_plan(
+            plan,
+            alive=self.alive(),
+            budget_remaining=max(0, remaining),
+            budget=budget,
+            omissions_used=self._omissions_used,
+            corrupted_so_far=frozenset(self._corrupted),
+        )
+        self._omissions_used += sum(len(d) for d in clamped.omissions.values())
+        self._corrupted.update(clamped.corruptions)
+        return clamped
+
+    def _deliver_faulty(
+        self,
+        round_no: int,
+        outbox: Mapping[ProcessId, Any],
+        receivers: Sequence[ProcessId],
+        fault: FaultPlan,
+        pending_now: Optional[Dict[ProcessId, List[Any]]],
+    ) -> Any:
+        """Build inboxes for a round with non-crash faults or late arrivals.
+
+        Semantics, per (sender, receiver) link:
+
+        * a crash victim reaches only the receivers its plan kept;
+        * an omitted link delivers nothing — the receiver sees silence,
+          exactly as for a crash, but the sender stays alive (and always
+          hears itself: self-links are never maskable);
+        * a delayed link delivers nothing now; the payload (corrupted
+          form included) arrives ``d`` rounds later, unless a fresher
+          same-sender message lands in the arrival round's inbox first;
+        * a corrupted sender's payload is rewritten for every receiver
+          except the sender itself, which keeps the original.
+
+        Inboxes are still shared by delivery signature; only corrupt
+        senders' own inboxes and late-arrival receivers get private
+        copies.
+        """
+        plan = fault.crashes
+        omissions = fault.omissions
+        delays = fault.delays
+        corruptions = fault.corruptions
+        receiver_set = set(receivers)
+
+        corrupted = 0
+        for sender in corruptions:
+            if sender in outbox:
+                corrupted += 1
+                if self._trace is not None:
+                    self._trace.record(round_no, "corrupt", pid=sender)
+
+        omitted = 0
+        for sender in sorted(omissions, key=repr):
+            if sender not in outbox:
+                continue
+            drops = len(omissions[sender] & receiver_set)
+            if drops:
+                omitted += drops
+                self._silenced_round.setdefault(sender, round_no)
+                if self._trace is not None:
+                    self._trace.record(
+                        round_no,
+                        "omit",
+                        pid=sender,
+                        dropped=sorted(omissions[sender] & receiver_set, key=repr),
+                    )
+
+        delayed = 0
+        for link in sorted(delays, key=repr):
+            sender, target = link
+            if sender not in outbox or target not in receiver_set:
+                continue
+            payload = corruptions[sender] if sender in corruptions else outbox[sender]
+            self._pending.setdefault(round_no + delays[link], {}).setdefault(
+                target, []
+            ).append((sender, payload))
+            delayed += 1
+            if self._trace is not None:
+                self._trace.record(
+                    round_no,
+                    "delay",
+                    pid=sender,
+                    receiver=target,
+                    until=round_no + delays[link],
+                )
+
+        special = set()
+        for sender in plan:
+            if sender in outbox:
+                special.add(sender)
+        for sender in omissions:
+            if sender in outbox:
+                special.add(sender)
+        for sender, _target in delays:
+            if sender in outbox:
+                special.add(sender)
+
+        base_inbox: Dict[ProcessId, Any] = {}
+        for sender, payload in outbox.items():
+            if sender in special:
+                continue
+            base_inbox[sender] = (
+                corruptions[sender] if sender in corruptions else payload
+            )
+
+        def reaches(sender: ProcessId, receiver: ProcessId) -> bool:
+            if sender in plan and receiver not in plan[sender]:
+                return False
+            if receiver in omissions.get(sender, ()):
+                return False
+            if (sender, receiver) in delays:
+                return False
+            return True
+
+        inbox_by_signature: Dict[FrozenSet[ProcessId], Dict[ProcessId, Any]] = {}
+        deliveries: List[Any] = []
+        delivered = 0
+        for receiver in receivers:
+            signature = frozenset(s for s in special if reaches(s, receiver))
+            inbox = inbox_by_signature.get(signature)
+            if inbox is None:
+                if signature:
+                    inbox = dict(base_inbox)
+                    for sender in signature:
+                        inbox[sender] = (
+                            corruptions[sender]
+                            if sender in corruptions
+                            else outbox[sender]
+                        )
+                else:
+                    inbox = base_inbox
+                inbox_by_signature[signature] = inbox
+            private: Optional[Dict[ProcessId, Any]] = None
+            if receiver in corruptions and receiver in outbox:
+                # The sender keeps its own original payload.
+                private = dict(inbox)
+                private[receiver] = outbox[receiver]
+            if pending_now:
+                for sender, payload in pending_now.get(receiver, ()):
+                    current = private if private is not None else inbox
+                    if sender in current:
+                        continue  # a fresher same-round message wins
+                    if private is None:
+                        private = dict(inbox)
+                    private[sender] = payload
+            final = private if private is not None else inbox
+            deliveries.append((receiver, final))
+            delivered += len(final)
+        return deliveries, delivered, omitted, delayed, corrupted

@@ -360,7 +360,7 @@ class VectorizedKernel(SimulationKernel):
                 "a shared view"
             )
         adversary = request.adversary
-        failure = certification_failure(adversary)
+        failure = certification_failure(adversary, supported=("crash",))
         if failure is not None:
             return failure
         crashy = adversary is not None and type(adversary) is not NoFailures

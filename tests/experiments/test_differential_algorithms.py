@@ -1,10 +1,13 @@
 """Differential test across the whole algorithm table.
 
-Every algorithm registered in :data:`repro.sim.runner.ALGORITHMS` must
-satisfy the tight renaming specification on every failure-free trial of a
-batch sweep: all ``n`` processes decide, names are exactly a permutation
-of ``0..n-1``.  A regression anywhere in an algorithm, the simulator, or
-the checker shows up here as a cross-table diff.
+Every renaming algorithm registered in
+:data:`repro.sim.runner.WORKLOADS` must satisfy the tight renaming
+specification on every failure-free trial of a batch sweep: all ``n``
+processes decide, names are exactly a permutation of ``0..n-1``.  A
+regression anywhere in an algorithm, the simulator, or the checker shows
+up here as a cross-table diff.  Workloads flagged ``renaming=False``
+(approximate agreement decides reals, not names) are covered by
+``tests/sim/test_workloads.py`` instead.
 """
 
 from __future__ import annotations
@@ -12,7 +15,11 @@ from __future__ import annotations
 import pytest
 
 from repro.sim.batch import ScenarioMatrix, run_batch
-from repro.sim.runner import ALGORITHMS
+from repro.sim.runner import WORKLOADS
+
+RENAMING_ALGORITHMS = sorted(
+    name for name, workload in WORKLOADS.items() if workload.renaming
+)
 
 
 def _assert_tight_one_to_one(batch, n: int) -> None:
@@ -30,9 +37,11 @@ class TestEveryAlgorithmSatisfiesTheSpec:
         """Tier-1 guard: every algorithm, 25 failure-free trials at n=16."""
         n = 16
         batch = run_batch(
-            ScenarioMatrix.build(sorted(ALGORITHMS), [n], ["none"], trials=25, base_seed=1)
+            ScenarioMatrix.build(
+                RENAMING_ALGORITHMS, [n], ["none"], trials=25, base_seed=1
+            )
         )
-        assert len(batch) == len(ALGORITHMS) * 25
+        assert len(batch) == len(RENAMING_ALGORITHMS) * 25
         _assert_tight_one_to_one(batch, n)
 
     @pytest.mark.tier2
@@ -41,7 +50,7 @@ class TestEveryAlgorithmSatisfiesTheSpec:
         for n in (16, 32):
             batch = run_batch(
                 ScenarioMatrix.build(
-                    sorted(ALGORITHMS),
+                    RENAMING_ALGORITHMS,
                     [n],
                     ["none"],
                     trials=200,
@@ -49,5 +58,5 @@ class TestEveryAlgorithmSatisfiesTheSpec:
                     seed_mode="derived",
                 )
             )
-            assert len(batch) == len(ALGORITHMS) * 200
+            assert len(batch) == len(RENAMING_ALGORITHMS) * 200
             _assert_tight_one_to_one(batch, n)

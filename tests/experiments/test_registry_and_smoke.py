@@ -26,6 +26,7 @@ EXPECTED_IDS = [
     "EXP-NP2",
     "EXP-HUNT",
     "EXP-TAIL",
+    "EXP-FAULT",
 ]
 
 

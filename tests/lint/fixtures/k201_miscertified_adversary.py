@@ -21,3 +21,22 @@ class PeekingAdversary(Adversary):
             return {}
         victim = min(ctx.processes, key=repr)  # expect: K201
         return {victim: frozenset(ctx.alive)}
+
+
+@certified
+class PeekingOmissionAdversary(Adversary):
+    """A fault plan is held to the same surface as a crash plan."""
+
+    def plan(self, ctx):
+        return {}
+
+    def plan_faults(self, ctx):
+        # The FaultPlan budget fields ARE on the materialized surface:
+        # reading them must stay clean.
+        if ctx.omission_budget_remaining == 0 or ctx.delay_bound:
+            return None
+        if ctx.corrupted_so_far:
+            return None
+        inboxes = ctx.processes  # expect: K201
+        sender = min(inboxes, key=repr)
+        return {"omissions": {sender: frozenset(ctx.alive)}}

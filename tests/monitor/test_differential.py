@@ -198,3 +198,49 @@ class TestDeepDifferentialGrid:
         )
         assert _report(reference) == _report(columnar) == []
         assert _outcome(reference) == _outcome(columnar)
+
+
+class TestOmissionSilencedAnnotation:
+    """Omission faults: honest uniqueness verdicts, identical on both
+    engines, annotated with the silenced-not-crashed provenance.
+
+    A targeted omission adversary silences two balls through the first
+    phases: their peers purge them (as if crashed) and reuse their
+    names, while the silenced balls decide inside their own stale views.
+    The resulting duplicate names are *expected* injected degradation —
+    the monitor must report them (no suppression) and must attribute
+    them to omission so sweeps can separate injected faults from
+    algorithmic bugs.
+    """
+
+    def _run(self, kernel, monitor="cheap"):
+        from repro.adversary import TargetedOmissionAdversary
+        from repro.ids import sparse_ids
+        from repro.sim.runner import run_renaming
+
+        # check=False: the injected duplicate names are the point; the
+        # monitor (not the post-hoc checker) is under test here.
+        return run_renaming(
+            "balls-into-leaves",
+            sparse_ids(8),
+            seed=0,
+            kernel=kernel,
+            adversary=TargetedOmissionAdversary(count=2, rounds=(1, 6)),
+            halt_on_name=True,
+            monitor=monitor,
+            check=False,
+        )
+
+    def test_reports_match_and_carry_the_annotation(self):
+        reference = self._run("reference")
+        columnar = self._run("columnar")
+        report = _report(reference)
+        assert report == _report(columnar)
+        assert report, "the silenced cell must surface uniqueness findings"
+        assert any("silenced by omission" in line for line in report)
+        assert any("not crashed" in line for line in report)
+        assert _outcome(reference) == _outcome(columnar)
+
+    def test_monitoring_does_not_change_the_run(self):
+        unmonitored = self._run("columnar", monitor="off")
+        assert _outcome(unmonitored) == _outcome(self._run("columnar"))

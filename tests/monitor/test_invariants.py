@@ -359,3 +359,58 @@ class TestStackedMonitorParity:
             ]
             assert len(stalls) == 1
             assert f"no state change for {STALL_WINDOW} rounds" in stalls[0].detail
+
+
+class TestSilencedAnnotation:
+    """Uniqueness findings name omission-silenced claimants."""
+
+    N = 4
+
+    def setup_method(self):
+        self.arrays = arrays_for(self.N)
+        self.labels = [f"ball{j}" for j in range(self.N)]
+
+    def test_evaluate_round_annotates_silenced_claimants(self):
+        found = evaluate_round(
+            7,
+            self.arrays,
+            self.labels,
+            views=[],
+            decisions=[2, None, 2, None],
+            silenced_rounds={0: 3},
+        )
+        assert [v.invariant for v in found] == ["uniqueness"]
+        assert (
+            "(ball 'ball0' silenced by omission since round 3, not crashed)"
+            in found[0].detail
+        )
+
+    def test_unsilenced_duplicates_are_unannotated(self):
+        found = evaluate_round(
+            7,
+            self.arrays,
+            self.labels,
+            views=[],
+            decisions=[2, None, 2, None],
+            silenced_rounds={1: 3},
+        )
+        assert "silenced" not in found[0].detail
+
+    def test_run_monitor_threads_silenced_rounds(self):
+        monitor = RunMonitor(self.labels, self.arrays)
+        monitor.observe(
+            1,
+            views=[],
+            decisions=[None] * self.N,
+            silenced={2: 1},
+            running=self.N,
+        )
+        found = monitor.observe(
+            2,
+            views=[],
+            decisions=[0, None, 0, None],
+            running=2,
+        )
+        # The silenced map is sticky: round 1's observation annotates
+        # round 2's finding.
+        assert "silenced by omission since round 1" in found[0].detail

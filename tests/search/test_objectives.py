@@ -47,6 +47,7 @@ class TestRegistry:
             "invariant",
             "liveness",
             "tail",
+            "disruption",
         }
 
     def test_as_objective_coerces_and_validates(self):

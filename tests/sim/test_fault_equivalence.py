@@ -1,0 +1,310 @@
+"""Differential suite for the FaultPlan generalization.
+
+Three contracts, one file:
+
+* certified **omission** adversaries are bit-identical between the
+  reference engine and the columnar fast path across the
+  algorithm x n x seed grid — same rounds, names, crash sets, and
+  per-run omission counts;
+* **delay** and **corruption** adversaries are rejected *by family
+  name* when the fast path is pinned, and behave correctly on the
+  reference engine (messages actually deferred / payloads actually
+  rewritten);
+* :func:`~repro.adversary.base.clamp_fault_plan` — the shared rulebook
+  both engines apply — can never exceed a per-family budget, resurrect
+  a crashed sender, mask a self-link, or emit a delay outside
+  ``1..delay_bound``, no matter what plan an adversary returns
+  (seeded-random property sweep).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.adversary.base import (
+    FaultBudget,
+    FaultPlan,
+    clamp_fault_plan,
+)
+from repro.adversary.corruption import CorruptingAdversary
+from repro.adversary.delay import BoundedDelayAdversary
+from repro.adversary.omission import (
+    IIDOmissionAdversary,
+    ScheduledFaultAdversary,
+    ScheduledOmission,
+    TargetedOmissionAdversary,
+)
+from repro.adversary.scheduled import ScheduledCrash
+from repro.errors import KernelUnsupported
+from repro.ids import sparse_ids
+from repro.sim.runner import ALGORITHMS, run_renaming
+
+BIL_ALGORITHMS = sorted(name for name, policy in ALGORITHMS.items() if policy)
+
+#: Survivable omission strategies: windows starting after the hello
+#: round keep the loss pattern from wedging (a round-1 drop leaves the
+#: sender permanently unknown to the masked receivers).
+OMISSION_FACTORIES = {
+    "iid": lambda seed: IIDOmissionAdversary(0.1, rounds=(2, 6), seed=seed),
+    "iid-capped": lambda seed: IIDOmissionAdversary(
+        0.2, max_omissions=6, rounds=(3, 5), seed=seed
+    ),
+    "targeted": lambda seed: TargetedOmissionAdversary(
+        count=1, rounds=(2, 5)
+    ),
+    # sparse_ids(16) pids: 10000, 10097, 10194, ...
+    "scheduled": lambda seed: ScheduledFaultAdversary(
+        crashes=[ScheduledCrash(3, 10485, "none")],
+        omissions=[
+            ScheduledOmission(2, 10000, "all"),
+            ScheduledOmission(4, 10679, (10097, 10291)),
+        ],
+    ),
+}
+
+
+def _pair(algorithm, n, seed, factory, **kwargs):
+    """One spec on both engines (fresh adversary each, they are stateful)."""
+    runs = []
+    for kernel in ("reference", "columnar"):
+        runs.append(
+            run_renaming(
+                algorithm,
+                sparse_ids(n),
+                seed=seed,
+                adversary=factory(seed),
+                kernel=kernel,
+                check=False,
+                **kwargs,
+            )
+        )
+    return runs
+
+
+def assert_fault_identical(reference, columnar):
+    assert reference.kernel == "reference"
+    assert columnar.kernel == "columnar"
+    assert columnar.rounds == reference.rounds
+    assert columnar.names == reference.names
+    assert columnar.crashed == reference.crashed
+    assert columnar.failures == reference.failures
+    assert columnar.last_round_named == reference.last_round_named
+    assert (
+        columnar.metrics.total_omissions == reference.metrics.total_omissions
+    )
+    assert columnar.metrics.total_crashes == reference.metrics.total_crashes
+
+
+class TestOmissionBitIdentical:
+    @pytest.mark.parametrize("algorithm", BIL_ALGORITHMS)
+    @pytest.mark.parametrize("adversary_key", sorted(OMISSION_FACTORIES))
+    @pytest.mark.parametrize("seed", (0, 1))
+    def test_grid(self, algorithm, adversary_key, seed):
+        reference, columnar = _pair(
+            algorithm, 16, seed, OMISSION_FACTORIES[adversary_key]
+        )
+        assert_fault_identical(reference, columnar)
+        if adversary_key != "scheduled":
+            assert reference.metrics.total_omissions > 0
+
+    @pytest.mark.parametrize("n", (5, 8, 23))
+    def test_non_power_of_two_sizes(self, n):
+        reference, columnar = _pair(
+            "balls-into-leaves", n, 3, OMISSION_FACTORIES["iid"]
+        )
+        assert_fault_identical(reference, columnar)
+
+    def test_halt_on_name_composes_with_omission(self):
+        reference, columnar = _pair(
+            "balls-into-leaves",
+            16,
+            2,
+            OMISSION_FACTORIES["iid"],
+            halt_on_name=True,
+        )
+        assert_fault_identical(reference, columnar)
+
+    def test_auto_keeps_omission_on_the_fast_path(self):
+        run = run_renaming(
+            "balls-into-leaves",
+            sparse_ids(16),
+            seed=0,
+            adversary=IIDOmissionAdversary(0.1, rounds=(2, 6), seed=0),
+            kernel="auto",
+            check=False,
+        )
+        assert run.kernel == "columnar"
+
+
+class TestUnsupportedFamiliesRejectByName:
+    def test_delay_rejected_on_columnar(self):
+        with pytest.raises(KernelUnsupported, match="'delay'"):
+            run_renaming(
+                "balls-into-leaves",
+                sparse_ids(8),
+                seed=0,
+                adversary=BoundedDelayAdversary(2, seed=0),
+                kernel="columnar",
+            )
+
+    def test_corruption_rejected_on_columnar(self):
+        with pytest.raises(KernelUnsupported, match="'corruption'"):
+            run_renaming(
+                "balls-into-leaves",
+                sparse_ids(8),
+                seed=0,
+                adversary=CorruptingAdversary(b=1, seed=0),
+                kernel="columnar",
+            )
+
+    def test_omission_rejected_on_vectorized_by_name(self):
+        # The vectorized batch kernel supports the crash family only.
+        with pytest.raises(KernelUnsupported, match="'omission'"):
+            run_renaming(
+                "balls-into-leaves",
+                sparse_ids(8),
+                seed=0,
+                adversary=IIDOmissionAdversary(0.1, seed=0),
+                kernel="vectorized",
+            )
+
+    def test_auto_falls_back_to_reference_for_delay(self):
+        run = run_renaming(
+            "balls-into-leaves",
+            sparse_ids(8),
+            seed=0,
+            adversary=BoundedDelayAdversary(2, rate=0.2, seed=0),
+            kernel="auto",
+            check=False,
+        )
+        assert run.kernel == "reference"
+        assert run.metrics.total_delayed > 0
+
+    def test_corruption_applies_on_the_reference_engine(self):
+        run = run_renaming(
+            "balls-into-leaves",
+            sparse_ids(8),
+            seed=1,
+            adversary=CorruptingAdversary(b=1, seed=1),
+            kernel="reference",
+            check=False,
+        )
+        assert run.metrics.total_corruptions == 1
+
+
+def _random_fault_plan(rng, pids):
+    crashes = {
+        pid: frozenset(rng.sample(pids, rng.randrange(len(pids))))
+        for pid in rng.sample(pids, rng.randrange(len(pids) // 2 + 1))
+    }
+    omissions = {
+        pid: frozenset(rng.sample(pids, rng.randrange(1, len(pids))))
+        for pid in rng.sample(pids, rng.randrange(len(pids) // 2 + 1))
+    }
+    delays = {
+        (rng.choice(pids), rng.choice(pids)): rng.randrange(-1, 9)
+        for _ in range(rng.randrange(8))
+    }
+    corruptions = {
+        pid: {"forged": True}
+        for pid in rng.sample(pids, rng.randrange(len(pids) // 2 + 1))
+    }
+    return FaultPlan(
+        crashes=crashes,
+        omissions=omissions,
+        delays=delays,
+        corruptions=corruptions,
+    )
+
+
+class TestClampFaultPlanProperties:
+    """Seeded-random property sweep over the shared clamp rulebook."""
+
+    PIDS = list(range(10))
+
+    def _clamped(self, seed):
+        rng = random.Random(seed)
+        alive = sorted(rng.sample(self.PIDS, rng.randrange(2, len(self.PIDS))))
+        budget = FaultBudget(
+            omissions=rng.choice([None, 0, 1, 3, 5]),
+            delay_bound=rng.choice([0, 1, 2, 4]),
+            corruptions=rng.choice([0, 1, 2]),
+        )
+        omissions_used = rng.randrange(3)
+        plan = _random_fault_plan(rng, self.PIDS)
+        clamped = clamp_fault_plan(
+            plan,
+            alive=alive,
+            budget_remaining=rng.randrange(4),
+            budget=budget,
+            omissions_used=omissions_used,
+            corrupted_so_far=frozenset(rng.sample(self.PIDS, rng.randrange(3))),
+        )
+        return plan, clamped, alive, budget, omissions_used
+
+    @pytest.mark.parametrize("seed", range(60))
+    def test_budgets_and_liveness_hold(self, seed):
+        plan, clamped, alive, budget, used = self._clamped(seed)
+        alive_set = set(alive)
+
+        # Crash clamp: victims alive, budget respected.
+        assert set(clamped.crashes) <= alive_set
+
+        # A crashed sender is dead for every other family (no
+        # resurrection: crash wins for the same sender).
+        for sender in clamped.omissions:
+            assert sender not in clamped.crashes
+            assert sender in alive_set
+        for sender, _receiver in clamped.delays:
+            assert sender not in clamped.crashes
+        for sender in clamped.corruptions:
+            assert sender not in clamped.crashes
+            assert sender in alive_set
+
+        # No self-links; receivers must be alive.
+        for sender, dropped in clamped.omissions.items():
+            assert sender not in dropped
+            assert dropped <= alive_set
+        for sender, receiver in clamped.delays:
+            assert sender != receiver
+            assert {sender, receiver} <= alive_set
+
+        # Omission budget: dropped links never exceed what remains.
+        if budget.omissions is not None:
+            total = sum(len(d) for d in clamped.omissions.values())
+            assert total <= max(0, budget.omissions - used)
+
+        # Delay bound: clamped into 1..Δ, family disabled at Δ=0.
+        if budget.delay_bound == 0:
+            assert not clamped.delays
+        for deferral in clamped.delays.values():
+            assert 1 <= deferral <= budget.delay_bound
+
+        # Omission wins over delay for the same link.
+        for sender, receiver in clamped.delays:
+            assert receiver not in clamped.omissions.get(sender, ())
+
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_corruption_counts_distinct_senders(self, seed):
+        rng = random.Random(seed)
+        already = frozenset(rng.sample(self.PIDS, rng.randrange(3)))
+        budget = FaultBudget(corruptions=rng.choice([0, 1, 2]))
+        plan = _random_fault_plan(rng, self.PIDS)
+        clamped = clamp_fault_plan(
+            FaultPlan(corruptions=plan.corruptions),
+            alive=self.PIDS,
+            budget_remaining=0,
+            budget=budget,
+            corrupted_so_far=already,
+        )
+        fresh = set(clamped.corruptions) - already
+        assert len(already | fresh) <= max(len(already), budget.corruptions)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_clamp_is_deterministic(self, seed):
+        _, first, *_ = self._clamped(seed)
+        _, second, *_ = self._clamped(seed)
+        assert first == second

@@ -7,14 +7,20 @@ import pytest
 from repro.adversary.random_crash import RandomCrashAdversary
 from repro.errors import ConfigurationError
 from repro.ids import sparse_ids, string_ids
-from repro.sim.runner import ALGORITHMS, run_renaming
+from repro.sim.runner import ALGORITHMS, WORKLOADS, run_renaming
 
 
 class TestRunRenaming:
     @pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
     def test_every_algorithm_renames_small_instance(self, algorithm):
         run = run_renaming(algorithm, sparse_ids(8), seed=1)
-        assert sorted(run.names.values()) == list(range(8))
+        if WORKLOADS[algorithm].renaming:
+            assert sorted(run.names.values()) == list(range(8))
+        else:
+            # approx-agreement decides reals within epsilon, not names.
+            values = list(run.names.values())
+            assert len(values) == 8
+            assert max(values) - min(values) <= 1.0
 
     def test_unknown_algorithm(self):
         with pytest.raises(ConfigurationError):

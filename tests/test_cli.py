@@ -222,3 +222,76 @@ class TestJsonlOut:
                      "--trials", "2", "--out", str(out)]) == 0
         capsys.readouterr()
         assert "scenario matrix" in out.read_text()
+
+
+class TestFaultAdversaryCli:
+    """The fault-family grammar and error surface of the CLI verbs."""
+
+    def test_unknown_family_exit_code_names_accepted_families(self, capsys):
+        assert main(["batch", "--algorithms", "balls-into-leaves",
+                     "--sizes", "8", "--adversary", "gremlin:x=1",
+                     "--trials", "1"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown adversary 'gremlin'" in err
+        for family in ("omission", "omission-targeted", "delay", "corrupt"):
+            assert family in err
+
+    def test_bad_param_exit_code_names_accepted_params(self, capsys):
+        assert main(["batch", "--algorithms", "balls-into-leaves",
+                     "--sizes", "8", "--adversary", "omission:zap=1",
+                     "--trials", "1"]) == 2
+        err = capsys.readouterr().err
+        assert "bad parameters for adversary 'omission'" in err
+        assert "accepted: p, max_omissions, first, last" in err
+
+    def test_bad_value_exit_code_keeps_param_vocabulary(self, capsys):
+        assert main(["batch", "--algorithms", "balls-into-leaves",
+                     "--sizes", "8", "--adversary", "omission:p=2.0",
+                     "--trials", "1"]) == 2
+        err = capsys.readouterr().err
+        assert "must be in [0, 1]" in err
+        assert "accepted: p, max_omissions, first, last" in err
+
+    def test_omission_smoke_measures_instead_of_raising(self, capsys):
+        assert main(["batch", "--algorithms", "balls-into-leaves",
+                     "--sizes", "16", "--adversary", "omission:p=0.2",
+                     "--trials", "5", "--no-check", "--capture-errors"]) == 0
+        out = capsys.readouterr().out
+        assert "omission:p=0.2" in out
+        assert "fault-measurement mode" in out
+
+    def test_checked_omission_cell_surfaces_the_violation(self, capsys):
+        # Without --no-check the first duplicate name aborts the batch:
+        # the spec checker still guards fault cells by default.
+        assert main(["batch", "--algorithms", "balls-into-leaves",
+                     "--sizes", "8", "--adversary", "omission:p=0.2",
+                     "--trials", "2"]) == 2
+        assert "uniqueness" in capsys.readouterr().err
+
+    def test_delay_and_corrupt_grammar_build_and_run(self, capsys):
+        assert main(["batch", "--algorithms", "balls-into-leaves",
+                     "--sizes", "8",
+                     "--adversary", "delay:d=2,rate=0.1",
+                     "--adversary", "corrupt:b=1,rate=0.1",
+                     "--trials", "1", "--no-check", "--capture-errors"]) == 0
+        out = capsys.readouterr().out
+        assert "delay:d=2,rate=0.1" in out
+        assert "corrupt:b=1,rate=0.1" in out
+
+    def test_hunt_fault_family_choice_is_validated(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["hunt", "--fault-family", "byzantine", "--budget", "4"])
+        assert exc.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_hunt_omission_family_smoke(self, capsys):
+        assert main(["hunt", "--objective", "rounds", "--strategy", "random",
+                     "--fault-family", "omission", "--n", "8",
+                     "--budget", "6", "--baseline-trials", "1",
+                     "--no-shrink"]) == 0
+        out = capsys.readouterr().out
+        assert "worst cases on balls-into-leaves n=8" in out
+        assert "omission" in out
+        # the printed command must reproduce the *omission* hunt, not
+        # fall back to the default crash family
+        assert "--fault-family omission" in out

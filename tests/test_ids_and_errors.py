@@ -86,4 +86,6 @@ class TestPublicApi:
             "rank-descent",
             "leftmost",
             "flood",
+            "approx-agreement",
+            "parallel-retry",
         }
