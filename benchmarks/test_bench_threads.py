@@ -1,0 +1,123 @@
+"""Threads scaling curve: the seeding/twist fanout vs wall-clock.
+
+Sweeps ``--threads`` (via :func:`repro.config.set_vec_threads`) over a
+seeding-heavy vectorized cell and writes the measured curve to
+``BENCH_threads.json`` at the repository root (uploaded by the CI
+tier-2 job).  The fanout parallelizes the GIL-released MT19937 seeding
+and twist passes only, so the curve records where that wall-clock
+lever stops paying on the runner's cores.
+
+Results are asserted byte-identical across every thread count inside
+the timing loop — the thread-invariance contract (threads are
+wall-clock hygiene, never a result knob) is re-proven by the benchmark
+itself.  No scaling floor is asserted: shared CI runners make speedup
+numbers an artifact to plot, not a gate.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import pytest
+
+from repro._version import __version__
+from repro.config import set_vec_threads
+from repro.sim.batch import ScenarioMatrix, run_batch
+
+SEED = 7
+OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_threads.json"
+THREAD_COUNTS = (1, 2, 4)
+N = 2048
+TRIALS = 30
+REPS = 2
+
+
+def _best_of(reps, fn):
+    best = None
+    result = None
+    for _ in range(reps):
+        started = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - started
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, result
+
+
+def _run_cell():
+    matrix = ScenarioMatrix.build(
+        ["balls-into-leaves"],
+        [N],
+        ("none",),
+        trials=TRIALS,
+        base_seed=SEED,
+        kernel="vectorized",
+    )
+    return run_batch(matrix, executor="serial")
+
+
+# Wall-clock sweep: too flaky for the -x tier-1 gate (same policy as
+# the other benches).  The CI tier-2 job selects it with -m tier2.
+@pytest.mark.tier2
+def test_bench_threads_writes_json(capsys):
+    from repro.sim.vectorized import vectorized_available
+
+    if not vectorized_available():
+        pytest.skip("threads fan out the vectorized kernel only")
+
+    previous = os.environ.get("REPRO_VEC_THREADS")
+    points = []
+    baseline_names = None
+    try:
+        set_vec_threads(1)
+        _run_cell()  # warm caches outside every timed region
+        for threads in THREAD_COUNTS:
+            set_vec_threads(threads)
+            elapsed, batch = _best_of(REPS, _run_cell)
+            names = [t.names for t in batch.trials]
+            if baseline_names is None:
+                baseline_names = names
+            else:
+                # Thread-invariance: the fanout may only move wall-clock.
+                assert names == baseline_names
+            points.append(
+                {
+                    "threads": threads,
+                    "seconds": round(elapsed, 6),
+                    "speedup": round(points[0]["seconds"] / elapsed, 4)
+                    if points
+                    else 1.0,
+                }
+            )
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_VEC_THREADS", None)
+        else:
+            os.environ["REPRO_VEC_THREADS"] = previous
+
+    payload = {
+        "benchmark": "threads",
+        "workload": (
+            f"run_batch wall clock, vectorized failure-free cell "
+            f"n={N} x{TRIALS} trials, REPRO_VEC_THREADS swept over "
+            f"{list(THREAD_COUNTS)} (seeding/twist fanout only)"
+        ),
+        "version": __version__,
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "points": points,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    with capsys.disabled():
+        print()
+        for point in points:
+            print(
+                f"threads={point['threads']}: {point['seconds']:.3f}s "
+                f"(speedup x{point['speedup']:.2f})"
+            )
+        print(f"[written to {OUTPUT}]")

@@ -83,6 +83,31 @@ def _add_monitor_option(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_trace_option(parser: argparse.ArgumentParser) -> None:
+    from repro.sim.trace import TRACE_MODES
+
+    parser.add_argument(
+        "--trace",
+        default="off",
+        choices=TRACE_MODES,
+        help="per-trial event capture: cheap = per-round crash/omit/name/"
+        "halt deltas appended from the fast kernels' flat arrays (any "
+        "kernel), full = the reference engine's message-level stream "
+        "(pins the reference engine); results are byte-identical either "
+        "way",
+    )
+
+
+def _add_telemetry_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="collect per-stage wall-clock timers (seeding/twist/"
+        "movement/monitor) and append a trailing telemetry record to "
+        ".jsonl output; summarize with `repro stats`",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -183,6 +208,8 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_executor_options(batch_parser)
     _add_monitor_option(batch_parser)
+    _add_trace_option(batch_parser)
+    _add_telemetry_option(batch_parser)
 
     hunt_parser = sub.add_parser(
         "hunt",
@@ -259,8 +286,23 @@ def _build_parser() -> argparse.ArgumentParser:
         "one JSON row per evaluated schedule instead (byte-identical on "
         "every executor)",
     )
+    hunt_parser.add_argument(
+        "--scenario-out",
+        default=None,
+        metavar="PATH",
+        help="where to write the winning schedule's scenario file "
+        "(default: hunt-scenario-<digest>.json in the current "
+        "directory); its cheap trace lands alongside as "
+        "trace-<digest>.jsonl",
+    )
+    hunt_parser.add_argument(
+        "--no-scenario",
+        action="store_true",
+        help="skip writing the scenario + trace files for the winner",
+    )
     _add_executor_options(hunt_parser)
     _add_monitor_option(hunt_parser)
+    _add_telemetry_option(hunt_parser)
 
     tail_parser = sub.add_parser(
         "tail",
@@ -352,6 +394,44 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     lint_parser.add_argument(
         "--out", help="also write the report to this file"
+    )
+
+    explore_parser = sub.add_parser(
+        "explore",
+        help="render a scenario's execution as a self-contained HTML "
+        "process-lane timeline (rounds x processes, crash/omit/name/"
+        "halt markers)",
+    )
+    explore_parser.add_argument(
+        "scenario",
+        help="scenario JSON file (`repro hunt` writes one for its "
+        "winner; hand-editable — the schedule block is authoritative)",
+    )
+    explore_parser.add_argument(
+        "--out",
+        help="HTML output path (default: timeline-<digest>.html)",
+    )
+    explore_parser.add_argument(
+        "--replay",
+        action="store_true",
+        help="re-execute the (possibly hand-edited) scenario instead of "
+        "reading its stored trace, certify reference/columnar byte-"
+        "identity when a schedule is present, and diff the outcome "
+        "against the recorded meta block",
+    )
+
+    stats_parser = sub.add_parser(
+        "stats",
+        help="summarize persisted .jsonl runs: per-cell trial rows plus "
+        "the --telemetry stage timers",
+    )
+    stats_parser.add_argument(
+        "files",
+        nargs="+",
+        help="jsonl files written via --out rows.jsonl",
+    )
+    stats_parser.add_argument(
+        "--out", help="also write the summary to this file"
     )
     return parser
 
@@ -466,6 +546,32 @@ def _parse_sizes(raw: str) -> List[int]:
         raise ReproError(f"--sizes must be comma-separated integers, got {raw!r}") from None
 
 
+def _telemetry_row(
+    elapsed: Optional[float] = None, executor: Optional[str] = None
+) -> dict:
+    """The trailing jsonl record ``--telemetry`` appends (see `repro stats`)."""
+    from repro.core.instrumentation import TIMERS
+
+    row = {"kind": "telemetry", "stages": TIMERS.snapshot()}
+    if elapsed is not None:
+        row["elapsed"] = elapsed
+    if executor is not None:
+        row["executor"] = executor
+    return row
+
+
+def _print_telemetry(
+    elapsed: Optional[float] = None, executor: Optional[str] = None
+) -> None:
+    from repro.analysis.runstats import telemetry_table
+
+    print(
+        telemetry_table([_telemetry_row(elapsed, executor)]).render(),
+        file=sys.stderr,
+        end="",
+    )
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     matrix = ScenarioMatrix.build(
         [name.strip() for name in args.algorithms.split(",") if name.strip()],
@@ -478,6 +584,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         capture_errors=args.capture_errors,
         kernel=args.kernel,
         monitor=args.monitor,
+        trace=args.trace,
     )
     batch = run_batch(
         matrix,
@@ -490,11 +597,16 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         f"({len(matrix.algorithms)} algorithms x {len(matrix.sizes)} sizes "
         f"x {len(matrix.adversaries)} adversaries x {matrix.trials} seeds)"
     )
-    _emit(
-        table.render(),
-        args.out,
-        jsonl_rows=(trial.to_row() for trial in batch.trials),
-    )
+    rows: Iterable[dict] = (trial.to_row() for trial in batch.trials)
+    if args.telemetry:
+        import itertools
+
+        rows = itertools.chain(
+            rows, [_telemetry_row(batch.elapsed, batch.executor)]
+        )
+    _emit(table.render(), args.out, jsonl_rows=rows)
+    if args.telemetry:
+        _print_telemetry(batch.elapsed, batch.executor)
     if args.csv:
         with open(args.csv, "w", encoding="utf-8") as handle:
             handle.write(table.to_csv())
@@ -552,6 +664,7 @@ def _cmd_hunt(args: argparse.Namespace) -> int:
     ]
 
     best = result.best
+    winner_schedule, winner_seed = best.schedule, best.best_result.spec.seed
     report.append("")
     report.append(
         f"worst schedule {best.schedule.digest}: score {best.score:g}, "
@@ -560,6 +673,7 @@ def _cmd_hunt(args: argparse.Namespace) -> int:
     report.append(f"  genotype: {best.schedule.to_json()}")
     if not args.no_shrink:
         shrunk = shrink(best.schedule, config, best.best_result.spec.seed)
+        winner_schedule, winner_seed = shrunk.schedule, shrunk.seed
         report.append(
             f"shrunk to {shrunk.schedule.crashes} crash(es) "
             f"(score {shrunk.score:g}, {shrunk.trials_used} replays): "
@@ -577,6 +691,11 @@ def _cmd_hunt(args: argparse.Namespace) -> int:
             )
         except KernelUnsupported as error:
             report.append(f"replay: columnar kernel not applicable ({error.reason})")
+    scenario_path = None
+    if not args.no_scenario:
+        scenario_path = _write_hunt_scenario(
+            args, config, winner_schedule, winner_seed
+        )
     repro_cmd = (
         "python -m repro hunt"
         f" --objective {config.objective} --strategy {args.strategy}"
@@ -599,13 +718,85 @@ def _cmd_hunt(args: argparse.Namespace) -> int:
     if args.no_shrink:
         repro_cmd += " --no-shrink"
     report.append(f"reproduce with: {repro_cmd}")
-    _emit("\n".join(report), args.out, jsonl_rows=result.rows())
+    if scenario_path is not None:
+        report.append(
+            f"  scenario file: {scenario_path} "
+            f"(render with: python -m repro explore {scenario_path})"
+        )
+    rows: Iterable[dict] = result.rows()
+    if args.telemetry:
+        import itertools
+
+        rows = itertools.chain(rows, [_telemetry_row()])
+    _emit("\n".join(report), args.out, jsonl_rows=rows)
+    if args.telemetry:
+        _print_telemetry()
     if beats_every_bundled(entries):
         print(
             "the synthesized schedule beats every bundled adversary",
             file=sys.stderr,
         )
     return 0
+
+
+def _write_hunt_scenario(args, config, schedule, seed) -> str:
+    """Replay the hunt winner with a cheap trace and persist both files.
+
+    Writes ``hunt-scenario-<digest>.json`` (or ``--scenario-out``) plus
+    the content-addressed ``trace-<digest>.jsonl`` alongside it, and
+    returns the scenario path for the report footer.
+    """
+    import os
+
+    from repro.search.scenario import (
+        Scenario,
+        scenario_filename,
+        write_scenario,
+    )
+    from repro.sim.batch import TrialSpec, run_trial
+    from repro.sim.trace import trace_filename, write_trace
+
+    spec = TrialSpec(
+        algorithm=config.algorithm,
+        n=config.n,
+        seed=seed,
+        adversary=schedule.spec(),
+        halt_on_name=config.halt_on_name,
+        crash_budget=config.crash_budget,
+        check=False,
+        kernel=config.kernel,
+        capture_errors=True,
+        trace="cheap",
+    )
+    result = run_trial(spec)
+    digest = spec.digest()
+    scenario_path = args.scenario_out or scenario_filename(
+        digest, prefix="hunt-scenario"
+    )
+    directory = os.path.dirname(os.path.abspath(scenario_path))
+    trace_name = None
+    if result.trace is not None:
+        trace_name = trace_filename(digest)
+        write_trace(
+            result.trace,
+            os.path.join(directory, trace_name),
+            digest=digest,
+            meta={
+                "algorithm": config.algorithm,
+                "n": config.n,
+                "seed": seed,
+                "schedule": schedule.digest,
+            },
+        )
+    scenario = Scenario.from_trial(
+        spec,
+        result,
+        schedule=schedule,
+        trace_path=trace_name,
+        objective=config.objective,
+    )
+    write_scenario(scenario, scenario_path)
+    return scenario_path
 
 
 def _cmd_tail(args: argparse.Namespace) -> int:
@@ -653,6 +844,107 @@ def _cmd_tail(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_explore(args: argparse.Namespace) -> int:
+    import dataclasses
+    import os
+
+    from repro.analysis.timeline import render_timeline
+    from repro.errors import KernelUnsupported
+    from repro.search.scenario import load_scenario
+    from repro.sim.batch import run_trial
+    from repro.sim.trace import read_trace
+
+    scenario = load_scenario(args.scenario)
+    spec = scenario.spec
+    digest = spec.digest()
+    trace = None
+    source = ""
+    if not args.replay and scenario.trace_path:
+        trace_path = scenario.trace_path
+        if not os.path.isabs(trace_path):
+            trace_path = os.path.join(
+                os.path.dirname(os.path.abspath(args.scenario)), trace_path
+            )
+        if os.path.exists(trace_path):
+            header, stored = read_trace(trace_path)
+            if header.get("digest") in ("", None, digest):
+                trace, source = stored, f"stored trace {scenario.trace_path}"
+            else:
+                # The scenario was edited after the trace was captured
+                # (digests disagree): fall through to a fresh replay so
+                # the timeline shows the *edited* execution.
+                print(
+                    f"note: {scenario.trace_path} is for digest "
+                    f"{header.get('digest')}, scenario is {digest}; "
+                    "replaying instead",
+                    file=sys.stderr,
+                )
+    if trace is None:
+        replay_spec = dataclasses.replace(
+            spec, trace="cheap", capture_errors=True
+        )
+        result = run_trial(replay_spec)
+        trace, source = result.trace, f"replayed on the {result.kernel} kernel"
+        if trace is None:
+            raise ReproError(
+                "replay recorded no trace (the run failed before its "
+                f"first round): {result.error}"
+            )
+        for key, label in (("rounds", "rounds"), ("error", "error")):
+            expected = scenario.meta.get(key)
+            observed = getattr(result, key)
+            if expected is not None and expected != observed:
+                print(
+                    f"meta mismatch: recorded {label}={expected!r}, "
+                    f"replay observed {observed!r} "
+                    "(expected after a hand-edit)",
+                    file=sys.stderr,
+                )
+    if args.replay and scenario.schedule is not None:
+        from repro.search.shrink import replay_identical
+        from repro.search.strategies import HuntConfig
+
+        config = HuntConfig(
+            algorithm=spec.algorithm,
+            n=spec.n,
+            seed=spec.seed,
+            halt_on_name=spec.halt_on_name,
+            crash_budget=spec.crash_budget,
+        )
+        try:
+            replay_identical(scenario.schedule, config, spec.seed)
+            print(
+                "replay: bit-identical on the reference and columnar kernels",
+                file=sys.stderr,
+            )
+        except KernelUnsupported as error:
+            print(
+                f"replay: columnar kernel not applicable ({error.reason})",
+                file=sys.stderr,
+            )
+    html = render_timeline(
+        trace,
+        title=(
+            f"{spec.algorithm} n={spec.n} seed={spec.seed} "
+            f"[{spec.adversary.key}]"
+        ),
+        participants=list(sparse_ids(spec.n)),
+        meta={**scenario.meta, "digest": digest, "source": source},
+    )
+    out = args.out or f"timeline-{digest}.html"
+    with open(out, "w", encoding="utf-8") as handle:
+        handle.write(html)
+    print(f"timeline written to {out} ({source})")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.analysis.runstats import render_stats
+
+    _emit(render_stats(args.files), args.out)
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     # Imported here so the analyzer costs nothing on simulation verbs.
     from repro.lint import all_rules, lint_paths, render_report, render_rules
@@ -694,6 +986,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         # the stream-bank fanout reads it per pass, and every thread
         # count is byte-identical.
         set_vec_threads(args.threads)
+    if getattr(args, "telemetry", False):
+        from repro.core.instrumentation import TIMERS
+
+        TIMERS.enable()
     try:
         if args.command == "list":
             return _cmd_list()
@@ -711,6 +1007,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_tail(args)
         if args.command == "lint":
             return _cmd_lint(args)
+        if args.command == "explore":
+            return _cmd_explore(args)
+        if args.command == "stats":
+            return _cmd_stats(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

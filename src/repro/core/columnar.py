@@ -190,6 +190,10 @@ class ColumnarBallsEngine:
         else:
             self._position_round(round_no)
 
+    def positions(self) -> List[int]:
+        """Every ball's current tree node, by label rank (trace capture)."""
+        return list(self.pos)
+
     # -------------------------------------------------------- state interchange
     def export_state(self) -> Dict[str, Any]:
         """The protocol state as engine-independent plain lists.
@@ -651,6 +655,11 @@ class ColumnarCrashEngine:
         self.decision: List[Optional[int]] = [None] * n
         self.round_named: List[Optional[int]] = [None] * n
         self.round_halted: List[Optional[int]] = [None] * n
+        #: Round each ball crashed (None = survived) — trace capture.
+        self.round_crashed: List[Optional[int]] = [None] * n
+        #: Ball indices whose broadcast was partially dropped by omission
+        #: in the most recent round (trace capture; rebuilt every step).
+        self.last_omitters: List[int] = []
         self._rngs: List[Optional[_MTRandom]] = [None] * n
         self._class_of: List[Optional[_ClassView]] = [None] * n
         self._crashed_count = 0
@@ -705,6 +714,7 @@ class ColumnarCrashEngine:
         for victim in plan:
             j = self._index_of[victim]
             crashed[j] = True
+            self.round_crashed[j] = round_no
             self._crashed_count += 1
             if not halted[j]:
                 self.running_count -= 1
@@ -743,6 +753,7 @@ class ColumnarCrashEngine:
             j for j in self._input_order if not crashed[j] and not halted[j]
         ]
         self.last_omissions = 0
+        self.last_omitters = []
         if fault.omissions:
             receiver_pids = {labels[j] for j in receivers}
             for sender in fault.omissions:
@@ -753,6 +764,7 @@ class ColumnarCrashEngine:
                 if drops:
                     self.last_omissions += drops
                     self.silenced_round.setdefault(j, round_no)
+                    self.last_omitters.append(j)
         # Distinct delivery camps: victims usually share receiver sets
         # (split-mode adversaries build two), so a receiver's signature
         # is a function of its camp-membership pattern, computed with
@@ -840,6 +852,18 @@ class ColumnarCrashEngine:
                     halted[j] = True
                     self.running_count -= 1
         self.last_running = self.running_count
+
+    def positions(self) -> List[int]:
+        """Every ball's current tree node, by label rank (trace capture).
+
+        A ball with no class view yet (crashed before its first delivery)
+        reads as still at the root.
+        """
+        root = self._arr.root
+        return [
+            root if cv is None else cv.pos[j]
+            for j, cv in enumerate(self._class_of)
+        ]
 
     # -------------------------------------------------------------- adversary
     def _plan_faults(

@@ -1,19 +1,112 @@
-"""Per-phase tree statistics, feeding the Lemma 6 / Lemma 10 experiments.
+"""Per-phase tree statistics and runtime stage telemetry.
 
-The observer samples a *reference view* (the lowest-labelled ball still
-alive) after every position round — the moment the paper's per-phase
-quantities are well defined — and records the measures used in the
-complexity analysis: ``bmax`` (Lemma 6), the maximum path population
-(Lemmas 9-10), and how many balls have reached leaves.
+Two instrumentation layers live here:
+
+* :class:`TreeStatsObserver` samples a *reference view* (the lowest-
+  labelled ball still alive) after every position round — the moment the
+  paper's per-phase quantities are well defined — and records the
+  measures used in the complexity analysis: ``bmax`` (Lemma 6), the
+  maximum path population (Lemmas 9-10), and how many balls have reached
+  leaves.
+
+* :class:`StageTimers` is lightweight wall-clock telemetry over the
+  runtime's hot stages (RNG ``seeding``, MT ``twist`` passes, engine
+  ``movement`` rounds, ``monitor`` screens).  It is **off by default**
+  and costs one attribute read per hook when disabled.  Timings are
+  wall-clock by nature, so they never touch a result row — the CLI
+  emits them as a separate trailing ``telemetry`` jsonl record, and
+  lint rule D106 statically bans clock reads inside trace/telemetry
+  *payload* recording.  The module-level :data:`TIMERS` collector is
+  per-process: under the process executor it observes the coordinating
+  process only (worker time shows up as executor elapsed, not stages).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from repro.core.views import SharedViewStore, ViewStore
 from repro.errors import SimulationError
+
+#: The runtime stages :class:`StageTimers` knows how to attribute.
+TELEMETRY_STAGES = ("seeding", "twist", "movement", "monitor")
+
+
+@dataclass
+class StageStats:
+    """Accumulated wall-clock time and call count for one stage."""
+
+    calls: int = 0
+    seconds: float = 0.0
+
+
+@dataclass
+class StageTimers:
+    """Opt-in per-stage wall-clock accumulators (see module docstring).
+
+    Usage at a hook site::
+
+        started = TIMERS.start()
+        ...the timed stage...
+        TIMERS.stop("movement", started)
+
+    ``start`` returns 0.0 when disabled, and ``stop`` is then a no-op;
+    both clock reads live inside this class so hook sites stay free of
+    wall-clock calls (and of D102 waivers).
+    """
+
+    enabled: bool = False
+    stages: Dict[str, StageStats] = field(default_factory=dict)
+
+    def enable(self) -> None:
+        """Start collecting (cleared first, so snapshots are per-run)."""
+        self.reset()
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        self.stages.clear()
+
+    def start(self) -> float:
+        """A stage start mark, or 0.0 when telemetry is off."""
+        if not self.enabled:
+            return 0.0
+        # repro: lint-ok[D102] wall-clock telemetry only; stage timings never feed a result row or an RNG
+        return time.perf_counter()
+
+    def stop(self, stage: str, started: float) -> None:
+        """Attribute the time since ``started`` to ``stage``."""
+        if not self.enabled:
+            return
+        # repro: lint-ok[D102] wall-clock telemetry only; stage timings never feed a result row or an RNG
+        elapsed = time.perf_counter() - started
+        stats = self.stages.get(stage)
+        if stats is None:
+            stats = self.stages[stage] = StageStats()
+        stats.calls += 1
+        stats.seconds += elapsed
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """JSON-ready ``{stage: {calls, seconds}}`` in stage order."""
+        ordered = [s for s in TELEMETRY_STAGES if s in self.stages]
+        ordered += sorted(set(self.stages) - set(TELEMETRY_STAGES))
+        return {
+            stage: {
+                "calls": self.stages[stage].calls,
+                "seconds": self.stages[stage].seconds,
+            }
+            for stage in ordered
+        }
+
+
+#: The process-wide collector every hook reports to.  Enable with
+#: ``TIMERS.enable()`` (the CLI's ``--telemetry`` flag does) and read
+#: with ``TIMERS.snapshot()``.
+TIMERS = StageTimers()
 
 
 @dataclass(frozen=True)

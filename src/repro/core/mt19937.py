@@ -48,6 +48,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from concurrent.futures import ThreadPoolExecutor
 
 from repro import config as repro_config
+from repro.core.instrumentation import TIMERS
 
 try:  # pragma: no cover - exercised via the no-numpy CI leg
     import numpy as np
@@ -259,6 +260,7 @@ def seed_states(seeds: Sequence[int]) -> "np.ndarray":
     the same vectorized mixing loops on its column group, so a bank is
     never reduced to stream-at-a-time scalar reproduction.
     """
+    timer_started = TIMERS.start()
     uniform64 = isinstance(seeds, np.ndarray) and seeds.dtype == np.uint64
     if uniform64:
         seeds_arr = seeds
@@ -298,6 +300,7 @@ def seed_states(seeds: Sequence[int]) -> "np.ndarray":
                 keys[j, col] = np.uint32((word + j) & 0xFFFFFFFF)
         _mix_group(group, keys)
         mt[:, idx] = group
+    TIMERS.stop("seeding", timer_started)
     return mt
 
 
@@ -385,6 +388,7 @@ class MTStreamBank:
 
     def _extend(self, doubles: int) -> None:
         """Produce ``doubles`` more values for every stream."""
+        timer_started = TIMERS.start()
         while doubles > 0:
             take = min(doubles, DOUBLES_PER_GENERATION - self._words_done // 2)
             if take == 0:
@@ -414,6 +418,7 @@ class MTStreamBank:
             np.multiply(a, 1.0 / 9007199254740992.0, out=out)
             self._produced += take
             doubles -= take
+        TIMERS.stop("twist", timer_started)
 
     # ------------------------------------------------------------ consumption
     def draws(self, idx: "np.ndarray") -> "np.ndarray":

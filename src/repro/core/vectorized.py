@@ -823,6 +823,8 @@ class VectorizedCrashEngine:
         self.decision = np.full(S, -1, dtype=np.int32)
         self.round_named = np.full(S, -1, dtype=np.int32)
         self.round_halted = np.full(S, -1, dtype=np.int32)
+        #: Round each ball crashed (-1 = survived) — trace capture.
+        self.round_crashed = np.full(S, -1, dtype=np.int32)
         #: Row of each *running* ball's view class in the class matrices
         #: (-1 before round 1 and for non-running balls).
         self.cls_of = np.full(S, -1, dtype=np.int64)
@@ -1192,6 +1194,7 @@ class VectorizedCrashEngine:
                 j = self._index_of[pid]
                 s = base + j
                 self.crashed[s] = True
+                self.round_crashed[s] = round_no
                 self.crashed_count[t] += 1
                 if not self.halted[s]:
                     self.running[t] -= 1

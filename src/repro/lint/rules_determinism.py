@@ -242,6 +242,79 @@ class IdentityOrdering(Rule):
 
 
 @register
+class UnstableTracePayload(Rule):
+    """D106: unstable values recorded into trace/telemetry payloads."""
+
+    rule_id = "D106"
+    title = "unstable value in a recorded event payload"
+    rationale = (
+        "Traces and telemetry records are compared across kernels and "
+        "re-runs (the differential suite pins full-vs-cheap equality, "
+        "and scenario replays diff against stored traces), so a payload "
+        "built inside a .record(...) call must be a function of spec + "
+        "seed only.  Wall-clock reads, id()/hash() values, set displays, "
+        "and dict views all vary run to run or interpreter to "
+        "interpreter; compute timings outside the payload (StageTimers "
+        "passes precomputed deltas) and sort collections before "
+        "recording them."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[LintViolation]:
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "record"
+            ):
+                continue
+            for argument in [*node.args, *(kw.value for kw in node.keywords)]:
+                yield from self._check_payload(ctx, argument)
+
+    def _check_payload(
+        self, ctx: ModuleContext, payload: ast.AST
+    ) -> Iterator[LintViolation]:
+        for node in ast.walk(payload):
+            if _is_set_like(node):
+                yield self.violation(
+                    ctx,
+                    node,
+                    "set in a recorded payload: its iteration order "
+                    "follows item hashes; record sorted(...) instead",
+                )
+                continue
+            view = _is_dict_view(node)
+            if view is not None:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f".{view}() view in a recorded payload serializes in "
+                    "insertion order; record a sorted sequence instead",
+                )
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = ctx.dotted(node.func)
+            if dotted in _WALL_CLOCK:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"{dotted}() inside a recorded payload: timings "
+                    "belong in telemetry deltas computed outside the "
+                    "record call, never in event data",
+                )
+            elif isinstance(node.func, ast.Name) and node.func.id in (
+                "id",
+                "hash",
+            ):
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"{node.func.id}() inside a recorded payload varies "
+                    "per process; use a stable key",
+                )
+
+
+@register
 class EnvOutsideSeam(Rule):
     """D105: ``os.environ`` touched outside the :mod:`repro.config` seam."""
 

@@ -1,0 +1,219 @@
+"""Scenario files: a mined counterexample as one round-trippable bundle.
+
+A hunt ends with a shrunk :class:`~repro.search.schedule.Schedule`, the
+trial seed it fired under, and a pile of run configuration — enough to
+reproduce the find, but scattered across a jsonl footer and a pytest
+snippet.  A *scenario file* packs all of it into a single JSON document:
+
+* the full :class:`~repro.sim.batch.TrialSpec` (algorithm, n, seed,
+  halt-on-name, crash budget, kernel/monitor/trace knobs),
+* the fault schedule as :meth:`Schedule.to_dict` — editable by hand,
+* an optional pointer to the trace file captured on the replay
+  (content-addressed by the spec digest, see
+  :func:`repro.sim.trace.trace_filename`),
+* a free-form ``meta`` block recording what the original run observed
+  (rounds, failures, error, objective score) so a replay can be checked
+  against it.
+
+Loading is deliberately schedule-first: when the document carries a
+``schedule`` block, the adversary spec is rebuilt *from that block* —
+not from the serialized adversary — so editing the event list in the
+file (move a crash a round later, drop a receiver) and replaying is the
+supported perturb-and-replay workflow.  ``repro explore --replay`` rides
+exactly this path, then certifies the edited run with the same
+reference-vs-columnar byte-identity check the hunt used
+(:func:`repro.search.shrink.replay_identical`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.errors import ConfigurationError
+from repro.search.schedule import Schedule
+from repro.sim.batch import AdversarySpec, TrialResult, TrialSpec
+
+#: Serialized scenario format marker (the ``format`` key of every file).
+SCENARIO_FORMAT = "repro-scenario/1"
+
+
+def scenario_filename(digest: str, *, prefix: str = "scenario") -> str:
+    """Canonical scenario file name for a spec digest."""
+    return f"{prefix}-{digest}.json"
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One reproducible execution: spec + schedule + trace pointer + meta."""
+
+    spec: TrialSpec
+    #: The fault schedule, when the adversary is a scripted one.  This is
+    #: the authoritative copy: loading rebuilds the adversary spec from
+    #: it, so hand-edits to the serialized event list take effect.
+    schedule: Optional[Schedule] = None
+    #: Path of the trace file captured for this execution (relative paths
+    #: resolve against the scenario file's directory), or None.
+    trace_path: Optional[str] = None
+    #: The spec digest the trace file is content-addressed by.
+    trace_digest: Optional[str] = None
+    #: What the original run observed (rounds, failures, error, score...).
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def from_trial(
+        cls,
+        spec: TrialSpec,
+        result: Optional[TrialResult] = None,
+        *,
+        schedule: Optional[Schedule] = None,
+        trace_path: Optional[str] = None,
+        **meta: Any,
+    ) -> "Scenario":
+        """Bundle a trial (and optionally its result) into a scenario.
+
+        When ``result`` is given, its headline observations are recorded
+        in ``meta`` so a later replay can be checked against them.
+        """
+        if result is not None:
+            meta.setdefault("rounds", result.rounds)
+            meta.setdefault("failures", result.failures)
+            meta.setdefault("messages_sent", result.messages_sent)
+            meta.setdefault("last_round_named", result.last_round_named)
+            if result.error is not None:
+                meta.setdefault("error", result.error)
+        return cls(
+            spec=spec,
+            schedule=schedule,
+            trace_path=trace_path,
+            trace_digest=spec.digest() if trace_path else None,
+            meta=meta,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready encoding (inverse of :meth:`from_dict`)."""
+        spec = self.spec
+        adversary: Dict[str, Any] = {"name": spec.adversary.name}
+        if spec.adversary.label is not None:
+            adversary["label"] = spec.adversary.label
+        if spec.adversary.name != "schedule" and spec.adversary.params:
+            # Schedule params duplicate the schedule block (which is the
+            # copy loading honors), so they are not serialized twice.
+            adversary["params"] = dict(spec.adversary.params)
+        document: Dict[str, Any] = {
+            "format": SCENARIO_FORMAT,
+            "spec": {
+                "algorithm": spec.algorithm,
+                "n": spec.n,
+                "seed": spec.seed,
+                "adversary": adversary,
+                "halt_on_name": spec.halt_on_name,
+                "crash_budget": spec.crash_budget,
+                "check": spec.check,
+                "kernel": spec.kernel,
+                "capture_errors": spec.capture_errors,
+                "monitor": spec.monitor,
+                "trace": spec.trace,
+                "digest": spec.digest(),
+            },
+            "schedule": (
+                None if self.schedule is None else self.schedule.to_dict()
+            ),
+            "trace": (
+                None
+                if self.trace_path is None
+                else {"path": self.trace_path, "digest": self.trace_digest}
+            ),
+            "meta": {key: self.meta[key] for key in sorted(self.meta)},
+        }
+        return document
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Scenario":
+        """Decode a scenario document.
+
+        The adversary is rebuilt from the ``schedule`` block when one is
+        present — the perturb-and-replay contract: edits to the event
+        list win over whatever adversary spec was serialized alongside.
+        """
+        if data.get("format") != SCENARIO_FORMAT:
+            raise ConfigurationError(
+                f"not a {SCENARIO_FORMAT} document "
+                f"(format={data.get('format')!r})"
+            )
+        raw_spec = data.get("spec")
+        if not isinstance(raw_spec, dict):
+            raise ConfigurationError("scenario document has no 'spec' block")
+        schedule = None
+        raw_schedule = data.get("schedule")
+        if raw_schedule is not None:
+            schedule = Schedule.from_dict(raw_schedule)
+        raw_adversary = raw_spec.get("adversary") or {"name": "none"}
+        if schedule is not None:
+            label = raw_adversary.get("label")
+            if label is not None and label.startswith("schedule:"):
+                # Auto-generated digest label; regenerate so a hand-edit
+                # to the event list is not mislabeled with the old hash.
+                label = None
+            adversary = schedule.spec(label)
+        else:
+            adversary = AdversarySpec.of(
+                raw_adversary.get("name", "none"),
+                label=raw_adversary.get("label"),
+                **(raw_adversary.get("params") or {}),
+            )
+        spec = TrialSpec(
+            algorithm=raw_spec["algorithm"],
+            n=int(raw_spec["n"]),
+            seed=int(raw_spec["seed"]),
+            adversary=adversary,
+            halt_on_name=bool(raw_spec.get("halt_on_name", False)),
+            crash_budget=raw_spec.get("crash_budget"),
+            check=bool(raw_spec.get("check", True)),
+            kernel=raw_spec.get("kernel", "auto"),
+            capture_errors=bool(raw_spec.get("capture_errors", False)),
+            monitor=raw_spec.get("monitor", "off"),
+            trace=raw_spec.get("trace", "off"),
+        )
+        trace_pointer = data.get("trace") or {}
+        return cls(
+            spec=spec,
+            schedule=schedule,
+            trace_path=trace_pointer.get("path"),
+            trace_digest=trace_pointer.get("digest"),
+            meta=dict(data.get("meta") or {}),
+        )
+
+    def to_json(self) -> str:
+        """Pretty-printed document — scenario files are meant to be edited."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=False)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        return cls.from_dict(json.loads(text))
+
+
+def write_scenario(scenario: Scenario, path: str) -> None:
+    """Write a scenario document to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(scenario.to_json())
+        handle.write("\n")
+
+
+def load_scenario(path: str) -> Scenario:
+    """Read a scenario document back (see :meth:`Scenario.from_dict`)."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except OSError as error:
+        raise ConfigurationError(
+            f"cannot read scenario file {path}: {error}"
+        ) from None
+    except json.JSONDecodeError as error:
+        raise ConfigurationError(
+            f"{path}: not valid JSON ({error})"
+        ) from None
+    if not isinstance(data, dict):
+        raise ConfigurationError(f"{path}: expected a JSON object")
+    return Scenario.from_dict(data)

@@ -35,6 +35,7 @@ keep the per-trial path and its ``auto`` kernel selection.
 from __future__ import annotations
 
 import ast
+import hashlib
 import multiprocessing
 import operator
 import os
@@ -76,6 +77,7 @@ from repro.errors import (
 from repro.ids import Name, ProcessId, sparse_ids
 from repro.sim.rng import derive_seed
 from repro.sim.runner import ALGORITHMS, default_round_limit, run_renaming
+from repro.sim.trace import Trace, check_trace_mode
 
 # --------------------------------------------------------------- seed schedules
 
@@ -342,11 +344,38 @@ class TrialSpec:
     #: Runtime invariant monitoring ("off"/"cheap"/"full"); findings land
     #: in :attr:`TrialResult.violations` and the jsonl rows.
     monitor: str = "off"
+    #: Event capture ("off"/"cheap"/"full"); a cheap trace rides the fast
+    #: kernels, a full one pins the reference engine.  The recorded trace
+    #: lands in :attr:`TrialResult.trace`.
+    trace: str = "off"
 
     @property
     def cell(self) -> CellKey:
         """The matrix cell this trial belongs to."""
         return CellKey(self.algorithm, self.n, self.adversary.key)
+
+    def digest(self) -> str:
+        """Short content address of the *execution* this spec describes.
+
+        Covers exactly the fields that determine the run's outcome
+        (algorithm, n, seed, adversary, halt_on_name, crash_budget,
+        kernel-visible knobs) — observation modes (``trace``,
+        ``monitor``) and error handling (``check``, ``capture_errors``)
+        are excluded, since the byte-identity guarantees pin that they
+        never change results.  Trace and scenario files are
+        content-addressed by this digest.
+        """
+        canonical = repr(
+            (
+                self.algorithm,
+                self.n,
+                self.seed,
+                self.adversary.key,
+                self.halt_on_name,
+                self.crash_budget,
+            )
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
 
 
 @dataclass(frozen=True)
@@ -383,6 +412,13 @@ class TrialResult:
     #: The adversary's declared :class:`~repro.adversary.base.FaultBudget`
     #: rendered compactly ("omissions=48,delay_bound=2"; "" = default).
     fault_budget: str = ""
+    #: The recorded event trace when the spec asked for one (None under
+    #: ``trace="off"``; captured-error rows keep the events recorded up
+    #: to the failure).  Rows serialize the
+    #: spec's trace *mode*; the events themselves persist through the
+    #: trace-file writers, content-addressed by ``spec.digest()``.  The
+    #: row carries the spec's trace *mode*, not the events.
+    trace: Optional[Trace] = None
 
     @property
     def cell(self) -> CellKey:
@@ -418,6 +454,7 @@ class TrialResult:
             "delayed": self.delayed,
             "corrupted": self.corrupted,
             "fault_budget": self.fault_budget,
+            "trace": self.spec.trace,
         }
 
 
@@ -436,6 +473,7 @@ def run_trial(spec: TrialSpec) -> TrialResult:
             check=spec.check,
             kernel=spec.kernel,
             monitor=spec.monitor,
+            trace=spec.trace,
         )
     except (SimulationError, SpecViolation) as error:
         if not spec.capture_errors:
@@ -463,6 +501,10 @@ def run_trial(spec: TrialSpec) -> TrialResult:
                 v.render() for v in getattr(error, "violations", ())
             ),
             fault_budget=fault_budget,
+            # The events recorded up to the failure (runner hangs the
+            # sink on the error): a deadlock's trace is the interesting
+            # one, so captured-error rows keep it.
+            trace=getattr(error, "partial_trace", None),
         )
     return TrialResult(
         spec=spec,
@@ -479,6 +521,7 @@ def run_trial(spec: TrialSpec) -> TrialResult:
         delayed=run.metrics.total_delayed,
         corrupted=run.metrics.total_corruptions,
         fault_budget=fault_budget,
+        trace=run.trace,
     )
 
 
@@ -520,6 +563,7 @@ def _cell_config(spec: TrialSpec) -> Tuple[Any, ...]:
         spec.kernel,
         spec.capture_errors,
         spec.monitor,
+        spec.trace,
     )
 
 
@@ -540,6 +584,7 @@ def _mixed_cell_config(spec: TrialSpec) -> Tuple[Any, ...]:
         spec.kernel,
         spec.capture_errors,
         spec.monitor,
+        spec.trace,
     )
 
 
@@ -566,6 +611,8 @@ def _stackable(spec: TrialSpec) -> bool:
         crash_budget=budget,
         halt_on_name=spec.halt_on_name,
         monitor=spec.monitor,
+        trace=None if spec.trace == "off" else Trace(),
+        trace_mode=spec.trace,
     )
     return cell_rejection(request) is None
 
@@ -691,6 +738,7 @@ def run_cell(specs: Sequence[TrialSpec]) -> List[TrialResult]:
                 violations=tuple(
                     v.render() for v in cell.violations(t)
                 ),
+                trace=cell.trace(t) if spec.trace == "cheap" else None,
             )
         )
     return results
@@ -785,6 +833,9 @@ def _run_crash_cell(
                 kernel="vectorized",
                 monitor=trial_spec.monitor,
                 violations=(),
+                trace=(
+                    cell.trace(t) if trial_spec.trace == "cheap" else None
+                ),
             )
         )
     return results
@@ -928,6 +979,7 @@ class ScenarioMatrix:
     capture_errors: bool = False
     kernel: str = "auto"
     monitor: str = "off"
+    trace: str = "off"
 
     @classmethod
     def build(
@@ -945,6 +997,7 @@ class ScenarioMatrix:
         capture_errors: bool = False,
         kernel: str = "auto",
         monitor: str = "off",
+        trace: str = "off",
     ) -> "ScenarioMatrix":
         """Validate and normalize a grid definition."""
         algorithms = tuple(algorithms)
@@ -975,6 +1028,7 @@ class ScenarioMatrix:
         from repro.monitor.invariants import check_monitor_mode
 
         check_monitor_mode(monitor)
+        check_trace_mode(trace)
         return cls(
             algorithms=algorithms,
             sizes=sizes,
@@ -988,6 +1042,7 @@ class ScenarioMatrix:
             capture_errors=capture_errors,
             kernel=kernel,
             monitor=monitor,
+            trace=trace,
         )
 
     def __len__(self) -> int:
@@ -1018,6 +1073,7 @@ class ScenarioMatrix:
                                 capture_errors=self.capture_errors,
                                 kernel=self.kernel,
                                 monitor=self.monitor,
+                                trace=self.trace,
                             )
                         )
         return specs

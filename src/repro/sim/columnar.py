@@ -33,8 +33,13 @@ registry shared with :mod:`repro.search.schedule`, so searched schedules
 are eligible without re-declaration.  Custom adversary types may
 introspect process objects the fast path never materializes, so they are
 rejected and ``auto`` selection falls back to the reference kernel.  Also rejected (they observe reference-engine
-internals): traces, phase statistics, invariant checking, the
-paper-verbatim ``faithful`` view store, and non-BiL algorithms.
+internals): ``full`` traces, phase statistics, invariant checking, the
+paper-verbatim ``faithful`` view store, and non-BiL algorithms.  Cheap
+traces (``trace="cheap"``) stay on the fast path: each round's
+crash/omit/name/halt deltas and the position snapshot are appended
+straight from the engine's flat arrays, and the differential suite pins
+that they project onto the same shared event schema as the reference
+engine's full stream.
 """
 
 from __future__ import annotations
@@ -43,6 +48,7 @@ from typing import Optional
 
 from repro.adversary.certification import certification_failure
 from repro.adversary.none import NoFailures
+from repro.core.instrumentation import TIMERS
 from repro.errors import ConfigurationError, RoundLimitExceeded
 from repro.sim.kernel import KernelRequest, KernelRun, SimulationKernel
 from repro.sim.metrics import RoundMetrics, SimulationMetrics
@@ -66,8 +72,11 @@ class ColumnarKernel(SimulationKernel):
         )
         if failure is not None:
             return failure
-        if request.trace is not None:
-            return "trace recording observes the reference engine's events"
+        if request.trace is not None and request.trace_mode != "cheap":
+            return (
+                "full trace recording observes the reference engine's "
+                "message-level events; cheap tracing runs columnar"
+            )
         if request.collect_phase_stats:
             return "phase statistics observe the reference view store"
         if request.monitor == "full":
@@ -115,12 +124,14 @@ class ColumnarKernel(SimulationKernel):
         from repro.core.columnar import ColumnarBallsEngine
 
         n = request.n
+        timer_started = TIMERS.start()
         engine = ColumnarBallsEngine(
             request.ids,
             seed=request.seed,
             policy=request.policy,
             halt_on_name=request.halt_on_name,
         )
+        TIMERS.stop("seeding", timer_started)
         monitor = _build_monitor(request)
         metrics = SimulationMetrics()
         round_no = 0
@@ -129,11 +140,15 @@ class ColumnarKernel(SimulationKernel):
                 raise RoundLimitExceeded(request.max_rounds, engine.running_count)
             round_no += 1
             senders = engine.running_count
+            timer_started = TIMERS.start()
             engine.step(round_no)
+            TIMERS.stop("movement", timer_started)
             if monitor is not None:
                 from repro.monitor.invariants import observe_balls_engine
 
+                timer_started = TIMERS.start()
                 observe_balls_engine(monitor, engine, round_no)
+                TIMERS.stop("monitor", timer_started)
                 _abort_on_deadlock(monitor)
             # Failure-free: every running process broadcasts, every
             # running process receives every broadcast (self included).
@@ -147,6 +162,15 @@ class ColumnarKernel(SimulationKernel):
                     running_after=engine.running_count,
                 )
             )
+            if request.trace is not None:
+                _record_cheap_round(
+                    request.trace,
+                    engine,
+                    round_no,
+                    sent=senders,
+                    crashes=0,
+                    running=engine.running_count,
+                )
         labels = engine.labels
         decisions = {
             pid: engine.decision[j] for j, pid in enumerate(labels)
@@ -157,7 +181,7 @@ class ColumnarKernel(SimulationKernel):
             crashed=frozenset(),
             halted=frozenset(labels),
             metrics=metrics,
-            trace=None,
+            trace=request.trace,
             participants=frozenset(labels),
         )
         return KernelRun(
@@ -172,6 +196,7 @@ class ColumnarKernel(SimulationKernel):
     def _run_with_adversary(self, request: KernelRequest) -> KernelRun:
         from repro.core.columnar import ColumnarCrashEngine
 
+        timer_started = TIMERS.start()
         engine = ColumnarCrashEngine(
             request.ids,
             seed=request.seed,
@@ -180,6 +205,7 @@ class ColumnarKernel(SimulationKernel):
             adversary=request.adversary,
             crash_budget=request.crash_budget,
         )
+        TIMERS.stop("seeding", timer_started)
         monitor = _build_monitor(request)
         metrics = SimulationMetrics()
         round_no = 0
@@ -187,11 +213,15 @@ class ColumnarKernel(SimulationKernel):
             if round_no >= request.max_rounds:
                 raise RoundLimitExceeded(request.max_rounds, engine.running_count)
             round_no += 1
+            timer_started = TIMERS.start()
             engine.step(round_no)
+            TIMERS.stop("movement", timer_started)
             if monitor is not None:
                 from repro.monitor.invariants import observe_crash_engine
 
+                timer_started = TIMERS.start()
                 observe_crash_engine(monitor, engine, round_no)
+                TIMERS.stop("monitor", timer_started)
                 _abort_on_deadlock(monitor)
             metrics.record(
                 RoundMetrics(
@@ -204,6 +234,16 @@ class ColumnarKernel(SimulationKernel):
                     omissions=engine.last_omissions,
                 )
             )
+            if request.trace is not None:
+                _record_cheap_round(
+                    request.trace,
+                    engine,
+                    round_no,
+                    sent=engine.last_sent,
+                    crashes=engine.last_crashes,
+                    running=engine.last_running,
+                    omitters=engine.last_omitters,
+                )
         labels = engine.labels
         decisions = {
             pid: engine.decision[j] for j, pid in enumerate(labels)
@@ -220,7 +260,7 @@ class ColumnarKernel(SimulationKernel):
             crashed=crashed,
             halted=halted,
             metrics=metrics,
-            trace=None,
+            trace=request.trace,
             participants=frozenset(labels),
         )
         return KernelRun(
@@ -230,6 +270,37 @@ class ColumnarKernel(SimulationKernel):
             kernel=self.name,
             violations=[] if monitor is None else monitor.violations,
         )
+
+
+def _record_cheap_round(
+    trace, engine, round_no: int, *, sent: int, crashes: int, running: int,
+    omitters=(),
+) -> None:
+    """Append one round's cheap events from the engine's flat arrays.
+
+    Event order within a round is fixed (crash, omit, name, halt, pos,
+    round) and pid order within a kind is label-rank order — the
+    ``shared_events`` projection sorts, so this only pins the serialized
+    layout, not equivalence with the reference stream.
+    """
+    labels = engine.labels
+    round_crashed = getattr(engine, "round_crashed", None)
+    if round_crashed is not None:
+        for j, crashed_at in enumerate(round_crashed):
+            if crashed_at == round_no:
+                trace.record(round_no, "crash", pid=labels[j])
+    for j in omitters:
+        trace.record(round_no, "omit", pid=labels[j])
+    for j, named_at in enumerate(engine.round_named):
+        if named_at == round_no:
+            trace.record(round_no, "name", pid=labels[j], name=engine.decision[j])
+    for j, halted_at in enumerate(engine.round_halted):
+        if halted_at == round_no:
+            trace.record(
+                round_no, "halt", pid=labels[j], decision=engine.decision[j]
+            )
+    trace.record(round_no, "pos", nodes=engine.positions())
+    trace.record(round_no, "round", sent=sent, crashes=crashes, running=running)
 
 
 def _build_monitor(request: KernelRequest):

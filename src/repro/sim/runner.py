@@ -21,7 +21,7 @@ from repro.sim.checker import RenamingSpec, check_renaming
 from repro.sim.kernel import KernelRequest, select_kernel
 from repro.sim.metrics import SimulationMetrics
 from repro.sim.simulator import SimulationResult
-from repro.sim.trace import Trace
+from repro.sim.trace import Trace, check_trace_mode
 
 @dataclass(frozen=True)
 class Workload:
@@ -87,6 +87,8 @@ class RenamingRun:
     kernel: str = "reference"
     #: The monitor mode the run executed under, after resolution.
     monitor: str = "off"
+    #: The trace mode the run executed under ("off"/"cheap"/"full").
+    trace_mode: str = "off"
     #: Structured :class:`repro.monitor.invariants.Violation` records the
     #: run's monitors collected (always empty on a correct run).
     violations: List[Any] = field(default_factory=list)
@@ -109,7 +111,7 @@ def run_renaming(
     check: bool = True,
     check_invariants: bool = False,
     collect_phase_stats: bool = False,
-    trace: Optional[Trace] = None,
+    trace: Optional[Any] = None,
     max_rounds: Optional[int] = None,
     kernel: str = "auto",
     monitor: str = "off",
@@ -141,6 +143,16 @@ def run_renaming(
         Attach a :class:`~repro.core.instrumentation.TreeStatsObserver`
         (BiL-based algorithms only; keeps the run on the reference
         kernel).
+    trace:
+        Event capture: ``None``/``"off"`` (default, records nothing),
+        ``"cheap"`` (per-round deltas appended from the fast kernels'
+        flat arrays — crash/omit/name/halt events plus the round
+        aggregates; available on every kernel), or ``"full"`` (the
+        reference engine's message-level instrumentation; pins the
+        reference kernel).  A pre-built :class:`~repro.sim.trace.Trace`
+        instance is the legacy spelling of ``"full"`` recording into
+        that sink.  The recorded trace is returned as
+        ``RenamingRun.trace``.
     kernel:
         ``"auto"`` (default) runs the columnar fast path whenever it
         models the run and the reference engine otherwise;
@@ -174,6 +186,15 @@ def run_renaming(
         # reference engine; now it routes to the cheap columnar monitors
         # (pin monitor="full" to keep the faithful reference audit).
         monitor = "cheap"
+    if trace is None:
+        trace_mode, trace_sink = "off", None
+    elif isinstance(trace, Trace):
+        # Legacy spelling: a caller-owned sink implies the reference
+        # engine's full message-level instrumentation.
+        trace_mode, trace_sink = "full", trace
+    else:
+        trace_mode = check_trace_mode(trace)
+        trace_sink = Trace() if trace_mode != "off" else None
     budget = n - 1 if crash_budget is None else crash_budget
     workload = WORKLOADS[algorithm]
     policy = workload.policy
@@ -204,18 +225,33 @@ def run_renaming(
         halt_on_name=halt_on_name,
         check_invariants=check_invariants,
         collect_phase_stats=collect_phase_stats,
-        trace=trace,
+        trace=trace_sink,
+        trace_mode=trace_mode,
         monitor=monitor,
     )
     engine = select_kernel(kernel, request)
-    run = engine.run(request)
+    try:
+        run = engine.run(request)
+    except Exception as error:
+        if trace_sink is not None:
+            # A deadlocked or violating run is exactly what hunts mine;
+            # hang the partial trace on the error so capture_errors rows
+            # (and the timeline explorer) can still show the event
+            # stream up to the failure.
+            error.partial_trace = trace_sink
+        raise
     result = run.result
-    if check_invariants and run.violations:
-        from repro.errors import MonitorViolation
+    try:
+        if check_invariants and run.violations:
+            from repro.errors import MonitorViolation
 
-        raise MonitorViolation(run.violations)
-    if check and workload.renaming:
-        check_renaming(result, RenamingSpec(n=n))
+            raise MonitorViolation(run.violations)
+        if check and workload.renaming:
+            check_renaming(result, RenamingSpec(n=n))
+    except Exception as error:
+        if trace_sink is not None:
+            error.partial_trace = trace_sink
+        raise
 
     names = {
         pid: name
@@ -233,9 +269,10 @@ def run_renaming(
         last_round_named=run.last_round_named,
         metrics=result.metrics,
         phase_stats=run.phase_stats,
-        trace=trace,
+        trace=trace_sink,
         result=result,
         kernel=run.kernel,
         monitor=monitor,
+        trace_mode=trace_mode,
         violations=run.violations,
     )

@@ -31,6 +31,7 @@ from typing import Hashable, Optional, Sequence
 from repro.adversary.certification import certification_failure
 from repro.adversary.none import NoFailures
 from repro.core.config import BallsIntoLeavesConfig
+from repro.core.instrumentation import TIMERS
 from repro.core.mt19937 import HAVE_NUMPY
 from repro.errors import ConfigurationError, RoundLimitExceeded
 from repro.sim.checker import RenamingSpec, check_renaming
@@ -38,6 +39,7 @@ from repro.sim.kernel import KernelRequest, KernelRun, SimulationKernel
 from repro.sim.metrics import RoundMetrics, SimulationMetrics
 from repro.sim.runner import default_round_limit
 from repro.sim.simulator import SimulationResult
+from repro.sim.trace import Trace
 
 if HAVE_NUMPY:
     import numpy as np
@@ -126,6 +128,49 @@ class StackedCellRun:
             trace=None,
             participants=self._participants,
         )
+
+    def trace(self, t: int, sink: Optional[Trace] = None) -> Trace:
+        """Trial ``t``'s cheap trace, materialized from the stack's arrays.
+
+        Zero per-round capture cost: ``round_named``/``round_halted``
+        persist per ball and the metrics rows per round, so the event
+        stream is reconstructed post-hoc — and lazily, unless a ``sink``
+        is supplied: the per-event objects are only built for trials
+        whose timeline is actually read (the same pay-per-read contract
+        as :meth:`result`).  Carries the same vocabulary as the columnar
+        cheap trace minus the per-round ``pos`` snapshots (the stacked
+        engine's positions are transient).
+        """
+        if sink is None:
+            return Trace(lambda trace: self._decode_trace(t, trace))
+        self._decode_trace(t, sink)
+        return sink
+
+    def _decode_trace(self, t: int, trace: Trace) -> None:
+        n = self.n
+        labels = self.labels
+        named = self.round_named[t].tolist()
+        halted = self._engine.round_halted.reshape(self.trials, n)[t].tolist()
+        decisions = self.decisions[t].tolist()
+        named_by: dict = {}
+        halted_by: dict = {}
+        for j in range(n):
+            if named[j] >= 0:
+                named_by.setdefault(named[j], []).append(j)
+            if halted[j] >= 0:
+                halted_by.setdefault(halted[j], []).append(j)
+        for r in range(1, int(self.rounds[t]) + 1):
+            for j in named_by.get(r, ()):
+                trace.record(r, "name", pid=labels[j], name=decisions[j])
+            for j in halted_by.get(r, ()):
+                trace.record(r, "halt", pid=labels[j], decision=decisions[j])
+            trace.record(
+                r,
+                "round",
+                sent=int(self._senders[r - 1, t]),
+                crashes=0,
+                running=int(self._running_after[r - 1, t]),
+            )
 
     def check(self) -> None:
         """Renaming-spec check for every trial, vectorized.
@@ -240,6 +285,53 @@ class StackedCrashCellRun:
             participants=self._participants,
         )
 
+    def trace(self, t: int, sink: Optional[Trace] = None) -> Trace:
+        """Trial ``t``'s cheap trace (crash vocabulary, post-hoc).
+
+        Crash rounds come from the engine's ``round_crashed`` column;
+        naming/halting from the persistent per-ball round arrays; the
+        per-round aggregates from the same metrics rows ``metrics(t)``
+        reads — so the stream is bit-consistent with the per-trial
+        kernels by the existing differential guarantee.  Lazy unless a
+        ``sink`` is supplied (see :meth:`StackedCellRun.trace`).
+        """
+        if sink is None:
+            return Trace(lambda trace: self._decode_trace(t, trace))
+        self._decode_trace(t, sink)
+        return sink
+
+    def _decode_trace(self, t: int, trace: Trace) -> None:
+        n = self.n
+        labels = self.labels
+        crashed = self._engine.round_crashed.reshape(self.trials, n)[t].tolist()
+        named = self.round_named[t].tolist()
+        halted = self._engine.round_halted.reshape(self.trials, n)[t].tolist()
+        decisions = self.decisions[t].tolist()
+        crashed_by: dict = {}
+        named_by: dict = {}
+        halted_by: dict = {}
+        for j in range(n):
+            if crashed[j] >= 0:
+                crashed_by.setdefault(crashed[j], []).append(j)
+            if named[j] >= 0:
+                named_by.setdefault(named[j], []).append(j)
+            if halted[j] >= 0:
+                halted_by.setdefault(halted[j], []).append(j)
+        for r in range(1, int(self.rounds[t]) + 1):
+            for j in crashed_by.get(r, ()):
+                trace.record(r, "crash", pid=labels[j])
+            for j in named_by.get(r, ()):
+                trace.record(r, "name", pid=labels[j], name=decisions[j])
+            for j in halted_by.get(r, ()):
+                trace.record(r, "halt", pid=labels[j], decision=decisions[j])
+            trace.record(
+                r,
+                "round",
+                sent=int(self._sent[r - 1, t]),
+                crashes=int(self._crashes[r - 1, t]),
+                running=int(self._running[r - 1, t]),
+            )
+
     def check_trial(self, t: int) -> None:
         """Renaming-spec check of one trial with the scalar wording."""
         check_renaming(self.result(t), RenamingSpec(n=self.n))
@@ -327,7 +419,12 @@ def run_stacked_cell(
             crash_budget=budget,
             max_rounds=limit,
         )
+        # Telemetry: "movement" on the stacked path is the whole array
+        # program, inclusive of the nested "twist" passes the stream
+        # bank runs on demand (seeding was attributed at construction).
+        timer_started = TIMERS.start()
         engine.run()
+        TIMERS.stop("movement", timer_started)
         return StackedCrashCellRun(engine, seeds)
     from repro.core.vectorized import VectorizedCellEngine
 
@@ -343,8 +440,24 @@ def run_stacked_cell(
         from repro.monitor.invariants import StackedMonitor
 
         observer = StackedMonitor(engine)
-    engine.run(observer=observer)
+    timer_started = TIMERS.start()
+    engine.run(observer=_timed_monitor(observer))
+    TIMERS.stop("movement", timer_started)
     return StackedCellRun(engine, seeds, monitor=observer)
+
+
+def _timed_monitor(observer):
+    """Wrap a stacked-monitor observer so its screens report as the
+    ``monitor`` telemetry stage (nested inside stacked ``movement``)."""
+    if observer is None or not TIMERS.enabled:
+        return observer
+
+    def observe(engine, round_no, active):
+        timer_started = TIMERS.start()
+        observer(engine, round_no, active)
+        TIMERS.stop("monitor", timer_started)
+
+    return observe
 
 
 class VectorizedKernel(SimulationKernel):
@@ -369,8 +482,11 @@ class VectorizedKernel(SimulationKernel):
                 "monitors observe per-trial crash engines; stacked crash "
                 "cells run unmonitored"
             )
-        if request.trace is not None:
-            return "trace recording observes the reference engine's events"
+        if request.trace is not None and request.trace_mode != "cheap":
+            return (
+                "full trace recording observes the reference engine's "
+                "message-level events; cheap tracing runs stacked"
+            )
         if request.collect_phase_stats:
             return "phase statistics observe the reference view store"
         if request.monitor == "full":
@@ -420,6 +536,8 @@ class VectorizedKernel(SimulationKernel):
             raise RoundLimitExceeded(
                 request.max_rounds, int(cell.running_at_limit[0])
             )
+        if request.trace is not None:
+            cell.trace(0, sink=request.trace)
         return KernelRun(
             result=cell.result(0),
             last_round_named=cell.last_round_named(0),

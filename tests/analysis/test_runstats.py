@@ -1,0 +1,140 @@
+"""`repro stats`: jsonl aggregation and telemetry summaries."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.runstats import (
+    load_rows,
+    render_stats,
+    split_telemetry,
+    telemetry_table,
+    trial_table,
+)
+from repro.errors import ReproError
+
+
+def _trial_row(rounds, *, algorithm="balls-into-leaves", n=8,
+               adversary="none", error=None, violations=0):
+    return {
+        "algorithm": algorithm,
+        "n": n,
+        "adversary": adversary,
+        "rounds": rounds,
+        "error": error,
+        "violations": violations,
+    }
+
+
+def _telemetry_row(**stages):
+    return {
+        "kind": "telemetry",
+        "stages": {
+            name: {"calls": calls, "seconds": seconds}
+            for name, (calls, seconds) in stages.items()
+        },
+        "elapsed": 1.25,
+        "executor": "serial",
+    }
+
+
+def _write_jsonl(path, rows):
+    with open(path, "w", encoding="utf-8") as handle:
+        for row in rows:
+            handle.write(json.dumps(row) + "\n")
+    return str(path)
+
+
+class TestLoadAndSplit:
+    def test_load_rows_round_trips_jsonl(self, tmp_path):
+        rows = [_trial_row(5), _trial_row(7)]
+        path = _write_jsonl(tmp_path / "run.jsonl", rows)
+        assert load_rows(path) == rows
+
+    def test_load_rows_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ok": 1}\n{broken\n', encoding="utf-8")
+        with pytest.raises(ReproError):
+            load_rows(str(path))
+
+    def test_load_rows_missing_file(self, tmp_path):
+        with pytest.raises(ReproError):
+            load_rows(str(tmp_path / "nope.jsonl"))
+
+    def test_split_telemetry_partitions(self):
+        rows = [_trial_row(5), _telemetry_row(seeding=(2, 0.1)), _trial_row(6)]
+        data, telemetry = split_telemetry(rows)
+        assert [r["rounds"] for r in data] == [5, 6]
+        assert len(telemetry) == 1
+
+
+class TestTrialTable:
+    def test_groups_by_cell(self):
+        rows = (
+            [_trial_row(r) for r in (5, 7, 9)]
+            + [_trial_row(r, n=16, adversary="random") for r in (11, 13)]
+        )
+        table = trial_table(rows)
+        assert len(table.rows) == 2
+        rendered = table.render()
+        assert "n=8" in rendered and "n=16" in rendered
+
+    def test_reports_errors_and_round_stats(self):
+        rows = [
+            _trial_row(10),
+            _trial_row(30),
+            _trial_row(0, error="RoundLimitExceeded: ..."),
+        ]
+        table = trial_table(rows)
+        row = table.row_dicts()[0]
+        assert int(row["trials"]) == 3
+        assert int(row["errors"]) == 1
+
+    def test_empty_rows_yield_empty_table(self):
+        assert trial_table([]).rows == []
+
+
+class TestTelemetryTable:
+    def test_sums_stages_across_records(self):
+        table = telemetry_table([
+            _telemetry_row(seeding=(1, 0.2), movement=(10, 0.6)),
+            _telemetry_row(seeding=(1, 0.2), monitor=(5, 0.1)),
+        ])
+        rows = {row["stage"]: row for row in table.row_dicts()}
+        assert int(rows["seeding"]["calls"]) == 2
+        assert float(rows["seeding"]["seconds"]) == pytest.approx(0.4, abs=1e-3)
+        assert int(rows["movement"]["calls"]) == 10
+        # Shares sum to ~100% of the staged time.
+        shares = [float(r["share"].rstrip("%")) for r in rows.values()]
+        assert sum(shares) == pytest.approx(100.0, abs=1.0)
+
+
+class TestRenderStats:
+    def test_renders_counts_tables_and_elapsed(self, tmp_path):
+        path = _write_jsonl(
+            tmp_path / "run.jsonl",
+            [_trial_row(5), _trial_row(9),
+             _telemetry_row(seeding=(2, 0.3), movement=(20, 0.9))],
+        )
+        report = render_stats([path])
+        assert "run.jsonl" in report
+        assert "2 data row(s)" in report
+        assert "seeding" in report and "movement" in report
+        assert "total run elapsed" in report
+
+    def test_merges_multiple_files(self, tmp_path):
+        first = _write_jsonl(tmp_path / "a.jsonl", [_trial_row(5)])
+        second = _write_jsonl(
+            tmp_path / "b.jsonl", [_trial_row(7, adversary="random")]
+        )
+        report = render_stats([first, second])
+        assert "a.jsonl" in report and "b.jsonl" in report
+        assert "random" in report
+
+    def test_no_telemetry_means_no_stage_table(self, tmp_path):
+        path = _write_jsonl(tmp_path / "run.jsonl", [_trial_row(5)])
+        report = render_stats([path])
+        assert "0 telemetry record(s)" in report
+        assert "telemetry stages" not in report

@@ -1,0 +1,104 @@
+"""The timeline explorer: trace -> self-contained HTML/SVG."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.analysis.timeline import render_timeline
+from repro.ids import sparse_ids
+from repro.search.schedule import CrashEvent, Schedule
+from repro.sim.runner import run_renaming
+from repro.sim.trace import Trace
+
+
+def _traced_run(**kwargs):
+    n = kwargs.pop("n", 9)
+    schedule = Schedule.of(
+        n, [CrashEvent(1, 0, (1,)), CrashEvent(2, 3, (4,), "omit")]
+    )
+    return run_renaming(
+        "balls-into-leaves",
+        sparse_ids(n),
+        seed=2,
+        adversary=schedule.compile(sparse_ids(n)),
+        kernel="columnar",
+        trace="cheap",
+        check=False,
+        **kwargs,
+    )
+
+
+def _svg(html):
+    """Parse the embedded SVG (also proves it is well-formed XML)."""
+    start = html.index("<svg")
+    end = html.index("</svg>") + len("</svg>")
+    return ET.fromstring(html[start:end])
+
+
+class TestRenderTimeline:
+    def test_self_contained_html_document(self):
+        run = _traced_run()
+        html = render_timeline(run.trace, title="demo n=9")
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<style>" in html and "<script" not in html
+        assert "demo n=9" in html
+        _svg(html)
+
+    def test_one_lane_per_participant(self):
+        run = _traced_run()
+        participants = list(sparse_ids(9))
+        html = render_timeline(
+            run.trace, title="t", participants=participants
+        )
+        for pid in participants:
+            assert str(pid) in html
+
+    def test_fault_markers_have_tooltips(self):
+        run = _traced_run(halt_on_name=True)
+        html = render_timeline(run.trace, title="t")
+        assert "crashed" in html
+        assert "broadcast dropped" in html
+        assert "decided name" in html
+        assert "halted with name" in html
+        titles = [el.text for el in _svg(html).iter() if el.tag.endswith("title")]
+        assert any("crashed" in t for t in titles)
+        assert any("broadcast dropped" in t for t in titles)
+
+    def test_meta_table_rendered_and_escaped(self):
+        run = _traced_run()
+        html = render_timeline(
+            run.trace,
+            title="<script>alert(1)</script>",
+            meta={"note": "a < b & c"},
+        )
+        assert "<script>alert(1)</script>" not in html
+        assert "&lt;script&gt;" in html
+        assert "a &lt; b &amp; c" in html
+
+    def test_namespace_band_tracks_name_events(self):
+        run = _traced_run()
+        html = render_timeline(run.trace, title="t")
+        assert "named" in html
+
+    def test_livelock_reads_as_flat_running_strip(self):
+        # A synthetic livelock: rounds keep passing, nobody ever names.
+        trace = Trace()
+        for round_no in range(1, 41):
+            trace.record(round_no, "round", sent=8, crashes=0, running=8)
+        html = render_timeline(trace, title="livelock")
+        assert "running" in html
+        _svg(html)
+
+    def test_empty_trace_still_renders(self):
+        html = render_timeline(Trace(), title="empty")
+        assert html.startswith("<!DOCTYPE html>")
+
+    def test_full_reference_trace_renders_too(self):
+        run = run_renaming(
+            "balls-into-leaves", sparse_ids(6), seed=1, trace="full"
+        )
+        html = render_timeline(run.trace, title="full")
+        _svg(html)
+        assert "round" in html

@@ -1,0 +1,114 @@
+"""Runtime telemetry: the StageTimers stage-attribution collector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.instrumentation import (
+    TELEMETRY_STAGES,
+    TIMERS,
+    StageTimers,
+)
+from repro.core.mt19937 import HAVE_NUMPY
+from repro.ids import sparse_ids
+from repro.sim.runner import run_renaming
+
+
+@pytest.fixture(autouse=True)
+def _quiesce_global_timers():
+    """Tests below toggle the module-level collector; never leak it on."""
+    yield
+    TIMERS.disable()
+    TIMERS.reset()
+
+
+class TestStageTimers:
+    def test_disabled_is_free_and_records_nothing(self):
+        timers = StageTimers()
+        started = timers.start()
+        assert started == 0.0
+        timers.stop("seeding", started)
+        assert timers.snapshot() == {}
+
+    def test_enable_records_calls_and_seconds(self):
+        timers = StageTimers()
+        timers.enable()
+        for _ in range(3):
+            timers.stop("movement", timers.start())
+        snapshot = timers.snapshot()
+        assert snapshot["movement"]["calls"] == 3
+        assert snapshot["movement"]["seconds"] >= 0.0
+
+    def test_enable_resets_previous_counts(self):
+        timers = StageTimers()
+        timers.enable()
+        timers.stop("seeding", timers.start())
+        timers.enable()
+        assert timers.snapshot() == {}
+
+    def test_snapshot_orders_known_stages_first(self):
+        timers = StageTimers()
+        timers.enable()
+        timers.stop("zebra", timers.start())
+        timers.stop("monitor", timers.start())
+        timers.stop("seeding", timers.start())
+        ordered = list(timers.snapshot())
+        known = [s for s in TELEMETRY_STAGES if s in ordered]
+        assert ordered == known + ["zebra"]
+
+    def test_disable_stops_collection(self):
+        timers = StageTimers()
+        timers.enable()
+        timers.disable()
+        timers.stop("seeding", timers.start())
+        assert timers.snapshot() == {}
+
+
+class TestStageAttribution:
+    """The hooks at the kernel seams report the documented stages."""
+
+    def test_columnar_run_attributes_stages(self):
+        TIMERS.enable()
+        run_renaming(
+            "balls-into-leaves",
+            sparse_ids(16),
+            seed=3,
+            kernel="columnar",
+            monitor="cheap",
+        )
+        snapshot = TIMERS.snapshot()
+        assert snapshot["seeding"]["calls"] >= 1
+        assert snapshot["movement"]["calls"] >= 1
+        assert snapshot["monitor"]["calls"] >= 1
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="requires numpy")
+    def test_vectorized_run_attributes_stages(self):
+        TIMERS.enable()
+        run_renaming(
+            "balls-into-leaves",
+            sparse_ids(16),
+            seed=3,
+            kernel="vectorized",
+        )
+        snapshot = TIMERS.snapshot()
+        assert snapshot["seeding"]["calls"] >= 1
+        assert snapshot["twist"]["calls"] >= 1
+        assert snapshot["movement"]["calls"] >= 1
+
+    def test_timers_off_means_no_attribution(self):
+        run_renaming(
+            "balls-into-leaves", sparse_ids(8), seed=3, kernel="columnar"
+        )
+        assert TIMERS.snapshot() == {}
+
+    def test_telemetry_does_not_perturb_results(self):
+        plain = run_renaming(
+            "balls-into-leaves", sparse_ids(16), seed=5, kernel="columnar"
+        )
+        TIMERS.enable()
+        timed = run_renaming(
+            "balls-into-leaves", sparse_ids(16), seed=5, kernel="columnar"
+        )
+        assert timed.names == plain.names
+        assert timed.rounds == plain.rounds
+        assert timed.metrics.rounds == plain.metrics.rounds

@@ -1,0 +1,23 @@
+"""Golden violation: unstable values recorded into event payloads (D106)."""
+
+import time
+
+
+def record_round(trace, engine, round_no, timers):
+    # Wall-clock reads inside the payload (also D102 on their own merit).
+    trace.record(round_no, "round", at=time.time())  # expect: D102,D106
+    # Identity values vary per process (also D104 on their own merit).
+    trace.record(round_no, "view", key=id(engine))  # expect: D104,D106
+    # Set displays serialize in hash order.
+    trace.record(round_no, "camp", pids={1, 2, 3})  # expect: D106
+    trace.record(round_no, "camp", pids=set(engine.alive))  # expect: D106
+    # Dict views serialize in insertion order.
+    trace.record(round_no, "names", vals=timers.values())  # expect: D106
+    # Positional payload arguments are policed too.
+    trace.record(round_no, "tick", time.perf_counter())  # expect: D102,D106
+
+
+def record_round_clean(trace, engine, round_no, elapsed):
+    # Precomputed deltas and sorted collections are the sanctioned shape.
+    trace.record(round_no, "round", seconds=elapsed)
+    trace.record(round_no, "camp", pids=sorted(engine.alive))

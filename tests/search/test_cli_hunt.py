@@ -10,6 +10,11 @@ from repro.cli import main
 
 
 class TestHuntCli:
+    @pytest.fixture(autouse=True)
+    def _sandbox_cwd(self, tmp_path, monkeypatch):
+        """Hunts drop scenario + trace files in the CWD by default."""
+        monkeypatch.chdir(tmp_path)
+
     def test_hunt_smoke_reports_comparison_and_best(self, capsys):
         assert main(
             ["hunt", "--n", "8", "--budget", "10", "--seed", "2",

@@ -1,0 +1,180 @@
+"""Scenario files: round-trip, hand-edit semantics, and persistence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.search.scenario import (
+    SCENARIO_FORMAT,
+    Scenario,
+    load_scenario,
+    scenario_filename,
+    write_scenario,
+)
+from repro.search.schedule import CrashEvent, Schedule
+from repro.sim.batch import AdversarySpec, TrialSpec, run_trial
+
+
+def _schedule():
+    return Schedule.of(
+        9, [CrashEvent(1, 0, (2,)), CrashEvent(2, 3, (), "omit")]
+    )
+
+
+def _spec(schedule=None, **overrides):
+    adversary = (schedule or _schedule()).spec()
+    fields = dict(
+        algorithm="balls-into-leaves",
+        n=9,
+        seed=4,
+        adversary=adversary,
+        halt_on_name=True,
+        crash_budget=3,
+        check=False,
+        capture_errors=True,
+        trace="cheap",
+    )
+    fields.update(overrides)
+    return TrialSpec(**fields)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_preserves_spec_and_schedule(self):
+        schedule = _schedule()
+        scenario = Scenario(
+            spec=_spec(schedule), schedule=schedule, meta={"rounds": 11}
+        )
+        loaded = Scenario.from_dict(scenario.to_dict())
+        assert loaded.spec == scenario.spec
+        assert loaded.schedule == schedule
+        assert loaded.meta == {"rounds": 11}
+
+    def test_json_round_trip_via_file(self, tmp_path):
+        schedule = _schedule()
+        scenario = Scenario(
+            spec=_spec(schedule),
+            schedule=schedule,
+            trace_path="trace-abc.jsonl",
+            trace_digest="abc",
+            meta={"objective": "rounds"},
+        )
+        path = str(tmp_path / scenario_filename(scenario.spec.digest()))
+        write_scenario(scenario, path)
+        loaded = load_scenario(path)
+        assert loaded == scenario
+
+    def test_non_schedule_adversary_keeps_params(self):
+        spec = _spec(
+            adversary=AdversarySpec.of("random", rate=0.2, delivery="uniform")
+        )
+        scenario = Scenario(spec=spec)
+        document = scenario.to_dict()
+        assert document["schedule"] is None
+        assert document["spec"]["adversary"]["params"] == {
+            "delivery": "uniform", "rate": 0.2,
+        }
+        assert Scenario.from_dict(document).spec == spec
+
+    def test_schedule_params_not_duplicated_in_adversary_block(self):
+        document = Scenario(spec=_spec(), schedule=_schedule()).to_dict()
+        assert "params" not in document["spec"]["adversary"]
+        assert document["schedule"]["events"]
+
+    def test_from_trial_records_result_meta(self):
+        spec = _spec()
+        result = run_trial(spec)
+        scenario = Scenario.from_trial(
+            spec, result, schedule=_schedule(), trace_path="trace-x.jsonl",
+            objective="rounds",
+        )
+        assert scenario.meta["rounds"] == result.rounds
+        assert scenario.meta["failures"] == result.failures
+        assert scenario.meta["messages_sent"] == result.messages_sent
+        assert scenario.meta["objective"] == "rounds"
+        assert scenario.trace_digest == spec.digest()
+
+    def test_trace_digest_only_set_with_a_trace_path(self):
+        scenario = Scenario.from_trial(_spec(), schedule=_schedule())
+        assert scenario.trace_path is None
+        assert scenario.trace_digest is None
+
+
+class TestHandEdit:
+    """The perturb-and-replay contract: the schedule block wins."""
+
+    def test_edited_events_rebuild_the_adversary(self):
+        schedule = _schedule()
+        document = Scenario(spec=_spec(schedule), schedule=schedule).to_dict()
+        # Move the crash a round later, straight in the serialized form.
+        document["schedule"]["events"][0] = [5, 0, [2]]
+        loaded = Scenario.from_dict(document)
+        crash_rounds = [
+            e.round_no for e in loaded.schedule.events if e.kind == "crash"
+        ]
+        assert crash_rounds == [5]
+        edited = Schedule.from_dict(document["schedule"])
+        assert loaded.spec.adversary == edited.spec()
+
+    def test_auto_digest_label_regenerated_after_edit(self):
+        schedule = _schedule()
+        document = Scenario(spec=_spec(schedule), schedule=schedule).to_dict()
+        stale = document["spec"]["adversary"]["label"]
+        assert stale == f"schedule:{schedule.digest}"
+        document["schedule"]["events"][0] = [5, 0, [2]]
+        loaded = Scenario.from_dict(document)
+        assert loaded.spec.adversary.label != stale
+        assert loaded.spec.adversary.label == (
+            f"schedule:{loaded.schedule.digest}"
+        )
+
+    def test_custom_label_survives_an_edit(self):
+        schedule = _schedule()
+        spec = _spec(schedule, adversary=schedule.spec("my-counterexample"))
+        document = Scenario(spec=spec, schedule=schedule).to_dict()
+        document["schedule"]["events"][0] = [5, 0, [2]]
+        loaded = Scenario.from_dict(document)
+        assert loaded.spec.adversary.label == "my-counterexample"
+
+    def test_edited_scenario_replays(self):
+        schedule = _schedule()
+        document = Scenario(spec=_spec(schedule), schedule=schedule).to_dict()
+        document["schedule"]["events"][0] = [3, 0, [2]]
+        result = run_trial(Scenario.from_dict(document).spec)
+        assert result.rounds > 0
+
+
+class TestValidation:
+    def test_filename_shape(self):
+        assert scenario_filename("abc") == "scenario-abc.json"
+        assert (
+            scenario_filename("abc", prefix="hunt-scenario")
+            == "hunt-scenario-abc.json"
+        )
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ConfigurationError, match="not a repro-scenario/1"):
+            Scenario.from_dict({"format": "something-else"})
+
+    def test_missing_spec_rejected(self):
+        with pytest.raises(ConfigurationError, match="no 'spec' block"):
+            Scenario.from_dict({"format": SCENARIO_FORMAT})
+
+    def test_bad_json_file_rejected(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            load_scenario(str(path))
+
+    def test_non_object_file_rejected(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2]", encoding="utf-8")
+        with pytest.raises(ConfigurationError, match="expected a JSON object"):
+            load_scenario(str(path))
+
+    def test_to_json_is_editable_pretty_print(self):
+        text = Scenario(spec=_spec(), schedule=_schedule()).to_json()
+        assert text.startswith("{\n")
+        assert json.loads(text)["format"] == SCENARIO_FORMAT

@@ -1,0 +1,182 @@
+"""CLI tests for the observability surface: scenario emission from
+``hunt``, the ``explore`` timeline renderer, ``stats``, and the
+``--trace`` / ``--telemetry`` knobs."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.core.instrumentation import TIMERS
+
+
+@pytest.fixture(autouse=True)
+def _sandbox(tmp_path, monkeypatch):
+    """Every verb here writes files; keep them in a scratch CWD, and
+    never leak the module-level telemetry collector on."""
+    monkeypatch.chdir(tmp_path)
+    yield
+    TIMERS.disable()
+    TIMERS.reset()
+
+
+def _hunt(*extra):
+    return main(
+        ["hunt", "--n", "8", "--budget", "6", "--seed", "2",
+         "--baseline-trials", "1", "--no-shrink", *extra]
+    )
+
+
+def _emitted_scenario():
+    names = [n for n in os.listdir(".") if n.startswith("hunt-scenario-")]
+    assert len(names) == 1
+    return names[0]
+
+
+class TestHuntScenarioEmission:
+    def test_hunt_writes_scenario_and_trace_files(self, capsys):
+        assert _hunt() == 0
+        out = capsys.readouterr().out
+        scenario_name = _emitted_scenario()
+        assert f"scenario file: {scenario_name}" in out
+        assert f"python -m repro explore {scenario_name}" in out
+        with open(scenario_name, encoding="utf-8") as handle:
+            document = json.load(handle)
+        assert document["format"] == "repro-scenario/1"
+        assert document["spec"]["digest"] in scenario_name
+        assert document["schedule"]["events"]
+        assert os.path.exists(document["trace"]["path"])
+
+    def test_no_scenario_suppresses_the_files(self, capsys):
+        assert _hunt("--no-scenario") == 0
+        out = capsys.readouterr().out
+        assert "scenario file:" not in out
+        assert not [n for n in os.listdir(".") if n.endswith(".json")]
+
+    def test_scenario_out_picks_the_path(self, tmp_path, capsys):
+        target = tmp_path / "sub" / "winner.json"
+        target.parent.mkdir()
+        assert _hunt("--scenario-out", str(target)) == 0
+        assert "winner.json" in capsys.readouterr().out
+        document = json.loads(target.read_text(encoding="utf-8"))
+        # The trace lands alongside the scenario, not in the CWD.
+        assert (target.parent / document["trace"]["path"]).exists()
+
+    def test_omission_family_scenario_round_trips(self, capsys):
+        assert main(
+            ["hunt", "--fault-family", "omission", "--n", "8", "--budget",
+             "8", "--seed", "7", "--baseline-trials", "1", "--no-shrink"]
+        ) == 0
+        capsys.readouterr()
+        scenario_name = _emitted_scenario()
+        assert main(["explore", scenario_name, "--out", "t.html"]) == 0
+        assert os.path.exists("t.html")
+
+
+class TestExplore:
+    def test_explore_renders_html_from_stored_trace(self, capsys):
+        assert _hunt() == 0
+        capsys.readouterr()
+        scenario_name = _emitted_scenario()
+        assert main(["explore", scenario_name]) == 0
+        out = capsys.readouterr().out
+        assert "timeline written to" in out
+        assert "stored trace" in out
+        html_name = [n for n in os.listdir(".") if n.endswith(".html")][0]
+        with open(html_name, encoding="utf-8") as handle:
+            html = handle.read()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<svg" in html
+
+    def test_hand_edited_scenario_replays_bit_identically(self, capsys):
+        assert _hunt() == 0
+        capsys.readouterr()
+        scenario_name = _emitted_scenario()
+        with open(scenario_name, encoding="utf-8") as handle:
+            document = json.load(handle)
+        # Perturb: push the first event one round later, by hand.
+        event = document["schedule"]["events"][0]
+        event[0] = event[0] + 1
+        with open(scenario_name, "w", encoding="utf-8") as handle:
+            json.dump(document, handle)
+        assert main(
+            ["explore", scenario_name, "--replay", "--out", "edited.html"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert (
+            "bit-identical on the reference and columnar kernels"
+            in captured.err
+        )
+        assert "replayed on the" in captured.out
+        assert os.path.exists("edited.html")
+
+    def test_edited_replay_is_deterministic(self, capsys):
+        assert _hunt() == 0
+        capsys.readouterr()
+        scenario_name = _emitted_scenario()
+        for out in ("a.html", "b.html"):
+            assert main(
+                ["explore", scenario_name, "--replay", "--out", out]
+            ) == 0
+        capsys.readouterr()
+        with open("a.html", encoding="utf-8") as handle:
+            first = handle.read()
+        with open("b.html", encoding="utf-8") as handle:
+            second = handle.read()
+        assert first == second
+
+    def test_missing_scenario_fails_cleanly(self, capsys):
+        assert main(["explore", "nope.json"]) == 2
+        assert "nope.json" in capsys.readouterr().err
+
+
+class TestStatsAndTelemetry:
+    def test_batch_telemetry_row_feeds_stats(self, capsys):
+        assert main(
+            ["batch", "--sizes", "8", "--trials", "2", "--seed", "1",
+             "--telemetry", "--out", "batch.jsonl"]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "telemetry stages" in err
+        rows = [
+            json.loads(line)
+            for line in open("batch.jsonl", encoding="utf-8")
+        ]
+        assert rows[-1]["kind"] == "telemetry"
+        assert rows[-1]["stages"]
+        assert main(["stats", "batch.jsonl"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry stages" in out
+        assert "total run elapsed" in out
+
+    def test_stats_merges_files_and_writes_out(self, capsys):
+        assert main(
+            ["batch", "--sizes", "8", "--trials", "2", "--seed", "1",
+             "--out", "plain.jsonl"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["stats", "plain.jsonl", "--out", "report.txt"]) == 0
+        capsys.readouterr()
+        with open("report.txt", encoding="utf-8") as handle:
+            report = handle.read()
+        assert "plain.jsonl" in report
+        assert "trial rows" in report
+
+    def test_stats_missing_file_fails_cleanly(self, capsys):
+        assert main(["stats", "nope.jsonl"]) == 2
+        assert "nope.jsonl" in capsys.readouterr().err
+
+    def test_batch_trace_flag_keeps_output_identical(self, capsys):
+        args = ["batch", "--sizes", "8", "--trials", "2", "--seed", "3"]
+        assert main(args) == 0
+        plain = capsys.readouterr().out
+        assert main(args + ["--trace", "cheap"]) == 0
+        traced = capsys.readouterr().out
+        assert traced == plain
+
+    def test_hunt_telemetry_smoke(self, capsys):
+        assert _hunt("--telemetry", "--no-scenario") == 0
+        assert "telemetry stages" in capsys.readouterr().err
